@@ -1,0 +1,344 @@
+(* The BioNav command-line interface.
+
+   The on-line system of the paper is a web application; this CLI drives the
+   same stack interactively: a deterministic synthetic PubMed (hierarchy,
+   corpus, associations, keyword index) with the paper's query workload
+   planted in it, BioNav navigation sessions, and import/export of the
+   MeSH-like hierarchy and the BioNav database. *)
+
+open Cmdliner
+open Bionav_util
+open Bionav_core
+module H = Bionav_mesh.Hierarchy
+module FF = Bionav_mesh.Flat_file
+module Medline = Bionav_corpus.Medline
+module DB = Bionav_store.Database
+module Codec = Bionav_store.Codec
+module Eutils = Bionav_search.Eutils
+module Q = Bionav_workload.Queries
+module E = Bionav_workload.Experiment
+module R = Bionav_workload.Report
+
+(* --- shared options -------------------------------------------------- *)
+
+let seed_arg =
+  let doc = "Random seed for the deterministic synthetic corpus." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Corpus scale: $(b,small) (fast, ~6k concepts) or $(b,full) (paper scale, ~48k)." in
+  Arg.(value & opt (enum [ ("small", `Small); ("full", `Full) ]) `Small
+       & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let config_of = function `Small -> Q.small_config | `Full -> Q.default_config
+
+let build_workload scale seed =
+  Printf.printf "building the synthetic corpus (scale=%s, seed=%d)...\n%!"
+    (match scale with `Small -> "small" | `Full -> "full")
+    seed;
+  Q.build ~config:(config_of scale) ~seed ()
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run scale seed =
+    let w = build_workload scale seed in
+    let h = w.Q.hierarchy in
+    let m = w.Q.medline in
+    Printf.printf "hierarchy: %d concepts, height %d, max width %d\n" (H.size h) (H.height h)
+      (H.max_width h);
+    Printf.printf "corpus:    %d citations, %.1f concepts/citation, %d concepts populated\n"
+      (Medline.size m) (Medline.mean_annotations m) (Medline.concepts_with_citations m);
+    Printf.printf "database:  %d associations\n"
+      (Bionav_store.Assoc_table.n_associations (DB.assoc w.Q.database));
+    Printf.printf "queries:   %s\n"
+      (String.concat ", " (List.map (fun q -> q.Q.spec.Q.name) w.Q.queries))
+  in
+  let doc = "Print statistics of the synthetic corpus and its seeded queries." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ scale_arg $ seed_arg)
+
+(* --- queries (Table I) ------------------------------------------------ *)
+
+let queries_cmd =
+  let run scale seed =
+    let w = build_workload scale seed in
+    print_string (R.table1 w)
+  in
+  let doc = "Print the seeded query workload (the paper's Table I)." in
+  Cmd.v (Cmd.info "queries" ~doc) Term.(const run $ scale_arg $ seed_arg)
+
+(* --- search ------------------------------------------------------------ *)
+
+let search_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Keyword query.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Summaries to print.")
+  in
+  let run scale seed query limit =
+    let w = build_workload scale seed in
+    let ranked = Bionav_search.Ranked.build w.Q.medline in
+    let result = Eutils.esearch w.Q.eutils query in
+    Printf.printf "%d citations match %S (TF-IDF ranked)\n" (Intset.cardinal result) query;
+    List.iter
+      (fun (id, score) ->
+        Printf.printf "  %5.2f [%d] %s\n" score id (List.hd (Eutils.esummary w.Q.eutils [ id ])))
+      (Bionav_search.Ranked.search ~limit ranked query)
+  in
+  let doc = "Run a keyword query against the synthetic PubMed (ESearch + ESummary)." in
+  Cmd.v (Cmd.info "search" ~doc) Term.(const run $ scale_arg $ seed_arg $ query_arg $ limit_arg)
+
+(* --- navigate ---------------------------------------------------------- *)
+
+let strategy_arg =
+  let doc =
+    "Navigation strategy: $(b,bionav), $(b,static), $(b,paged) (static with a 10-entry \
+     'more' button) or $(b,optimal)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [ ("bionav", `Bionav); ("static", `Static); ("paged", `Paged);
+                ("optimal", `Optimal) ])
+           `Bionav
+       & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let strategy_of = function
+  | `Bionav -> Navigation.bionav ()
+  | `Static -> Navigation.Static
+  | `Paged -> Navigation.Static_paged { page_size = 10 }
+  | `Optimal -> Navigation.Optimal { params = Probability.default_params }
+
+let render_numbered active nav =
+  let visible = Active_tree.visible active in
+  List.iteri
+    (fun i v ->
+      let rec vis_depth j =
+        match Active_tree.visible_parent active j with -1 -> 0 | p -> 1 + vis_depth p
+      in
+      Printf.printf "%3d %s%s (%d)%s\n" i
+        (String.make (2 * vis_depth v) ' ')
+        (Nav_tree.label nav v)
+        (Active_tree.component_distinct active v)
+        (if Active_tree.is_expandable active v then " >>>" else ""))
+    visible;
+  visible
+
+let interactive_loop ?record session nav eutils =
+  let recorder = Session_log.record session in
+  let active = Navigation.active session in
+  let help () =
+    print_string
+      "commands: x <i> = EXPAND node i | s <i> = SHOWRESULTS | b = BACKTRACK | q = quit\n"
+  in
+  help ();
+  let quit = ref false in
+  while not !quit do
+    print_string "\n";
+    let visible = render_numbered active nav in
+    print_string "> ";
+    match In_channel.input_line stdin with
+    | None -> quit := true
+    | Some line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "q" ] -> quit := true
+        | [ "b" ] ->
+            if not (Session_log.backtrack recorder) then print_string "nothing to undo\n"
+        | [ "x"; i ] -> (
+            match int_of_string_opt i with
+            | Some i when i >= 0 && i < List.length visible ->
+                let node = List.nth visible i in
+                let revealed = Session_log.expand recorder node in
+                Printf.printf "revealed %d concept(s)\n" (List.length revealed)
+            | Some _ | None -> print_string "no such node\n")
+        | [ "s"; i ] -> (
+            match int_of_string_opt i with
+            | Some i when i >= 0 && i < List.length visible ->
+                let node = List.nth visible i in
+                let citations = Session_log.show_results recorder node in
+                Printf.printf "%d citations:\n" (Intset.cardinal citations);
+                List.iteri
+                  (fun j id ->
+                    if j < 10 then
+                      Printf.printf "  %s\n" (List.hd (Eutils.esummary eutils [ id ])))
+                  (Intset.elements citations)
+            | Some _ | None -> print_string "no such node\n")
+        | _ -> help ())
+  done;
+  (match record with
+  | None -> ()
+  | Some path ->
+      Session_log.save (Session_log.transcript recorder) path;
+      Printf.printf "transcript written to %s\n" path);
+  let stats = Navigation.stats session in
+  Printf.printf "session cost: %d (EXPANDs %d, concepts %d, citations %d)\n"
+    (Navigation.total_cost stats) stats.Navigation.expands stats.Navigation.revealed
+    stats.Navigation.results_listed
+
+let navigate_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Keyword query.")
+  in
+  let auto_arg =
+    let doc = "Navigate automatically (oracle user) to the concept with this exact label." in
+    Arg.(value & opt (some string) None & info [ "auto" ] ~docv:"LABEL" ~doc)
+  in
+  let record_arg =
+    let doc = "Write the session transcript to this file on quit." in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc = "Apply a recorded transcript before the interactive loop." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let rec run scale seed query strategy auto record replay =
+    (* The Optimal strategy is exponential and guarded to tiny components;
+       surface its Invalid_argument as a clean error instead of a crash. *)
+    try run_navigate scale seed query strategy auto record replay
+    with Invalid_argument msg ->
+      Printf.printf "error: %s\n" msg;
+      Printf.printf "(the 'optimal' strategy only handles components of <= %d nodes;\n"
+        Bionav_core.Opt_edgecut.max_size;
+      Printf.printf " use --strategy bionav for real queries)\n";
+      exit 1
+  and run_navigate scale seed query strategy auto record replay =
+    let w = build_workload scale seed in
+    let result = Eutils.esearch w.Q.eutils query in
+    if Intset.is_empty result then begin
+      Printf.printf "no results for %S\n" query;
+      exit 1
+    end;
+    Printf.printf "%d citations; building the navigation tree...\n" (Intset.cardinal result);
+    let nav = Nav_tree.of_database w.Q.database result in
+    Printf.printf "navigation tree: %d concept nodes\n\n" (Nav_tree.size nav - 1);
+    match auto with
+    | None ->
+        let session = Navigation.start (strategy_of strategy) nav in
+        (match replay with
+        | None -> ()
+        | Some path ->
+            let outcome = Session_log.replay session (Session_log.load path) in
+            Printf.printf "replayed %s: %d applied, %d skipped\n" path
+              outcome.Session_log.applied outcome.Session_log.skipped);
+        interactive_loop ?record session nav w.Q.eutils
+    | Some label -> (
+        match H.find_by_label w.Q.hierarchy label with
+        | None ->
+            Printf.printf "no concept labelled %S\n" label;
+            exit 1
+        | Some concept -> (
+            match Nav_tree.node_of_concept nav concept with
+            | None ->
+                Printf.printf "concept %S holds no results of this query\n" label;
+                exit 1
+            | Some target ->
+                let outcome =
+                  Simulate.to_target ~strategy:(strategy_of strategy) nav ~target
+                in
+                List.iter
+                  (fun (r : Navigation.expand_record) ->
+                    Printf.printf "EXPAND on %S: %d revealed (%.2f ms)\n"
+                      (Nav_tree.label nav r.Navigation.node)
+                      r.Navigation.n_revealed r.Navigation.elapsed_ms)
+                  outcome.Simulate.history;
+                Printf.printf "\nreached %S: cost %d (%d EXPANDs + %d concepts examined)\n"
+                  label outcome.Simulate.navigation_cost outcome.Simulate.expands
+                  outcome.Simulate.revealed))
+  in
+  let doc = "Navigate the results of a query (interactively, or --auto to a target)." in
+  Cmd.v
+    (Cmd.info "navigate" ~doc)
+    Term.(
+      const run $ scale_arg $ seed_arg $ query_arg $ strategy_arg $ auto_arg $ record_arg
+      $ replay_arg)
+
+(* --- experiment --------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run scale seed =
+    let w = build_workload scale seed in
+    let runs = E.run_all w in
+    print_string (R.table1 w);
+    print_string (R.fig8 runs);
+    print_string (R.fig9 runs);
+    print_string (R.fig10 runs);
+    print_string (R.fig11 (List.hd runs))
+  in
+  let doc = "Run the full evaluation (Table I, Figs. 8-11) on the seeded workload." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ scale_arg $ seed_arg)
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let run scale seed port =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info);
+    let w = build_workload scale seed in
+    let app =
+      Bionav_web.App.create
+        ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
+        ~database:w.Q.database ~eutils:w.Q.eutils ()
+    in
+    Printf.printf "serving on http://127.0.0.1:%d (Ctrl-C to stop)\n%!" port;
+    Bionav_web.Http.serve ~port (Bionav_web.App.handle app)
+  in
+  let doc = "Serve the BioNav web interface over the synthetic corpus." in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ scale_arg $ seed_arg $ port_arg)
+
+(* --- export / import ---------------------------------------------------- *)
+
+let mesh_export_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run scale seed path =
+    let w = build_workload scale seed in
+    FF.save w.Q.hierarchy path;
+    Printf.printf "wrote %d concepts to %s\n" (H.size w.Q.hierarchy - 1) path
+  in
+  let doc = "Export the hierarchy in the MeSH-flat-file-like text format." in
+  Cmd.v (Cmd.info "mesh-export" ~doc) Term.(const run $ scale_arg $ seed_arg $ path_arg)
+
+let db_export_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run scale seed path =
+    let w = build_workload scale seed in
+    Codec.save w.Q.database path;
+    Printf.printf "wrote the BioNav database to %s\n" path
+  in
+  let doc = "Export the BioNav database (hierarchy + associations) as binary." in
+  Cmd.v (Cmd.info "db-export" ~doc) Term.(const run $ scale_arg $ seed_arg $ path_arg)
+
+let db_info_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Database file.")
+  in
+  let run path =
+    let db = Codec.load path in
+    let h = DB.hierarchy db in
+    Printf.printf "hierarchy: %d concepts, height %d\n" (H.size h) (H.height h);
+    Printf.printf "citations: %d\n" (DB.n_citations db);
+    Printf.printf "associations: %d\n"
+      (Bionav_store.Assoc_table.n_associations (DB.assoc db))
+  in
+  let doc = "Inspect an exported BioNav database file." in
+  Cmd.v (Cmd.info "db-info" ~doc) Term.(const run $ path_arg)
+
+(* ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "BioNav: cost-optimized navigation of query results over a concept hierarchy" in
+  let info = Cmd.info "bionav" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            stats_cmd; queries_cmd; search_cmd; navigate_cmd; experiment_cmd; serve_cmd;
+            mesh_export_cmd; db_export_cmd; db_info_cmd;
+          ]))

@@ -1,0 +1,107 @@
+(* Interop with real data formats: build a hierarchy from an NLM-style MeSH
+   d-file, a corpus from a MEDLINE nbib export, and navigate the result.
+   This is the path a user with real exported PubMed data would take.
+
+   Run with: dune exec examples/import_export.exe *)
+
+open Bionav_util
+open Bionav_core
+module H = Bionav_mesh.Hierarchy
+module MA = Bionav_mesh.Mesh_ascii
+module Nbib = Bionav_corpus.Nbib
+module DB = Bionav_store.Database
+module Eu = Bionav_search.Eutils
+
+(* A miniature MeSH d-file: chemicals and cell-biology branches. *)
+let d_file =
+  String.concat "\n"
+    [
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Chemicals and Drugs"; "MN = D01"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Nucleoproteins"; "MN = D01.100"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Histones"; "MN = D01.100.200"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Biological Phenomena"; "MN = G01"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Cell Physiology"; "MN = G01.100"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Cell Death"; "MN = G01.100.100"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Apoptosis"; "MN = G01.100.100.050"; "";
+      "*NEWRECORD"; "RECTYPE = D"; "MH = Cell Proliferation"; "MN = G01.100.200"; "";
+      "*NEWRECORD"; "RECTYPE = Q"; "SH = metabolism"; "";
+    ]
+
+(* A hand-written MEDLINE export: five prothymosin papers. *)
+let nbib =
+  String.concat "\n"
+    [
+      "PMID- 1001";
+      "TI  - Prothymosin alpha promotes cell proliferation.";
+      "AB  - We show proliferation effects of prothymosin alpha.";
+      "AU  - Garcia M";
+      "JT  - Cell";
+      "DP  - 2006";
+      "MH  - *Cell Proliferation";
+      "MH  - Nucleoproteins/metabolism";
+      "";
+      "PMID- 1002";
+      "TI  - Prothymosin alpha binds histones in chromatin.";
+      "AB  - Binding of prothymosin to histones is characterized.";
+      "AU  - Chen K";
+      "JT  - J Biol Chem";
+      "DP  - 2004";
+      "MH  - *Histones/chemistry";
+      "MH  - Nucleoproteins";
+      "";
+      "PMID- 1003";
+      "TI  - Prothymosin alpha inhibits apoptosis.";
+      "AB  - Anti-apoptotic role of prothymosin alpha.";
+      "AU  - Novak H";
+      "JT  - Nature";
+      "DP  - 2003";
+      "MH  - *Apoptosis";
+      "MH  - Cell Death";
+      "";
+      "PMID- 1004";
+      "TI  - Prothymosin alpha in cell death pathways.";
+      "AB  - Cell death regulation via prothymosin.";
+      "AU  - Patel K";
+      "JT  - Science";
+      "DP  - 2001";
+      "MH  - Cell Death/pathology";
+      "MH  - *Apoptosis/genetics";
+      "";
+      "PMID- 1005";
+      "TI  - Chromatin remodeling and histones, a review.";
+      "AB  - A review of histone biology and chromatin remodeling.";
+      "AU  - Smith J";
+      "JT  - Annu Rev";
+      "DP  - 2007";
+      "MH  - *Histones";
+    ]
+
+let () =
+  let hierarchy = MA.of_string d_file in
+  Printf.printf "imported hierarchy: %d concepts (d-file records, qualifier skipped)\n"
+    (H.size hierarchy - 1);
+  let medline = Nbib.of_string ~hierarchy nbib in
+  Printf.printf "imported corpus: %d citations\n\n" (Bionav_corpus.Medline.size medline);
+
+  let eutils = Eu.create medline in
+  let database = DB.of_medline medline in
+  let result = Eu.esearch eutils "prothymosin" in
+  Printf.printf "query \"prothymosin\": %d of 5 citations match (the review does not)\n"
+    (Intset.cardinal result);
+  let nav = Nav_tree.of_database database result in
+  let session = Navigation.start (Navigation.bionav ()) nav in
+  ignore (Navigation.expand session (Nav_tree.root nav));
+  print_string "\n--- BioNav view of the imported literature ---\n";
+  print_string (Active_tree.render (Navigation.active session));
+
+  (* Round-trip: write the corpus back out and the DOT picture of the tree. *)
+  let out = Filename.temp_file "bionav_export" ".nbib" in
+  Nbib.save medline out;
+  Printf.printf "\nre-exported the corpus to %s (%d bytes)\n" out
+    (let st = open_in out in
+     let n = in_channel_length st in
+     close_in st;
+     n);
+  let dot = Dot.active_tree (Navigation.active session) in
+  Printf.printf "DOT rendering of the active tree (%d bytes):\n\n%s" (String.length dot)
+    dot

@@ -1,0 +1,86 @@
+(* Quickstart: the whole BioNav pipeline in ~60 lines.
+
+   1. generate a MeSH-like hierarchy and a MEDLINE-like corpus;
+   2. build the BioNav database (off-line phase, paper Fig. 7);
+   3. run a keyword query through the eutils stand-in;
+   4. build the navigation tree and start a BioNav session;
+   5. EXPAND twice and SHOWRESULTS.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Bionav_util
+open Bionav_core
+module Hierarchy = Bionav_mesh.Hierarchy
+module Synthetic = Bionav_mesh.Synthetic
+module Generator = Bionav_corpus.Generator
+module Database = Bionav_store.Database
+module Eutils = Bionav_search.Eutils
+
+let () =
+  (* Off-line: hierarchy + corpus + database. A seeded group plants a small
+     literature about two related concepts, tagged with the fictional
+     substance name "examplase" so we can search for it. *)
+  let hierarchy = Synthetic.generate ~params:Synthetic.small_params ~seed:1 () in
+  let deep_concepts =
+    List.filter (fun c -> Hierarchy.depth hierarchy c >= 4) (List.init (Hierarchy.size hierarchy) Fun.id)
+  in
+  let cluster = [ List.nth deep_concepts 0; List.nth deep_concepts 7 ] in
+  let params =
+    {
+      Generator.small_params with
+      Generator.n_citations = 1_200;
+      seeded_groups =
+        [
+          { Generator.tag = Some "examplase"; cluster; count = 80; topics_per_citation = (1, 2) };
+          { Generator.tag = None; cluster; count = 240; topics_per_citation = (1, 2) };
+        ];
+    }
+  in
+  let medline = Generator.generate ~params ~seed:2 hierarchy in
+  let database = Database.of_medline medline in
+  let eutils = Eutils.create medline in
+  Printf.printf "corpus: %d citations over %d concepts (%.1f concepts/citation)\n\n"
+    (Bionav_corpus.Medline.size medline)
+    (Hierarchy.size hierarchy)
+    (Bionav_corpus.Medline.mean_annotations medline);
+
+  (* On-line: query -> navigation tree -> session. *)
+  let query = "examplase" in
+  let result = Eutils.esearch eutils query in
+  Printf.printf "query %S -> %d citations\n" query (Intset.cardinal result);
+  let nav = Nav_tree.of_database database result in
+  Printf.printf "navigation tree: %d concept nodes, height %d, %d attached (with duplicates)\n\n"
+    (Nav_tree.size nav - 1)
+    (Nav_tree.height nav) (Nav_tree.total_attached nav);
+
+  let session = Navigation.start (Navigation.bionav ()) nav in
+  let active = Navigation.active session in
+  print_string "--- initial active tree ---\n";
+  print_string (Active_tree.render active);
+
+  let revealed = Navigation.expand session (Nav_tree.root nav) in
+  Printf.printf "\n--- after EXPAND on the root (%d concepts revealed) ---\n"
+    (List.length revealed);
+  print_string (Active_tree.render active);
+
+  (* Expand the first revealed concept that is still expandable. *)
+  (match List.find_opt (Active_tree.is_expandable active) revealed with
+  | None -> ()
+  | Some node ->
+      let more = Navigation.expand session node in
+      Printf.printf "\n--- after EXPAND on %S (%d more revealed) ---\n"
+        (Nav_tree.label nav node) (List.length more);
+      print_string (Active_tree.render active);
+      (* SHOWRESULTS on one of its pieces. *)
+      let target = match more with m :: _ -> m | [] -> node in
+      let citations = Navigation.show_results session target in
+      Printf.printf "\n--- SHOWRESULTS on %S: %d citations ---\n"
+        (Nav_tree.label nav target) (Intset.cardinal citations);
+      List.iteri
+        (fun i id -> if i < 5 then Printf.printf "  %s\n" (List.hd (Eutils.esummary eutils [ id ])))
+        (Intset.elements citations));
+
+  let stats = Navigation.stats session in
+  Printf.printf "\nsession cost: %d EXPANDs + %d concepts examined + %d citations listed = %d\n"
+    stats.Navigation.expands stats.Navigation.revealed stats.Navigation.results_listed
+    (Navigation.total_cost stats)

@@ -1,0 +1,12 @@
+(** Umbrella library: one [(libraries bionav)] entry pulls in the whole
+    system under short aliases. *)
+
+module Util = Bionav_util
+module Mesh = Bionav_mesh
+module Corpus = Bionav_corpus
+module Store = Bionav_store
+module Search = Bionav_search
+module Core = Bionav_core
+module Npc = Bionav_npc
+module Workload = Bionav_workload
+module Web = Bionav_web

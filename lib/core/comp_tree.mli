@@ -1,0 +1,75 @@
+(** Component subtrees: the tree-shaped value the EdgeCut algorithms operate
+    on.
+
+    A component subtree (paper §II) is a connected piece of the navigation
+    tree — the invisible subtree [I(n)] behind a visible node. Both
+    [Opt-EdgeCut] and [Heuristic-ReducedOpt] take one as input, and the
+    reduced tree of supernodes is itself one. Nodes are indexed densely
+    [0 .. size-1] with node 0 the component root and parents preceding
+    children; each node carries its result list [L], its corpus-wide count
+    [LT], a display label, and an opaque [tag] linking it back to whatever it
+    stands for (a navigation-tree node, or a partition root). *)
+
+type t
+
+val make :
+  parent:int array ->
+  results:Bionav_util.Intset.t array ->
+  totals:int array ->
+  ?labels:string array ->
+  ?tags:int array ->
+  ?multiplicity:int array ->
+  ?sub_weights:float array array ->
+  unit ->
+  t
+(** [parent.(0) = -1] and [0 <= parent.(i) < i] for [i > 0]. [totals.(i)]
+    must be at least [cardinal results.(i)] and positive whenever the node
+    has results. [tags] defaults to the identity.
+    @raise Invalid_argument on violations. *)
+
+val size : t -> int
+val root : t -> int
+val parent : t -> int -> int
+val children : t -> int -> int list
+val is_leaf : t -> int -> bool
+val depth : t -> int -> int
+
+val results : t -> int -> Bionav_util.Intset.t
+(** [L(i)]: results attached directly to node [i]. *)
+
+val result_count : t -> int -> int
+val total : t -> int -> int
+(** [LT(i)]: corpus-wide citation count of the concept behind [i]. *)
+
+val label : t -> int -> string
+val tag : t -> int -> int
+
+val multiplicity : t -> int -> int
+(** Number of underlying hierarchy concepts this node stands for: 1 for a
+    plain navigation-tree node, the member count for a supernode of a
+    reduced tree. Drives the EXPAND probability of components — a single
+    supernode is still expandable when it aggregates many concepts. *)
+
+val sub_weights : t -> int -> float array
+(** Per-underlying-concept citation masses (the [|L|] values of the
+    aggregated concepts); the entropy term of the EXPAND probability is
+    computed over these. Defaults to [[| L(node) |]]. *)
+
+val subtree_nodes : t -> int -> int list
+(** Preorder, argument included. *)
+
+val all_results : t -> Bionav_util.Intset.t
+(** Distinct results over the whole component. *)
+
+val distinct_of_nodes : t -> int list -> Bionav_util.Intset.t
+(** Distinct results over an arbitrary node subset. *)
+
+val duplicate_count : t -> int
+(** Total attached minus distinct over the whole component: the quantity the
+    TED objective maximizes within components. *)
+
+val singleton :
+  results:Bionav_util.Intset.t -> total:int -> ?label:string -> ?tag:int -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering with counts (diagnostic). *)

@@ -1,0 +1,99 @@
+type t = {
+  tree : Comp_tree.t;
+  params : Probability.params;
+  norm : float;
+  distinct_memo : (int, int) Hashtbl.t;
+  expand_memo : (int, float) Hashtbl.t;
+}
+
+let max_size = 30
+
+let create ?(params = Probability.default_params) ?norm tree =
+  if Comp_tree.size tree > max_size then
+    invalid_arg
+      (Printf.sprintf "Cost_model.create: tree has %d nodes (max %d)" (Comp_tree.size tree)
+         max_size);
+  let norm = match norm with Some n -> n | None -> Probability.normalizer tree in
+  { tree; params; norm; distinct_memo = Hashtbl.create 256; expand_memo = Hashtbl.create 256 }
+
+let tree t = t.tree
+let params t = t.params
+let norm t = t.norm
+
+let full_mask t = (1 lsl Comp_tree.size t.tree) - 1
+
+let members t mask =
+  let n = Comp_tree.size t.tree in
+  let rec go i acc =
+    if i < 0 then acc
+    else if mask land (1 lsl i) <> 0 then go (i - 1) (i :: acc)
+    else go (i - 1) acc
+  in
+  go (n - 1) []
+
+let mask_of nodes = List.fold_left (fun m i -> m lor (1 lsl i)) 0 nodes
+
+let root_of _t mask =
+  if mask = 0 then invalid_arg "Cost_model.root_of: empty mask";
+  (* Node indexing puts parents before children, so the smallest index in a
+     connected component is its root. *)
+  let rec first i = if mask land (1 lsl i) <> 0 then i else first (i + 1) in
+  first 0
+
+let subtree_mask t ~mask v =
+  let rec go v acc =
+    let acc = acc lor (1 lsl v) in
+    List.fold_left
+      (fun acc c -> if mask land (1 lsl c) <> 0 then go c acc else acc)
+      acc (Comp_tree.children t.tree v)
+  in
+  go v 0
+
+let distinct t mask =
+  match Hashtbl.find_opt t.distinct_memo mask with
+  | Some d -> d
+  | None ->
+      let d =
+        Bionav_util.Intset.cardinal (Comp_tree.distinct_of_nodes t.tree (members t mask))
+      in
+      Hashtbl.add t.distinct_memo mask d;
+      d
+
+let p_explore t mask = Probability.explore ~norm:t.norm t.tree (members t mask)
+
+let p_expand t mask =
+  match Hashtbl.find_opt t.expand_memo mask with
+  | Some p -> p
+  | None ->
+      let p =
+        Probability.expand t.params t.tree ~members:(members t mask) ~distinct:(distinct t mask)
+      in
+      Hashtbl.add t.expand_memo mask p;
+      p
+
+let underlying t mask =
+  List.fold_left (fun acc i -> acc + Comp_tree.multiplicity t.tree i) 0 (members t mask)
+
+let cost_leaf t mask = float_of_int (distinct t mask)
+
+let cost_unstructured t mask =
+  let px = p_expand t mask in
+  if px <= 0. then cost_leaf t mask
+  else begin
+    let future = Probability.future_drilldown_cost t.params (underlying t mask) in
+    let show = (1. -. px) *. float_of_int (distinct t mask) in
+    show +. (px *. (t.params.Probability.expand_cost +. future))
+  end
+
+let cost t ~mask ~cut_term =
+  let px = p_expand t mask in
+  let show = (1. -. px) *. float_of_int (distinct t mask) in
+  let expand = px *. (t.params.Probability.expand_cost +. cut_term) in
+  show +. expand
+
+let branch_probability t ~parent_mask ~branch_mask =
+  let pe_parent = p_explore t parent_mask in
+  if pe_parent <= 0. then 0.
+  else Float.min 1.0 (p_explore t branch_mask /. pe_parent)
+
+let expand_cost t = t.params.Probability.expand_cost

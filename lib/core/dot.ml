@@ -1,0 +1,77 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let digraph body = Printf.sprintf "digraph bionav {\n  rankdir=TB;\n  node [shape=box];\n%s}\n"
+    body
+
+let nav_tree ?(max_nodes = 400) nav =
+  let buf = Buffer.create 4096 in
+  let included = Array.make (Nav_tree.size nav) false in
+  (* Breadth-first inclusion up to the budget keeps the upper structure. *)
+  let queue = Queue.create () in
+  Queue.add (Nav_tree.root nav) queue;
+  let count = ref 0 in
+  while (not (Queue.is_empty queue)) && !count < max_nodes do
+    let n = Queue.pop queue in
+    included.(n) <- true;
+    incr count;
+    List.iter (fun c -> Queue.add c queue) (Nav_tree.children nav n)
+  done;
+  for n = 0 to Nav_tree.size nav - 1 do
+    if included.(n) then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s (%d)\"];\n" n
+           (escape (Nav_tree.label nav n))
+           (Nav_tree.subtree_distinct nav n));
+      let hidden_children = List.filter (fun c -> not included.(c)) (Nav_tree.children nav n) in
+      List.iter
+        (fun c -> if included.(c) then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" n c))
+        (Nav_tree.children nav n);
+      if hidden_children <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  e%d [label=\"%d more...\", shape=plaintext];\n" n
+             (List.length hidden_children));
+        Buffer.add_string buf (Printf.sprintf "  n%d -> e%d [style=dashed];\n" n n)
+      end
+    end
+  done;
+  digraph (Buffer.contents buf)
+
+let active_tree active =
+  let nav = Active_tree.nav active in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun v ->
+      let expandable = Active_tree.is_expandable active v in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s (%d)%s\"%s];\n" v
+           (escape (Nav_tree.label nav v))
+           (Active_tree.component_distinct active v)
+           (if expandable then " >>>" else "")
+           (if expandable then ", style=bold" else ""));
+      match Active_tree.visible_parent active v with
+      | -1 -> ()
+      | p -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p v))
+    (Active_tree.visible active);
+  digraph (Buffer.contents buf)
+
+let component tree =
+  let buf = Buffer.create 2048 in
+  for i = 0 to Comp_tree.size tree - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\nL=%d LT=%d\"];\n" i
+         (escape (Comp_tree.label tree i))
+         (Comp_tree.result_count tree i) (Comp_tree.total tree i));
+    if Comp_tree.parent tree i <> -1 then
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" (Comp_tree.parent tree i) i)
+  done;
+  digraph (Buffer.contents buf)

@@ -1,0 +1,18 @@
+(** Graphviz DOT export of navigation and active trees.
+
+    The paper illustrates its data structures as node-link diagrams
+    (Figs. 1-5); this module regenerates those pictures from live values —
+    handy for debugging EdgeCuts and for documentation. Output is plain DOT
+    (render with [dot -Tsvg]). *)
+
+val nav_tree : ?max_nodes:int -> Nav_tree.t -> string
+(** The navigation tree with subtree-distinct counts (the paper's Fig. 1
+    view). Trees larger than [max_nodes] (default 400) are truncated
+    breadth-first with an ellipsis marker per cut branch. *)
+
+val active_tree : Active_tree.t -> string
+(** The Definition 5 visualization: visible nodes only, component counts,
+    expandable nodes marked (the paper's Fig. 2 view). *)
+
+val component : Comp_tree.t -> string
+(** A component tree with L/LT per node (the paper's Fig. 3 view). *)

@@ -1,0 +1,113 @@
+type report = {
+  cut_children : int list;
+  reduced_size : int;
+  reduced_cost : float;
+  elapsed_ms : float;
+}
+
+let default_k = 10
+
+type plan = {
+  plan_tree : Comp_tree.t;  (* the tree the solver ran on *)
+  reduced : Reduced_tree.t option;  (* Some when plan_tree is a reduction *)
+  state : Opt_edgecut.state;
+  mask : int;  (* plan_tree nodes still in the upper component *)
+}
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let plan_usable plan = popcount plan.mask >= 2
+
+(* Translate plan-tree cut children to original-component-tree indices. *)
+let to_original plan cut =
+  match plan.reduced with
+  | None -> cut
+  | Some r -> Reduced_tree.map_cut_children r cut
+
+(* One solver round on the plan's current mask; assumes [plan_usable]. *)
+let solve_plan plan =
+  let ctx = Opt_edgecut.context plan.state in
+  let (solution, next_mask), elapsed_ms =
+    Bionav_util.Timing.time (fun () ->
+        let solution = Opt_edgecut.solve_mask plan.state plan.mask in
+        let lowered =
+          List.fold_left
+            (fun acc v -> acc lor Cost_model.subtree_mask ctx ~mask:plan.mask v)
+            0 solution.Opt_edgecut.cut_children
+        in
+        (solution, plan.mask land lnot lowered))
+  in
+  let report =
+    {
+      cut_children = to_original plan solution.Opt_edgecut.cut_children;
+      reduced_size = popcount plan.mask;
+      reduced_cost = solution.Opt_edgecut.cost;
+      elapsed_ms;
+    }
+  in
+  (report, { plan with mask = next_mask })
+
+let original_tree plan =
+  match plan.reduced with None -> plan.plan_tree | Some r -> Reduced_tree.original r
+
+let replan plan = if plan_usable plan then Some (solve_plan plan) else None
+
+let fresh_plan ?params ?(k = default_k) tree =
+  if Comp_tree.size tree < 2 then invalid_arg "Heuristic.best_cut: tree must have >= 2 nodes";
+  if k < 2 then invalid_arg "Heuristic.best_cut: k must be >= 2";
+  if k > Opt_edgecut.max_size then
+    invalid_arg
+      (Printf.sprintf "Heuristic.best_cut: k = %d exceeds Opt-EdgeCut's limit %d" k
+         Opt_edgecut.max_size);
+  if Comp_tree.size tree <= k then begin
+    let ctx = Cost_model.create ?params tree in
+    let state = Opt_edgecut.init ctx in
+    Some { plan_tree = tree; reduced = None; state; mask = Cost_model.full_mask ctx }
+  end
+  else begin
+    let partition = Partition.run_k tree ~k in
+    let reduced = Reduced_tree.build tree partition in
+    let rt = Reduced_tree.tree reduced in
+    if Comp_tree.size rt < 2 then None
+    else begin
+      let ctx = Cost_model.create ?params rt in
+      let state = Opt_edgecut.init ctx in
+      Some { plan_tree = rt; reduced = Some reduced; state; mask = Cost_model.full_mask ctx }
+    end
+  end
+
+let best_cut_with_plan ?params ?k tree =
+  let (report, plan), total_ms =
+    Bionav_util.Timing.time (fun () ->
+        match fresh_plan ?params ?k tree with
+        | Some plan ->
+            Logs.debug (fun m ->
+                m "heuristic: component of %d nodes reduced to %d supernodes"
+                  (Comp_tree.size tree) (Comp_tree.size plan.plan_tree));
+            solve_plan plan
+        | None ->
+            (* Degenerate partitioning (everything merged into one
+               supernode): fall back to cutting every child of the root,
+               which is always a valid EdgeCut; the returned plan is
+               immediately exhausted. *)
+            let cut = Comp_tree.children tree (Comp_tree.root tree) in
+            let all = Comp_tree.all_results tree in
+            let total = max (Comp_tree.total tree 0) (Bionav_util.Intset.cardinal all) in
+            let ctx = Cost_model.create ?params (Comp_tree.singleton ~results:all ~total ()) in
+            let report =
+              {
+                cut_children = cut;
+                reduced_size = 1;
+                reduced_cost = Float.of_int (Comp_tree.size tree);
+                elapsed_ms = 0.;
+              }
+            in
+            ( report,
+              { plan_tree = tree; reduced = None; state = Opt_edgecut.init ctx; mask = 0 } ))
+  in
+  (* Report the full wall-clock including partitioning. *)
+  ({ report with elapsed_ms = total_ms }, plan)
+
+let best_cut ?params ?k tree = fst (best_cut_with_plan ?params ?k tree)

@@ -1,0 +1,17 @@
+open Bionav_util
+
+type t = { cache : (string, Nav_tree.t) Lru.t; build : string -> Nav_tree.t }
+
+let create ?(capacity = 32) ~build () = { cache = Lru.create ~capacity; build }
+
+let normalize q = String.lowercase_ascii (String.trim q)
+
+let get t query =
+  let key = normalize query in
+  Lru.find_or_add t.cache key (fun () -> t.build query)
+
+let hit_rate t =
+  let h = Lru.hits t.cache and m = Lru.misses t.cache in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let clear t = Lru.clear t.cache

@@ -1,0 +1,21 @@
+(** A bounded cache of navigation trees, keyed by query string.
+
+    Paper §VII: the navigation tree "is done once for each user query" —
+    the expensive on-line step (attachment lookup over every result citation
+    plus the maximum embedding). Exploratory users reissue queries, so the
+    navigation subsystem memoizes trees behind an LRU. *)
+
+type t
+
+val create : ?capacity:int -> build:(string -> Nav_tree.t) -> unit -> t
+(** [capacity] defaults to 32. [build] runs the query and constructs the
+    tree (typically [esearch] + {!Nav_tree.of_database}). Queries are
+    normalized (trimmed, lowercased) before keying. *)
+
+val get : t -> string -> Nav_tree.t
+(** Cached or freshly built. *)
+
+val hit_rate : t -> float
+(** Hits / lookups since creation; 0 before the first lookup. *)
+
+val clear : t -> unit

@@ -1,0 +1,172 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+module Database = Bionav_store.Database
+
+type t = {
+  concept_ids : int array;
+  parent : int array;
+  children : int list array;
+  depth : int array;
+  results : Intset.t array;
+  totals : int array;
+  labels : string array;
+  subtree_distinct : int array;
+  tin : int array;  (* preorder entry = node id itself, kept for clarity *)
+  tout : int array;  (* preorder exit: last descendant id *)
+  node_of_concept : (int, int) Hashtbl.t;
+}
+
+(* Intermediate rose tree used while computing the maximum embedding. *)
+type rose = Rose of int * rose list
+
+let build ~hierarchy ~attachments ~total_count =
+  let n_concepts = Hierarchy.size hierarchy in
+  let attached = Array.make n_concepts Intset.empty in
+  List.iter
+    (fun (c, set) ->
+      if c < 0 || c >= n_concepts then
+        invalid_arg (Printf.sprintf "Nav_tree.build: unknown concept %d" c);
+      if not (Intset.is_empty attached.(c)) then
+        invalid_arg (Printf.sprintf "Nav_tree.build: duplicate attachment for concept %d" c);
+      attached.(c) <- set)
+    attachments;
+  (* Maximum embedding (Definition 2), one depth-first pass: an empty
+     internal node is replaced by its kept children, an empty leaf vanishes,
+     the root survives unconditionally. *)
+  let rec embed c =
+    let kept = List.concat_map embed (Hierarchy.children hierarchy c) in
+    if Intset.is_empty attached.(c) then kept else [ Rose (c, kept) ]
+  in
+  let hroot = Hierarchy.root hierarchy in
+  let top = Rose (hroot, List.concat_map embed (Hierarchy.children hierarchy hroot)) in
+  (* Flatten in preorder: ids are assigned parents-first. *)
+  let count =
+    let rec sz (Rose (_, kids)) = 1 + List.fold_left (fun a k -> a + sz k) 0 kids in
+    sz top
+  in
+  let concept_ids = Array.make count 0 in
+  let parent = Array.make count (-1) in
+  let next = ref 0 in
+  let rec assign p (Rose (c, kids)) =
+    let id = !next in
+    incr next;
+    concept_ids.(id) <- c;
+    parent.(id) <- p;
+    List.iter (assign id) kids
+  in
+  assign (-1) top;
+  let children = Array.make count [] in
+  for i = count - 1 downto 1 do
+    children.(parent.(i)) <- i :: children.(parent.(i))
+  done;
+  let depth = Array.make count 0 in
+  for i = 1 to count - 1 do
+    depth.(i) <- depth.(parent.(i)) + 1
+  done;
+  let results = Array.init count (fun i -> attached.(concept_ids.(i))) in
+  let totals =
+    Array.init count (fun i ->
+        let c = concept_ids.(i) in
+        let tc = total_count c in
+        let lc = Intset.cardinal results.(i) in
+        if tc < lc then
+          invalid_arg
+            (Printf.sprintf "Nav_tree.build: concept %d has total %d < attached %d" c tc lc);
+        (* The root may legitimately have no results and a zero total. *)
+        max tc lc)
+    in
+  let labels = Array.init count (fun i -> Hierarchy.label hierarchy concept_ids.(i)) in
+  (* Bottom-up union for subtree-distinct counts; sets are dropped after the
+     cardinalities are recorded. *)
+  let subtree_sets = Array.make count Intset.empty in
+  for i = count - 1 downto 0 do
+    let union =
+      Intset.union_many (results.(i) :: List.map (fun c -> subtree_sets.(c)) children.(i))
+    in
+    subtree_sets.(i) <- union
+  done;
+  let subtree_distinct = Array.map Intset.cardinal subtree_sets in
+  let tin = Array.init count Fun.id in
+  let tout = Array.make count 0 in
+  for i = count - 1 downto 0 do
+    tout.(i) <- List.fold_left (fun acc c -> max acc tout.(c)) i children.(i)
+  done;
+  let node_of_concept = Hashtbl.create count in
+  Array.iteri (fun i c -> Hashtbl.replace node_of_concept c i) concept_ids;
+  {
+    concept_ids;
+    parent;
+    children;
+    depth;
+    results;
+    totals;
+    labels;
+    subtree_distinct;
+    tin;
+    tout;
+    node_of_concept;
+  }
+
+let of_database db result =
+  let attachments = Database.concepts_of_result db result in
+  build ~hierarchy:(Database.hierarchy db) ~attachments ~total_count:(Database.total_count db)
+
+let size t = Array.length t.parent
+let root _ = 0
+let parent t i = t.parent.(i)
+let children t i = t.children.(i)
+let depth t i = t.depth.(i)
+let is_leaf t i = t.children.(i) = []
+let concept_id t i = t.concept_ids.(i)
+let label t i = t.labels.(i)
+let results t i = t.results.(i)
+let result_count t i = Intset.cardinal t.results.(i)
+let total t i = t.totals.(i)
+let subtree_distinct t i = t.subtree_distinct.(i)
+let node_of_concept t c = Hashtbl.find_opt t.node_of_concept c
+let distinct_results t = t.subtree_distinct.(0)
+let total_attached t = Array.fold_left (fun acc s -> acc + Intset.cardinal s) 0 t.results
+
+let height t = Array.fold_left max 0 t.depth
+
+let max_width t =
+  let counts = Array.make (height t + 1) 0 in
+  Array.iter (fun d -> counts.(d) <- counts.(d) + 1) t.depth;
+  Array.fold_left max 0 counts
+
+let in_subtree t ~root i = t.tin.(i) >= t.tin.(root) && t.tin.(i) <= t.tout.(root)
+
+let comp_tree_of t ~root ~members =
+  let sorted = List.sort_uniq Int.compare members in
+  (match sorted with
+  | r :: _ when r = root -> ()
+  | _ -> invalid_arg "Nav_tree.comp_tree_of: members must contain the root as minimum");
+  let nodes = Array.of_list sorted in
+  let k = Array.length nodes in
+  let index_of = Hashtbl.create k in
+  Array.iteri (fun idx nav -> Hashtbl.add index_of nav idx) nodes;
+  let parent =
+    Array.mapi
+      (fun idx nav ->
+        if idx = 0 then -1
+        else
+          match Hashtbl.find_opt index_of t.parent.(nav) with
+          | Some p -> p
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Nav_tree.comp_tree_of: member %d disconnected from root %d" nav
+                   root))
+      nodes
+  in
+  let results = Array.map (fun nav -> t.results.(nav)) nodes in
+  let totals = Array.map (fun nav -> t.totals.(nav)) nodes in
+  let labels = Array.map (fun nav -> t.labels.(nav)) nodes in
+  (Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy nodes) (), nodes)
+
+let pp ppf t =
+  let rec go i =
+    Format.fprintf ppf "%s%s (%d)@\n" (String.make (2 * t.depth.(i)) ' ') t.labels.(i)
+      t.subtree_distinct.(i);
+    List.iter go t.children.(i)
+  in
+  go 0

@@ -1,0 +1,143 @@
+open Bionav_util
+
+type strategy =
+  | Heuristic of { k : int; params : Probability.params; reuse : bool }
+  | Optimal of { params : Probability.params }
+  | Static
+  | Static_paged of { page_size : int }
+
+let bionav ?(k = Heuristic.default_k) ?(params = Probability.default_params) ?(reuse = false) ()
+    =
+  Heuristic { k; params; reuse }
+
+type expand_record = {
+  node : int;
+  n_revealed : int;
+  elapsed_ms : float;
+  reduced_size : int;
+}
+
+type stats = {
+  expands : int;
+  revealed : int;
+  results_listed : int;
+  history : expand_record list;
+}
+
+let navigation_cost s = s.expands + s.revealed
+
+let total_cost s = s.expands + s.revealed + s.results_listed
+
+type t = {
+  active : Active_tree.t;
+  strategy : strategy;
+  mutable stats : stats;
+  plans : (int, Heuristic.plan) Hashtbl.t;
+      (* visible node -> reusable solver state for its component *)
+}
+
+let start strategy nav_tree =
+  {
+    active = Active_tree.create nav_tree;
+    strategy;
+    stats = { expands = 0; revealed = 0; results_listed = 0; history = [] };
+    plans = Hashtbl.create 16;
+  }
+
+let active t = t.active
+let strategy t = t.strategy
+let stats t = t.stats
+
+(* Translate component-tree cut children (indices) back to navigation nodes
+   through the component tree's tags. *)
+let nav_cut_children comp cut = List.map (Comp_tree.tag comp) cut
+
+(* The footnote-2 "more button" interface: the next [page_size] children of
+   [root] still hidden in its component, most results first. *)
+let next_page t root page_size =
+  let active = t.active in
+  let nav = Active_tree.nav active in
+  let member_set = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace member_set m ()) (Active_tree.component active root);
+  let hidden_children = List.filter (Hashtbl.mem member_set) (Nav_tree.children nav root) in
+  let by_count_desc =
+    List.sort
+      (fun a b -> Int.compare (Nav_tree.subtree_distinct nav b) (Nav_tree.subtree_distinct nav a))
+      hidden_children
+  in
+  List.filteri (fun i _ -> i < page_size) by_count_desc
+
+let heuristic_cut t root ~k ~params ~reuse =
+  let fresh () =
+    let comp, _map = Active_tree.comp_tree t.active root in
+    let report, plan = Heuristic.best_cut_with_plan ~params ~k comp in
+    if reuse then Hashtbl.replace t.plans root plan;
+    ( `Cut (nav_cut_children comp report.Heuristic.cut_children),
+      report.Heuristic.elapsed_ms,
+      report.Heuristic.reduced_size )
+  in
+  if not reuse then fresh ()
+  else
+    match Hashtbl.find_opt t.plans root with
+    | Some plan -> (
+        match Heuristic.replan plan with
+        | Some (report, next_plan) ->
+            Logs.debug (fun m -> m "navigation: reused plan for node %d" root);
+            Hashtbl.replace t.plans root next_plan;
+            (* Cut children are indices of the plan's original component
+               tree, whose tags are navigation nodes. *)
+            let orig = Heuristic.original_tree plan in
+            ( `Cut (nav_cut_children orig report.Heuristic.cut_children),
+              report.Heuristic.elapsed_ms,
+              report.Heuristic.reduced_size )
+        | None ->
+            Hashtbl.remove t.plans root;
+            fresh ())
+    | None -> fresh ()
+
+let compute_cut t root =
+  match t.strategy with
+  | Static -> (`Static, 0., 0)
+  | Static_paged { page_size } ->
+      if page_size < 1 then invalid_arg "Navigation: page_size must be >= 1";
+      (`Cut (next_page t root page_size), 0., 0)
+  | Heuristic { k; params; reuse } -> heuristic_cut t root ~k ~params ~reuse
+  | Optimal { params } ->
+      let comp, _map = Active_tree.comp_tree t.active root in
+      let (solution : Opt_edgecut.solution), elapsed =
+        Timing.time (fun () -> Opt_edgecut.solve ~params comp)
+      in
+      (`Cut (nav_cut_children comp solution.Opt_edgecut.cut_children), elapsed, Comp_tree.size comp)
+
+let expand t root =
+  if not (Active_tree.is_expandable t.active root) then []
+  else begin
+    let action, elapsed, reduced_size = compute_cut t root in
+    let revealed =
+      match action with
+      | `Static -> Active_tree.expand_static t.active root
+      | `Cut [] -> []
+      | `Cut (_ :: _ as cut_children) -> Active_tree.apply_cut t.active ~root ~cut_children
+    in
+    if revealed = [] then []
+    else begin
+    let record =
+      { node = root; n_revealed = List.length revealed; elapsed_ms = elapsed; reduced_size }
+    in
+    t.stats <-
+      {
+        t.stats with
+        expands = t.stats.expands + 1;
+        revealed = t.stats.revealed + record.n_revealed;
+        history = record :: t.stats.history;
+      };
+    revealed
+    end
+  end
+
+let show_results t root =
+  let results = Active_tree.component_results t.active root in
+  t.stats <- { t.stats with results_listed = t.stats.results_listed + Intset.cardinal results };
+  results
+
+let backtrack t = Active_tree.backtrack t.active

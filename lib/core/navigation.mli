@@ -1,0 +1,75 @@
+(** Navigation sessions: the paper's navigation model (§III) with cost
+    accounting.
+
+    A session wraps an active tree and a strategy deciding what an EXPAND
+    reveals:
+
+    - [Heuristic]: BioNav proper — Heuristic-ReducedOpt picks the EdgeCut;
+    - [Optimal]: exact Opt-EdgeCut (only feasible on small trees);
+    - [Static]: the baseline — EXPAND reveals all children (GoPubMed,
+      Amazon-style; paper §VIII-A);
+    - [Static_paged]: the paper's footnote-2 variant — EXPAND reveals the
+      [page_size] highest-count children and a repeated EXPAND on the same
+      node acts as the "more" button, revealing the next page (each "more"
+      costs one EXPAND action, which is exactly why the footnote argues the
+      paged interface does not change the static cost much).
+
+    Cost accounting follows §III: 1 per EXPAND action, 1 per concept
+    revealed by an EXPAND, 1 per citation listed by SHOWRESULTS. *)
+
+type strategy =
+  | Heuristic of { k : int; params : Probability.params; reuse : bool }
+      (** [reuse] keeps the Opt-EdgeCut solution of a component across
+          follow-up expansions of its upper subtree (paper §VI-B: the costs
+          for all possible [I(n)]s are computed by one run). Off by default
+          — the paper's own Fig. 11 timings re-run the heuristic per
+          EXPAND; [bench ablation-reuse] quantifies the speedup. *)
+  | Optimal of { params : Probability.params }
+  | Static
+  | Static_paged of { page_size : int }
+
+val bionav : ?k:int -> ?params:Probability.params -> ?reuse:bool -> unit -> strategy
+(** [Heuristic] with the paper's defaults (k = 10, thresholds 50/10). *)
+
+type expand_record = {
+  node : int;  (** The expanded (visible) navigation node. *)
+  n_revealed : int;  (** Concepts revealed by this EXPAND. *)
+  elapsed_ms : float;  (** Wall-clock time of the cut computation. *)
+  reduced_size : int;
+      (** Supernodes fed to Opt-EdgeCut (Heuristic), component size
+          (Optimal), or 0 (Static) — the Fig. 11 partition count. *)
+}
+
+type stats = {
+  expands : int;  (** Number of EXPAND actions performed. *)
+  revealed : int;  (** Total concepts revealed across all EXPANDs. *)
+  results_listed : int;  (** Total citations listed by SHOWRESULTS. *)
+  history : expand_record list;  (** Most recent first. *)
+}
+
+val navigation_cost : stats -> int
+(** [expands + revealed]: the Fig. 8 metric. *)
+
+val total_cost : stats -> int
+(** [expands + revealed + results_listed]: the full §III cost. *)
+
+type t
+
+val start : strategy -> Nav_tree.t -> t
+val active : t -> Active_tree.t
+val strategy : t -> strategy
+val stats : t -> stats
+
+val expand : t -> int -> int list
+(** EXPAND the component rooted at the given visible node; returns the
+    newly revealed navigation nodes (empty for a singleton component, in
+    which case nothing is charged). @raise Invalid_argument if the node is
+    not visible. *)
+
+val show_results : t -> int -> Bionav_util.Intset.t
+(** SHOWRESULTS on a visible node's component: returns (and charges for)
+    its distinct citations. *)
+
+val backtrack : t -> bool
+(** Undo the last EXPAND. Does not refund cost (the user already paid the
+    examinations); decrements nothing. *)

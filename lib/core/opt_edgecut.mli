@@ -1,0 +1,54 @@
+(** Opt-EdgeCut (paper §VI-A): exact minimization of the expected TOPDOWN
+    navigation cost.
+
+    The algorithm enumerates, for every reachable component (a subtree of
+    the input minus full subtrees removed by cuts), every valid EdgeCut —
+    a non-empty antichain of nodes below the component root — and memoizes
+    the minimum expected cost per component. This is exponential
+    (the paper proves the underlying decision problem NP-complete), so the
+    input is guarded to at most {!max_size} nodes; in the full system it
+    only ever runs on reduced trees of ≤ k ≈ 10 supernodes. *)
+
+type solution = {
+  cost : float;  (** Σ over returned roots of examine + explore cost. *)
+  cut_children : int list;
+      (** Roots of the lower component subtrees, as component-tree node
+          indices (never the root). Non-empty. *)
+}
+
+val max_size : int
+(** 16: practical bound for exhaustive cut enumeration. *)
+
+val solve :
+  ?params:Probability.params -> ?norm:float -> Comp_tree.t -> solution
+(** Best first EdgeCut for an EXPAND on the whole tree: minimizes
+    [cost(upper) + Σ_{v ∈ cut} (1 + cost(C_v))]. The tree must have ≥ 2
+    nodes and ≤ {!max_size} nodes. @raise Invalid_argument otherwise. *)
+
+val expected_cost :
+  ?params:Probability.params -> ?norm:float -> Comp_tree.t -> float
+(** The minimum expected navigation cost of the whole tree under the cost
+    model (the quantity Opt-EdgeCut computes bottom-up). Defined for any
+    size ≤ {!max_size}, including singletons. *)
+
+type state
+(** Memo tables (per-component minimum costs and best cuts) attached to one
+    cost-model context. Because costs for all sub-components are memoized,
+    Opt-EdgeCut effectively runs once per component and later expansions of
+    the pieces are lookups — the property the paper notes in §VI-B. *)
+
+val init : Cost_model.t -> state
+
+val context : state -> Cost_model.t
+
+val solve_mask : state -> int -> solution
+(** Best cut of an arbitrary connected sub-component (a mask with ≥ 2
+    members) of the context's tree. @raise Invalid_argument on a smaller
+    mask. *)
+
+val cost_mask : state -> int -> float
+(** Expected cost of an arbitrary non-empty connected sub-component. *)
+
+val count_valid_cuts : Comp_tree.t -> int
+(** Number of valid EdgeCuts of the full tree (diagnostic; used by tests and
+    by the complexity demonstration bench). *)

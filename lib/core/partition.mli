@@ -1,0 +1,34 @@
+(** Tree partitioning for Heuristic-ReducedOpt (paper §VI, adapting the
+    bottom-up partition algorithm of the paper's reference [11]).
+
+    Nodes are weighted by their attached-citation count [|L(n)|]. The tree
+    is processed bottom-up; at each node, the heaviest still-attached child
+    clusters are detached one by one (each detached cluster becoming a
+    partition) until the node's cluster weight falls below the threshold.
+    The root's remaining cluster is the final partition. Every partition is
+    connected, and its shallowest node is its {e partition root}.
+
+    [run_k] realizes the paper's calibration loop: start from
+    [threshold = total_weight / k] and grow it geometrically until at most
+    [k] partitions result. *)
+
+type result = {
+  assignment : int array;
+      (** [assignment.(v)] = partition root of the partition containing
+          [v]; [assignment.(root) = root]. *)
+  roots : int list;  (** Partition roots in ascending node order. *)
+  threshold : float;  (** The threshold that produced this partitioning. *)
+}
+
+val node_weight : Comp_tree.t -> int -> float
+(** [|L(n)|]. *)
+
+val total_weight : Comp_tree.t -> float
+
+val run : Comp_tree.t -> threshold:float -> result
+(** One bottom-up pass. Requires [threshold > 0]. *)
+
+val run_k : ?growth:float -> Comp_tree.t -> k:int -> result
+(** At most [k] partitions ([k >= 1]); the threshold grows by [growth]
+    (default 1.3) per attempt. Always terminates: once the threshold
+    reaches the total weight, the result is a single partition. *)

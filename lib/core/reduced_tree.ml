@@ -1,0 +1,70 @@
+open Bionav_util
+
+type t = {
+  reduced : Comp_tree.t;
+  original : Comp_tree.t;
+  roots : int array;  (* supernode -> original partition root *)
+  members : int list array;  (* supernode -> original nodes *)
+}
+
+let build orig (partition : Partition.result) =
+  let n = Comp_tree.size orig in
+  if Array.length partition.assignment <> n then
+    invalid_arg "Reduced_tree.build: partition does not match tree";
+  (* Partition roots in ascending original order: the partition containing
+     the original root comes first, and (because original ids are a
+     topological order and a partition root's parent lies in an
+     ancestor-side partition) parents precede children among supernodes. *)
+  let roots = Array.of_list partition.roots in
+  let k = Array.length roots in
+  if k = 0 || roots.(0) <> 0 then invalid_arg "Reduced_tree.build: malformed partition roots";
+  let super_of_root = Hashtbl.create k in
+  Array.iteri (fun s r -> Hashtbl.add super_of_root r s) roots;
+  let members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    let s = Hashtbl.find super_of_root partition.assignment.(v) in
+    members.(s) <- v :: members.(s)
+  done;
+  let parent =
+    Array.mapi
+      (fun s r ->
+        if s = 0 then -1
+        else
+          let p = Comp_tree.parent orig r in
+          Hashtbl.find super_of_root partition.assignment.(p))
+      roots
+  in
+  let results = Array.map (fun ms -> Intset.union_many (List.map (Comp_tree.results orig) ms)) members in
+  let totals =
+    Array.map (fun ms -> List.fold_left (fun acc v -> acc + Comp_tree.total orig v) 0 ms) members
+  in
+  (* A supernode's union can exceed a member-wise total sum only if totals
+     undercount; clamp defensively so Comp_tree.make's invariant holds. *)
+  let totals = Array.mapi (fun s t -> max t (Intset.cardinal results.(s))) totals in
+  let labels = Array.map (Comp_tree.label orig) roots in
+  let multiplicity = Array.map List.length members in
+  let sub_weights =
+    Array.map
+      (fun ms ->
+        Array.of_list (List.map (fun v -> float_of_int (Comp_tree.result_count orig v)) ms))
+      members
+  in
+  let reduced =
+    Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy roots) ~multiplicity
+      ~sub_weights ()
+  in
+  { reduced; original = orig; roots; members }
+
+let tree t = t.reduced
+let original t = t.original
+let size t = Array.length t.roots
+let partition_root t s = t.roots.(s)
+let members t s = t.members.(s)
+
+let map_cut_children t cut =
+  List.map
+    (fun s ->
+      if s <= 0 || s >= size t then
+        invalid_arg (Printf.sprintf "Reduced_tree.map_cut_children: supernode %d" s);
+      t.roots.(s))
+    cut

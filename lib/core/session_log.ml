@@ -1,0 +1,104 @@
+type action = Expand of int | Show_results of int | Backtrack
+
+let pp_action ppf = function
+  | Expand c -> Format.fprintf ppf "expand %d" c
+  | Show_results c -> Format.fprintf ppf "show %d" c
+  | Backtrack -> Format.fprintf ppf "backtrack"
+
+type t = action list
+
+let header = "# bionav session transcript v1"
+
+let to_string actions =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Format.asprintf "%a" pp_action a);
+      Buffer.add_char buf '\n')
+    actions;
+  Buffer.contents buf
+
+let parse_line lineno line =
+  match String.split_on_char ' ' line with
+  | [ "backtrack" ] -> Backtrack
+  | [ "expand"; c ] -> (
+      match int_of_string_opt c with
+      | Some v -> Expand v
+      | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad concept %S" lineno c))
+  | [ "show"; c ] -> (
+      match int_of_string_opt c with
+      | Some v -> Show_results v
+      | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad concept %S" lineno c))
+  | _ -> invalid_arg (Printf.sprintf "Session_log: line %d: unknown action %S" lineno line)
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+  |> List.map (fun (i, line) -> parse_line i line)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+type recorder = { session : Navigation.t; mutable rev_actions : action list }
+
+let record session = { session; rev_actions = [] }
+
+let concept_of r node = Nav_tree.concept_id (Active_tree.nav (Navigation.active r.session)) node
+
+let expand r node =
+  let revealed = Navigation.expand r.session node in
+  if revealed <> [] then r.rev_actions <- Expand (concept_of r node) :: r.rev_actions;
+  revealed
+
+let show_results r node =
+  let results = Navigation.show_results r.session node in
+  r.rev_actions <- Show_results (concept_of r node) :: r.rev_actions;
+  results
+
+let backtrack r =
+  let ok = Navigation.backtrack r.session in
+  if ok then r.rev_actions <- Backtrack :: r.rev_actions;
+  ok
+
+let transcript r = List.rev r.rev_actions
+
+type replay_outcome = { applied : int; skipped : int; stats : Navigation.stats }
+
+let replay session actions =
+  let active = Navigation.active session in
+  let nav = Active_tree.nav active in
+  let applied = ref 0 and skipped = ref 0 in
+  let node_of concept =
+    match Nav_tree.node_of_concept nav concept with
+    | Some node when Active_tree.is_visible active node -> Some node
+    | Some _ | None -> None
+  in
+  List.iter
+    (fun action ->
+      let ok =
+        match action with
+        | Expand concept -> (
+            match node_of concept with
+            | Some node -> Navigation.expand session node <> []
+            | None -> false)
+        | Show_results concept -> (
+            match node_of concept with
+            | Some node ->
+                ignore (Navigation.show_results session node);
+                true
+            | None -> false)
+        | Backtrack -> Navigation.backtrack session
+      in
+      if ok then incr applied else incr skipped)
+    actions;
+  { applied = !applied; skipped = !skipped; stats = Navigation.stats session }

@@ -1,0 +1,62 @@
+(** Recording and replaying navigation sessions.
+
+    The original BioNav is a web application whose user actions arrive as
+    EXPAND/SHOWRESULTS requests (paper Fig. 7); a reproducible system wants
+    those action streams on disk — to replay a user's session against a new
+    algorithm version, to turn an interactive exploration into a regression
+    test, or to audit what a session cost. A transcript is a text format,
+    one action per line:
+
+    {v
+      # bionav session transcript v1
+      expand <concept-id>
+      show <concept-id>
+      backtrack
+    v}
+
+    Actions address nodes by {e hierarchy concept id} (stable across
+    navigation-tree rebuilds), not by navigation-tree node. *)
+
+type action = Expand of int | Show_results of int | Backtrack
+
+val pp_action : Format.formatter -> action -> unit
+
+type t = action list
+(** Chronological. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Invalid_argument on malformed lines. Comments (['#']) and blank
+    lines are ignored. *)
+
+val save : t -> string -> unit
+val load : string -> t
+
+type recorder
+
+val record : Navigation.t -> recorder
+(** Wrap a session; drive it through {!expand}, {!show_results} and
+    {!backtrack} below to accumulate a transcript. *)
+
+val expand : recorder -> int -> int list
+(** Like {!Navigation.expand} (by navigation node), recording the action by
+    concept id. No-op expansions (nothing revealed) are not recorded. *)
+
+val show_results : recorder -> int -> Bionav_util.Intset.t
+val backtrack : recorder -> bool
+(** Failed backtracks (nothing to undo) are not recorded. *)
+
+val transcript : recorder -> t
+
+type replay_outcome = {
+  applied : int;  (** Actions successfully applied. *)
+  skipped : int;
+      (** Actions that no longer apply (concept absent from this navigation
+          tree, not visible, or not expandable). *)
+  stats : Navigation.stats;
+}
+
+val replay : Navigation.t -> t -> replay_outcome
+(** Apply a transcript to a (fresh or ongoing) session, skipping actions
+    that do not apply to this tree — transcripts are portable across query
+    re-executions and algorithm changes. *)

@@ -1,0 +1,43 @@
+type outcome = {
+  expands : int;
+  revealed : int;
+  navigation_cost : int;
+  results_listed : int;
+  total_cost : int;
+  history : Navigation.expand_record list;
+}
+
+let max_steps = 100_000
+
+let to_target ?(show_results = false) ~strategy nav ~target =
+  if target < 0 || target >= Nav_tree.size nav then
+    invalid_arg (Printf.sprintf "Simulate.to_target: node %d out of range" target);
+  let session = Navigation.start strategy nav in
+  let active = Navigation.active session in
+  let rec step n =
+    if n > max_steps then failwith "Simulate.to_target: no progress";
+    if not (Active_tree.is_visible active target) then begin
+      let root = Active_tree.component_root_of active target in
+      let revealed = Navigation.expand session root in
+      if revealed = [] then failwith "Simulate.to_target: expansion revealed nothing";
+      step (n + 1)
+    end
+  in
+  step 0;
+  if show_results then ignore (Navigation.show_results session target);
+  let stats = Navigation.stats session in
+  {
+    expands = stats.Navigation.expands;
+    revealed = stats.Navigation.revealed;
+    navigation_cost = Navigation.navigation_cost stats;
+    results_listed = stats.Navigation.results_listed;
+    total_cost = Navigation.total_cost stats;
+    history = List.rev stats.Navigation.history;
+  }
+
+let to_concept ?show_results ~strategy nav ~concept =
+  match Nav_tree.node_of_concept nav concept with
+  | Some node -> to_target ?show_results ~strategy nav ~target:node
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Simulate.to_concept: concept %d has no navigation node" concept)

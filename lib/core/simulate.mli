@@ -1,0 +1,33 @@
+(** Oracle-user navigation simulation (paper §VIII-A).
+
+    "We assume that the user follows a top-down navigation where she always
+    chooses the right node to expand in order to finally reveal the target
+    concept." The oracle repeatedly expands the visible node whose component
+    contains the target navigation node, until the target itself becomes
+    visible; optionally it then performs SHOWRESULTS on the target. *)
+
+type outcome = {
+  expands : int;
+  revealed : int;
+  navigation_cost : int;  (** [expands + revealed] — the Fig. 8 metric. *)
+  results_listed : int;  (** 0 unless [show_results] was requested. *)
+  total_cost : int;
+  history : Navigation.expand_record list;  (** Chronological order. *)
+}
+
+val to_target :
+  ?show_results:bool -> strategy:Navigation.strategy -> Nav_tree.t -> target:int -> outcome
+(** Navigate until the target navigation node is visible.
+    @raise Invalid_argument if [target] is out of range.
+    @raise Failure if navigation stops making progress (cannot happen for
+    the shipped strategies; the guard bounds the simulation). *)
+
+val to_concept :
+  ?show_results:bool ->
+  strategy:Navigation.strategy ->
+  Nav_tree.t ->
+  concept:int ->
+  outcome
+(** Like {!to_target}, addressing the target by hierarchy concept id.
+    @raise Invalid_argument if the concept has no node in the navigation
+    tree (no attached results). *)

@@ -1,0 +1,55 @@
+(** A stochastic TOPDOWN user (the §III navigation model executed, not
+    assumed).
+
+    The paper's evaluation uses an oracle who knows the target. The cost
+    model itself, however, describes a {e probabilistic} user: explore a
+    component with probability proportional to its EXPLORE mass, keep
+    expanding with the EXPAND probability, otherwise list results and stop.
+    Sampling that user gives an independent measurement of expected
+    navigation cost — the very quantity the EdgeCut optimization claims to
+    minimize — without fixing a target in advance.
+
+    One walk:
+    + start at the root component;
+    + while the current component is expandable and a [P_x] coin-flip says
+      to continue: EXPAND it, pay 1 per action and 1 per revealed concept,
+      then move to one of the resulting components chosen with probability
+      proportional to the EXPLORE weights (the user may also stop here with
+      the residual probability mass when weights vanish);
+    + otherwise SHOWRESULTS: pay the component's distinct citation count.
+
+    Walks are bounded by [max_steps] as a safety net. *)
+
+type outcome = {
+  expands : int;
+  revealed : int;
+  results_listed : int;
+  total_cost : int;
+  stopped_at : int;  (** The navigation node where the walk ended. *)
+}
+
+val walk :
+  ?params:Probability.params ->
+  ?max_steps:int ->
+  rng:Bionav_util.Rng.t ->
+  strategy:Navigation.strategy ->
+  Nav_tree.t ->
+  outcome
+(** One sampled session ([max_steps] defaults to 1000). *)
+
+type summary = {
+  walks : int;
+  mean_cost : float;
+  median_cost : float;
+  mean_expands : float;
+  mean_results : float;
+}
+
+val sample :
+  ?params:Probability.params ->
+  ?walks:int ->
+  seed:int ->
+  strategy:Navigation.strategy ->
+  Nav_tree.t ->
+  summary
+(** Monte-Carlo estimate over [walks] (default 200) independent users. *)

@@ -1,0 +1,122 @@
+open Bionav_util
+
+let is_ancestor tree a b =
+  let rec climb x =
+    let p = Comp_tree.parent tree x in
+    if p = -1 then false else p = a || climb p
+  in
+  a <> b && climb b
+
+let validate_cut tree cut =
+  if cut = [] then invalid_arg "Topdown_exhaustive: empty cut";
+  List.iter
+    (fun v ->
+      if v <= 0 || v >= Comp_tree.size tree then
+        invalid_arg (Printf.sprintf "Topdown_exhaustive: bad cut child %d" v))
+    cut;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b && (is_ancestor tree a b || is_ancestor tree b a) then
+            invalid_arg "Topdown_exhaustive: cut children overlap")
+        cut)
+    cut
+
+let components_of_cut tree cut =
+  let cut = List.sort_uniq Int.compare cut in
+  validate_cut tree cut;
+  let owned = Array.make (Comp_tree.size tree) false in
+  let lowers =
+    List.map
+      (fun v ->
+        let nodes = Comp_tree.subtree_nodes tree v in
+        List.iter (fun x -> owned.(x) <- true) nodes;
+        nodes)
+      cut
+  in
+  let upper =
+    List.filter (fun x -> not owned.(x)) (List.init (Comp_tree.size tree) Fun.id)
+  in
+  upper :: lowers
+
+let cost_of_cut tree cut =
+  let comps = components_of_cut tree cut in
+  let j = List.length comps in
+  let total_distinct =
+    List.fold_left
+      (fun acc comp -> acc + Intset.cardinal (Comp_tree.distinct_of_nodes tree comp))
+      0 comps
+  in
+  float_of_int j +. (float_of_int total_distinct /. float_of_int j)
+
+let duplicates_within tree cut =
+  let comps = components_of_cut tree cut in
+  let attached =
+    List.fold_left
+      (fun acc comp ->
+        acc + List.fold_left (fun a v -> a + Comp_tree.result_count tree v) 0 comp)
+      0 comps
+  in
+  let distinct =
+    List.fold_left
+      (fun acc comp -> acc + Intset.cardinal (Comp_tree.distinct_of_nodes tree comp))
+      0 comps
+  in
+  attached - distinct
+
+(* All valid antichains of non-root nodes, as lists; includes the empty
+   antichain for internal composition. *)
+let antichains tree =
+  let rec options v =
+    let per_child = List.map options (Comp_tree.children tree v) in
+    let combos =
+      List.fold_left
+        (fun acc opts -> List.concat_map (fun a -> List.map (fun b -> a @ b) opts) acc)
+        [ [] ] per_child
+    in
+    if v = Comp_tree.root tree then combos else [ v ] :: combos
+  in
+  options (Comp_tree.root tree)
+
+let best_cut tree ~components =
+  if components < 2 then invalid_arg "Topdown_exhaustive.best_cut: components must be >= 2";
+  let wanted = components - 1 in
+  List.fold_left
+    (fun best cut ->
+      if List.length cut <> wanted then best
+      else begin
+        let cost = cost_of_cut tree cut in
+        match best with
+        | Some (_, c) when c <= cost -> best
+        | Some _ | None -> Some (cut, cost)
+      end)
+    None (antichains tree)
+
+let best_cut_any tree =
+  if Comp_tree.size tree < 2 then
+    invalid_arg "Topdown_exhaustive.best_cut_any: tree must have >= 2 nodes";
+  let best = ref None in
+  List.iter
+    (fun cut ->
+      if cut <> [] then begin
+        let cost = cost_of_cut tree cut in
+        match !best with
+        | Some (_, c) when c <= cost -> ()
+        | Some _ | None -> best := Some (cut, cost)
+      end)
+    (antichains tree);
+  match !best with Some r -> r | None -> assert false
+
+let max_duplicates tree ~components =
+  if components < 2 then
+    invalid_arg "Topdown_exhaustive.max_duplicates: components must be >= 2";
+  let wanted = components - 1 in
+  List.fold_left
+    (fun best cut ->
+      if List.length cut <> wanted then best
+      else begin
+        let d = duplicates_within tree cut in
+        match best with Some b when b >= d -> best | Some _ | None -> Some d
+      end)
+    None (antichains tree)

@@ -1,0 +1,41 @@
+(** The TOPDOWN-EXHAUSTIVE navigation model (paper §V).
+
+    The simplified model behind the NP-completeness proof: BioNav performs a
+    single EXPAND (EdgeCut) on the root, the user reads the labels of all
+    [j] resulting component subtrees, picks one uniformly at random, and
+    performs SHOWRESULTS on it. Expected cost of a cut producing components
+    [C_1 .. C_j]:
+
+    {v cost = j + (Σ_i |L(C_i)|) / j v}
+
+    Because [Σ_i |L(C_i)| = (total attached) - (duplicates confined within
+    components)], minimizing the cost for a fixed [j] is exactly maximizing
+    within-component duplicates — the TED objective of Theorem 1, which is
+    why even this one-shot model is NP-complete. The exhaustive solvers here
+    are usable on small trees and serve as the executable bridge between
+    the cost model (§III) and the complexity result (§V). *)
+
+val components_of_cut : Comp_tree.t -> int list -> int list list
+(** [components_of_cut t cut]: the node groups induced by cutting above each
+    (valid) cut child — the upper component first, then one per cut child in
+    ascending order. @raise Invalid_argument on an invalid cut. *)
+
+val cost_of_cut : Comp_tree.t -> int list -> float
+(** The §V expected cost of one explicit cut. *)
+
+val duplicates_within : Comp_tree.t -> int list -> int
+(** Within-component duplicates of a cut: total attached citations minus the
+    sum of per-component distinct counts. *)
+
+val best_cut : Comp_tree.t -> components:int -> (int list * float) option
+(** Exhaustive minimum-cost cut producing exactly [components] subtrees
+    ([components >= 2]); [None] when no valid cut yields that many.
+    Exponential — guard trees to ≲ 20 nodes. *)
+
+val best_cut_any : Comp_tree.t -> int list * float
+(** Exhaustive minimum over every valid cut (any [j]). The tree must have
+    ≥ 2 nodes. @raise Invalid_argument otherwise. *)
+
+val max_duplicates : Comp_tree.t -> components:int -> int option
+(** The TED objective: maximum within-component duplicates over cuts with
+    exactly [components] subtrees. *)

@@ -1,0 +1,98 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+
+type report = {
+  n_concepts : int;
+  hierarchy_height : int;
+  hierarchy_max_width : int;
+  top_level_subtrees : int;
+  n_citations : int;
+  mean_annotations : float;
+  median_annotations : float;
+  mean_major_topics : float;
+  concepts_with_citations : int;
+  singleton_concepts : int;
+  gini_citation_counts : float;
+  depth_mean_annotation : float;
+}
+
+(* Gini coefficient of a non-negative sample (0 = equal, 1 = concentrated). *)
+let gini xs =
+  let xs = Array.copy xs in
+  Array.sort compare xs;
+  let n = Array.length xs in
+  let total = Array.fold_left ( +. ) 0. xs in
+  if n = 0 || total <= 0. then 0.
+  else begin
+    let weighted = ref 0. in
+    Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) xs;
+    ((2. *. !weighted) /. (float_of_int n *. total)) -. (float_of_int (n + 1) /. float_of_int n)
+  end
+
+let compute medline =
+  let h = Medline.hierarchy medline in
+  let citations = Medline.citations medline in
+  let n_citations = Array.length citations in
+  let annotation_counts =
+    Array.map (fun c -> float_of_int (Intset.cardinal (Citation.concepts c))) citations
+  in
+  let major_counts =
+    Array.map (fun c -> float_of_int (List.length c.Citation.major_topics)) citations
+  in
+  let populated = ref 0 and singleton = ref 0 in
+  let per_concept = Array.make (Hierarchy.size h) 0. in
+  for concept = 0 to Hierarchy.size h - 1 do
+    let n = Medline.concept_count medline concept in
+    per_concept.(concept) <- float_of_int n;
+    if n > 0 then incr populated;
+    if n = 1 then incr singleton
+  done;
+  let depth_sum = ref 0. and assoc_count = ref 0 in
+  Array.iter
+    (fun c ->
+      Intset.iter
+        (fun concept ->
+          depth_sum := !depth_sum +. float_of_int (Hierarchy.depth h concept);
+          incr assoc_count)
+        (Citation.concepts c))
+    citations;
+  {
+    n_concepts = Hierarchy.size h;
+    hierarchy_height = Hierarchy.height h;
+    hierarchy_max_width = Hierarchy.max_width h;
+    top_level_subtrees = List.length (Hierarchy.children h (Hierarchy.root h));
+    n_citations;
+    mean_annotations = Stats.mean annotation_counts;
+    median_annotations = Stats.median annotation_counts;
+    mean_major_topics = Stats.mean major_counts;
+    concepts_with_citations = !populated;
+    singleton_concepts = !singleton;
+    gini_citation_counts = gini per_concept;
+    depth_mean_annotation =
+      (if !assoc_count = 0 then 0. else !depth_sum /. float_of_int !assoc_count);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>concepts: %d (height %d, max width %d, %d top-level subtrees)@,\
+     citations: %d@,\
+     annotations/citation: mean %.1f, median %.1f (major topics %.2f)@,\
+     concepts with citations: %d (%d singletons)@,\
+     citation-count gini: %.3f@,\
+     mean association depth: %.2f@]"
+    r.n_concepts r.hierarchy_height r.hierarchy_max_width r.top_level_subtrees r.n_citations
+    r.mean_annotations r.median_annotations r.mean_major_topics r.concepts_with_citations
+    r.singleton_concepts r.gini_citation_counts r.depth_mean_annotation
+
+let within_paper_bands r =
+  [
+    ("hierarchy height 8-11 (MeSH: 11)", r.hierarchy_height >= 8 && r.hierarchy_height <= 11);
+    ( "mean annotations 40-120 (PubMed indexing: ~90)",
+      r.mean_annotations >= 40. && r.mean_annotations <= 120. );
+    ("major topics 1-3", r.mean_major_topics >= 1. && r.mean_major_topics <= 3.);
+    ( "most concepts populated at full scale",
+      float_of_int r.concepts_with_citations >= 0.5 *. float_of_int r.n_concepts );
+    ("citation mass concentrated (gini > 0.5)", r.gini_citation_counts > 0.5);
+    ( "associations shallow-biased (mean depth below mid-height)",
+      r.depth_mean_annotation < float_of_int r.hierarchy_height /. 2. +. 1.5 );
+  ]

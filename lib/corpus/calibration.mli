@@ -1,0 +1,38 @@
+(** Corpus calibration: quantitative checks that the synthetic substrate has
+    the statistics the paper's evaluation depends on.
+
+    DESIGN.md's substitution table claims the synthetic MeSH/MEDLINE
+    reproduce the structural properties of the real ones; this module
+    computes those properties so the claim is measurable (and is exercised
+    by `bench calibration` and by tests rather than asserted in prose). *)
+
+type report = {
+  n_concepts : int;
+  hierarchy_height : int;
+  hierarchy_max_width : int;
+  top_level_subtrees : int;
+  n_citations : int;
+  mean_annotations : float;  (** Paper: ≈90 per citation (PubMed indexing). *)
+  median_annotations : float;
+  mean_major_topics : float;  (** Paper: ≈20 explicit MEDLINE annotations
+                                  (we model 1-3 majors + closure). *)
+  concepts_with_citations : int;
+  singleton_concepts : int;  (** Concepts with exactly one citation. *)
+  gini_citation_counts : float;
+      (** Inequality of per-concept citation counts in [0, 1]; real
+          literature concentration is high (≈0.9). *)
+  depth_mean_annotation : float;
+      (** Mean hierarchy depth over all (citation, concept) associations;
+          shallow-biased in real indexing because of check tags and
+          ancestor closure. *)
+}
+
+val compute : Medline.t -> report
+(** One pass over the corpus; cost O(total associations). *)
+
+val pp : Format.formatter -> report -> unit
+
+val within_paper_bands : report -> (string * bool) list
+(** Named checks against the calibration bands derived from the paper and
+    MeSH/MEDLINE statistics (height ≈ 11, annotations within 40-120, strong
+    concentration, etc.); each pair is (check name, passed). *)

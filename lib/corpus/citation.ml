@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  title : string;
+  abstract : string;
+  authors : string list;
+  journal : string;
+  year : int;
+  major_topics : int list;
+  concepts : Bionav_util.Intset.t;
+  qualified : (int * Bionav_mesh.Qualifiers.t list) list;
+}
+
+let id t = t.id
+let concepts t = t.concepts
+
+let summary t =
+  let authors =
+    match t.authors with
+    | [] -> "Anonymous"
+    | [ a ] -> a
+    | a :: _ -> a ^ " et al."
+  in
+  Printf.sprintf "%s. %s %s (%d)" authors t.title t.journal t.year
+
+let pp ppf t = Format.fprintf ppf "[%d] %s" t.id (summary t)

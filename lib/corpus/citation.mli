@@ -1,0 +1,34 @@
+(** A MEDLINE-like citation record.
+
+    The real system stores PubMed citations; we generate records carrying
+    exactly the fields BioNav touches: an identifier (PMID stand-in), display
+    metadata for SHOWRESULTS (title, authors, journal, year), free text for
+    keyword retrieval, and the associated MeSH concepts (paper §VII: the
+    ~90-concept-per-citation PubMed indexing, which includes the ~20 explicit
+    MEDLINE annotations). *)
+
+type t = {
+  id : int;  (** Dense citation identifier (PMID stand-in). *)
+  title : string;
+  abstract : string;
+  authors : string list;
+  journal : string;
+  year : int;
+  major_topics : int list;
+    (** The citation's primary MeSH concepts (MEDLINE-style annotation). *)
+  concepts : Bionav_util.Intset.t;
+    (** Full concept association set (PubMed-indexing-style: major topics,
+        their ancestors, related concepts, and background check tags). *)
+  qualified : (int * Bionav_mesh.Qualifiers.t list) list;
+    (** Qualifier (subheading) annotations per concept, e.g.
+        [(histones, [metabolism; genetics])]. Only concepts of [concepts]
+        appear; concepts without qualifiers are omitted. Navigation ignores
+        qualifiers; the nbib codec round-trips them. *)
+}
+
+val id : t -> int
+val concepts : t -> Bionav_util.Intset.t
+val summary : t -> string
+(** One-line ESummary-style rendering: authors, title, journal, year. *)
+
+val pp : Format.formatter -> t -> unit

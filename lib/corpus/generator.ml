@@ -1,0 +1,149 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+module Qualifiers = Bionav_mesh.Qualifiers
+
+type seeded_group = {
+  tag : string option;
+  cluster : int list;
+  count : int;
+  topics_per_citation : int * int;
+}
+
+type params = {
+  n_citations : int;
+  topics_min_depth : int;
+  topic_zipf_exponent : float;
+  annotator_params : Annotator.params;
+  seeded_groups : seeded_group list;
+}
+
+let default_params =
+  {
+    n_citations = 60_000;
+    topics_min_depth = 2;
+    topic_zipf_exponent = 1.05;
+    annotator_params = Annotator.default_params;
+    seeded_groups = [];
+  }
+
+let small_params =
+  {
+    n_citations = 1_500;
+    topics_min_depth = 2;
+    topic_zipf_exponent = 1.0;
+    annotator_params = Annotator.light_params;
+    seeded_groups = [];
+  }
+
+(* Zipf-popularity assignment over eligible topic concepts: rank order is a
+   random permutation, so popularity is independent of node ids. *)
+type topic_model = { eligible : int array; dist : Zipf.t }
+
+let topic_model p rng hierarchy =
+  let eligible =
+    Array.of_list
+      (List.filter
+         (fun c -> Hierarchy.depth hierarchy c >= p.topics_min_depth)
+         (List.init (Hierarchy.size hierarchy) Fun.id))
+  in
+  if Array.length eligible = 0 then
+    invalid_arg "Generator: hierarchy has no concepts deep enough for topics";
+  Rng.shuffle rng eligible;
+  { eligible; dist = Zipf.create ~exponent:p.topic_zipf_exponent (Array.length eligible) }
+
+let draw_topic tm rng = tm.eligible.(Zipf.draw tm.dist rng)
+
+let validate_groups p hierarchy =
+  let total =
+    List.fold_left
+      (fun acc g ->
+        if g.count < 0 then invalid_arg "Generator: negative group count";
+        let lo, hi = g.topics_per_citation in
+        if lo < 1 || hi < lo then invalid_arg "Generator: bad topics_per_citation bounds";
+        if g.cluster = [] then invalid_arg "Generator: empty cluster";
+        List.iter
+          (fun c ->
+            if c <= 0 || c >= Hierarchy.size hierarchy then
+              invalid_arg (Printf.sprintf "Generator: cluster concept %d out of range" c))
+          g.cluster;
+        acc + g.count)
+      0 p.seeded_groups
+  in
+  if total > p.n_citations then invalid_arg "Generator: seeded group counts exceed corpus size"
+
+(* Scatter group memberships over distinct random citation slots. *)
+let group_assignment p rng =
+  let slots = Array.make p.n_citations None in
+  let order = Array.init p.n_citations Fun.id in
+  Rng.shuffle rng order;
+  let next = ref 0 in
+  List.iter
+    (fun g ->
+      for _ = 1 to g.count do
+        slots.(order.(!next)) <- Some g;
+        incr next
+      done)
+    p.seeded_groups;
+  slots
+
+let organic_topic_count rng =
+  (* 1 topic: 50%, 2 topics: 35%, 3 topics: 15%. *)
+  let u = Rng.float rng 1.0 in
+  if u < 0.5 then 1 else if u < 0.85 then 2 else 3
+
+let generate ?(params = default_params) ~seed hierarchy =
+  let p = params in
+  validate_groups p hierarchy;
+  let rng = Rng.create seed in
+  let text = Text_gen.create (Rng.split rng) in
+  let annotator = Annotator.create ~params:p.annotator_params hierarchy (Rng.split rng) in
+  let tm = topic_model p (Rng.split rng) hierarchy in
+  let groups = group_assignment p (Rng.split rng) in
+  let citations =
+    Array.init p.n_citations (fun id ->
+        let major_topics, tag =
+          match groups.(id) with
+          | None ->
+              let n = organic_topic_count rng in
+              (List.sort_uniq Int.compare (List.init n (fun _ -> draw_topic tm rng)), None)
+          | Some g ->
+              let lo, hi = g.topics_per_citation in
+              let cluster = Array.of_list g.cluster in
+              let k = min (Rng.int_in rng lo hi) (Array.length cluster) in
+              let from_cluster = Array.to_list (Rng.sample rng k cluster) in
+              (* Seeded citations keep a foot in the organic literature. *)
+              let extra = if Rng.bernoulli rng 0.3 then [ draw_topic tm rng ] else [] in
+              (List.sort_uniq Int.compare (from_cluster @ extra), g.tag)
+        in
+        let topic_labels = List.map (Hierarchy.label hierarchy) major_topics in
+        let embedded = match tag with None -> topic_labels | Some t -> t :: topic_labels in
+        let concepts = Annotator.annotate annotator ~major_topics in
+        (* MEDLINE-style subheadings on the major topics: most carry one or
+           two qualifiers ("Histones/metabolism"). *)
+        let qualified =
+          List.filter_map
+            (fun topic ->
+              if Rng.bernoulli rng 0.6 then begin
+                let k = Rng.int_in rng 1 2 in
+                let qs =
+                  List.sort_uniq Int.compare
+                    (List.init k (fun _ -> Rng.int rng Qualifiers.count))
+                in
+                Some (topic, qs)
+              end
+              else None)
+            major_topics
+        in
+        {
+          Citation.id;
+          title = Text_gen.title text ~topic_labels:embedded;
+          abstract = Text_gen.abstract text ~topic_labels:embedded;
+          authors = Text_gen.authors text;
+          journal = Text_gen.journal text;
+          year = Text_gen.year text;
+          major_topics;
+          concepts;
+          qualified;
+        })
+  in
+  Medline.make hierarchy citations

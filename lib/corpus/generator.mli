@@ -1,0 +1,48 @@
+(** Corpus generation: assembles citations from the topic model, the text
+    generator and the annotator.
+
+    Research literature clusters around topics: many citations share a small
+    set of popular concepts and a long tail of concepts has few citations.
+    The generator draws each citation's 1-3 major topics from a Zipf
+    distribution over mid-to-deep concepts, then synthesizes text embedding
+    the topic labels and the full association set via {!Annotator}.
+
+    {b Seeded groups} let the evaluation workload plant literatures the way
+    real ones look to PubMed. A group is a set of citations about a small
+    cluster of related concepts (the "lines of research" the paper describes
+    for prothymosin), optionally tagged with a free-text token — a
+    substance/gene name like "prothymosin" that is {e not itself a concept
+    label}. Searching for the tag retrieves exactly the group, while the
+    cluster concepts also occur in other (untagged) citations, so no concept
+    has query selectivity ≈ 1 — matching the paper's workload where targets
+    like "Histones" have [L(n) = 40] against [LT(n) = 20,691]. *)
+
+type seeded_group = {
+  tag : string option;
+      (** Token(s) injected into each citation's title and abstract; [None]
+          plants topical mass without a retrieval handle. *)
+  cluster : int list;  (** The research-line concepts (non-root). *)
+  count : int;  (** Number of citations in the group. *)
+  topics_per_citation : int * int;  (** Min/max cluster concepts per citation. *)
+}
+
+type params = {
+  n_citations : int;
+  topics_min_depth : int;  (** Major topics are at least this deep. *)
+  topic_zipf_exponent : float;
+  annotator_params : Annotator.params;
+  seeded_groups : seeded_group list;
+      (** Groups are carved out of [n_citations]; the rest is organic. *)
+}
+
+val default_params : params
+(** 60k citations, paper-calibrated annotator, no seeded groups. *)
+
+val small_params : params
+(** 1.5k citations, light annotator; for tests and examples. *)
+
+val generate :
+  ?params:params -> seed:int -> Bionav_mesh.Hierarchy.t -> Medline.t
+(** Deterministic in [seed]. @raise Invalid_argument if a cluster concept is
+    out of range, a group is malformed, or group counts exceed
+    [n_citations]. *)

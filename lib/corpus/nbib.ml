@@ -1,0 +1,191 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+module Qualifiers = Bionav_mesh.Qualifiers
+
+(* --- writing ----------------------------------------------------------- *)
+
+let wrap_width = 74
+
+(* Emit "TAG - value" with MEDLINE-style continuation lines. *)
+let emit_field buf tag value =
+  let words = String.split_on_char ' ' value in
+  let prefix = Printf.sprintf "%-4s- " tag in
+  let continuation = String.make 6 ' ' in
+  let line = Buffer.create 80 in
+  Buffer.add_string line prefix;
+  let col = ref (String.length prefix) in
+  List.iteri
+    (fun i word ->
+      let extra = String.length word + if i = 0 then 0 else 1 in
+      if i > 0 && !col + extra > wrap_width then begin
+        Buffer.add_buffer buf line;
+        Buffer.add_char buf '\n';
+        Buffer.clear line;
+        Buffer.add_string line continuation;
+        col := String.length continuation
+      end
+      else if i > 0 then begin
+        Buffer.add_char line ' ';
+        incr col
+      end;
+      Buffer.add_string line word;
+      col := !col + String.length word)
+    words;
+  Buffer.add_buffer buf line;
+  Buffer.add_char buf '\n'
+
+let citation_to_string hierarchy (c : Citation.t) =
+  let buf = Buffer.create 512 in
+  emit_field buf "PMID" (string_of_int c.Citation.id);
+  emit_field buf "TI" c.Citation.title;
+  emit_field buf "AB" c.Citation.abstract;
+  List.iter (fun a -> emit_field buf "AU" a) c.Citation.authors;
+  emit_field buf "JT" c.Citation.journal;
+  emit_field buf "DP" (string_of_int c.Citation.year);
+  Intset.iter
+    (fun concept ->
+      let star = if List.mem concept c.Citation.major_topics then "*" else "" in
+      let qualifiers =
+        match List.assoc_opt concept c.Citation.qualified with
+        | None -> ""
+        | Some qs -> String.concat "" (List.map (fun q -> "/" ^ Qualifiers.name q) qs)
+      in
+      emit_field buf "MH" (star ^ Hierarchy.label hierarchy concept ^ qualifiers))
+    (Citation.concepts c);
+  Buffer.contents buf
+
+let to_string medline =
+  let hierarchy = Medline.hierarchy medline in
+  String.concat "\n"
+    (Array.to_list (Array.map (citation_to_string hierarchy) (Medline.citations medline)))
+
+(* --- parsing ----------------------------------------------------------- *)
+
+type raw_field = { tag : string; value : string }
+
+(* Fold physical lines into logical fields (continuations start with a
+   space). *)
+let fields_of_lines lines =
+  let flush acc current =
+    match current with None -> acc | Some f -> { f with value = String.trim f.value } :: acc
+  in
+  let acc, last =
+    List.fold_left
+      (fun (acc, current) line ->
+        if String.length line > 0 && line.[0] = ' ' then
+          match current with
+          | Some f -> (acc, Some { f with value = f.value ^ " " ^ String.trim line })
+          | None -> (acc, None)
+        else if String.trim line = "" then (flush acc current, None)
+        else
+          match String.index_opt line '-' with
+          | Some k when k <= 5 ->
+              let tag = String.trim (String.sub line 0 k) in
+              let value = String.sub line (k + 1) (String.length line - k - 1) in
+              (flush acc current, Some { tag; value })
+          | Some _ | None ->
+              invalid_arg (Printf.sprintf "Nbib: malformed line %S" line))
+      ([], None) lines
+  in
+  List.rev (flush acc last)
+
+let records_of_fields fields =
+  let flush records current = match current with [] -> records | fs -> List.rev fs :: records in
+  let records, last =
+    List.fold_left
+      (fun (records, current) f ->
+        if f.tag = "PMID" then (flush records current, [ f ])
+        else if current = [] && records = [] then
+          invalid_arg (Printf.sprintf "Nbib: field %S before the first PMID" f.tag)
+        else (records, f :: current))
+      ([], []) fields
+  in
+  List.rev (flush records last)
+
+let citation_of_record ?(on_unknown_mh = `Fail) ~hierarchy ~id fields =
+  let title = ref "" and abstract = ref "" and journal = ref "" and year = ref 1900 in
+  let authors = ref [] and majors = ref [] and concepts = ref [] in
+  let qualified = ref [] in
+  List.iter
+    (fun f ->
+      match f.tag with
+      | "PMID" -> ()
+      | "TI" -> title := f.value
+      | "AB" -> abstract := f.value
+      | "AU" -> authors := f.value :: !authors
+      | "JT" -> journal := f.value
+      | "DP" -> (
+          (* MEDLINE dates may be "2003 Jun"; the leading year suffices. *)
+          match String.split_on_char ' ' f.value with
+          | y :: _ -> (
+              match int_of_string_opt y with
+              | Some v -> year := v
+              | None -> invalid_arg (Printf.sprintf "Nbib: bad DP value %S" f.value))
+          | [] -> ())
+      | "MH" -> (
+          let is_major = String.length f.value > 0 && f.value.[0] = '*' in
+          let value =
+            if is_major then String.sub f.value 1 (String.length f.value - 1) else f.value
+          in
+          (* "Histones/metabolism/genetics": slash-separated qualifiers. *)
+          let label, qualifier_names =
+            match String.split_on_char '/' value with
+            | label :: qs -> (label, qs)
+            | [] -> (value, [])
+          in
+          match Hierarchy.find_by_label hierarchy label with
+          | Some concept ->
+              concepts := concept :: !concepts;
+              if is_major then majors := concept :: !majors;
+              let qs =
+                List.filter_map
+                  (fun qname ->
+                    match Qualifiers.find_by_name qname with
+                    | Some q -> Some q
+                    | None ->
+                        invalid_arg (Printf.sprintf "Nbib: unknown qualifier %S" qname))
+                  qualifier_names
+              in
+              if qs <> [] then qualified := (concept, qs) :: !qualified
+          | None -> (
+              match on_unknown_mh with
+              | `Skip -> ()
+              | `Fail -> invalid_arg (Printf.sprintf "Nbib: unknown MeSH heading %S" label)))
+      | _ -> ())
+    fields;
+  let concepts = Intset.of_list !concepts in
+  let major_topics =
+    match List.sort_uniq Int.compare !majors with
+    | [] -> ( match Intset.elements concepts with c :: _ -> [ c ] | [] -> [])
+    | ms -> ms
+  in
+  {
+    Citation.id;
+    title = !title;
+    abstract = !abstract;
+    authors = List.rev !authors;
+    journal = !journal;
+    year = !year;
+    major_topics;
+    concepts;
+    qualified = List.rev !qualified;
+  }
+
+let of_string ?on_unknown_mh ~hierarchy text =
+  let fields = fields_of_lines (String.split_on_char '\n' text) in
+  let records = records_of_fields fields in
+  if records = [] then invalid_arg "Nbib.of_string: no records";
+  let citations =
+    List.mapi (fun id fields -> citation_of_record ?on_unknown_mh ~hierarchy ~id fields) records
+  in
+  Medline.make hierarchy (Array.of_list citations)
+
+let save medline path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string medline))
+
+let load ?on_unknown_mh ~hierarchy path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string ?on_unknown_mh ~hierarchy (really_input_string ic (in_channel_length ic)))

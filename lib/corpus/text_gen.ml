@@ -1,0 +1,101 @@
+open Bionav_util
+
+type t = { rng : Rng.t; vocab_dist : Zipf.t }
+
+let filler_vocab =
+  [|
+    "study"; "analysis"; "results"; "expression"; "cells"; "protein"; "gene";
+    "role"; "effect"; "activity"; "binding"; "levels"; "response"; "function";
+    "pathway"; "mechanism"; "treatment"; "patients"; "clinical"; "human";
+    "mouse"; "rat"; "vitro"; "vivo"; "induced"; "mediated"; "dependent";
+    "associated"; "increased"; "decreased"; "significant"; "observed";
+    "suggest"; "demonstrate"; "evidence"; "novel"; "potential"; "specific";
+    "regulation"; "signaling"; "receptor"; "kinase"; "transcription";
+    "apoptosis"; "proliferation"; "differentiation"; "inhibition";
+    "activation"; "expression"; "mutation"; "polymorphism"; "sequence";
+    "domain"; "complex"; "interaction"; "structure"; "membrane"; "nuclear";
+    "cytoplasmic"; "tissue"; "tumor"; "cancer"; "disease"; "therapy";
+    "dose"; "assay"; "model"; "method"; "approach"; "data"; "group";
+    "control"; "compared"; "versus"; "however"; "furthermore"; "these";
+    "findings"; "indicate"; "important"; "critical"; "essential"; "required";
+  |]
+
+let journals =
+  [|
+    "J Biol Chem"; "Proc Natl Acad Sci USA"; "Nature"; "Science"; "Cell";
+    "J Clin Invest"; "Cancer Res"; "Mol Cell Biol"; "Nucleic Acids Res";
+    "Biochemistry"; "FEBS Lett"; "Endocrinology"; "J Immunol"; "Blood";
+    "Am J Physiol"; "Brain Res"; "J Neurosci"; "Genetics"; "Lancet";
+    "N Engl J Med";
+  |]
+
+let surnames =
+  [|
+    "Smith"; "Chen"; "Garcia"; "Kim"; "Tanaka"; "Muller"; "Ivanov"; "Rossi";
+    "Kumar"; "Johnson"; "Lee"; "Wang"; "Brown"; "Davis"; "Martinez"; "Sato";
+    "Nguyen"; "Patel"; "Silva"; "Kowalski"; "Hansen"; "Dubois"; "Novak";
+    "Petropoulos"; "Hristidis"; "Kashyap"; "Tavoulari";
+  |]
+
+let initials = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "J"; "K"; "L"; "M"; "N"; "P"; "R"; "S"; "T"; "V"; "W"; "Y" |]
+
+let create rng = { rng; vocab_dist = Zipf.create ~exponent:1.05 (Array.length filler_vocab) }
+
+let filler_word t = filler_vocab.(Zipf.draw t.vocab_dist t.rng)
+
+let sentence t ~words ~embed =
+  let buf = Buffer.create 128 in
+  let n_embed = List.length embed in
+  let embed_positions =
+    (* Spread embedded phrases roughly evenly through the sentence. *)
+    List.mapi (fun i _ -> (i * words) / max 1 n_embed) embed
+  in
+  let remaining = ref (List.combine embed_positions embed) in
+  for w = 0 to words - 1 do
+    (match !remaining with
+    | (pos, phrase) :: rest when pos = w ->
+        Buffer.add_string buf phrase;
+        Buffer.add_char buf ' ';
+        remaining := rest
+    | _ -> ());
+    Buffer.add_string buf (filler_word t);
+    if w < words - 1 then Buffer.add_char buf ' '
+  done;
+  (* Flush any phrases not yet emitted (can happen when words < n_embed). *)
+  List.iter
+    (fun (_, phrase) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf phrase)
+    !remaining;
+  Buffer.contents buf
+
+let title t ~topic_labels =
+  let words = Rng.int_in t.rng 6 12 in
+  String.capitalize_ascii (sentence t ~words ~embed:topic_labels)
+
+let abstract t ~topic_labels =
+  let n_sentences = Rng.int_in t.rng 4 8 in
+  let sentences =
+    List.init n_sentences (fun i ->
+        let embed =
+          (* Topic labels recur in roughly half the sentences. *)
+          if i = 0 || Rng.bernoulli t.rng 0.5 then topic_labels else []
+        in
+        let words = Rng.int_in t.rng 12 22 in
+        String.capitalize_ascii (sentence t ~words ~embed) ^ ".")
+  in
+  String.concat " " sentences
+
+let authors t =
+  let n = Rng.int_in t.rng 1 6 in
+  List.init n (fun _ ->
+      Printf.sprintf "%s %s%s" (Rng.choice t.rng surnames) (Rng.choice t.rng initials)
+        (if Rng.bernoulli t.rng 0.5 then Rng.choice t.rng initials else ""))
+
+let journal t = Rng.choice t.rng journals
+
+let year t =
+  (* Quadratic skew toward recent years. *)
+  let u = Rng.float t.rng 1.0 in
+  let span = float_of_int (2008 - 1975) in
+  1975 + int_of_float (span *. sqrt u)

@@ -1,0 +1,25 @@
+(** Generation of citation text (titles, abstracts, author names, journals).
+
+    Keyword retrieval in the reproduction works over this generated text, so
+    the generator guarantees the property the evaluation needs: a citation's
+    title and abstract contain the tokens of its major-topic concept labels,
+    which makes topic labels usable as search keywords (the way "prothymosin"
+    retrieves prothymosin papers on PubMed). Background words are drawn from
+    a Zipf-weighted scientific filler vocabulary. *)
+
+type t
+
+val create : Bionav_util.Rng.t -> t
+
+val title : t -> topic_labels:string list -> string
+(** A title embedding every topic label. *)
+
+val abstract : t -> topic_labels:string list -> string
+(** 60-140 words; repeats topic labels a few times amid filler. *)
+
+val authors : t -> string list
+(** 1-6 plausible author names. *)
+
+val journal : t -> string
+val year : t -> int
+(** Between 1975 and 2008 (the paper's MEDLINE snapshot era), skewed recent. *)

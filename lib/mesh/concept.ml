@@ -1,0 +1,16 @@
+type t = { id : int; label : string; tree_number : Tree_number.t }
+
+let make ~id ~label ~tree_number =
+  assert (id >= 0);
+  { id; label; tree_number }
+
+let id t = t.id
+let label t = t.label
+let tree_number t = t.tree_number
+let depth t = Tree_number.depth t.tree_number
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s [%a]" t.id t.label Tree_number.pp t.tree_number

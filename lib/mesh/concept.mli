@@ -1,0 +1,22 @@
+(** A MeSH concept (descriptor): the unit node of the concept hierarchy
+    (paper Definition 1 labels nodes with a descriptive label and a unique
+    identifier). *)
+
+type t = {
+  id : int;  (** Unique, dense identifier: index into the hierarchy arrays. *)
+  label : string;  (** Descriptive label, e.g. "Cell Proliferation". *)
+  tree_number : Tree_number.t;  (** Position encoding in the hierarchy. *)
+}
+
+val make : id:int -> label:string -> tree_number:Tree_number.t -> t
+val id : t -> int
+val label : t -> string
+val tree_number : t -> Tree_number.t
+val depth : t -> int
+(** Depth in the hierarchy, derived from the tree number (root = 0). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Ordered by id. *)
+
+val pp : Format.formatter -> t -> unit

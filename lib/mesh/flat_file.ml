@@ -1,0 +1,75 @@
+let to_string h =
+  let buf = Buffer.create 4096 in
+  Hierarchy.iter_subtree h (Hierarchy.root h) (fun i ->
+      if i <> Hierarchy.root h then
+        Buffer.add_string buf
+          (Printf.sprintf "%s|%s\n"
+             (Tree_number.to_string (Concept.tree_number (Hierarchy.concept h i)))
+             (Hierarchy.label h i)));
+  Buffer.contents buf
+
+let parse_line lineno line =
+  match String.index_opt line '|' with
+  | None -> invalid_arg (Printf.sprintf "Flat_file: line %d: missing '|': %S" lineno line)
+  | Some k ->
+      let tn_str = String.sub line 0 k in
+      let label = String.sub line (k + 1) (String.length line - k - 1) in
+      if label = "" then
+        invalid_arg (Printf.sprintf "Flat_file: line %d: empty label" lineno);
+      (Tree_number.of_string tn_str, label)
+
+let of_string ?(root_label = "MeSH") text =
+  let entries =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) -> line <> "" && not (String.length line > 0 && line.[0] = '#'))
+    |> List.map (fun (i, line) -> parse_line i line)
+  in
+  (* Sort by tree number so every parent precedes its children. *)
+  let entries = List.sort (fun (a, _) (b, _) -> Tree_number.compare a b) entries in
+  let tbl = Hashtbl.create 1024 in
+  Hashtbl.add tbl (Tree_number.to_string Tree_number.root) 0;
+  let n = List.length entries in
+  let concepts =
+    Array.make (n + 1) (Concept.make ~id:0 ~label:root_label ~tree_number:Tree_number.root)
+  in
+  let parent = Array.make (n + 1) (-1) in
+  List.iteri
+    (fun idx (tn, label) ->
+      let id = idx + 1 in
+      let key = Tree_number.to_string tn in
+      if Hashtbl.mem tbl key then
+        invalid_arg (Printf.sprintf "Flat_file: duplicate tree number %s" key);
+      let parent_tn =
+        match Tree_number.parent tn with
+        | Some p -> p
+        | None -> invalid_arg "Flat_file: a non-root line parsed as root"
+      in
+      let parent_id =
+        match Hashtbl.find_opt tbl (Tree_number.to_string parent_tn) with
+        | Some p -> p
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Flat_file: %s has no parent entry %s" key
+                 (Tree_number.to_string parent_tn))
+      in
+      Hashtbl.add tbl key id;
+      concepts.(id) <- Concept.make ~id ~label ~tree_number:tn;
+      parent.(id) <- parent_id)
+    entries;
+  Hierarchy.build concepts ~parent
+
+let save h path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string h))
+
+let load ?root_label path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      of_string ?root_label text)

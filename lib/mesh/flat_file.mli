@@ -1,0 +1,23 @@
+(** Reading and writing hierarchies in a MeSH-flat-file-like text format.
+
+    The real BioNav populates its database from the MeSH files published by
+    NLM (paper §VII). We mirror that pipeline with a minimal line format:
+
+    {v <tree-number>|<label> v}
+
+    one line per non-root concept, in any order. The root is implicit. *)
+
+val to_string : Hierarchy.t -> string
+(** Serialize; lines appear in preorder. *)
+
+val of_string : ?root_label:string -> string -> Hierarchy.t
+(** Parse. Lines may be in any order; blank lines and lines starting with
+    ['#'] are ignored. Missing intermediate tree numbers are an error. The
+    implicit root is labelled [root_label] (default ["MeSH"]).
+    @raise Invalid_argument on malformed or inconsistent input. *)
+
+val save : Hierarchy.t -> string -> unit
+(** [save h path] writes the flat file. *)
+
+val load : ?root_label:string -> string -> Hierarchy.t
+(** @raise Sys_error / Invalid_argument. *)

@@ -1,0 +1,101 @@
+type t = { rng : Bionav_util.Rng.t; seen : (string, unit) Hashtbl.t }
+
+let create rng = { rng; seen = Hashtbl.create 4096 }
+
+let top_level_categories =
+  [|
+    "Anatomy";
+    "Organisms";
+    "Diseases";
+    "Chemicals and Drugs";
+    "Analytical, Diagnostic and Therapeutic Techniques";
+    "Psychiatry and Psychology";
+    "Biological Sciences";
+    "Natural Sciences";
+    "Anthropology, Education, Sociology";
+    "Technology, Industry, Agriculture";
+    "Humanities";
+    "Information Science";
+    "Named Groups";
+    "Health Care";
+    "Publication Characteristics";
+    "Geographicals";
+  |]
+
+let prefixes =
+  [|
+    "Cardio"; "Neuro"; "Hemo"; "Hepato"; "Nephro"; "Dermato"; "Osteo"; "Myo";
+    "Cyto"; "Histo"; "Immuno"; "Onco"; "Gastro"; "Pneumo"; "Angio"; "Chondro";
+    "Endo"; "Exo"; "Hyper"; "Hypo"; "Inter"; "Intra"; "Trans"; "Peri";
+    "Thermo"; "Chemo"; "Radio"; "Photo"; "Electro"; "Magneto"; "Glyco"; "Lipo";
+  |]
+
+let stems =
+  [|
+    "blast"; "cyte"; "gen"; "plasm"; "soma"; "thel"; "vascul"; "neur";
+    "path"; "troph"; "phag"; "lys"; "kinas"; "zym"; "globul"; "peptid";
+    "nucle"; "chondri"; "fibr"; "granul"; "capill"; "membran"; "recept";
+    "transport"; "channel"; "factor"; "protein"; "enzym"; "hormon"; "antigen";
+  |]
+
+let suffixes =
+  [|
+    "osis"; "itis"; "emia"; "oma"; "pathy"; "genesis"; "trophy"; "plasia";
+    "ase"; "in"; "ide"; "ate"; "ol"; "one"; "ium"; "an"; "ysis"; "ion";
+  |]
+
+let qualifiers =
+  [|
+    "Metabolism"; "Genetics"; "Physiology"; "Pathology"; "Immunology";
+    "Pharmacology"; "Chemistry"; "Regulation"; "Signaling"; "Expression";
+    "Differentiation"; "Transport"; "Binding"; "Inhibitors"; "Agonists";
+    "Antagonists"; "Receptors"; "Processes"; "Phenomena"; "Disorders";
+  |]
+
+let broad_tails = [| "Phenomena"; "Processes"; "Sciences"; "Systems"; "Disorders" |]
+
+let capitalize s = String.capitalize_ascii s
+
+let base_word t =
+  let open Bionav_util in
+  let p = Rng.choice t.rng prefixes in
+  let s = Rng.choice t.rng stems in
+  let x = Rng.choice t.rng suffixes in
+  capitalize (String.lowercase_ascii (p ^ s ^ x))
+
+let uniquify t candidate =
+  if not (Hashtbl.mem t.seen candidate) then begin
+    Hashtbl.add t.seen candidate ();
+    candidate
+  end
+  else begin
+    let rec try_index i =
+      let attempt = Printf.sprintf "%s %d" candidate i in
+      if Hashtbl.mem t.seen attempt then try_index (i + 1)
+      else begin
+        Hashtbl.add t.seen attempt ();
+        attempt
+      end
+    in
+    try_index 2
+  end
+
+let fresh t =
+  let open Bionav_util in
+  let candidate =
+    if Rng.bernoulli t.rng 0.4 then
+      Printf.sprintf "%s, %s" (base_word t) (Rng.choice t.rng qualifiers)
+    else base_word t
+  in
+  uniquify t candidate
+
+let fresh_at_depth t d =
+  let open Bionav_util in
+  let candidate =
+    if d <= 2 && Rng.bernoulli t.rng 0.6 then
+      Printf.sprintf "%s %s" (base_word t) (Rng.choice t.rng broad_tails)
+    else if d >= 5 && Rng.bernoulli t.rng 0.5 then
+      Printf.sprintf "%s, %s" (base_word t) (Rng.choice t.rng qualifiers)
+    else base_word t
+  in
+  uniquify t candidate

@@ -1,0 +1,23 @@
+(** Generation of biomedical-flavoured concept labels.
+
+    Synthetic hierarchies need distinct, human-readable labels so that the
+    interactive CLI and examples feel like real MeSH navigation. Labels are
+    composed from curated biomedical morphemes (prefix + stem + suffix, with
+    an optional qualifier), and an allocator guarantees uniqueness within one
+    generator instance. *)
+
+type t
+
+val create : Bionav_util.Rng.t -> t
+(** A fresh allocator drawing from the given generator. *)
+
+val top_level_categories : string array
+(** The 16 MeSH-like top-level category names, e.g. "Diseases",
+    "Chemicals and Drugs". *)
+
+val fresh : t -> string
+(** A fresh label, distinct from all labels previously produced by [t]. *)
+
+val fresh_at_depth : t -> int -> string
+(** Depth-flavoured label: shallow concepts get broad-sounding labels
+    ("... Phenomena"), deep ones get specific-sounding ones. Still unique. *)

@@ -1,0 +1,89 @@
+let record_separator = "*NEWRECORD"
+
+type record = { mh : string option; mns : string list }
+
+let empty_record = { mh = None; mns = [] }
+
+let parse_field line =
+  match String.index_opt line '=' with
+  | None -> None
+  | Some k ->
+      let key = String.trim (String.sub line 0 k) in
+      let value = String.trim (String.sub line (k + 1) (String.length line - k - 1)) in
+      Some (key, value)
+
+let parse_records text =
+  let lines = String.split_on_char '\n' text in
+  let flush records current = if current == empty_record then records else current :: records in
+  let records, last =
+    List.fold_left
+      (fun (records, current) raw ->
+        let line = String.trim raw in
+        if line = "" then (records, current)
+        else if line = record_separator then (flush records current, empty_record)
+        else
+          match parse_field line with
+          | Some ("MH", value) when value <> "" -> (records, { current with mh = Some value })
+          | Some ("MN", value) when value <> "" ->
+              (records, { current with mns = value :: current.mns })
+          | Some _ | None -> (records, current))
+      ([], empty_record) lines
+  in
+  List.rev (flush records last)
+
+let of_string ?root_label text =
+  let records = parse_records text in
+  let entries =
+    List.concat_map
+      (fun r ->
+        match (r.mh, r.mns) with
+        | Some mh, (_ :: _ as mns) ->
+            List.map
+              (fun mn ->
+                (* Validate eagerly for a precise error message. *)
+                ignore (Tree_number.of_string mn);
+                Printf.sprintf "%s|%s" mn mh)
+              (List.rev mns)
+        | Some _, [] | None, _ -> [])
+      records
+  in
+  if entries = [] then invalid_arg "Mesh_ascii.of_string: no descriptor records with MN fields";
+  Flat_file.of_string ?root_label (String.concat "\n" entries)
+
+let to_string h =
+  (* Group tree numbers by label in first-appearance (preorder) order. *)
+  let order = ref [] in
+  let groups : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  Hierarchy.iter_subtree h (Hierarchy.root h) (fun i ->
+      if i <> Hierarchy.root h then begin
+        let label = Hierarchy.label h i in
+        let mn = Tree_number.to_string (Concept.tree_number (Hierarchy.concept h i)) in
+        (match Hashtbl.find_opt groups label with
+        | None ->
+            order := label :: !order;
+            Hashtbl.add groups label [ mn ]
+        | Some mns -> Hashtbl.replace groups label (mn :: mns))
+      end);
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun idx label ->
+      Buffer.add_string buf record_separator;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf "RECTYPE = D\n";
+      Buffer.add_string buf (Printf.sprintf "MH = %s\n" label);
+      List.iter
+        (fun mn -> Buffer.add_string buf (Printf.sprintf "MN = %s\n" mn))
+        (List.rev (Hashtbl.find groups label));
+      Buffer.add_string buf (Printf.sprintf "UI = D%06d\n\n" (idx + 1)))
+    (List.rev !order);
+  Buffer.contents buf
+
+let load ?root_label path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string ?root_label (really_input_string ic (in_channel_length ic)))
+
+let save h path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string h))

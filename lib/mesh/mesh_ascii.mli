@@ -1,0 +1,30 @@
+(** Reading and writing the NLM MeSH ASCII ("d-file") record format.
+
+    The real BioNav populates its database from the MeSH files published by
+    the National Library of Medicine (paper §VII). Descriptor records look
+    like
+
+    {v
+      *NEWRECORD
+      RECTYPE = D
+      MH = Calcimycin
+      MN = D03.633.100.221.173
+      UI = D000001
+    v}
+
+    A descriptor may carry several [MN] lines (it occupies several positions
+    in the MeSH forest); each position becomes one hierarchy node labelled
+    with the descriptor's [MH] heading. Records without any [MN] (e.g.
+    qualifier records, RECTYPE = Q) are skipped, as are unknown fields. *)
+
+val of_string : ?root_label:string -> string -> Hierarchy.t
+(** Parse a d-file. Positions may appear in any order, but every non-top
+    position must have its parent position present in some record.
+    @raise Invalid_argument on malformed records or missing parents. *)
+
+val to_string : Hierarchy.t -> string
+(** Serialize: one record per distinct label, carrying all its tree
+    numbers, with stable [UI] identifiers derived from record order. *)
+
+val load : ?root_label:string -> string -> Hierarchy.t
+val save : Hierarchy.t -> string -> unit

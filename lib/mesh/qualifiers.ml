@@ -1,0 +1,67 @@
+(* (name, NLM abbreviation), per the 2008 MeSH qualifier list. *)
+let table =
+  [|
+    ("administration & dosage", "AD");
+    ("adverse effects", "AE");
+    ("analysis", "AN");
+    ("anatomy & histology", "AH");
+    ("antagonists & inhibitors", "AI");
+    ("biosynthesis", "BI");
+    ("blood", "BL");
+    ("chemistry", "CH");
+    ("classification", "CL");
+    ("complications", "CO");
+    ("cytology", "CY");
+    ("diagnosis", "DI");
+    ("drug effects", "DE");
+    ("embryology", "EM");
+    ("enzymology", "EN");
+    ("epidemiology", "EP");
+    ("etiology", "ET");
+    ("genetics", "GE");
+    ("growth & development", "GD");
+    ("immunology", "IM");
+    ("metabolism", "ME");
+    ("microbiology", "MI");
+    ("mortality", "MO");
+    ("pathology", "PA");
+    ("pharmacology", "PD");
+    ("physiology", "PH");
+    ("physiopathology", "PP");
+    ("prevention & control", "PC");
+    ("secretion", "SE");
+    ("surgery", "SU");
+    ("therapeutic use", "TU");
+    ("therapy", "TH");
+    ("toxicity", "TO");
+    ("ultrastructure", "UL");
+  |]
+
+type t = int
+
+let count = Array.length table
+
+let check id =
+  if id < 0 || id >= count then invalid_arg (Printf.sprintf "Qualifiers: bad id %d" id)
+
+let name id =
+  check id;
+  fst table.(id)
+
+let abbreviation id =
+  check id;
+  snd table.(id)
+
+let index_by f =
+  let tbl = Hashtbl.create count in
+  Array.iteri (fun i entry -> Hashtbl.replace tbl (String.lowercase_ascii (f entry)) i) table;
+  tbl
+
+let by_name = index_by fst
+let by_abbrev = index_by snd
+
+let find_by_name s = Hashtbl.find_opt by_name (String.lowercase_ascii (String.trim s))
+
+let find_by_abbreviation s = Hashtbl.find_opt by_abbrev (String.lowercase_ascii (String.trim s))
+
+let all () = List.init count Fun.id

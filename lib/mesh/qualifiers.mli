@@ -1,0 +1,28 @@
+(** MeSH qualifiers (subheadings).
+
+    Real MEDLINE annotations are descriptor/qualifier pairs —
+    "Histones/metabolism", "Apoptosis/drug effects" — drawn from a small
+    controlled list of ~80 subheadings. BioNav's navigation ignores
+    qualifiers (it works at descriptor granularity), but a faithful corpus
+    and the nbib import/export need them. This module fixes a standard
+    subset of the NLM 2008 qualifier list with the official two-letter
+    abbreviations. *)
+
+type t = int
+(** Dense qualifier id, [0 .. count - 1]. *)
+
+val count : int
+val name : t -> string
+(** Lowercase subheading, e.g. "metabolism". @raise Invalid_argument on a
+    bad id. *)
+
+val abbreviation : t -> string
+(** NLM two-letter code, e.g. "ME". *)
+
+val find_by_name : string -> t option
+(** Case-insensitive. *)
+
+val find_by_abbreviation : string -> t option
+(** Case-insensitive. *)
+
+val all : unit -> t list

@@ -1,0 +1,85 @@
+open Bionav_util
+
+type params = {
+  target_size : int;
+  max_depth : int;
+  top_fanout : int;
+  parent_skew : float;
+}
+
+let default_params = { target_size = 48_000; max_depth = 11; top_fanout = 112; parent_skew = 0.8 }
+
+let small_params = { target_size = 400; max_depth = 8; top_fanout = 8; parent_skew = 0.8 }
+
+let category_label i =
+  let base = Labels.top_level_categories in
+  let n = Array.length base in
+  if i < n then base.(i) else Printf.sprintf "%s %d" base.(i mod n) (1 + (i / n))
+
+(* MeSH-2008-like per-level node-count shape (depths 1..11): a bushy upper
+   region peaking around depths 4-6, thinning toward depth 11. Normalized
+   fractions of the total node budget. *)
+let mesh_level_shape =
+  [| 0.0004; 0.003; 0.028; 0.125; 0.23; 0.23; 0.17; 0.10; 0.06; 0.034; 0.0196 |]
+
+(* Per-level node counts for the requested parameters: the MeSH shape is
+   truncated/renormalized to [max_depth] levels and scaled to
+   [target_size - 1] non-root nodes, with level 1 pinned to [top_fanout]. *)
+let level_counts p =
+  let levels = min p.max_depth (Array.length mesh_level_shape) in
+  let shape = Array.sub mesh_level_shape 0 levels in
+  let total_shape = Array.fold_left ( +. ) 0. shape in
+  let budget = p.target_size - 1 - p.top_fanout in
+  let counts =
+    Array.mapi
+      (fun i frac ->
+        if i = 0 then p.top_fanout
+        else max 1 (int_of_float (Float.round (float_of_int budget *. frac /. total_shape))))
+      shape
+  in
+  (* Monotone feasibility is not required (a level may be narrower than the
+     one above), but every level needs at least one node to host children. *)
+  counts
+
+let generate ?(params = default_params) ~seed () =
+  let p = params in
+  assert (p.target_size > p.top_fanout && p.max_depth >= 2 && p.top_fanout >= 1);
+  let rng = Rng.create seed in
+  let label_gen = Labels.create (Rng.split rng) in
+  let counts = level_counts p in
+  let rev_parents = ref [] and rev_labels = ref [] in
+  let count = ref 0 in
+  let push ~parent ~label =
+    let id = !count in
+    rev_parents := parent :: !rev_parents;
+    rev_labels := label :: !rev_labels;
+    incr count;
+    id
+  in
+  let root = push ~parent:(-1) ~label:"MeSH" in
+  let level1 =
+    Array.init counts.(0) (fun i -> push ~parent:root ~label:(category_label i))
+  in
+  (* Parent choice within the previous level is Zipf-skewed: a few concepts
+     gather many children (the bushiness the paper calls out at the upper
+     levels) while most stay narrow. *)
+  let previous = ref level1 in
+  (try
+     for d = 1 to Array.length counts - 1 do
+       let parents = !previous in
+       if Array.length parents = 0 then raise Exit;
+       let skew = Zipf.create ~exponent:p.parent_skew (Array.length parents) in
+       (* A fixed random orientation of the skew per level. *)
+       let order = Array.copy parents in
+       Rng.shuffle rng order;
+       let level =
+         Array.init counts.(d) (fun _ ->
+             let parent = order.(Zipf.draw skew rng) in
+             push ~parent ~label:(Labels.fresh_at_depth label_gen (d + 1)))
+       in
+       previous := level
+     done
+   with Exit -> ());
+  let labels = Array.of_list (List.rev !rev_labels) in
+  let parents = Array.of_list (List.rev !rev_parents) in
+  Hierarchy.of_parents ~labels:(fun i -> labels.(i)) parents

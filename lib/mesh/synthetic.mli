@@ -1,0 +1,40 @@
+(** Synthetic MeSH-like hierarchy generation.
+
+    Substitutes for the real MeSH 2008 release (paper §VII downloads it from
+    NLM; ~48,000 descriptors). The generator reproduces the structural
+    properties the BioNav algorithms are sensitive to:
+
+    - a fixed set of top-level categories under a single root;
+    - a per-level node-count profile shaped like MeSH: a bushy upper region
+      ("the MeSH hierarchy is quite bushy on the upper levels", §I) peaking
+      around depths 4-6 and thinning toward the maximum depth (≈11 in
+      MeSH tree numbers);
+    - Zipf-skewed parent assignment, so a few concepts gather large child
+      sets while most stay narrow.
+
+    Generation is deterministic given the seed. *)
+
+type params = {
+  target_size : int;  (** Total number of nodes, root included (±rounding). *)
+  max_depth : int;  (** Deepest level generated (MeSH: 11). *)
+  top_fanout : int;
+      (** Children of the root. BioNav anchors the MeSH forest under a
+          single root whose children are the ~112 per-category subtrees
+          (A01..A17, B01.., C01.., ...), which is why the paper's root
+          expansion shows 98 children. *)
+  parent_skew : float;
+      (** Zipf exponent of the per-level parent-popularity distribution;
+          higher values concentrate children on fewer parents. *)
+}
+
+val default_params : params
+(** 48k nodes, depth 11, 112 top-level subtrees — MeSH-2008-like. *)
+
+val small_params : params
+(** A few hundred nodes, depth 8; for fast tests and examples. *)
+
+val level_counts : params -> int array
+(** The per-level node budget the generator will aim for (index 0 = depth
+    1). Exposed for calibration tests. *)
+
+val generate : ?params:params -> seed:int -> unit -> Hierarchy.t

@@ -1,0 +1,61 @@
+type t = string list
+(* Segments in root-to-node order; [] is the root. *)
+
+let root = []
+
+let valid_segment s =
+  String.length s > 0
+  && String.for_all (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false) s
+
+let of_string s =
+  if s = "" then []
+  else begin
+    let segments = String.split_on_char '.' s in
+    List.iter
+      (fun seg ->
+        if not (valid_segment seg) then
+          invalid_arg (Printf.sprintf "Tree_number.of_string: bad segment %S in %S" seg s))
+      segments;
+    segments
+  end
+
+let to_string t = String.concat "." t
+
+(* "A", "B" ... "Z", then "A1", "B1", ... for pathological fanouts. *)
+let letter_segment i =
+  let letter = Char.chr (Char.code 'A' + (i mod 26)) in
+  let round = i / 26 in
+  if round = 0 then String.make 1 letter
+  else Printf.sprintf "%c%d" letter round
+
+let child t i =
+  assert (i >= 0);
+  match t with
+  | [] -> [ letter_segment i ]
+  | _ -> t @ [ Printf.sprintf "%03d" i ]
+
+let parent t =
+  match t with
+  | [] -> None
+  | _ ->
+      let rec drop_last = function
+        | [] -> assert false
+        | [ _ ] -> []
+        | x :: rest -> x :: drop_last rest
+      in
+      Some (drop_last t)
+
+let depth t = List.length t
+
+let rec is_ancestor a b =
+  match (a, b) with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' -> String.equal x y && is_ancestor a' b'
+
+let compare = List.compare String.compare
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

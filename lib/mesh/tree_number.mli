@@ -1,0 +1,41 @@
+(** MeSH-style tree numbers.
+
+    Every MeSH descriptor carries one or more tree numbers encoding its
+    position in the hierarchy, e.g. ["C04.588.33"]: dot-separated segments
+    where each prefix names an ancestor. BioNav's navigation-tree
+    construction relies on these identifiers to place query results in the
+    hierarchy, so we reproduce the encoding faithfully: a leading category
+    letter segment followed by numeric segments. *)
+
+type t
+
+val root : t
+(** The distinguished empty tree number for the hierarchy root. *)
+
+val of_string : string -> t
+(** Parses ["C04.588.33"]. @raise Invalid_argument on malformed input
+    (empty segments, non-alphanumeric characters). *)
+
+val to_string : t -> string
+(** [to_string root] is [""]. *)
+
+val child : t -> int -> t
+(** [child t i] extends [t] with segment index [i] (0-based). Top-level
+    children of the root get letter segments ["A"], ["B"], ... ["Z"],
+    ["A1"], ...; deeper segments are zero-padded 3-digit numbers following
+    MeSH convention. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val depth : t -> int
+(** Number of segments; the root has depth 0. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a b] iff [a] is a strict prefix of [b]. *)
+
+val compare : t -> t -> int
+(** Lexicographic over segments; ancestors sort before descendants. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

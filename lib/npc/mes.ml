@@ -1,0 +1,59 @@
+type instance = { n_vertices : int; edges : (int * int * int) list }
+
+let make ~n_vertices ~edges =
+  if n_vertices < 0 then invalid_arg "Mes.make: negative vertex count";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n_vertices || v < 0 || v >= n_vertices then
+        invalid_arg (Printf.sprintf "Mes.make: edge (%d,%d) out of range" u v);
+      if u = v then invalid_arg (Printf.sprintf "Mes.make: self-loop at %d" u);
+      if w < 1 then invalid_arg (Printf.sprintf "Mes.make: edge (%d,%d) has weight %d" u v w);
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Mes.make: duplicate edge (%d,%d)" u v);
+      Hashtbl.add seen key ())
+    edges;
+  { n_vertices; edges }
+
+let subset_weight t subset =
+  let chosen = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace chosen v ()) subset;
+  List.fold_left
+    (fun acc (u, v, w) -> if Hashtbl.mem chosen u && Hashtbl.mem chosen v then acc + w else acc)
+    0 t.edges
+
+let rec k_subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    let with_lo = List.map (fun rest -> lo :: rest) (k_subsets (k - 1) (lo + 1) n) in
+    with_lo @ k_subsets k (lo + 1) n
+
+let solve t ~k =
+  if k < 0 || k > t.n_vertices then invalid_arg "Mes.solve: k out of range";
+  let best = ref ([], -1) in
+  List.iter
+    (fun subset ->
+      let w = subset_weight t subset in
+      if w > snd !best then best := (subset, w))
+    (k_subsets k 0 t.n_vertices);
+  (match !best with
+  | _, -1 -> best := ([], 0)  (* k = 0 on an empty choice space *)
+  | _ -> ());
+  !best
+
+let decision t ~k ~weight =
+  let _, w = solve t ~k in
+  w >= weight
+
+let random rng ~n_vertices ~edge_prob ~max_weight =
+  let open Bionav_util in
+  let edges = ref [] in
+  for u = 0 to n_vertices - 1 do
+    for v = u + 1 to n_vertices - 1 do
+      if Rng.bernoulli rng edge_prob then
+        edges := (u, v, Rng.int_in rng 1 (max 1 max_weight)) :: !edges
+    done
+  done;
+  make ~n_vertices ~edges:!edges

@@ -1,0 +1,29 @@
+(** MAXIMUM EDGE SUBGRAPH (a.k.a. densest-k-subgraph, decision form): the
+    known NP-complete problem the paper reduces to TED in Theorem 1.
+
+    Given an edge-weighted graph and an integer [k], choose [k] vertices
+    maximizing the total weight of edges with both endpoints chosen. *)
+
+type instance = {
+  n_vertices : int;
+  edges : (int * int * int) list;  (** (u, v, weight), u ≠ v, weight ≥ 1. *)
+}
+
+val make : n_vertices:int -> edges:(int * int * int) list -> instance
+(** Validates vertex ranges, rejects self-loops, non-positive weights and
+    duplicate (unordered) vertex pairs. @raise Invalid_argument. *)
+
+val subset_weight : instance -> int list -> int
+(** Total weight of edges internal to the vertex subset. *)
+
+val solve : instance -> k:int -> int list * int
+(** Exhaustive optimum: a best [k]-subset (ascending) and its weight.
+    Exponential — intended for the ≤ ~16-vertex instances of the reduction
+    check. Requires [0 <= k <= n_vertices]. *)
+
+val decision : instance -> k:int -> weight:int -> bool
+(** Is there a [k]-subset of weight ≥ [weight]? *)
+
+val random :
+  Bionav_util.Rng.t -> n_vertices:int -> edge_prob:float -> max_weight:int -> instance
+(** Erdős–Rényi-style random instance for property tests. *)

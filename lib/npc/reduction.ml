@@ -1,0 +1,32 @@
+let reduce (mes : Mes.instance) ~k =
+  let n = mes.Mes.n_vertices in
+  if n < 1 then invalid_arg "Reduction.reduce: empty graph";
+  if k < 0 || k >= n then invalid_arg "Reduction.reduce: k must satisfy 0 <= k < n";
+  let multisets = Array.make n [] in
+  let next_element = ref 0 in
+  List.iter
+    (fun (u, v, w) ->
+      (* w fresh shared elements per unit of edge weight. *)
+      for _ = 1 to w do
+        let e = !next_element in
+        incr next_element;
+        multisets.(u) <- e :: multisets.(u);
+        multisets.(v) <- e :: multisets.(v)
+      done)
+    mes.Mes.edges;
+  (Ted.star multisets, n - k + 1)
+
+let mes_of_ted_cut (mes : Mes.instance) ted cut =
+  let n = mes.Mes.n_vertices in
+  if Ted.size ted <> n + 1 then invalid_arg "Reduction.mes_of_ted_cut: size mismatch";
+  (* Star child i+1 stands for vertex i; kept vertices are the uncut ones. *)
+  let cut_set = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace cut_set c ()) cut;
+  List.filter (fun v -> not (Hashtbl.mem cut_set (v + 1))) (List.init n Fun.id)
+
+let verify_equivalence mes ~k =
+  let ted, j = reduce mes ~k in
+  let _, mes_opt = Mes.solve mes ~k in
+  match Ted.best_duplicates ted ~components:j with
+  | None -> false
+  | Some ted_opt -> ted_opt = mes_opt

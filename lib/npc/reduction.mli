@@ -1,0 +1,29 @@
+(** The Theorem 1 construction: MAXIMUM EDGE SUBGRAPH ≤p TED.
+
+    For a weighted graph [G = (V, E)] the reduction builds a star-shaped
+    navigation tree with an empty root and one child per vertex. For each
+    edge [(u, v)] of weight [w], [w] fresh universe elements are created and
+    placed in both [u]'s and [v]'s multisets, so keeping [u] and [v] in the
+    same component manufactures exactly [w] duplicates. Choosing [k]
+    vertices in MES corresponds to cutting the other [|V| - k] star edges —
+    an EdgeCut with [|V| - k + 1] components whose within-component
+    duplicates equal the chosen subgraph's edge weight.
+
+    [verify_equivalence] executes both exhaustive solvers and checks the
+    correspondence — a machine-checked witness (on small instances) that
+    the construction preserves optima in both directions. *)
+
+val reduce : Mes.instance -> k:int -> Ted.instance * int
+(** [(ted, j)]: the TED instance and the component count [j = n - k + 1]
+    corresponding to MES parameter [k]. Requires [0 <= k <= n] and [n ≥ 1];
+    [k = n] maps to [j = 1], which TED cannot express (a cut needs ≥ 2
+    components), so [k] must also satisfy [k < n].
+    @raise Invalid_argument otherwise. *)
+
+val mes_of_ted_cut : Mes.instance -> Ted.instance -> int list -> int list
+(** Translate a TED cut (cut children of the star) back to the MES vertex
+    choice: the vertices whose star children were {e not} cut. *)
+
+val verify_equivalence : Mes.instance -> k:int -> bool
+(** Exhaustively checks [optimal MES weight = optimal TED duplicates] for
+    the reduced instance. Exponential in [n]; keep [n ≤ ~12]. *)

@@ -1,0 +1,104 @@
+type instance = { parent : int array; elements : int list array }
+
+let make ~parent ~elements =
+  let n = Array.length parent in
+  if n = 0 then invalid_arg "Ted.make: empty tree";
+  if Array.length elements <> n then invalid_arg "Ted.make: elements length mismatch";
+  if parent.(0) <> -1 then invalid_arg "Ted.make: node 0 must be the root";
+  for i = 1 to n - 1 do
+    if not (parent.(i) >= 0 && parent.(i) < i) then
+      invalid_arg (Printf.sprintf "Ted.make: node %d has parent %d" i parent.(i))
+  done;
+  { parent = Array.copy parent; elements = Array.copy elements }
+
+let star multisets =
+  let n = Array.length multisets in
+  let parent = Array.make (n + 1) 0 in
+  parent.(0) <- -1;
+  let elements = Array.make (n + 1) [] in
+  Array.iteri (fun i ms -> elements.(i + 1) <- ms) multisets;
+  make ~parent ~elements
+
+let size t = Array.length t.parent
+
+let children t v =
+  let acc = ref [] in
+  for i = Array.length t.parent - 1 downto 1 do
+    if t.parent.(i) = v then acc := i :: !acc
+  done;
+  !acc
+
+let subtree_nodes t v =
+  let rec go v = v :: List.concat_map go (children t v) in
+  go v
+
+let duplicates_of_group t group =
+  let counts = Hashtbl.create 16 in
+  let total = ref 0 in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun e ->
+          incr total;
+          Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+        t.elements.(node))
+    group;
+  !total - Hashtbl.length counts
+
+let duplicates_within t components =
+  List.fold_left (fun acc g -> acc + duplicates_of_group t g) 0 components
+
+let is_ancestor t a b =
+  let rec climb x = if x = -1 then false else if x = a then true else climb t.parent.(x) in
+  a <> b && climb t.parent.(b)
+
+let is_valid_cut t cut =
+  cut <> []
+  && List.for_all (fun v -> v > 0 && v < size t) cut
+  && List.for_all
+       (fun v -> List.for_all (fun v' -> v = v' || not (is_ancestor t v v')) cut)
+       cut
+
+let cut_components t cut =
+  assert (is_valid_cut t cut);
+  let owned = Array.make (size t) false in
+  let lowers =
+    List.map
+      (fun v ->
+        let nodes = subtree_nodes t v in
+        List.iter (fun x -> owned.(x) <- true) nodes;
+        nodes)
+      (List.sort Int.compare cut)
+  in
+  let upper =
+    List.filter (fun x -> not owned.(x)) (List.init (size t) Fun.id)
+  in
+  upper :: lowers
+
+(* All antichains of exactly [k] non-root nodes. *)
+let antichains_of_size t k =
+  let rec options v =
+    (* Antichains within the subtree of v, including the empty one. *)
+    let per_child = List.map options (children t v) in
+    let combos =
+      List.fold_left
+        (fun acc opts -> List.concat_map (fun a -> List.map (fun b -> a @ b) opts) acc)
+        [ [] ] per_child
+    in
+    if v = 0 then combos else [ v ] :: combos
+  in
+  List.filter (fun c -> List.length c = k) (options 0)
+
+let best_duplicates t ~components =
+  if components < 2 then invalid_arg "Ted.best_duplicates: need at least 2 components";
+  let cuts = antichains_of_size t (components - 1) in
+  List.fold_left
+    (fun best cut ->
+      let d = duplicates_within t (cut_components t cut) in
+      match best with Some b when b >= d -> best | _ -> Some d)
+    None cuts
+
+let decision t ~components ~duplicates =
+  match best_duplicates t ~components with
+  | None -> false
+  | Some d -> d >= duplicates

@@ -1,0 +1,45 @@
+(** The TOPDOWN-EXHAUSTIVE Decision problem (TED, paper §V).
+
+    A navigation tree whose nodes hold (multi)sets of result elements; the
+    question is whether some valid EdgeCut produces exactly [j] component
+    subtrees with at least [d] duplicate elements confined inside the
+    components (an element occurring [m] times within one component
+    contributes [m - 1] duplicates there). Maximizing within-component
+    duplicates is what makes the optimal EdgeCut hard: it is the
+    combinatorial core of Theorem 1.
+
+    The brute-force solver enumerates every valid EdgeCut of the given
+    size, so instances must stay small (≤ ~20 nodes for stars). *)
+
+type instance = {
+  parent : int array;  (** [parent.(0) = -1]; parents precede children. *)
+  elements : int list array;  (** Multiset of elements per node. *)
+}
+
+val make : parent:int array -> elements:int list array -> instance
+(** @raise Invalid_argument on malformed structure. *)
+
+val star : int list array -> instance
+(** The reduction's shape: an empty root whose children hold the given
+    multisets. *)
+
+val size : instance -> int
+
+val duplicates_within : instance -> int list list -> int
+(** [duplicates_within t components]: total duplicates confined within each
+    node-group. Groups must partition the nodes (unchecked). *)
+
+val cut_components : instance -> int list -> int list list
+(** Components induced by cutting the edges above the given cut children:
+    the upper component first, then one per cut child (subtree order). *)
+
+val is_valid_cut : instance -> int list -> bool
+(** Non-empty antichain of non-root nodes. *)
+
+val best_duplicates : instance -> components:int -> int option
+(** Maximum within-component duplicates over all valid EdgeCuts producing
+    exactly [components] subtrees (i.e. cuts of [components - 1] edges);
+    [None] if no such cut exists. Exhaustive. *)
+
+val decision : instance -> components:int -> duplicates:int -> bool
+(** The TED question proper. *)

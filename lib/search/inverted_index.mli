@@ -1,0 +1,24 @@
+(** Inverted index over citation text.
+
+    The PubMed-query stand-in: each citation's title and abstract are
+    tokenized and indexed; queries are conjunctions (PubMed's default AND
+    semantics) with an OR mode for completeness. Posting lists are
+    {!Bionav_util.Intset.t}, so query evaluation is linear merges. *)
+
+type t
+
+val build : Bionav_corpus.Medline.t -> t
+(** Index every citation's title and abstract. *)
+
+val n_terms : t -> int
+
+val postings : t -> string -> Bionav_util.Intset.t
+(** Citations containing the (normalized) term; empty for unknown terms. *)
+
+val query_and : t -> string -> Bionav_util.Intset.t
+(** All citations containing every token of the query string. An empty or
+    all-stop-word query returns the empty set. *)
+
+val query_or : t -> string -> Bionav_util.Intset.t
+
+val document_frequency : t -> string -> int

@@ -1,0 +1,70 @@
+open Bionav_util
+module Medline = Bionav_corpus.Medline
+module Citation = Bionav_corpus.Citation
+
+type t = {
+  index : Inverted_index.t;
+  n_docs : int;
+  (* Per-document term frequencies (title counted twice) and lengths. *)
+  tf : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  doc_len : int array;
+}
+
+let build medline =
+  let index = Inverted_index.build medline in
+  let n_docs = Medline.size medline in
+  let tf : (string, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create (1 lsl 14) in
+  let doc_len = Array.make n_docs 0 in
+  let bump doc tok w =
+    let per_doc =
+      match Hashtbl.find_opt tf tok with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 8 in
+          Hashtbl.add tf tok h;
+          h
+    in
+    Hashtbl.replace per_doc doc (w + Option.value ~default:0 (Hashtbl.find_opt per_doc doc))
+  in
+  Array.iter
+    (fun c ->
+      let id = Citation.id c in
+      let title_tokens = Tokenizer.tokens c.Citation.title in
+      let body_tokens = Tokenizer.tokens c.Citation.abstract in
+      List.iter (fun tok -> bump id tok 2) title_tokens;
+      List.iter (fun tok -> bump id tok 1) body_tokens;
+      doc_len.(id) <- (2 * List.length title_tokens) + List.length body_tokens)
+    (Medline.citations medline);
+  { index; n_docs; tf; doc_len }
+
+let index t = t.index
+
+let idf t tok =
+  let df = Inverted_index.document_frequency t.index tok in
+  if df = 0 then 0. else log (float_of_int t.n_docs /. float_of_int df)
+
+let term_frequency t tok doc =
+  match Hashtbl.find_opt t.tf tok with
+  | None -> 0
+  | Some per_doc -> Option.value ~default:0 (Hashtbl.find_opt per_doc doc)
+
+let score t ~query doc =
+  if doc < 0 || doc >= t.n_docs then invalid_arg "Ranked.score: document out of range";
+  let toks = Tokenizer.unique_tokens query in
+  let raw =
+    List.fold_left
+      (fun acc tok -> acc +. (float_of_int (term_frequency t tok doc) *. idf t tok))
+      0. toks
+  in
+  if raw = 0. then 0. else raw /. sqrt (float_of_int (max 1 t.doc_len.(doc)))
+
+let by_score_desc t ~query docs =
+  let scored = List.map (fun d -> (d, score t ~query d)) docs in
+  List.sort (fun (da, a) (db, b) -> if a = b then Int.compare da db else Float.compare b a) scored
+
+let search ?(limit = 20) t query =
+  let candidates = Inverted_index.query_and t.index query in
+  let ranked = by_score_desc t ~query (Intset.elements candidates) in
+  List.filteri (fun i _ -> i < limit) ranked
+
+let rank t ~query results = List.map fst (by_score_desc t ~query (Intset.elements results))

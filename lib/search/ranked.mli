@@ -1,0 +1,29 @@
+(** Ranked retrieval over the inverted index.
+
+    PubMed returns relevance-sorted results; BioNav only consumes the id
+    set, but the CLI and SHOWRESULTS displays are far more useful with a
+    ranking. Standard TF-IDF with cosine-style length normalization:
+
+    {v score(d, q) = Σ_{t ∈ q} tf(t, d) · idf(t) / sqrt(len d) v}
+
+    with [tf] the term count in the document's title+abstract (title
+    occurrences weighted double) and [idf(t) = ln(N / df(t))]. *)
+
+type t
+
+val build : Bionav_corpus.Medline.t -> t
+(** Extends the boolean index with term-frequency vectors. *)
+
+val index : t -> Inverted_index.t
+(** The underlying boolean index (shared). *)
+
+val score : t -> query:string -> int -> float
+(** Relevance of one citation; 0 when no query term occurs. *)
+
+val search : ?limit:int -> t -> string -> (int * float) list
+(** AND-semantics candidates ranked by descending score (ties broken by
+    ascending id); [limit] defaults to 20. *)
+
+val rank : t -> query:string -> Bionav_util.Intset.t -> int list
+(** Order an externally-produced result set (e.g. a component's citations)
+    by descending relevance. *)

@@ -1,0 +1,37 @@
+let stop_words =
+  [
+    "a"; "an"; "and"; "are"; "as"; "at"; "be"; "by"; "for"; "from"; "has";
+    "in"; "is"; "it"; "its"; "of"; "on"; "or"; "that"; "the"; "to"; "was";
+    "were"; "with"; "these"; "this"; "however";
+  ]
+
+let stop_table =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun w -> Hashtbl.replace tbl w ()) stop_words;
+  tbl
+
+let is_stop_word w = Hashtbl.mem stop_table w
+
+let is_token_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '+' | '-' -> true | _ -> false
+
+let tokens text =
+  let n = String.length text in
+  let acc = ref [] in
+  let start = ref (-1) in
+  let flush stop =
+    if !start >= 0 then begin
+      let tok = String.lowercase_ascii (String.sub text !start (stop - !start)) in
+      if String.length tok >= 2 && not (is_stop_word tok) then acc := tok :: !acc;
+      start := -1
+    end
+  in
+  for i = 0 to n - 1 do
+    if is_token_char text.[i] then begin
+      if !start < 0 then start := i
+    end
+    else flush i
+  done;
+  flush n;
+  List.rev !acc
+
+let unique_tokens text = List.sort_uniq String.compare (tokens text)

@@ -1,0 +1,14 @@
+(** Text tokenization for keyword retrieval.
+
+    Lowercased alphanumeric runs; tokens shorter than 2 characters and a
+    small stop-word list are dropped — the minimal normalization a PubMed
+    stand-in needs so that "Cell Proliferation" and "cell proliferation"
+    match. *)
+
+val tokens : string -> string list
+(** All tokens in order, duplicates preserved. *)
+
+val unique_tokens : string -> string list
+(** Distinct tokens, sorted. *)
+
+val is_stop_word : string -> bool

@@ -1,0 +1,100 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+module Concept = Bionav_mesh.Concept
+module Tree_number = Bionav_mesh.Tree_number
+
+let magic = "BIONAVDB1"
+
+(* --- primitive writers ---------------------------------------------- *)
+
+let write_i32 buf v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Codec: value exceeds 32 bits";
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let write_string buf s =
+  write_i32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* --- primitive readers ----------------------------------------------- *)
+
+type cursor = { data : string; mutable pos : int }
+
+let fail msg = invalid_arg ("Codec.decode: " ^ msg)
+
+let read_i32 cur =
+  if cur.pos + 4 > String.length cur.data then fail "truncated integer";
+  let v = Int32.to_int (String.get_int32_le cur.data cur.pos) in
+  cur.pos <- cur.pos + 4;
+  v
+
+let read_string cur =
+  let len = read_i32 cur in
+  if len < 0 || cur.pos + len > String.length cur.data then fail "truncated string";
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+(* --- database layout -------------------------------------------------- *)
+
+let encode db =
+  let h = Database.hierarchy db in
+  let assoc = Database.assoc db in
+  let n = Hierarchy.size h in
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf magic;
+  write_i32 buf n;
+  for i = 0 to n - 1 do
+    let c = Hierarchy.concept h i in
+    write_i32 buf (Hierarchy.parent h i);
+    write_string buf (Tree_number.to_string (Concept.tree_number c));
+    write_string buf (Concept.label c)
+  done;
+  write_i32 buf (Assoc_table.n_citations assoc);
+  for concept = 0 to n - 1 do
+    let citations = Assoc_table.citations_of_concept assoc concept in
+    write_i32 buf (Intset.cardinal citations);
+    Intset.iter (fun cit -> write_i32 buf cit) citations
+  done;
+  Buffer.contents buf
+
+let decode data =
+  if String.length data < String.length magic || String.sub data 0 (String.length magic) <> magic
+  then fail "bad magic";
+  let cur = { data; pos = String.length magic } in
+  let n = read_i32 cur in
+  if n <= 0 then fail "non-positive concept count";
+  let parent = Array.make n (-1) in
+  let concepts =
+    Array.init n (fun i ->
+        let p = read_i32 cur in
+        parent.(i) <- p;
+        let tn = Tree_number.of_string (read_string cur) in
+        let label = read_string cur in
+        Concept.make ~id:i ~label ~tree_number:tn)
+  in
+  let hierarchy = Hierarchy.build concepts ~parent in
+  let n_citations = read_i32 cur in
+  if n_citations < 0 then fail "negative citation count";
+  let postings =
+    Array.init n (fun _ ->
+        let k = read_i32 cur in
+        if k < 0 then fail "negative posting length";
+        let arr = Array.init k (fun _ -> read_i32 cur) in
+        Intset.of_array arr)
+  in
+  if cur.pos <> String.length data then fail "trailing bytes";
+  let assoc = Assoc_table.of_postings ~n_citations postings in
+  Database.make ~hierarchy ~assoc
+
+let save db path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode db))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

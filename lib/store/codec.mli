@@ -1,0 +1,16 @@
+(** Binary persistence for the BioNav database.
+
+    The real system keeps the crawled associations in Oracle because
+    rebuilding them takes ~20 days; our corpus is synthetic but still costly
+    to regenerate at full scale, so the database can be saved once and
+    reloaded by the CLI and benchmarks. The format is a versioned,
+    little-endian binary layout (magic ["BIONAVDB1"]) — self-contained and
+    independent of OCaml's [Marshal]. *)
+
+val encode : Database.t -> string
+val decode : string -> Database.t
+(** @raise Invalid_argument on a malformed or wrong-version payload. *)
+
+val save : Database.t -> string -> unit
+val load : string -> Database.t
+(** @raise Sys_error on I/O failure, [Invalid_argument] on corruption. *)

@@ -1,0 +1,49 @@
+open Bionav_util
+module Hierarchy = Bionav_mesh.Hierarchy
+module Medline = Bionav_corpus.Medline
+
+type t = {
+  hierarchy : Hierarchy.t;
+  assoc : Assoc_table.t;
+  total_counts : int array;
+}
+
+let make ~hierarchy ~assoc =
+  if Assoc_table.n_concepts assoc <> Hierarchy.size hierarchy then
+    invalid_arg
+      (Printf.sprintf "Database.make: %d concepts in table, %d in hierarchy"
+         (Assoc_table.n_concepts assoc) (Hierarchy.size hierarchy));
+  let total_counts =
+    Array.init (Hierarchy.size hierarchy) (fun c ->
+        Intset.cardinal (Assoc_table.citations_of_concept assoc c))
+  in
+  { hierarchy; assoc; total_counts }
+
+let of_medline medline =
+  let hierarchy = Medline.hierarchy medline in
+  let postings = Array.init (Hierarchy.size hierarchy) (Medline.postings medline) in
+  let assoc = Assoc_table.of_postings ~n_citations:(Medline.size medline) postings in
+  make ~hierarchy ~assoc
+
+let hierarchy t = t.hierarchy
+let assoc t = t.assoc
+let total_count t c = t.total_counts.(c)
+let n_citations t = Assoc_table.n_citations t.assoc
+
+let concepts_of_result t result =
+  let buckets = Hashtbl.create 256 in
+  Intset.iter
+    (fun cit ->
+      Intset.iter
+        (fun concept ->
+          let prev = match Hashtbl.find_opt buckets concept with Some l -> l | None -> [] in
+          Hashtbl.replace buckets concept (cit :: prev))
+        (Assoc_table.concepts_of_citation t.assoc cit))
+    result;
+  Hashtbl.fold
+    (fun concept cits acc ->
+      (* Citations were visited in increasing id order, so each list is
+         sorted descending. *)
+      (concept, Intset.of_sorted_array_unchecked (Array.of_list (List.rev cits))) :: acc)
+    buckets []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,35 @@
+(** The BioNav database (paper Fig. 7, off-line part): the MeSH hierarchy,
+    the concept-citation associations, and the corpus-wide per-concept
+    citation counts [LT(n)] recorded during the crawl ("when executing the
+    queries using the concepts as keywords, we also store the number of
+    citations in the query result, since it is needed for the computation
+    of [P_explore]"). *)
+
+type t
+
+val of_medline : Bionav_corpus.Medline.t -> t
+(** The off-line pre-processing step: extract associations and counts from
+    the corpus. *)
+
+val make :
+  hierarchy:Bionav_mesh.Hierarchy.t ->
+  assoc:Assoc_table.t ->
+  t
+(** Assembles a database directly (used by the codec). Total counts are
+    derived from the association table.
+    @raise Invalid_argument if the table's concept count differs from the
+    hierarchy size. *)
+
+val hierarchy : t -> Bionav_mesh.Hierarchy.t
+val assoc : t -> Assoc_table.t
+
+val total_count : t -> int -> int
+(** [total_count t concept] = corpus-wide citation count [LT(concept)]. *)
+
+val n_citations : t -> int
+
+val concepts_of_result : t -> Bionav_util.Intset.t -> (int * Bionav_util.Intset.t) list
+(** [concepts_of_result t result] is the on-line navigation-tree input: for
+    each concept associated with at least one citation of [result], the
+    subset of [result] attached to it. Implemented through the denormalized
+    orientation, one lookup per result citation, as in the paper. *)

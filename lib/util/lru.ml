@@ -1,0 +1,62 @@
+type ('k, 'v) entry = { value : 'v; mutable last_use : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      e.last_use <- tick t;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | Some _ | None -> Some (k, e.last_use))
+      t.table None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let add t k v =
+  if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity then evict_lru t;
+  Hashtbl.replace t.table k { value = v; last_use = tick t }
+
+let remove t k = Hashtbl.remove t.table k
+
+let clear t = Hashtbl.reset t.table
+
+let hits t = t.hits
+let misses t = t.misses
+
+let find_or_add t k f =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      add t k v;
+      v

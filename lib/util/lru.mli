@@ -1,0 +1,35 @@
+(** A small bounded least-recently-used cache.
+
+    The on-line system builds one navigation tree per user query; repeated
+    queries (the common case in exploratory search) should not pay the
+    construction again, so the navigation subsystem keeps a bounded cache.
+    Capacities are small (tens of entries), so eviction scans are O(n) by
+    design — no intrusive lists to maintain. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Requires [capacity >= 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not refresh recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces; evicts the least recently used entry when full. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** Counted by {!find} only. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k f] returns the cached value or computes, caches and
+    returns [f ()]. *)

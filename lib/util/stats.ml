@@ -1,0 +1,86 @@
+let sum xs = Array.fold_left ( +. ) 0. xs
+
+let sum_int xs = Array.fold_left ( + ) 0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let ys = sorted_copy xs in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let median xs = percentile xs 50.
+
+let minimum xs = Array.fold_left min infinity xs
+let maximum xs = Array.fold_left max neg_infinity xs
+
+let entropy weights =
+  let total = sum weights in
+  if total <= 0. then 0.
+  else
+    Array.fold_left
+      (fun acc w ->
+        if w <= 0. then acc
+        else
+          let p = w /. total in
+          acc -. (p *. log p))
+      0. weights
+
+let normalized_entropy weights =
+  let positive = Array.fold_left (fun n w -> if w > 0. then n + 1 else n) 0 weights in
+  if positive < 2 then 0.
+  else
+    let h = entropy weights in
+    let hmax = log (float_of_int positive) in
+    min 1.0 (h /. hmax)
+
+let harmonic n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  !acc
+
+let histogram ~bins xs =
+  assert (bins > 0);
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let lo = minimum xs and hi = maximum xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    Array.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+  end

@@ -1,0 +1,40 @@
+(** Small numerical-statistics toolkit used by the cost model, the corpus
+    calibration tests and the benchmark reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0. for arrays of length < 2. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** 0. for an empty array. Does not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], nearest-rank with linear
+    interpolation. 0. for an empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val sum : float array -> float
+val sum_int : int array -> int
+
+val entropy : float array -> float
+(** Shannon entropy (natural log) of a non-negative weight vector; the vector
+    is normalized internally. Zero weights contribute nothing. 0. if the
+    total weight is 0. *)
+
+val normalized_entropy : float array -> float
+(** [entropy w / log n] where [n] is the number of strictly positive weights;
+    by convention 0. when fewer than two weights are positive. Values lie in
+    [0,1]. *)
+
+val harmonic : int -> float
+(** [harmonic n] is the n-th harmonic number. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] triples covering
+    [min xs, max xs]. Empty array for empty input. Requires [bins > 0]. *)

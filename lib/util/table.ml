@@ -1,0 +1,79 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?header aligns rows =
+  let all_rows = match header with None -> rows | Some h -> h :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all_rows in
+  if ncols = 0 then ""
+  else begin
+    let widths = Array.make ncols 0 in
+    List.iter
+      (fun row ->
+        List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+      all_rows;
+    let align_of i = match List.nth_opt aligns i with Some a -> a | None -> Left in
+    let render_row row =
+      let cells =
+        List.mapi (fun i cell -> pad (align_of i) widths.(i) cell) row
+      in
+      String.concat "  " cells
+    in
+    let buf = Buffer.create 256 in
+    (match header with
+    | Some h ->
+        Buffer.add_string buf (render_row h);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+        Buffer.add_char buf '\n'
+    | None -> ());
+    List.iter
+      (fun row ->
+        Buffer.add_string buf (render_row row);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+  end
+
+let bar ~width ~scale v =
+  let n = if scale <= 0. then 0 else int_of_float (Float.round (v /. scale *. float_of_int width)) in
+  String.make (max 0 n) '#'
+
+let bar_chart ?(width = 50) ~title series =
+  let label_w = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 series in
+  let scale = List.fold_left (fun m (_, v) -> max m v) 0. series in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %s %.6g\n" (pad Left label_w label) (bar ~width ~scale v) v))
+    series;
+  Buffer.contents buf
+
+let grouped_bar_chart ?(width = 50) ~title ~series_names series =
+  let name_a, name_b = series_names in
+  let label_w = List.fold_left (fun m (l, _, _) -> max m (String.length l)) 0 series in
+  let tag_w = max (String.length name_a) (String.length name_b) in
+  let scale = List.fold_left (fun m (_, a, b) -> max m (max a b)) 0. series in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %s %s %.6g\n" (pad Left label_w label)
+           (pad Left tag_w name_a) (bar ~width ~scale a) a);
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %s %s %.6g\n" (pad Left label_w "")
+           (pad Left tag_w name_b) (bar ~width ~scale b) b))
+    series;
+  Buffer.contents buf
+
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.sprintf "%s\n= %s =\n%s" line title line

@@ -1,0 +1,28 @@
+(** ASCII table rendering for benchmark and experiment reports.
+
+    The benchmark harness regenerates the paper's tables and figures as text;
+    this module provides consistent column alignment and simple horizontal
+    bar charts for the figure-shaped outputs. *)
+
+type align = Left | Right
+
+val render : ?header:string list -> align list -> string list list -> string
+(** [render ~header aligns rows] lays out rows in columns. The [aligns] list
+    gives per-column alignment; missing entries default to [Left]. *)
+
+val bar_chart :
+  ?width:int -> title:string -> (string * float) list -> string
+(** [bar_chart ~title series] renders a horizontal bar chart scaled to the
+    maximum value; [width] is the maximum bar width in characters
+    (default 50). *)
+
+val grouped_bar_chart :
+  ?width:int ->
+  title:string ->
+  series_names:string * string ->
+  (string * float * float) list ->
+  string
+(** Two bars per row (e.g. static vs BioNav), sharing one scale. *)
+
+val section : string -> string
+(** A prominent section header line. *)

@@ -1,0 +1,19 @@
+let now_ms () = Unix.gettimeofday () *. 1e3
+
+let time f =
+  let t0 = now_ms () in
+  let result = f () in
+  let t1 = now_ms () in
+  (result, t1 -. t0)
+
+let time_ms f =
+  let (), ms = time f in
+  ms
+
+let repeat_ms n f =
+  assert (n > 0);
+  let t0 = now_ms () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (now_ms () -. t0) /. float_of_int n

@@ -1,0 +1,13 @@
+(** Monotonic wall-clock timing for the execution-time experiments
+    (paper Figs. 10 and 11). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in milliseconds. *)
+
+val time_ms : (unit -> unit) -> float
+(** Elapsed milliseconds of a unit computation. *)
+
+val repeat_ms : int -> (unit -> unit) -> float
+(** [repeat_ms n f] runs [f] [n] times and returns the mean elapsed
+    milliseconds per run. Requires [n > 0]. *)

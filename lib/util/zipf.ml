@@ -1,0 +1,36 @@
+type t = { cdf : float array; exponent : float }
+
+let create ?(exponent = 1.0) n =
+  assert (n > 0);
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) exponent);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { cdf; exponent }
+
+let size t = Array.length t.cdf
+
+let exponent t = t.exponent
+
+let draw t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cdf value is >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let prob t r =
+  assert (r >= 0 && r < size t);
+  if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)
+
+let expected_counts t total =
+  Array.init (size t) (fun r -> float_of_int total *. prob t r)

@@ -1,0 +1,193 @@
+open Bionav_util
+open Bionav_core
+module Eutils = Bionav_search.Eutils
+module Database = Bionav_store.Database
+
+type session = { query : string; nav : Nav_tree.t; session : Navigation.t }
+
+type t = {
+  eutils : Eutils.t;
+  cache : Nav_cache.t;
+  suggestions : string list;
+  sessions : (string, session) Hashtbl.t;
+  mutable next_session : int;
+}
+
+let create ?(suggestions = []) ~database ~eutils () =
+  let build query = Nav_tree.of_database database (Eutils.esearch eutils query) in
+  {
+    eutils;
+    cache = Nav_cache.create ~build ();
+    suggestions;
+    sessions = Hashtbl.create 16;
+    next_session = 0;
+  }
+
+let session_count t = Hashtbl.length t.sessions
+
+(* --- rendering -------------------------------------------------------- *)
+
+let home t =
+  let suggestions =
+    match t.suggestions with
+    | [] -> ""
+    | qs ->
+        Html.tag "p"
+          (Html.text "Try: "
+          ^ String.concat ", "
+              (List.map (fun q -> Html.link ~href:(Html.url "/search" [ ("q", q) ]) q) qs))
+  in
+  Http.ok
+    (Html.page ~title:"BioNav"
+       (Html.tag "h1" (Html.text "BioNav")
+       ^ Html.tag "p"
+           (Html.text
+              "Search the corpus, then navigate the results through cost-optimized \
+               expansions of the concept hierarchy.")
+       ^ "<form action=\"/search\" method=\"get\">\
+          <input name=\"q\" size=\"40\" placeholder=\"keyword query\">\
+          <select name=\"strategy\">\
+          <option value=\"bionav\">BioNav</option>\
+          <option value=\"static\">Static</option>\
+          <option value=\"paged\">Paged</option>\
+          </select>\
+          <button type=\"submit\">Search</button></form>"
+       ^ suggestions))
+
+let strategy_of_param = function
+  | Some "static" -> Some Navigation.Static
+  | Some "paged" -> Some (Navigation.Static_paged { page_size = 10 })
+  | Some "optimal" -> Some (Navigation.Optimal { params = Probability.default_params })
+  | Some "bionav" | None -> Some (Navigation.bionav ())
+  | Some _ -> None
+
+let render_tree s sid =
+  let active = Navigation.active s.session in
+  let nav = s.nav in
+  let rec render_node node =
+    let children =
+      List.filter
+        (fun v -> Active_tree.visible_parent active v = node)
+        (Active_tree.visible active)
+    in
+    let children = Relevance.rank_visible active children in
+    let expand_link =
+      if Active_tree.is_expandable active node then
+        " "
+        ^ Html.tag ~attrs:
+            [ ("class", "expand");
+              ("href", Html.url "/expand" [ ("sid", sid); ("node", string_of_int node) ]) ]
+            "a" "&gt;&gt;&gt;"
+      else ""
+    in
+    let show_link =
+      " "
+      ^ Html.link ~href:(Html.url "/show" [ ("sid", sid); ("node", string_of_int node) ]) "[show]"
+    in
+    Html.tag "li"
+      (Html.text (Nav_tree.label nav node)
+      ^ Html.tag ~attrs:[ ("class", "count") ] "span"
+          (Printf.sprintf " (%d)" (Active_tree.component_distinct active node))
+      ^ expand_link ^ show_link
+      ^
+      match children with
+      | [] -> ""
+      | _ -> Html.tag "ul" (String.concat "" (List.map render_node children)))
+  in
+  let stats = Navigation.stats s.session in
+  Html.tag ~attrs:[ ("class", "bar") ] "div"
+    (Html.text (Printf.sprintf "query: %s — " s.query)
+    ^ Html.text
+        (Printf.sprintf "%d results, cost so far %d (%d EXPANDs, %d concepts)"
+           (Nav_tree.distinct_results s.nav)
+           (Navigation.navigation_cost stats)
+           stats.Navigation.expands stats.Navigation.revealed)
+    ^ " " ^ Html.link ~href:(Html.url "/back" [ ("sid", sid) ]) "[backtrack]"
+    ^ " " ^ Html.link ~href:"/" "[new search]")
+  ^ Html.tag "ul" (render_node (Nav_tree.root s.nav))
+
+let session_page s sid =
+  Http.ok (Html.page ~title:("BioNav: " ^ s.query) (render_tree s sid))
+
+(* --- parameter helpers ------------------------------------------------- *)
+
+let param query name = List.assoc_opt name query
+
+let with_session t query f =
+  match param query "sid" with
+  | None -> Http.bad_request "missing sid"
+  | Some sid -> (
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> Http.not_found "no such session"
+      | Some s -> f sid s)
+
+let with_visible_node s query f =
+  match Option.bind (param query "node") int_of_string_opt with
+  | None -> Http.bad_request "missing or malformed node"
+  | Some node ->
+      if node < 0 || node >= Nav_tree.size s.nav then Http.bad_request "node out of range"
+      else if not (Active_tree.is_visible (Navigation.active s.session) node) then
+        Http.bad_request "node not visible"
+      else f node
+
+(* --- routes ------------------------------------------------------------ *)
+
+let search t query =
+  match param query "q" with
+  | None | Some "" -> Http.bad_request "missing query"
+  | Some q -> (
+      match strategy_of_param (param query "strategy") with
+      | None -> Http.bad_request "unknown strategy"
+      | Some strategy ->
+          let nav = Nav_cache.get t.cache q in
+          if Nav_tree.distinct_results nav = 0 then
+            Http.ok
+              (Html.page ~title:"BioNav"
+                 (Html.tag "p" (Html.text (Printf.sprintf "No results for %S." q))
+                 ^ Html.link ~href:"/" "back"))
+          else begin
+            let sid = Printf.sprintf "s%d" t.next_session in
+            t.next_session <- t.next_session + 1;
+            let s = { query = q; nav; session = Navigation.start strategy nav } in
+            Hashtbl.replace t.sessions sid s;
+            session_page s sid
+          end)
+
+let show t query =
+  with_session t query (fun sid s ->
+      with_visible_node s query (fun node ->
+          let citations = Navigation.show_results s.session node in
+          let items =
+            Intset.fold
+              (fun id acc ->
+                Html.tag ~attrs:[ ("class", "citation") ] "div"
+                  (Html.text (List.hd (Eutils.esummary t.eutils [ id ])))
+                :: acc)
+              citations []
+          in
+          Http.ok
+            (Html.page
+               ~title:(Printf.sprintf "BioNav: %s" (Nav_tree.label s.nav node))
+               (Html.tag "h2"
+                  (Html.text
+                     (Printf.sprintf "%s — %d citations" (Nav_tree.label s.nav node)
+                        (Intset.cardinal citations)))
+               ^ Html.link ~href:(Html.url "/session" [ ("sid", sid) ]) "[back to tree]"
+               ^ String.concat "" (List.rev items)))))
+
+let handle t ~path ~query =
+  match path with
+  | "/" -> home t
+  | "/search" -> search t query
+  | "/session" -> with_session t query (fun sid s -> session_page s sid)
+  | "/expand" ->
+      with_session t query (fun sid s ->
+          with_visible_node s query (fun node ->
+              ignore (Navigation.expand s.session node);
+              session_page s sid))
+  | "/back" ->
+      with_session t query (fun sid s ->
+          ignore (Navigation.backtrack s.session);
+          session_page s sid)
+  | "/show" -> show t query
+  | _ -> Http.not_found "no such page"

@@ -1,0 +1,31 @@
+(** The BioNav web application (paper Fig. 7: "BioNav Web Interface").
+
+    A handler over the on-line subsystem: keyword search creates a
+    navigation session; EXPAND / SHOWRESULTS / BACKTRACK are links. The
+    handler is pure request-in/response-out (no sockets), so the whole
+    interface is unit-testable; {!Http.serve} provides the transport.
+
+    Routes (all GET):
+    - [/] — search form (with optional suggested queries);
+    - [/search?q=...&strategy=bionav|static|paged|optimal] — run the query,
+      create a session, show its tree;
+    - [/session?sid=...] — render a session's active tree;
+    - [/expand?sid=...&node=...] — EXPAND a visible node;
+    - [/show?sid=...&node=...] — SHOWRESULTS on a visible node;
+    - [/back?sid=...] — BACKTRACK. *)
+
+type t
+
+val create :
+  ?suggestions:string list ->
+  database:Bionav_store.Database.t ->
+  eutils:Bionav_search.Eutils.t ->
+  unit ->
+  t
+(** Navigation trees are cached per query ({!Bionav_core.Nav_cache}). *)
+
+val handle : t -> Http.handler
+(** 404 on unknown routes, 400 on missing/invalid parameters. *)
+
+val session_count : t -> int
+(** Live sessions (for tests and monitoring). *)

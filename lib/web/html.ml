@@ -1,0 +1,62 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let tag ?(attrs = []) name body =
+  let attr_str =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
+  in
+  Printf.sprintf "<%s%s>%s</%s>" name attr_str body name
+
+let text = escape
+
+let link ~href label = tag ~attrs:[ ("href", href) ] "a" (escape label)
+
+let stylesheet =
+  "body{font-family:sans-serif;margin:2em;max-width:60em}\
+   ul{list-style:none;padding-left:1.2em}\
+   .count{color:#666;font-size:0.9em}\
+   .expand{color:#a00;text-decoration:none;font-weight:bold}\
+   .citation{margin:0.3em 0;color:#222}\
+   .bar{background:#eee;padding:0.5em;margin-bottom:1em}"
+
+let page ~title body =
+  Printf.sprintf
+    "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>%s</title><style>%s</style></head><body>%s</body></html>"
+    (escape title) stylesheet body
+
+let hex_digit n = "0123456789ABCDEF".[n]
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' -> Buffer.add_char buf c
+      | ' ' -> Buffer.add_char buf '+'
+      | c ->
+          let code = Char.code c in
+          Buffer.add_char buf '%';
+          Buffer.add_char buf (hex_digit (code lsr 4));
+          Buffer.add_char buf (hex_digit (code land 0xf)))
+    s;
+  Buffer.contents buf
+
+let url path params =
+  match params with
+  | [] -> path
+  | _ ->
+      path ^ "?"
+      ^ String.concat "&"
+          (List.map (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v) params)

@@ -1,0 +1,22 @@
+(** Minimal HTML generation for the web interface: escaping and the handful
+    of combinators the pages need. No templating dependency — the paper's
+    interface is a tree of links and counts. *)
+
+val escape : string -> string
+(** Escape ampersand, angle brackets and both quote characters. *)
+
+val tag : ?attrs:(string * string) list -> string -> string -> string
+(** [tag ~attrs name body]: attribute values are escaped; [body] is trusted
+    (already-rendered) HTML. *)
+
+val text : string -> string
+(** Escaped text node. *)
+
+val link : href:string -> string -> string
+(** Anchor with escaped label. *)
+
+val page : title:string -> string -> string
+(** Full document with the BioNav stylesheet; [body] is trusted HTML. *)
+
+val url : string -> (string * string) list -> string
+(** [url path params] percent-encodes parameter values. *)

@@ -1,0 +1,121 @@
+type response = { status : int; content_type : string; body : string }
+
+let ok ?(content_type = "text/html; charset=utf-8") body = { status = 200; content_type; body }
+
+let not_found body = { status = 404; content_type = "text/plain; charset=utf-8"; body }
+
+let bad_request body = { status = 400; content_type = "text/plain; charset=utf-8"; body }
+
+type handler = path:string -> query:(string * string) list -> response
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex_value s.[i + 1], hex_value s.[i + 2]) with
+          | Some hi, Some lo ->
+              Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (url_decode target, [])
+  | Some k ->
+      let path = String.sub target 0 k in
+      let query_str = String.sub target (k + 1) (String.length target - k - 1) in
+      let params =
+        String.split_on_char '&' query_str
+        |> List.filter (fun p -> p <> "")
+        |> List.map (fun pair ->
+               match String.index_opt pair '=' with
+               | None -> (url_decode pair, "")
+               | Some e ->
+                   ( url_decode (String.sub pair 0 e),
+                     url_decode (String.sub pair (e + 1) (String.length pair - e - 1)) ))
+      in
+      (url_decode path, params)
+
+let parse_request_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ meth; target; _version ] -> Some (meth, target)
+  | _ -> None
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let render_response r =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    r.status (status_text r.status) r.content_type (String.length r.body) r.body
+
+let read_request_line ic =
+  (* The request line is all we need; headers are read and dropped. *)
+  let line = input_line ic in
+  let rec drain () =
+    match input_line ic with
+    | "" | "\r" -> ()
+    | _ -> drain ()
+    | exception End_of_file -> ()
+  in
+  drain ();
+  line
+
+let handle_connection handler client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  let response =
+    match parse_request_line (read_request_line ic) with
+    | None -> bad_request "malformed request line"
+    | Some (meth, _) when meth <> "GET" ->
+        { status = 405; content_type = "text/plain"; body = "only GET is supported" }
+    | Some (_, target) -> (
+        let path, query = parse_target target in
+        try handler ~path ~query
+        with e ->
+          Logs.err (fun m -> m "handler error on %s: %s" path (Printexc.to_string e));
+          { status = 500; content_type = "text/plain"; body = "internal error" })
+    | exception End_of_file -> bad_request "empty request"
+  in
+  output_string oc (render_response response);
+  flush oc
+
+let serve ?(host = "127.0.0.1") ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 16;
+  Logs.app (fun m -> m "bionav listening on http://%s:%d" host port);
+  while true do
+    let client, _addr = Unix.accept sock in
+    (try handle_connection handler client
+     with e -> Logs.err (fun m -> m "connection error: %s" (Printexc.to_string e)));
+    try Unix.close client with Unix.Unix_error _ -> ()
+  done

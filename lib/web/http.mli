@@ -1,0 +1,34 @@
+(** A minimal HTTP/1.1 server — just enough to serve the navigation
+    interface locally, with the parsing layer exposed for tests.
+
+    Only GET is supported; connections are handled sequentially (the
+    navigation workload is single-user interactive). No external
+    dependencies beyond [Unix]. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val ok : ?content_type:string -> string -> response
+(** 200 with text/html by default. *)
+
+val not_found : string -> response
+val bad_request : string -> response
+
+type handler = path:string -> query:(string * string) list -> response
+
+val url_decode : string -> string
+(** Percent- and [+]-decoding; malformed escapes pass through verbatim. *)
+
+val parse_target : string -> string * (string * string) list
+(** Split a request target into path and decoded query parameters:
+    ["/a?x=1&y=b%20c"] -> [("/a", [("x","1"); ("y","b c")])]. *)
+
+val parse_request_line : string -> (string * string) option
+(** ["GET /x HTTP/1.1"] -> [Some ("GET", "/x")]; [None] if malformed. *)
+
+val render_response : response -> string
+(** Full HTTP/1.1 response bytes. *)
+
+val serve : ?host:string -> port:int -> handler -> unit
+(** Accept loop; never returns normally. Exceptions from the handler
+    produce a 500 and are logged; socket errors on one connection do not
+    kill the server. @raise Unix.Unix_error if binding fails. *)

@@ -1,0 +1,37 @@
+module Simulate = Bionav_core.Simulate
+module Navigation = Bionav_core.Navigation
+module Probability = Bionav_core.Probability
+
+type run = { query : Queries.query; static : Simulate.outcome; bionav : Simulate.outcome }
+
+let improvement r =
+  let s = float_of_int r.static.Simulate.navigation_cost in
+  let b = float_of_int r.bionav.Simulate.navigation_cost in
+  if s <= 0. then 0. else 1. -. (b /. s)
+
+let mean_expand_ms (o : Simulate.outcome) =
+  match o.Simulate.history with
+  | [] -> 0.
+  | h ->
+      List.fold_left (fun acc (r : Navigation.expand_record) -> acc +. r.elapsed_ms) 0. h
+      /. float_of_int (List.length h)
+
+let run_strategy (q : Queries.query) strategy =
+  Simulate.to_target ~strategy q.Queries.nav ~target:q.Queries.target_node
+
+let run_query ?k ?params (q : Queries.query) =
+  let target = q.Queries.target_node in
+  let static = Simulate.to_target ~strategy:Navigation.Static q.Queries.nav ~target in
+  let bionav =
+    Simulate.to_target ~strategy:(Navigation.bionav ?k ?params ()) q.Queries.nav ~target
+  in
+  { query = q; static; bionav }
+
+let run_all ?k ?params (w : Queries.t) = List.map (run_query ?k ?params) w.Queries.queries
+
+let average_improvement runs =
+  match runs with
+  | [] -> 0.
+  | _ ->
+      List.fold_left (fun acc r -> acc +. improvement r) 0. runs
+      /. float_of_int (List.length runs)

@@ -1,0 +1,27 @@
+(** The §VIII-A/B experiment: oracle navigation to each query's target under
+    BioNav (Heuristic-ReducedOpt) and the static baseline, with timing. *)
+
+type run = {
+  query : Queries.query;
+  static : Bionav_core.Simulate.outcome;
+  bionav : Bionav_core.Simulate.outcome;
+}
+
+val improvement : run -> float
+(** [1 - bionav_cost / static_cost], in [0, 1] when BioNav wins. *)
+
+val mean_expand_ms : Bionav_core.Simulate.outcome -> float
+(** Average per-EXPAND cut-computation time (0 for a run with no expands). *)
+
+val run_strategy :
+  Queries.query -> Bionav_core.Navigation.strategy -> Bionav_core.Simulate.outcome
+(** One oracle navigation to the query's target under an arbitrary
+    strategy (used by the baseline comparisons). *)
+
+val run_query :
+  ?k:int -> ?params:Bionav_core.Probability.params -> Queries.query -> run
+
+val run_all :
+  ?k:int -> ?params:Bionav_core.Probability.params -> Queries.t -> run list
+
+val average_improvement : run list -> float

@@ -1,0 +1,274 @@
+open Bionav_util
+module H = Bionav_mesh.Hierarchy
+module S = Bionav_mesh.Synthetic
+module Cit = Bionav_corpus.Citation
+module TG = Bionav_corpus.Text_gen
+module A = Bionav_corpus.Annotator
+module G = Bionav_corpus.Generator
+module M = Bionav_corpus.Medline
+
+let hierarchy = lazy (S.generate ~params:S.small_params ~seed:21 ())
+
+let small_gen_params =
+  { G.small_params with G.n_citations = 400 }
+
+let medline = lazy (G.generate ~params:small_gen_params ~seed:22 (Lazy.force hierarchy))
+
+(* Case-insensitive: sentence capitalization may upcase an embedded label's
+   first letter. *)
+let contains ~sub s =
+  let s = String.lowercase_ascii s and sub = String.lowercase_ascii sub in
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* --- Text generation --- *)
+
+let test_title_embeds_topics () =
+  let tg = TG.create (Rng.create 1) in
+  let title = TG.title tg ~topic_labels:[ "Zyxglobulin" ] in
+  Alcotest.(check bool) "embedded" true (contains ~sub:"Zyxglobulin" title)
+
+let test_abstract_embeds_topics () =
+  let tg = TG.create (Rng.create 2) in
+  let ab = TG.abstract tg ~topic_labels:[ "Qwertase"; "Plumbase" ] in
+  Alcotest.(check bool) "first topic" true (contains ~sub:"Qwertase" ab);
+  Alcotest.(check bool) "second topic" true (contains ~sub:"Plumbase" ab)
+
+let test_authors_bounds () =
+  let tg = TG.create (Rng.create 3) in
+  for _ = 1 to 50 do
+    let n = List.length (TG.authors tg) in
+    Alcotest.(check bool) "1-6 authors" true (n >= 1 && n <= 6)
+  done
+
+let test_year_bounds () =
+  let tg = TG.create (Rng.create 4) in
+  for _ = 1 to 200 do
+    let y = TG.year tg in
+    Alcotest.(check bool) "1975-2008" true (y >= 1975 && y <= 2008)
+  done
+
+(* --- Annotator --- *)
+
+let test_annotation_contains_topics_and_ancestors () =
+  let h = Lazy.force hierarchy in
+  let ann = A.create ~params:A.light_params h (Rng.create 5) in
+  let topic = H.size h - 1 in
+  let set = A.annotate ann ~major_topics:[ topic ] in
+  Alcotest.(check bool) "topic present" true (Intset.mem topic set);
+  List.iter
+    (fun a ->
+      if a <> H.root h then
+        Alcotest.(check bool) (Printf.sprintf "ancestor %d present" a) true (Intset.mem a set))
+    (H.ancestors h topic)
+
+let test_annotation_excludes_root () =
+  let h = Lazy.force hierarchy in
+  let ann = A.create ~params:A.light_params h (Rng.create 6) in
+  for topic = 1 to 20 do
+    let set = A.annotate ann ~major_topics:[ topic ] in
+    Alcotest.(check bool) "no root" false (Intset.mem (H.root h) set)
+  done
+
+let test_annotation_closed_under_ancestors () =
+  let h = Lazy.force hierarchy in
+  let ann = A.create ~params:A.light_params h (Rng.create 7) in
+  let set = A.annotate ann ~major_topics:[ H.size h / 2; H.size h - 3 ] in
+  Intset.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          if a <> H.root h then
+            Alcotest.(check bool) "ancestor closure" true (Intset.mem a set))
+        (H.ancestors h c))
+    set
+
+let test_background_draw_range () =
+  let h = Lazy.force hierarchy in
+  let ann = A.create ~params:A.light_params h (Rng.create 8) in
+  for _ = 1 to 500 do
+    let c = A.draw_background ann in
+    Alcotest.(check bool) "non-root concept" true (c > 0 && c < H.size h)
+  done
+
+let test_background_depth_bias () =
+  let h = Lazy.force hierarchy in
+  let ann = A.create ~params:A.light_params h (Rng.create 9) in
+  let shallow = ref 0 and total = 2000 in
+  for _ = 1 to total do
+    if H.depth h (A.draw_background ann) <= 2 then incr shallow
+  done;
+  (* decay 0.6 concentrates well over half the mass at depths 1-2. *)
+  Alcotest.(check bool) "shallow-biased" true (float_of_int !shallow /. float_of_int total > 0.4)
+
+(* --- Generator / Medline --- *)
+
+let test_corpus_size () =
+  let m = Lazy.force medline in
+  Alcotest.(check int) "citations" 400 (M.size m)
+
+let test_citation_ids_dense () =
+  let m = Lazy.force medline in
+  Array.iteri (fun i c -> Alcotest.(check int) "id = index" i (Cit.id c)) (M.citations m)
+
+let test_major_topics_in_concepts () =
+  let m = Lazy.force medline in
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "major topic annotated" true (Intset.mem t (Cit.concepts c)))
+        c.Cit.major_topics)
+    (M.citations m)
+
+let test_postings_consistency () =
+  let m = Lazy.force medline in
+  (* postings(concept) contains citation <-> citation's concepts contain concept *)
+  Array.iter
+    (fun c ->
+      Intset.iter
+        (fun concept ->
+          Alcotest.(check bool) "posting back-link" true
+            (Intset.mem (Cit.id c) (M.postings m concept)))
+        (Cit.concepts c))
+    (M.citations m);
+  let h = M.hierarchy m in
+  for concept = 0 to H.size h - 1 do
+    Intset.iter
+      (fun cit ->
+        Alcotest.(check bool) "posting forward-link" true
+          (Intset.mem concept (Cit.concepts (M.citation m cit))))
+      (M.postings m concept)
+  done
+
+let test_concept_count_matches_postings () =
+  let m = Lazy.force medline in
+  for concept = 0 to H.size (M.hierarchy m) - 1 do
+    Alcotest.(check int) "count" (Intset.cardinal (M.postings m concept))
+      (M.concept_count m concept)
+  done
+
+let test_mean_annotations_positive () =
+  let m = Lazy.force medline in
+  let mean = M.mean_annotations m in
+  Alcotest.(check bool) "in plausible band" true (mean > 5. && mean < 120.)
+
+let test_deterministic_generation () =
+  let h = Lazy.force hierarchy in
+  let a = G.generate ~params:small_gen_params ~seed:30 h in
+  let b = G.generate ~params:small_gen_params ~seed:30 h in
+  Alcotest.(check int) "sizes" (M.size a) (M.size b);
+  for i = 0 to M.size a - 1 do
+    let ca = M.citation a i and cb = M.citation b i in
+    if ca.Cit.title <> cb.Cit.title || not (Intset.equal (Cit.concepts ca) (Cit.concepts cb))
+    then Alcotest.fail "non-deterministic corpus"
+  done
+
+let test_seeded_group_counts () =
+  let h = Lazy.force hierarchy in
+  let cluster = [ H.size h - 1; H.size h - 2 ] in
+  let params =
+    {
+      small_gen_params with
+      G.seeded_groups =
+        [ { G.tag = Some "xyzzytag"; cluster; count = 40; topics_per_citation = (1, 2) } ];
+    }
+  in
+  let m = G.generate ~params ~seed:31 h in
+  let tagged =
+    Array.fold_left
+      (fun acc c -> if contains ~sub:"xyzzytag" c.Cit.title then acc + 1 else acc)
+      0 (M.citations m)
+  in
+  Alcotest.(check int) "tagged citations" 40 tagged
+
+let test_seeded_group_topics_from_cluster () =
+  let h = Lazy.force hierarchy in
+  let cluster = [ H.size h - 1; H.size h - 2; H.size h - 4 ] in
+  let params =
+    {
+      small_gen_params with
+      G.seeded_groups =
+        [ { G.tag = Some "plughtag"; cluster; count = 30; topics_per_citation = (1, 2) } ];
+    }
+  in
+  let m = G.generate ~params ~seed:32 h in
+  Array.iter
+    (fun c ->
+      if contains ~sub:"plughtag" c.Cit.title then
+        Alcotest.(check bool) "has a cluster topic" true
+          (List.exists (fun t -> List.mem t cluster) c.Cit.major_topics))
+    (M.citations m)
+
+let test_rejects_oversized_groups () =
+  let h = Lazy.force hierarchy in
+  let params =
+    {
+      small_gen_params with
+      G.seeded_groups =
+        [ { G.tag = None; cluster = [ 1 ]; count = 10_000; topics_per_citation = (1, 1) } ];
+    }
+  in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (G.generate ~params ~seed:33 h);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rejects_bad_cluster () =
+  let h = Lazy.force hierarchy in
+  let params =
+    {
+      small_gen_params with
+      G.seeded_groups =
+        [ { G.tag = None; cluster = [ 0 ]; count = 1; topics_per_citation = (1, 1) } ];
+    }
+  in
+  Alcotest.(check bool) "root rejected" true
+    (try
+       ignore (G.generate ~params ~seed:34 h);
+       false
+     with Invalid_argument _ -> true)
+
+let test_summary_format () =
+  let m = Lazy.force medline in
+  let s = Cit.summary (M.citation m 0) in
+  Alcotest.(check bool) "non-empty" true (String.length s > 10)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "text",
+        [
+          Alcotest.test_case "title embeds topics" `Quick test_title_embeds_topics;
+          Alcotest.test_case "abstract embeds topics" `Quick test_abstract_embeds_topics;
+          Alcotest.test_case "authors bounds" `Quick test_authors_bounds;
+          Alcotest.test_case "year bounds" `Quick test_year_bounds;
+        ] );
+      ( "annotator",
+        [
+          Alcotest.test_case "topics and ancestors" `Quick
+            test_annotation_contains_topics_and_ancestors;
+          Alcotest.test_case "excludes root" `Quick test_annotation_excludes_root;
+          Alcotest.test_case "ancestor closure" `Quick test_annotation_closed_under_ancestors;
+          Alcotest.test_case "background range" `Quick test_background_draw_range;
+          Alcotest.test_case "background depth bias" `Quick test_background_depth_bias;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "corpus size" `Quick test_corpus_size;
+          Alcotest.test_case "dense ids" `Quick test_citation_ids_dense;
+          Alcotest.test_case "major topics annotated" `Quick test_major_topics_in_concepts;
+          Alcotest.test_case "postings consistency" `Quick test_postings_consistency;
+          Alcotest.test_case "concept counts" `Quick test_concept_count_matches_postings;
+          Alcotest.test_case "mean annotations" `Quick test_mean_annotations_positive;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_generation;
+          Alcotest.test_case "seeded group counts" `Quick test_seeded_group_counts;
+          Alcotest.test_case "seeded topics from cluster" `Quick
+            test_seeded_group_topics_from_cluster;
+          Alcotest.test_case "rejects oversized groups" `Quick test_rejects_oversized_groups;
+          Alcotest.test_case "rejects bad cluster" `Quick test_rejects_bad_cluster;
+          Alcotest.test_case "summary format" `Quick test_summary_format;
+        ] );
+    ]

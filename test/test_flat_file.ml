@@ -1,0 +1,87 @@
+module H = Bionav_mesh.Hierarchy
+module S = Bionav_mesh.Synthetic
+module FF = Bionav_mesh.Flat_file
+
+(* Node ids may differ between the original (e.g. BFS construction order)
+   and the parsed hierarchy (tree-number order); compare the id-independent
+   content: the set of (tree number, label) pairs. Tree numbers encode the
+   whole structure, so equality of these sets is structural equality. *)
+let signature h =
+  (* The parser names the implicit root "MeSH", so the root is skipped. *)
+  List.sort compare
+    (List.filter_map
+       (fun i ->
+         if i = H.root h then None
+         else
+           Some
+             ( Bionav_mesh.Tree_number.to_string
+                 (Bionav_mesh.Concept.tree_number (H.concept h i)),
+               H.label h i ))
+       (List.init (H.size h) Fun.id))
+
+let hierarchies_equal a b = signature a = signature b
+
+let test_roundtrip_small () =
+  let h = H.of_parents ~labels:(Printf.sprintf "c%d") [| -1; 0; 1; 1; 0 |] in
+  let h' = FF.of_string (FF.to_string h) in
+  Alcotest.(check bool) "roundtrip" true (hierarchies_equal h h')
+
+let test_roundtrip_synthetic () =
+  let h = S.generate ~params:S.small_params ~seed:5 () in
+  let h' = FF.of_string (FF.to_string h) in
+  Alcotest.(check bool) "roundtrip" true (hierarchies_equal h h')
+
+let test_comments_and_blanks () =
+  let text = "# comment\n\nA|Alpha\n  \nA.000|Beta\n" in
+  let h = FF.of_string text in
+  Alcotest.(check int) "3 nodes incl. root" 3 (H.size h);
+  Alcotest.(check string) "child label" "Beta" (H.label h 2)
+
+let test_out_of_order_lines () =
+  let text = "A.000|Beta\nA|Alpha\n" in
+  let h = FF.of_string text in
+  Alcotest.(check int) "parsed" 3 (H.size h);
+  Alcotest.(check int) "parent link" 1 (H.parent h 2)
+
+let rejects text =
+  try
+    ignore (FF.of_string text);
+    false
+  with Invalid_argument _ -> true
+
+let test_rejects_missing_pipe () = Alcotest.(check bool) "missing pipe" true (rejects "Aalpha\n")
+
+let test_rejects_missing_parent () =
+  Alcotest.(check bool) "orphan" true (rejects "A.000|Beta\n")
+
+let test_rejects_duplicate () =
+  Alcotest.(check bool) "duplicate" true (rejects "A|x\nA|y\n")
+
+let test_rejects_empty_label () = Alcotest.(check bool) "empty label" true (rejects "A|\n")
+
+let test_save_load () =
+  let h = H.of_parents [| -1; 0; 0; 1 |] in
+  let path = Filename.temp_file "bionav_flat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      FF.save h path;
+      let h' = FF.load path in
+      Alcotest.(check bool) "roundtrip through disk" true (hierarchies_equal h h'))
+
+let () =
+  Alcotest.run "flat_file"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
+          Alcotest.test_case "roundtrip synthetic" `Quick test_roundtrip_synthetic;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "out of order" `Quick test_out_of_order_lines;
+          Alcotest.test_case "rejects missing pipe" `Quick test_rejects_missing_pipe;
+          Alcotest.test_case "rejects missing parent" `Quick test_rejects_missing_parent;
+          Alcotest.test_case "rejects duplicate" `Quick test_rejects_duplicate;
+          Alcotest.test_case "rejects empty label" `Quick test_rejects_empty_label;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+open Bionav_util
+module H = Bionav_mesh.Hierarchy
+module S = Bionav_mesh.Synthetic
+module MA = Bionav_mesh.Mesh_ascii
+module TN = Bionav_mesh.Tree_number
+module G = Bionav_corpus.Generator
+module M = Bionav_corpus.Medline
+module Cit = Bionav_corpus.Citation
+module Nbib = Bionav_corpus.Nbib
+module Qual = Bionav_mesh.Qualifiers
+
+let signature h =
+  List.sort compare
+    (List.filter_map
+       (fun i ->
+         if i = H.root h then None
+         else Some (TN.to_string (Bionav_mesh.Concept.tree_number (H.concept h i)), H.label h i))
+       (List.init (H.size h) Fun.id))
+
+(* --- Mesh_ascii --- *)
+
+let d_file =
+  String.concat "\n"
+    [
+      "*NEWRECORD";
+      "RECTYPE = D";
+      "MH = Calcimycin";
+      "MN = D03.633.100";
+      "UI = D000001";
+      "";
+      "*NEWRECORD";
+      "RECTYPE = D";
+      "MH = Chemistry Stuff";
+      "MN = D03";
+      "MN = D03.633";
+      "UI = D000002";
+      "";
+      "*NEWRECORD";
+      "RECTYPE = Q";
+      "SH = metabolism";
+      "";
+      "*NEWRECORD";
+      "RECTYPE = D";
+      "MH = Top Category";
+      "MN = D03.900";
+      "UI = D000003";
+    ]
+
+let test_ascii_parse () =
+  let h = MA.of_string d_file in
+  (* Root + 4 positions (Chemistry Stuff occupies two). *)
+  Alcotest.(check int) "nodes" 5 (H.size h);
+  Alcotest.(check (option int)) "deep node exists" (Some 3)
+    (Option.map (H.depth h) (H.find_by_tree_number h (TN.of_string "D03.633.100")));
+  (* The qualifier record is skipped. *)
+  Alcotest.(check (option int)) "no qualifier node" None (H.find_by_label h "metabolism")
+
+let test_ascii_multiple_positions_share_label () =
+  let h = MA.of_string d_file in
+  let a = Option.get (H.find_by_tree_number h (TN.of_string "D03")) in
+  let b = Option.get (H.find_by_tree_number h (TN.of_string "D03.633")) in
+  Alcotest.(check string) "same heading" (H.label h a) (H.label h b);
+  Alcotest.(check string) "heading text" "Chemistry Stuff" (H.label h a)
+
+let test_ascii_roundtrip_synthetic () =
+  let h = S.generate ~params:S.small_params ~seed:91 () in
+  let h' = MA.of_string (MA.to_string h) in
+  Alcotest.(check bool) "roundtrip" true (signature h = signature h')
+
+let test_ascii_rejects_orphan () =
+  let text = "*NEWRECORD\nMH = Orphan\nMN = D03.633.100\n" in
+  Alcotest.(check bool) "missing parents" true
+    (try
+       ignore (MA.of_string text);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ascii_rejects_empty () =
+  Alcotest.(check bool) "no descriptors" true
+    (try
+       ignore (MA.of_string "*NEWRECORD\nRECTYPE = Q\nSH = foo\n");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Nbib --- *)
+
+let hierarchy = lazy (S.generate ~params:S.small_params ~seed:92 ())
+
+let medline =
+  lazy (G.generate ~params:{ G.small_params with G.n_citations = 60 } ~seed:93 (Lazy.force hierarchy))
+
+let test_nbib_roundtrip () =
+  let m = Lazy.force medline in
+  let text = Nbib.to_string m in
+  let m' = Nbib.of_string ~hierarchy:(Lazy.force hierarchy) text in
+  Alcotest.(check int) "size" (M.size m) (M.size m');
+  for i = 0 to M.size m - 1 do
+    let a = M.citation m i and b = M.citation m' i in
+    Alcotest.(check string) "title" a.Cit.title b.Cit.title;
+    Alcotest.(check string) "abstract" a.Cit.abstract b.Cit.abstract;
+    Alcotest.(check (list string)) "authors" a.Cit.authors b.Cit.authors;
+    Alcotest.(check string) "journal" a.Cit.journal b.Cit.journal;
+    Alcotest.(check int) "year" a.Cit.year b.Cit.year;
+    Alcotest.(check bool) "concepts" true (Intset.equal (Cit.concepts a) (Cit.concepts b));
+    Alcotest.(check (list int)) "major topics"
+      (List.sort Int.compare a.Cit.major_topics)
+      (List.sort Int.compare b.Cit.major_topics);
+    Alcotest.(check bool) "qualifiers" true (a.Cit.qualified = b.Cit.qualified)
+  done
+
+let test_nbib_wrapping () =
+  let m = Lazy.force medline in
+  let text = Nbib.citation_to_string (Lazy.force hierarchy) (M.citation m 0) in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line within 80 cols: %s" line)
+        true
+        (String.length line <= 80))
+    (String.split_on_char '\n' text)
+
+let hand_written =
+  String.concat "\n"
+    [
+      "PMID- 424242";
+      "TI  - A hand-written";
+      "      record with continuations.";
+      "AB  - Some abstract.";
+      "AU  - Smith J";
+      "AU  - Chen K";
+      "JT  - J Test";
+      "DP  - 2003 Jun";
+      "MH  - Anatomy/metabolism/genetics";
+      "MH  - *Organisms";
+      "MH  - Unknown Heading Xyz";
+    ]
+
+let test_nbib_hand_written_skip_unknown () =
+  let h = Lazy.force hierarchy in
+  let m = Nbib.of_string ~on_unknown_mh:`Skip ~hierarchy:h hand_written in
+  Alcotest.(check int) "one record, renumbered" 1 (M.size m);
+  let c = M.citation m 0 in
+  Alcotest.(check int) "id renumbered" 0 c.Cit.id;
+  Alcotest.(check string) "continuation joined" "A hand-written record with continuations."
+    c.Cit.title;
+  Alcotest.(check int) "year from DP prefix" 2003 c.Cit.year;
+  Alcotest.(check (list string)) "authors" [ "Smith J"; "Chen K" ] c.Cit.authors;
+  Alcotest.(check int) "two known concepts" 2 (Intset.cardinal (Cit.concepts c));
+  let organisms = Option.get (H.find_by_label h "Organisms") in
+  Alcotest.(check (list int)) "major topic is starred" [ organisms ] c.Cit.major_topics;
+  let anatomy = Option.get (H.find_by_label h "Anatomy") in
+  let me = Option.get (Qual.find_by_name "metabolism") in
+  let ge = Option.get (Qual.find_by_name "genetics") in
+  Alcotest.(check bool) "qualifiers parsed" true (c.Cit.qualified = [ (anatomy, [ me; ge ]) ])
+
+let test_nbib_unknown_mh_fails_by_default () =
+  Alcotest.(check bool) "fails" true
+    (try
+       ignore (Nbib.of_string ~hierarchy:(Lazy.force hierarchy) hand_written);
+       false
+     with Invalid_argument _ -> true)
+
+let test_nbib_rejects_leading_junk () =
+  Alcotest.(check bool) "junk before PMID" true
+    (try
+       ignore (Nbib.of_string ~hierarchy:(Lazy.force hierarchy) "TI  - no pmid\n");
+       false
+     with Invalid_argument _ -> true)
+
+let test_nbib_rejects_unknown_qualifier () =
+  let h = Lazy.force hierarchy in
+  let text = "PMID- 1\nTI  - t\nMH  - Anatomy/zzzz\n" in
+  Alcotest.(check bool) "bad qualifier" true
+    (try
+       ignore (Nbib.of_string ~hierarchy:h text);
+       false
+     with Invalid_argument _ -> true)
+
+let test_qualifier_table () =
+  Alcotest.(check bool) "non-trivial table" true (Qual.count >= 30);
+  let me = Option.get (Qual.find_by_name "Metabolism") in
+  Alcotest.(check string) "name" "metabolism" (Qual.name me);
+  Alcotest.(check string) "abbreviation" "ME" (Qual.abbreviation me);
+  Alcotest.(check (option int)) "by abbreviation" (Some me) (Qual.find_by_abbreviation "me");
+  Alcotest.(check (option int)) "unknown" None (Qual.find_by_name "flavour");
+  Alcotest.(check int) "all enumerates" Qual.count (List.length (Qual.all ()));
+  (* Names and abbreviations are unique. *)
+  let names = List.map Qual.name (Qual.all ()) in
+  Alcotest.(check int) "unique names" Qual.count
+    (List.length (List.sort_uniq String.compare names));
+  let abbrevs = List.map Qual.abbreviation (Qual.all ()) in
+  Alcotest.(check int) "unique abbreviations" Qual.count
+    (List.length (List.sort_uniq String.compare abbrevs))
+
+let test_nbib_save_load () =
+  let m = Lazy.force medline in
+  let path = Filename.temp_file "bionav" ".nbib" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nbib.save m path;
+      let m' = Nbib.load ~hierarchy:(Lazy.force hierarchy) path in
+      Alcotest.(check int) "size" (M.size m) (M.size m'))
+
+(* Corruption fuzz: parsers must fail only with Invalid_argument (or
+   succeed), never leak any other exception. *)
+let fuzz_parser name parse seed_text =
+  let rng = Rng.create 77 in
+  let bytes = Bytes.of_string seed_text in
+  for _ = 1 to 300 do
+    let pos = Rng.int rng (Bytes.length bytes) in
+    let old = Bytes.get bytes pos in
+    Bytes.set bytes pos (Char.chr (Rng.int rng 256));
+    (try ignore (parse (Bytes.to_string bytes)) with
+    | Invalid_argument _ -> ()
+    | e -> Alcotest.fail (Printf.sprintf "%s: unexpected %s" name (Printexc.to_string e)));
+    Bytes.set bytes pos old
+  done
+
+let test_fuzz_mesh_ascii () = fuzz_parser "mesh_ascii" MA.of_string d_file
+
+let test_fuzz_nbib () =
+  let h = Lazy.force hierarchy in
+  fuzz_parser "nbib" (Nbib.of_string ~on_unknown_mh:`Skip ~hierarchy:h) hand_written
+
+let test_fuzz_flat_file () =
+  let h = S.generate ~params:S.small_params ~seed:95 () in
+  fuzz_parser "flat_file" Bionav_mesh.Flat_file.of_string
+    (Bionav_mesh.Flat_file.to_string h)
+
+let () =
+  Alcotest.run "formats"
+    [
+      ( "mesh_ascii",
+        [
+          Alcotest.test_case "parse" `Quick test_ascii_parse;
+          Alcotest.test_case "multi-position headings" `Quick
+            test_ascii_multiple_positions_share_label;
+          Alcotest.test_case "roundtrip synthetic" `Quick test_ascii_roundtrip_synthetic;
+          Alcotest.test_case "rejects orphan" `Quick test_ascii_rejects_orphan;
+          Alcotest.test_case "rejects empty" `Quick test_ascii_rejects_empty;
+        ] );
+      ( "nbib",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_nbib_roundtrip;
+          Alcotest.test_case "wrapping" `Quick test_nbib_wrapping;
+          Alcotest.test_case "hand-written + skip" `Quick test_nbib_hand_written_skip_unknown;
+          Alcotest.test_case "unknown MH fails" `Quick test_nbib_unknown_mh_fails_by_default;
+          Alcotest.test_case "rejects leading junk" `Quick test_nbib_rejects_leading_junk;
+          Alcotest.test_case "rejects unknown qualifier" `Quick
+            test_nbib_rejects_unknown_qualifier;
+          Alcotest.test_case "save/load" `Quick test_nbib_save_load;
+        ] );
+      ( "qualifiers",
+        [ Alcotest.test_case "table" `Quick test_qualifier_table ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "mesh ascii corruption" `Quick test_fuzz_mesh_ascii;
+          Alcotest.test_case "nbib corruption" `Quick test_fuzz_nbib;
+          Alcotest.test_case "flat file corruption" `Quick test_fuzz_flat_file;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+open Bionav_util
+
+let test_basic_add_find () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "miss" None (Lru.find c "z");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  Alcotest.(check int) "capacity" 3 (Lru.capacity c)
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  ignore (Lru.find c "a");
+  (* "b" is now least recently used. *)
+  Lru.add c "c" 3;
+  Alcotest.(check bool) "a kept" true (Lru.mem c "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "c present" true (Lru.mem c "c")
+
+let test_replace_does_not_evict () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  Alcotest.(check int) "still two" 2 (Lru.length c);
+  Alcotest.(check (option int)) "updated" (Some 10) (Lru.find c "a");
+  Alcotest.(check bool) "b kept" true (Lru.mem c "b")
+
+let test_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c 1 "x";
+  Lru.add c 2 "y";
+  Alcotest.(check bool) "first evicted" false (Lru.mem c 1);
+  Alcotest.(check (option string)) "second present" (Some "y") (Lru.find c 2)
+
+let test_hits_misses () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "b");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c)
+
+let test_find_or_add () =
+  let c = Lru.create ~capacity:2 in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  Alcotest.(check int) "computes once" 42 (Lru.find_or_add c "k" compute);
+  Alcotest.(check int) "cached" 42 (Lru.find_or_add c "k" compute);
+  Alcotest.(check int) "single call" 1 !calls
+
+let test_remove_clear () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.remove c "a";
+  Alcotest.(check bool) "removed" false (Lru.mem c "a");
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c)
+
+let test_rejects_zero_capacity () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Lru.create ~capacity:0 : (int, int) Lru.t);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_never_exceeds_capacity =
+  QCheck.Test.make ~name:"length never exceeds capacity" ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 20)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> Lru.add c k k) keys;
+      Lru.length c <= cap)
+
+let qcheck_recent_k_survive =
+  QCheck.Test.make ~name:"most recent distinct keys survive" ~count:300
+    QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.int_range 1 40) (int_range 0 15)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> Lru.add c k k) keys;
+      (* The min(cap, distinct) most recently added keys must be present. *)
+      let recent_first =
+        List.fold_left
+          (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+          [] (List.rev keys)
+      in
+      let expected = List.filteri (fun i _ -> i < cap) recent_first in
+      List.for_all (Lru.mem c) expected)
+
+let () =
+  Alcotest.run "lru"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "add/find" `Quick test_basic_add_find;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "replace" `Quick test_replace_does_not_evict;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "hits/misses" `Quick test_hits_misses;
+          Alcotest.test_case "find_or_add" `Quick test_find_or_add;
+          Alcotest.test_case "remove/clear" `Quick test_remove_clear;
+          Alcotest.test_case "rejects zero capacity" `Quick test_rejects_zero_capacity;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest qcheck_recent_k_survive;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Cross-cutting metamorphic properties of the whole pipeline: relations
+   that must hold between runs on transformed inputs, independent of any
+   single module's unit behaviour. *)
+
+open Bionav_util
+open Bionav_core
+module H = Bionav_mesh.Hierarchy
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module M = Bionav_corpus.Medline
+module DB = Bionav_store.Database
+module Codec = Bionav_store.Codec
+module Eu = Bionav_search.Eutils
+
+let hierarchy = lazy (S.generate ~params:S.small_params ~seed:101 ())
+
+let medline =
+  lazy (G.generate ~params:{ G.small_params with G.n_citations = 400 } ~seed:102 (Lazy.force hierarchy))
+
+let database = lazy (DB.of_medline (Lazy.force medline))
+
+(* Result-set monotonicity: a navigation tree built for a superset of the
+   results contains every concept node of the subset's tree, with at least
+   the same attached counts. *)
+let test_result_monotonicity () =
+  let db = Lazy.force database in
+  let small = Intset.of_list (List.init 30 (fun i -> i * 3)) in
+  let large = Intset.union small (Intset.of_list (List.init 40 (fun i -> 200 + i))) in
+  let nav_small = Nav_tree.of_database db small in
+  let nav_large = Nav_tree.of_database db large in
+  Alcotest.(check bool) "tree grows" true (Nav_tree.size nav_large >= Nav_tree.size nav_small);
+  for node = 1 to Nav_tree.size nav_small - 1 do
+    let concept = Nav_tree.concept_id nav_small node in
+    match Nav_tree.node_of_concept nav_large concept with
+    | None -> Alcotest.fail (Printf.sprintf "concept %d vanished in superset tree" concept)
+    | Some node' ->
+        Alcotest.(check bool) "counts grow" true
+          (Nav_tree.result_count nav_large node' >= Nav_tree.result_count nav_small node)
+  done
+
+(* Query monotonicity: adding a token can only shrink an AND result. *)
+let test_query_and_monotone () =
+  let eu = Eu.create (Lazy.force medline) in
+  let m = Lazy.force medline in
+  let c = M.citation m 0 in
+  (* Use two tokens that certainly occur somewhere. *)
+  match Bionav_search.Tokenizer.tokens c.Bionav_corpus.Citation.title with
+  | t1 :: t2 :: _ ->
+      let one = Eu.esearch eu t1 in
+      let both = Eu.esearch eu (t1 ^ " " ^ t2) in
+      Alcotest.(check bool) "AND shrinks" true (Intset.subset both one)
+  | _ -> Alcotest.fail "fixture title too short"
+
+(* Codec idempotence: encode . decode . encode = encode. *)
+let test_codec_idempotent () =
+  let db = Lazy.force database in
+  let once = Codec.encode db in
+  let twice = Codec.encode (Codec.decode once) in
+  Alcotest.(check bool) "stable bytes" true (String.equal once twice)
+
+(* Codec fuzz: random single-byte corruption either fails cleanly with
+   Invalid_argument or yields a decodable database — never any other
+   exception. *)
+let test_codec_fuzz_corruption () =
+  let db = Lazy.force database in
+  let bytes = Bytes.of_string (Codec.encode db) in
+  let rng = Rng.create 103 in
+  for _ = 1 to 200 do
+    let pos = Rng.int rng (Bytes.length bytes) in
+    let old = Bytes.get bytes pos in
+    Bytes.set bytes pos (Char.chr (Rng.int rng 256));
+    (try ignore (Codec.decode (Bytes.to_string bytes)) with
+    | Invalid_argument _ -> ()
+    | e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e));
+    Bytes.set bytes pos old
+  done
+
+(* Strategy invariance: the static navigation cost to a target depends only
+   on the tree, so repeating it is identical; and the total citations shown
+   by SHOWRESULTS on the target component equal the target's subtree
+   distinct count at that moment. *)
+let test_static_cost_reproducible () =
+  let db = Lazy.force database in
+  let nav = Nav_tree.of_database db (Intset.of_list (List.init 50 (fun i -> i * 2))) in
+  let target = Nav_tree.size nav - 1 in
+  let a = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+  let b = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+  Alcotest.(check int) "identical" a.Simulate.navigation_cost b.Simulate.navigation_cost
+
+(* Permuting citation ids must not change structural costs: rebuild the
+   corpus with the same seed, shift all ids by renumbering through nbib
+   (which renumbers densely), and compare navigation-tree shape. *)
+let test_tree_shape_independent_of_ids () =
+  let m = Lazy.force medline in
+  let h = Lazy.force hierarchy in
+  let renumbered = Bionav_corpus.Nbib.of_string ~hierarchy:h (Bionav_corpus.Nbib.to_string m) in
+  let db1 = DB.of_medline m and db2 = DB.of_medline renumbered in
+  (* nbib keeps record order, so ids are actually identical here; the deeper
+     property is that both databases agree on every count. *)
+  for c = 0 to H.size h - 1 do
+    Alcotest.(check int) "LT equal" (DB.total_count db1 c) (DB.total_count db2 c)
+  done
+
+(* The navigation cost of BioNav to any target is bounded by the total
+   number of concepts in the tree plus expansions (sanity upper bound). *)
+let test_bionav_cost_bounded () =
+  let db = Lazy.force database in
+  let nav = Nav_tree.of_database db (Intset.of_list (List.init 60 Fun.id)) in
+  let bound = 2 * Nav_tree.size nav in
+  List.iter
+    (fun target ->
+      let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+      Alcotest.(check bool) "bounded" true (o.Simulate.navigation_cost <= bound))
+    [ 1; Nav_tree.size nav / 2; Nav_tree.size nav - 1 ]
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "result monotonicity" `Quick test_result_monotonicity;
+          Alcotest.test_case "AND monotone" `Quick test_query_and_monotone;
+          Alcotest.test_case "codec idempotent" `Quick test_codec_idempotent;
+          Alcotest.test_case "codec corruption fuzz" `Quick test_codec_fuzz_corruption;
+          Alcotest.test_case "static reproducible" `Quick test_static_cost_reproducible;
+          Alcotest.test_case "id-independent counts" `Quick test_tree_shape_independent_of_ids;
+          Alcotest.test_case "bionav cost bounded" `Quick test_bionav_cost_bounded;
+        ] );
+    ]

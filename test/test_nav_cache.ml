@@ -1,0 +1,101 @@
+open Bionav_util
+open Bionav_core
+
+let make_nav n_results =
+  let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0 |] in
+  Nav_tree.build ~hierarchy:h
+    ~attachments:[ (1, Intset.of_list (List.init n_results Fun.id)) ]
+    ~total_count:(fun _ -> 1000)
+
+let test_builds_once_per_query () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length q))
+      ()
+  in
+  let a = Nav_cache.get cache "prothymosin" in
+  let b = Nav_cache.get cache "prothymosin" in
+  Alcotest.(check int) "one build" 1 !calls;
+  Alcotest.(check bool) "same tree" true (a == b)
+
+let test_normalizes_queries () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length (String.trim q)))
+      ()
+  in
+  ignore (Nav_cache.get cache "Prothymosin");
+  ignore (Nav_cache.get cache "  prothymosin  ");
+  ignore (Nav_cache.get cache "PROTHYMOSIN");
+  Alcotest.(check int) "normalized to one key" 1 !calls
+
+let test_distinct_queries_build_separately () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length q))
+      ()
+  in
+  ignore (Nav_cache.get cache "alpha");
+  ignore (Nav_cache.get cache "beta");
+  Alcotest.(check int) "two builds" 2 !calls
+
+let test_capacity_bound () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create ~capacity:2
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length q))
+      ()
+  in
+  ignore (Nav_cache.get cache "a");
+  ignore (Nav_cache.get cache "b");
+  ignore (Nav_cache.get cache "c");
+  (* "a" evicted: rebuilding it is a new call. *)
+  ignore (Nav_cache.get cache "a");
+  Alcotest.(check int) "four builds" 4 !calls
+
+let test_hit_rate () =
+  let cache = Nav_cache.create ~build:(fun q -> make_nav (String.length q)) () in
+  Alcotest.(check (float 1e-9)) "empty" 0. (Nav_cache.hit_rate cache);
+  ignore (Nav_cache.get cache "q");
+  ignore (Nav_cache.get cache "q");
+  ignore (Nav_cache.get cache "q");
+  Alcotest.(check (float 1e-9)) "2/3" (2. /. 3.) (Nav_cache.hit_rate cache)
+
+let test_clear () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length q))
+      ()
+  in
+  ignore (Nav_cache.get cache "q");
+  Nav_cache.clear cache;
+  ignore (Nav_cache.get cache "q");
+  Alcotest.(check int) "rebuilt after clear" 2 !calls
+
+let () =
+  Alcotest.run "nav_cache"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "builds once" `Quick test_builds_once_per_query;
+          Alcotest.test_case "normalizes" `Quick test_normalizes_queries;
+          Alcotest.test_case "distinct queries" `Quick test_distinct_queries_build_separately;
+          Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+          Alcotest.test_case "hit rate" `Quick test_hit_rate;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+    ]

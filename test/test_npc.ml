@@ -1,0 +1,175 @@
+open Bionav_util
+open Bionav_npc
+
+(* --- MES --- *)
+
+let triangle () = Mes.make ~n_vertices:3 ~edges:[ (0, 1, 5); (1, 2, 3); (0, 2, 1) ]
+
+let test_mes_subset_weight () =
+  let g = triangle () in
+  Alcotest.(check int) "pair 0,1" 5 (Mes.subset_weight g [ 0; 1 ]);
+  Alcotest.(check int) "all" 9 (Mes.subset_weight g [ 0; 1; 2 ]);
+  Alcotest.(check int) "singleton" 0 (Mes.subset_weight g [ 1 ]);
+  Alcotest.(check int) "empty" 0 (Mes.subset_weight g [])
+
+let test_mes_solve_triangle () =
+  let g = triangle () in
+  let subset, w = Mes.solve g ~k:2 in
+  Alcotest.(check int) "best pair weight" 5 w;
+  Alcotest.(check (list int)) "best pair" [ 0; 1 ] subset;
+  let _, w3 = Mes.solve g ~k:3 in
+  Alcotest.(check int) "full graph" 9 w3;
+  let _, w0 = Mes.solve g ~k:0 in
+  Alcotest.(check int) "k=0" 0 w0
+
+let test_mes_decision () =
+  let g = triangle () in
+  Alcotest.(check bool) "achievable" true (Mes.decision g ~k:2 ~weight:5);
+  Alcotest.(check bool) "not achievable" false (Mes.decision g ~k:2 ~weight:6)
+
+let test_mes_path_graph () =
+  (* Path 0-1-2-3 with unit weights: best 3 vertices capture 2 edges. *)
+  let g = Mes.make ~n_vertices:4 ~edges:[ (0, 1, 1); (1, 2, 1); (2, 3, 1) ] in
+  let _, w = Mes.solve g ~k:3 in
+  Alcotest.(check int) "two edges" 2 w
+
+let rejects f = try ignore (f ()); false with Invalid_argument _ -> true
+
+let test_mes_validation () =
+  Alcotest.(check bool) "self loop" true
+    (rejects (fun () -> Mes.make ~n_vertices:2 ~edges:[ (1, 1, 1) ]));
+  Alcotest.(check bool) "range" true
+    (rejects (fun () -> Mes.make ~n_vertices:2 ~edges:[ (0, 5, 1) ]));
+  Alcotest.(check bool) "weight" true
+    (rejects (fun () -> Mes.make ~n_vertices:2 ~edges:[ (0, 1, 0) ]));
+  Alcotest.(check bool) "duplicate" true
+    (rejects (fun () -> Mes.make ~n_vertices:2 ~edges:[ (0, 1, 1); (1, 0, 2) ]));
+  Alcotest.(check bool) "k out of range" true (rejects (fun () -> Mes.solve (triangle ()) ~k:9))
+
+(* --- TED --- *)
+
+let test_ted_star_structure () =
+  let t = Ted.star [| [ 1; 2 ]; [ 2; 3 ]; [] |] in
+  Alcotest.(check int) "size" 4 (Ted.size t)
+
+let test_ted_duplicates () =
+  let t = Ted.star [| [ 1; 2 ]; [ 2; 3 ]; [ 2 ] |] in
+  (* All together: element 2 appears 3 times -> 2 duplicates. *)
+  Alcotest.(check int) "all in one group" 2 (Ted.duplicates_within t [ [ 0; 1; 2; 3 ] ]);
+  (* Separated: no duplicates anywhere. *)
+  Alcotest.(check int) "all separate" 0 (Ted.duplicates_within t [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]);
+  (* Nodes 1 and 2 together share element 2. *)
+  Alcotest.(check int) "pair" 1 (Ted.duplicates_within t [ [ 1; 2 ]; [ 0; 3 ] ])
+
+let test_ted_duplicates_multiset () =
+  (* An element appearing 3 times within one node counts as 2 duplicates. *)
+  let t = Ted.star [| [ 7; 7; 7 ] |] in
+  Alcotest.(check int) "triple" 2 (Ted.duplicates_within t [ [ 0; 1 ] ])
+
+let test_ted_valid_cut () =
+  let t = Ted.make ~parent:[| -1; 0; 1; 0 |] ~elements:[| []; [ 1 ]; [ 2 ]; [ 3 ] |] in
+  Alcotest.(check bool) "leaf cut" true (Ted.is_valid_cut t [ 2; 3 ]);
+  Alcotest.(check bool) "ancestor pair invalid" false (Ted.is_valid_cut t [ 1; 2 ]);
+  Alcotest.(check bool) "empty invalid" false (Ted.is_valid_cut t []);
+  Alcotest.(check bool) "root invalid" false (Ted.is_valid_cut t [ 0 ])
+
+let test_ted_cut_components () =
+  let t = Ted.make ~parent:[| -1; 0; 1; 0 |] ~elements:[| []; [ 1 ]; [ 2 ]; [ 3 ] |] in
+  let comps = Ted.cut_components t [ 1 ] in
+  Alcotest.(check (list (list int))) "upper then lower" [ [ 0; 3 ]; [ 1; 2 ] ] comps
+
+let test_ted_best_duplicates () =
+  let t = Ted.star [| [ 1 ]; [ 1 ]; [ 2 ] |] in
+  (* 2 components: cut one child. Keeping the two [1]-holders in the upper
+     subtree yields 1 duplicate. *)
+  Alcotest.(check (option int)) "best" (Some 1) (Ted.best_duplicates t ~components:2);
+  (* 3 components: only one child stays with the root, nothing shares. *)
+  Alcotest.(check (option int)) "split" (Some 0) (Ted.best_duplicates t ~components:3);
+  (* 4 components: all children cut. *)
+  Alcotest.(check (option int)) "fully split" (Some 0) (Ted.best_duplicates t ~components:4);
+  (* 5 components impossible on a 4-node star. *)
+  Alcotest.(check (option int)) "impossible" None (Ted.best_duplicates t ~components:5)
+
+let test_ted_decision () =
+  let t = Ted.star [| [ 1 ]; [ 1 ]; [ 2 ] |] in
+  Alcotest.(check bool) "yes" true (Ted.decision t ~components:2 ~duplicates:1);
+  Alcotest.(check bool) "no" false (Ted.decision t ~components:2 ~duplicates:2)
+
+(* --- Reduction --- *)
+
+let test_reduce_shapes () =
+  let g = triangle () in
+  let ted, j = Reduction.reduce g ~k:2 in
+  Alcotest.(check int) "star over vertices" 4 (Ted.size ted);
+  Alcotest.(check int) "components" 2 j
+
+let test_reduce_triangle_equivalence () =
+  let g = triangle () in
+  Alcotest.(check bool) "k=1" true (Reduction.verify_equivalence g ~k:1);
+  Alcotest.(check bool) "k=2" true (Reduction.verify_equivalence g ~k:2)
+
+let test_reduce_rejects_bad_k () =
+  let g = triangle () in
+  Alcotest.(check bool) "k=n" true (rejects (fun () -> Reduction.reduce g ~k:3));
+  Alcotest.(check bool) "negative" true (rejects (fun () -> Reduction.reduce g ~k:(-1)))
+
+let test_mes_of_ted_cut () =
+  let g = triangle () in
+  let ted, _ = Reduction.reduce g ~k:2 in
+  (* Cutting star child 3 (vertex 2) keeps vertices {0, 1}. *)
+  Alcotest.(check (list int)) "kept vertices" [ 0; 1 ] (Reduction.mes_of_ted_cut g ted [ 3 ])
+
+let test_reduction_weighted_instance () =
+  (* 4-cycle with one heavy chord: optimum k=3 subset must include the
+     heavy edge. *)
+  let g =
+    Mes.make ~n_vertices:4
+      ~edges:[ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 0, 1); (0, 2, 10) ]
+  in
+  let _, w = Mes.solve g ~k:3 in
+  Alcotest.(check int) "12 = chord + 2 sides" 12 w;
+  for k = 1 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "equivalence k=%d" k) true
+      (Reduction.verify_equivalence g ~k)
+  done
+
+let qcheck_reduction_equivalence =
+  QCheck.Test.make ~name:"MES optimum = TED optimum under the reduction" ~count:60
+    QCheck.(triple (int_range 2 6) (int_range 0 10_000) (int_range 1 5))
+    (fun (n, seed, k) ->
+      let k = min k (n - 1) in
+      let rng = Rng.create seed in
+      let g = Mes.random rng ~n_vertices:n ~edge_prob:0.5 ~max_weight:4 in
+      Reduction.verify_equivalence g ~k)
+
+let () =
+  Alcotest.run "npc"
+    [
+      ( "mes",
+        [
+          Alcotest.test_case "subset weight" `Quick test_mes_subset_weight;
+          Alcotest.test_case "solve triangle" `Quick test_mes_solve_triangle;
+          Alcotest.test_case "decision" `Quick test_mes_decision;
+          Alcotest.test_case "path graph" `Quick test_mes_path_graph;
+          Alcotest.test_case "validation" `Quick test_mes_validation;
+        ] );
+      ( "ted",
+        [
+          Alcotest.test_case "star structure" `Quick test_ted_star_structure;
+          Alcotest.test_case "duplicates" `Quick test_ted_duplicates;
+          Alcotest.test_case "multiset duplicates" `Quick test_ted_duplicates_multiset;
+          Alcotest.test_case "valid cut" `Quick test_ted_valid_cut;
+          Alcotest.test_case "cut components" `Quick test_ted_cut_components;
+          Alcotest.test_case "best duplicates" `Quick test_ted_best_duplicates;
+          Alcotest.test_case "decision" `Quick test_ted_decision;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "shapes" `Quick test_reduce_shapes;
+          Alcotest.test_case "triangle equivalence" `Quick test_reduce_triangle_equivalence;
+          Alcotest.test_case "rejects bad k" `Quick test_reduce_rejects_bad_k;
+          Alcotest.test_case "cut translation" `Quick test_mes_of_ted_cut;
+          Alcotest.test_case "weighted instance" `Quick test_reduction_weighted_instance;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_reduction_equivalence ]);
+    ]

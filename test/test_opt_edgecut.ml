@@ -1,0 +1,196 @@
+open Bionav_util
+open Bionav_core
+
+let mk parent results totals =
+  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+
+let path n =
+  (* 0 - 1 - 2 - ... each node holding a few overlapping citations. *)
+  mk
+    (Array.init n (fun i -> i - 1))
+    (Array.init n (fun i -> [ i; i + 1; i + 2 ]))
+    (Array.make n 50)
+
+let star k =
+  mk
+    (Array.init (k + 1) (fun i -> if i = 0 then -1 else 0))
+    (Array.init (k + 1) (fun i -> [ i; (i + 1) mod (k + 1); 100 ]))
+    (Array.make (k + 1) 50)
+
+let test_count_cuts_path () =
+  (* On a path, a valid cut is a single edge: n - 1 cuts. *)
+  for n = 2 to 8 do
+    Alcotest.(check int) (Printf.sprintf "path %d" n) (n - 1)
+      (Opt_edgecut.count_valid_cuts (path n))
+  done
+
+let test_count_cuts_star () =
+  (* Any non-empty subset of the k leaves. *)
+  for k = 1 to 8 do
+    Alcotest.(check int) (Printf.sprintf "star %d" k) ((1 lsl k) - 1)
+      (Opt_edgecut.count_valid_cuts (star k))
+  done
+
+let test_count_cuts_two_level () =
+  (* Root -> {1, 2}, 1 -> {3}, 2 -> {4}: options per branch = cut at child,
+     cut at grandchild, or nothing = 3; total 3*3 - 1 = 8. *)
+  let t = mk [| -1; 0; 0; 1; 2 |] [| [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] |] [| 9; 9; 9; 9; 9 |] in
+  Alcotest.(check int) "two-level" 8 (Opt_edgecut.count_valid_cuts t)
+
+let is_antichain tree cut =
+  let rec ancestor a b =
+    let p = Comp_tree.parent tree b in
+    if p = -1 then false else p = a || ancestor a p
+  in
+  List.for_all (fun a -> List.for_all (fun b -> a = b || not (ancestor a b)) cut) cut
+
+let test_solution_is_valid_cut () =
+  List.iter
+    (fun tree ->
+      let sol = Opt_edgecut.solve tree in
+      Alcotest.(check bool) "non-empty" true (sol.Opt_edgecut.cut_children <> []);
+      Alcotest.(check bool) "no root" true (not (List.mem 0 sol.Opt_edgecut.cut_children));
+      Alcotest.(check bool) "antichain" true (is_antichain tree sol.Opt_edgecut.cut_children))
+    [ path 6; star 6; path 2 ]
+
+let test_two_node_tree () =
+  let t = mk [| -1; 0 |] [| [ 1 ]; [ 2 ] |] [| 5; 5 |] in
+  let sol = Opt_edgecut.solve t in
+  Alcotest.(check (list int)) "only cut" [ 1 ] sol.Opt_edgecut.cut_children
+
+(* Cross-check the minimizing recursion against plain enumeration: for every
+   subset of non-root nodes that forms a valid antichain, evaluate the cut
+   objective with the shared cost function and confirm the solver found the
+   minimum. *)
+let brute_force_best st ctx =
+  let tree = Cost_model.tree ctx in
+  let full = Cost_model.full_mask ctx in
+  let best = ref infinity in
+  for cut_mask = 1 to full do
+    if cut_mask land 1 = 0 then begin
+      let cut = Cost_model.members ctx cut_mask in
+      if is_antichain tree cut then begin
+        let lower = List.map (fun v -> Cost_model.subtree_mask ctx ~mask:full v) cut in
+        let lowered = List.fold_left ( lor ) 0 lower in
+        (* Antichain implies the subtree masks are disjoint. *)
+        let upper = full land lnot lowered in
+        let cost =
+          List.fold_left
+            (fun acc m ->
+              acc +. 1.
+              +. Cost_model.branch_probability ctx ~parent_mask:full ~branch_mask:m
+                 *. Opt_edgecut.cost_mask st m)
+            (Cost_model.branch_probability ctx ~parent_mask:full ~branch_mask:upper
+            *. Opt_edgecut.cost_mask st upper)
+            lower
+        in
+        if cost < !best then best := cost
+      end
+    end
+  done;
+  !best
+
+let test_solver_matches_enumeration () =
+  let trees =
+    [
+      path 5;
+      star 5;
+      mk [| -1; 0; 0; 1; 2; 2 |]
+        [| [ 0; 1 ]; [ 1; 2; 3 ]; [ 4; 5 ]; [ 2 ]; [ 5; 6 ]; [ 7 ] |]
+        [| 30; 12; 9; 4; 11; 3 |];
+      mk [| -1; 0; 1; 2; 0; 4 |]
+        [| List.init 20 Fun.id; [ 1; 21 ]; [ 2; 22 ]; [ 3 ]; List.init 15 (fun i -> 30 + i); [ 31 ] |]
+        [| 100; 40; 30; 10; 60; 20 |];
+    ]
+  in
+  List.iter
+    (fun tree ->
+      let ctx = Cost_model.create tree in
+      let st = Opt_edgecut.init ctx in
+      let sol = Opt_edgecut.solve_mask st (Cost_model.full_mask ctx) in
+      let brute = brute_force_best st ctx in
+      Alcotest.(check (float 1e-9)) "minimum matches enumeration" brute sol.Opt_edgecut.cost)
+    trees
+
+let test_memoized_stable () =
+  let tree = star 6 in
+  let ctx = Cost_model.create tree in
+  let st = Opt_edgecut.init ctx in
+  let a = Opt_edgecut.solve_mask st (Cost_model.full_mask ctx) in
+  let b = Opt_edgecut.solve_mask st (Cost_model.full_mask ctx) in
+  Alcotest.(check (float 1e-12)) "same cost" a.Opt_edgecut.cost b.Opt_edgecut.cost;
+  Alcotest.(check (list int)) "same cut" a.Opt_edgecut.cut_children b.Opt_edgecut.cut_children
+
+let test_expected_cost_defined_for_singleton () =
+  let t = mk [| -1 |] [| [ 1; 2; 3 ] |] [| 9 |] in
+  Alcotest.(check (float 1e-9)) "showresults" 3. (Opt_edgecut.expected_cost t)
+
+let test_expected_cost_small_result_is_show () =
+  (* distinct < lower threshold: the user lists results, cost = |L|. *)
+  let t = mk [| -1; 0; 0 |] [| [ 0 ]; [ 1 ]; [ 2 ] |] [| 9; 9; 9 |] in
+  Alcotest.(check (float 1e-9)) "px = 0" 3. (Opt_edgecut.expected_cost t)
+
+let test_solve_rejects_singleton () =
+  let t = mk [| -1 |] [| [ 1 ] |] [| 1 |] in
+  Alcotest.(check bool) "singleton rejected" true
+    (try
+       ignore (Opt_edgecut.solve t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_solve_rejects_oversize () =
+  let n = Opt_edgecut.max_size + 1 in
+  let t =
+    mk (Array.init n (fun i -> i - 1)) (Array.init n (fun i -> [ i ])) (Array.make n 50)
+  in
+  Alcotest.(check bool) "oversize rejected" true
+    (try
+       ignore (Opt_edgecut.solve t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_expand_cost_monotone () =
+  (* Raising the model's EXPAND cost can only raise the expected cost. *)
+  let t =
+    mk
+      [| -1; 0; 0; 0 |]
+      [|
+        List.init 20 Fun.id;
+        List.init 15 (fun i -> 20 + i);
+        List.init 15 (fun i -> 35 + i);
+        List.init 15 (fun i -> 50 + i);
+      |]
+      [| 200; 60; 60; 60 |]
+  in
+  let cost_at e =
+    Opt_edgecut.expected_cost
+      ~params:{ Probability.default_params with Probability.expand_cost = e }
+      t
+  in
+  Alcotest.(check bool) "monotone in expand cost" true (cost_at 1.0 <= cost_at 16.0)
+
+let () =
+  Alcotest.run "opt_edgecut"
+    [
+      ( "cuts",
+        [
+          Alcotest.test_case "count path" `Quick test_count_cuts_path;
+          Alcotest.test_case "count star" `Quick test_count_cuts_star;
+          Alcotest.test_case "count two-level" `Quick test_count_cuts_two_level;
+          Alcotest.test_case "solution valid" `Quick test_solution_is_valid_cut;
+          Alcotest.test_case "two-node tree" `Quick test_two_node_tree;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "matches enumeration" `Quick test_solver_matches_enumeration;
+          Alcotest.test_case "memo stable" `Quick test_memoized_stable;
+          Alcotest.test_case "singleton expected cost" `Quick test_expected_cost_defined_for_singleton;
+          Alcotest.test_case "small result shows" `Quick test_expected_cost_small_result_is_show;
+          Alcotest.test_case "expand cost monotone" `Quick test_expand_cost_monotone;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "rejects singleton" `Quick test_solve_rejects_singleton;
+          Alcotest.test_case "rejects oversize" `Quick test_solve_rejects_oversize;
+        ] );
+    ]

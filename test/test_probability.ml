@@ -1,0 +1,124 @@
+open Bionav_util
+open Bionav_core
+
+let feq = Alcotest.(check (float 1e-9))
+
+let mk parent results totals =
+  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+
+let params = Probability.default_params
+
+let test_explore_weight () =
+  let t = mk [| -1; 0 |] [| [ 1; 2 ]; [] |] [| 10; 0 |] in
+  feq "L/LT" 0.2 (Probability.explore_weight t 0);
+  feq "empty node" 0. (Probability.explore_weight t 1)
+
+let test_normalizer_sums () =
+  let t = mk [| -1; 0; 0 |] [| [ 1 ]; [ 1; 2 ]; [ 3 ] |] [| 10; 4; 2 |] in
+  feq "sum of weights" (0.1 +. 0.5 +. 0.5) (Probability.normalizer t)
+
+let test_normalizer_floor () =
+  let t = mk [| -1 |] [| [] |] [| 0 |] in
+  Alcotest.(check bool) "positive" true (Probability.normalizer t > 0.)
+
+let test_explore_normalized () =
+  let t = mk [| -1; 0; 0 |] [| [ 1 ]; [ 1; 2 ]; [ 3 ] |] [| 10; 4; 2 |] in
+  let norm = Probability.normalizer t in
+  feq "whole tree is 1" 1.0 (Probability.explore ~norm t [ 0; 1; 2 ]);
+  let p1 = Probability.explore ~norm t [ 1 ] in
+  feq "share" (0.5 /. norm) p1
+
+let test_explore_clamped () =
+  let t = mk [| -1 |] [| [ 1 ] |] [| 1 |] in
+  feq "clamped to 1" 1.0 (Probability.explore ~norm:0.1 t [ 0 ])
+
+let test_expand_single_concept_zero () =
+  let t = mk [| -1; 0 |] [| [ 1 ]; List.init 100 Fun.id |] [| 10; 200 |] in
+  feq "singleton concept" 0. (Probability.expand params t ~members:[ 1 ] ~distinct:100)
+
+let test_expand_thresholds () =
+  let t = mk [| -1; 0; 0 |] [| [ 1 ]; [ 2 ]; [ 3 ] |] [| 5; 5; 5 |] in
+  feq "above upper" 1.0 (Probability.expand params t ~members:[ 0; 1; 2 ] ~distinct:51);
+  feq "below lower" 0.0 (Probability.expand params t ~members:[ 0; 1; 2 ] ~distinct:9)
+
+let test_expand_entropy_uniform () =
+  (* Two concepts with equal mass and no duplicates: entropy = max -> 1. *)
+  let t = mk [| -1; 0 |] [| List.init 15 Fun.id; List.init 15 (fun i -> 15 + i) |] [| 40; 40 |] in
+  let px = Probability.expand params t ~members:[ 0; 1 ] ~distinct:30 in
+  feq "uniform distribution" 1.0 px
+
+let test_expand_entropy_skewed () =
+  (* One concept dominates: entropy low. *)
+  let t = mk [| -1; 0 |] [| List.init 29 Fun.id; [ 29 ] |] [| 40; 10 |] in
+  let px = Probability.expand params t ~members:[ 0; 1 ] ~distinct:30 in
+  Alcotest.(check bool) "strictly between" true (px >= 0. && px < 0.5)
+
+let test_expand_singleton_supernode_uses_multiplicity () =
+  (* One node, but it stands for 3 concepts: still expandable. *)
+  let t =
+    Comp_tree.make ~parent:[| -1 |]
+      ~results:[| Intset.of_list (List.init 30 Fun.id) |]
+      ~totals:[| 90 |] ~multiplicity:[| 3 |]
+      ~sub_weights:[| [| 10.; 10.; 10. |] |]
+      ()
+  in
+  let px = Probability.expand params t ~members:[ 0 ] ~distinct:30 in
+  feq "uniform subweights" 1.0 px
+
+let test_expand_single_positive_weight_zero () =
+  let t = mk [| -1; 0 |] [| List.init 30 Fun.id; [] |] [| 40; 1 |] in
+  feq "only one concept holds mass" 0.
+    (Probability.expand params t ~members:[ 0; 1 ] ~distinct:30)
+
+let test_expand_rejects_empty () =
+  let t = mk [| -1 |] [| [ 1 ] |] [| 1 |] in
+  Alcotest.(check bool) "empty members" true
+    (try
+       ignore (Probability.expand params t ~members:[] ~distinct:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_future_drilldown () =
+  feq "m<=1 free" 0. (Probability.future_drilldown_cost params 1);
+  feq "k concepts = one level" (11.) (Probability.future_drilldown_cost params 10);
+  let c100 = Probability.future_drilldown_cost params 100 in
+  feq "two levels" 22. c100;
+  Alcotest.(check bool) "monotone" true
+    (Probability.future_drilldown_cost params 1000 > c100)
+
+let test_expand_clamped_high_duplicates () =
+  (* Heavy duplication: raw entropy above uniform max must clamp to 1. *)
+  let t =
+    mk [| -1; 0; 0 |]
+      [| List.init 20 Fun.id; List.init 20 Fun.id; List.init 20 Fun.id |]
+      [| 30; 30; 30 |]
+  in
+  let px = Probability.expand params t ~members:[ 0; 1; 2 ] ~distinct:20 in
+  Alcotest.(check bool) "within [0,1]" true (px >= 0. && px <= 1.)
+
+let () =
+  Alcotest.run "probability"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "weight" `Quick test_explore_weight;
+          Alcotest.test_case "normalizer sums" `Quick test_normalizer_sums;
+          Alcotest.test_case "normalizer floor" `Quick test_normalizer_floor;
+          Alcotest.test_case "normalized" `Quick test_explore_normalized;
+          Alcotest.test_case "clamped" `Quick test_explore_clamped;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "single concept" `Quick test_expand_single_concept_zero;
+          Alcotest.test_case "thresholds" `Quick test_expand_thresholds;
+          Alcotest.test_case "entropy uniform" `Quick test_expand_entropy_uniform;
+          Alcotest.test_case "entropy skewed" `Quick test_expand_entropy_skewed;
+          Alcotest.test_case "supernode multiplicity" `Quick
+            test_expand_singleton_supernode_uses_multiplicity;
+          Alcotest.test_case "single positive weight" `Quick test_expand_single_positive_weight_zero;
+          Alcotest.test_case "rejects empty" `Quick test_expand_rejects_empty;
+          Alcotest.test_case "clamped duplicates" `Quick test_expand_clamped_high_duplicates;
+        ] );
+      ( "future",
+        [ Alcotest.test_case "drilldown surrogate" `Quick test_future_drilldown ] );
+    ]

@@ -1,0 +1,101 @@
+open Bionav_util
+module M = Bionav_corpus.Medline
+module Cit = Bionav_corpus.Citation
+module Ranked = Bionav_search.Ranked
+
+let tiny_medline () =
+  let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0 |] in
+  let mk id title abstract =
+    {
+      Cit.id;
+      title;
+      abstract;
+      authors = [];
+      journal = "J";
+      year = 2000;
+      major_topics = [ 1 ];
+      concepts = Intset.of_list [ 1 ];
+      qualified = [];
+    }
+  in
+  M.make h
+    [|
+      (* doc 0: one body mention in long text *)
+      mk 0 "cardiology overview"
+        "apoptosis mentioned once amid much other material about various unrelated topics \
+         padding padding padding padding padding padding padding";
+      (* doc 1: title mention, short *)
+      mk 1 "apoptosis signaling" "short text";
+      (* doc 2: many mentions *)
+      mk 2 "apoptosis and apoptosis again" "apoptosis apoptosis everywhere";
+      (* doc 3: no mention *)
+      mk 3 "completely different" "nothing relevant here";
+    |]
+
+let ranked = lazy (Ranked.build (tiny_medline ()))
+
+let test_scores_zero_without_terms () =
+  let r = Lazy.force ranked in
+  Alcotest.(check (float 1e-9)) "no match" 0. (Ranked.score r ~query:"apoptosis" 3);
+  Alcotest.(check (float 1e-9)) "unknown term" 0. (Ranked.score r ~query:"zzz" 2)
+
+let test_more_mentions_score_higher () =
+  let r = Lazy.force ranked in
+  let s0 = Ranked.score r ~query:"apoptosis" 0 in
+  let s2 = Ranked.score r ~query:"apoptosis" 2 in
+  Alcotest.(check bool) "frequency dominates" true (s2 > s0);
+  Alcotest.(check bool) "positive" true (s0 > 0.)
+
+let test_title_weighted () =
+  let r = Lazy.force ranked in
+  (* doc 1 has a title mention and short text; doc 0 only one body mention
+     in a long document. *)
+  Alcotest.(check bool) "title + brevity wins" true
+    (Ranked.score r ~query:"apoptosis" 1 > Ranked.score r ~query:"apoptosis" 0)
+
+let test_search_order_and_limit () =
+  let r = Lazy.force ranked in
+  let results = Ranked.search r "apoptosis" in
+  Alcotest.(check int) "three candidates" 3 (List.length results);
+  (match results with
+  | (top, _) :: _ -> Alcotest.(check int) "most relevant first" 2 top
+  | [] -> Alcotest.fail "empty");
+  let scores = List.map snd results in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> Float.compare b a) scores = scores);
+  Alcotest.(check int) "limit respected" 1 (List.length (Ranked.search ~limit:1 r "apoptosis"))
+
+let test_rank_external_set () =
+  let r = Lazy.force ranked in
+  let order = Ranked.rank r ~query:"apoptosis" (Intset.of_list [ 0; 1; 2; 3 ]) in
+  Alcotest.(check int) "best first" 2 (List.hd order);
+  Alcotest.(check int) "all preserved" 4 (List.length order);
+  Alcotest.(check int) "irrelevant last" 3 (List.nth order 3)
+
+let test_score_rejects_bad_doc () =
+  let r = Lazy.force ranked in
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Ranked.score r ~query:"x" 99);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shares_boolean_index () =
+  let r = Lazy.force ranked in
+  Alcotest.(check int) "df via shared index" 3
+    (Bionav_search.Inverted_index.document_frequency (Ranked.index r) "apoptosis")
+
+let () =
+  Alcotest.run "ranked"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "zero scores" `Quick test_scores_zero_without_terms;
+          Alcotest.test_case "frequency" `Quick test_more_mentions_score_higher;
+          Alcotest.test_case "title weight" `Quick test_title_weighted;
+          Alcotest.test_case "search order/limit" `Quick test_search_order_and_limit;
+          Alcotest.test_case "rank external" `Quick test_rank_external_set;
+          Alcotest.test_case "rejects bad doc" `Quick test_score_rejects_bad_doc;
+          Alcotest.test_case "shares index" `Quick test_shares_boolean_index;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+open Bionav_util
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split diverges" true (xa <> xb)
+
+let test_copy_preserves () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 4 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 4)
+  done
+
+let test_int_covers_range () =
+  let rng = Rng.create 8 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values occur" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 11 in
+  Alcotest.(check bool) "p=0 false" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 true" true (Rng.bernoulli rng 1.)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 12 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.03)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_distinct () =
+  let rng = Rng.create 14 in
+  let arr = Array.init 30 Fun.id in
+  let s = Rng.sample rng 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i - 1) <> sorted.(i))
+  done
+
+let test_sample_oversized () =
+  let rng = Rng.create 15 in
+  let s = Rng.sample rng 100 [| 1; 2; 3 |] in
+  Alcotest.(check int) "clamped to population" 3 (Array.length s)
+
+let test_choice_singleton () =
+  let rng = Rng.create 16 in
+  Alcotest.(check int) "only element" 9 (Rng.choice rng [| 9 |]);
+  Alcotest.(check int) "only element (list)" 9 (Rng.choice_list rng [ 9 ])
+
+let test_choice_list_empty () =
+  let rng = Rng.create 17 in
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.choice_list: empty list") (fun () ->
+      ignore (Rng.choice_list rng []))
+
+let test_geometric_mean () =
+  let rng = Rng.create 18 in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric rng 0.25
+  done;
+  (* Mean of geometric (failures before success) is (1-p)/p = 3. *)
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.) < 0.25)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 19 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:5. ~stddev:2.) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (sd -. 2.) < 0.1)
+
+let qcheck_int_in_range =
+  QCheck.Test.make ~name:"int_in stays within bounds" ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "copy preserves" `Quick test_copy_preserves;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "sample oversized" `Quick test_sample_oversized;
+          Alcotest.test_case "choice singleton" `Quick test_choice_singleton;
+          Alcotest.test_case "choice_list empty" `Quick test_choice_list_empty;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_int_in_range ]);
+    ]

@@ -1,0 +1,234 @@
+open Bionav_util
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module M = Bionav_corpus.Medline
+module Cit = Bionav_corpus.Citation
+module Tok = Bionav_search.Tokenizer
+module Idx = Bionav_search.Inverted_index
+module Eu = Bionav_search.Eutils
+
+(* --- Tokenizer --- *)
+
+let test_tokens_basic () =
+  Alcotest.(check (list string)) "split and lowercase" [ "cell"; "proliferation" ]
+    (Tok.tokens "Cell Proliferation")
+
+let test_tokens_punctuation () =
+  Alcotest.(check (list string)) "commas and parens" [ "histones"; "chromatin" ]
+    (Tok.tokens "Histones, (chromatin)")
+
+let test_tokens_keeps_plus_minus () =
+  Alcotest.(check (list string)) "ion channel names" [ "na+"; "i-"; "symporter" ]
+    (Tok.tokens "Na+/I- symporter")
+
+let test_tokens_drops_short_and_stopwords () =
+  Alcotest.(check (list string)) "filtered" [ "role"; "gene" ] (Tok.tokens "the role of a gene");
+  Alcotest.(check (list string)) "short dropped" [ "xy" ] (Tok.tokens "x xy")
+
+let test_tokens_duplicates_preserved () =
+  Alcotest.(check (list string)) "dups kept" [ "cell"; "cell" ] (Tok.tokens "cell cell")
+
+let test_unique_tokens () =
+  Alcotest.(check (list string)) "sorted unique" [ "alpha"; "beta" ]
+    (Tok.unique_tokens "beta alpha beta")
+
+let test_is_stop_word () =
+  Alcotest.(check bool) "the" true (Tok.is_stop_word "the");
+  Alcotest.(check bool) "protein" false (Tok.is_stop_word "protein")
+
+(* --- Index over a tiny hand-built corpus --- *)
+
+let tiny_medline () =
+  let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0; 0 |] in
+  let mk id title abstract =
+    {
+      Cit.id;
+      title;
+      abstract;
+      authors = [ "A B" ];
+      journal = "J";
+      year = 2000;
+      major_topics = [ 1 ];
+      concepts = Intset.of_list [ 1 ];
+      qualified = [];
+    }
+  in
+  M.make h
+    [|
+      mk 0 "prothymosin alpha in apoptosis" "study of apoptosis pathways";
+      mk 1 "histone chromatin remodeling" "prothymosin binds histones";
+      mk 2 "unrelated cardiology paper" "heart ventricle function";
+    |]
+
+let test_index_postings () =
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check (list int)) "prothymosin" [ 0; 1 ] (Intset.elements (Idx.postings idx "prothymosin"));
+  Alcotest.(check (list int)) "apoptosis" [ 0 ] (Intset.elements (Idx.postings idx "apoptosis"));
+  Alcotest.(check (list int)) "unknown" [] (Intset.elements (Idx.postings idx "zzz"))
+
+let test_index_case_insensitive () =
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check (list int)) "uppercase query" [ 0; 1 ]
+    (Intset.elements (Idx.postings idx "PROTHYMOSIN"))
+
+let test_query_and () =
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check (list int)) "conjunction" [ 1 ]
+    (Intset.elements (Idx.query_and idx "prothymosin histone"));
+  Alcotest.(check (list int)) "no match" [] (Intset.elements (Idx.query_and idx "apoptosis heart"));
+  Alcotest.(check (list int)) "empty query" [] (Intset.elements (Idx.query_and idx ""))
+
+let test_query_or () =
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check (list int)) "disjunction" [ 0; 1; 2 ]
+    (Intset.elements (Idx.query_or idx "apoptosis heart histone"))
+
+let test_no_duplicate_postings () =
+  (* "apoptosis" appears twice in citation 0; the posting must list it once. *)
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check int) "document frequency" 1 (Idx.document_frequency idx "apoptosis")
+
+let test_stop_words_not_indexed () =
+  let idx = Idx.build (tiny_medline ()) in
+  Alcotest.(check (list int)) "stop word" [] (Intset.elements (Idx.postings idx "of"))
+
+(* --- Eutils over a generated corpus --- *)
+
+let generated =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:51 () in
+     let params =
+       {
+         G.small_params with
+         G.n_citations = 300;
+         seeded_groups =
+           [
+             {
+               G.tag = Some "grueltag";
+               cluster = [ Bionav_mesh.Hierarchy.size h - 1 ];
+               count = 25;
+               topics_per_citation = (1, 1);
+             };
+           ];
+       }
+     in
+     G.generate ~params ~seed:52 h)
+
+let test_esearch_finds_tagged () =
+  let eu = Eu.create (Lazy.force generated) in
+  Alcotest.(check int) "tagged result size" 25 (Intset.cardinal (Eu.esearch eu "grueltag"))
+
+let test_esearch_count () =
+  let eu = Eu.create (Lazy.force generated) in
+  Alcotest.(check int) "count matches" 25 (Eu.esearch_count eu "grueltag")
+
+let test_esearch_empty_for_unknown () =
+  let eu = Eu.create (Lazy.force generated) in
+  Alcotest.(check int) "no results" 0 (Eu.esearch_count eu "nonexistentterm123")
+
+let test_esummary () =
+  let eu = Eu.create (Lazy.force generated) in
+  let summaries = Eu.esummary eu [ 0; 1; 2 ] in
+  Alcotest.(check int) "one line per id" 3 (List.length summaries);
+  List.iter (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 0)) summaries
+
+let test_unknown_id_rejected () =
+  let eu = Eu.create (Lazy.force generated) in
+  Alcotest.(check bool) "esummary rejects" true
+    (try
+       ignore (Eu.esummary eu [ 999999 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "concepts_of rejects" true
+    (try
+       ignore (Eu.concepts_of eu (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_esearch_paged () =
+  let eu = Eu.create (Lazy.force generated) in
+  let all = Eu.esearch_paged ~retmax:1000 eu "grueltag" in
+  Alcotest.(check int) "all ids" 25 (List.length all);
+  Alcotest.(check (list int)) "ascending by default" (List.sort Int.compare all) all;
+  let page1 = Eu.esearch_paged ~retmax:10 eu "grueltag" in
+  let page2 = Eu.esearch_paged ~retstart:10 ~retmax:10 eu "grueltag" in
+  let page3 = Eu.esearch_paged ~retstart:20 ~retmax:10 eu "grueltag" in
+  Alcotest.(check int) "page sizes" 25
+    (List.length page1 + List.length page2 + List.length page3);
+  Alcotest.(check (list int)) "pages concatenate" all (page1 @ page2 @ page3);
+  let by_rel = Eu.esearch_paged ~retmax:1000 ~sort:`Relevance eu "grueltag" in
+  Alcotest.(check (list int)) "same set under relevance sort"
+    (List.sort Int.compare all) (List.sort Int.compare by_rel);
+  Alcotest.(check bool) "rejects negative" true
+    (try
+       ignore (Eu.esearch_paged ~retstart:(-1) eu "grueltag");
+       false
+     with Invalid_argument _ -> true)
+
+let test_esearch_mh () =
+  let m = Lazy.force generated in
+  let eu = Eu.create m in
+  let h = M.hierarchy m in
+  (* A concept that certainly has citations: the one with the largest
+     posting list. *)
+  let best = ref 0 in
+  for c = 1 to Bionav_mesh.Hierarchy.size h - 1 do
+    if M.concept_count m c > M.concept_count m !best then best := c
+  done;
+  let label = Bionav_mesh.Hierarchy.label h !best in
+  let hits = Eu.esearch_mh eu label in
+  Alcotest.(check int) "matches postings" (M.concept_count m !best) (Intset.cardinal hits);
+  Alcotest.(check int) "unknown label empty" 0
+    (Intset.cardinal (Eu.esearch_mh eu "No Such Concept Xyz"));
+  (* Qualifier-restricted search returns a subset. *)
+  let me = "metabolism" in
+  let restricted = Eu.esearch_mh ~qualifier:me eu label in
+  Alcotest.(check bool) "subset" true (Intset.subset restricted hits);
+  Alcotest.(check bool) "bad qualifier rejected" true
+    (try
+       ignore (Eu.esearch_mh ~qualifier:"flavour" eu label);
+       false
+     with Invalid_argument _ -> true)
+
+let test_concepts_of_matches_citation () =
+  let eu = Eu.create (Lazy.force generated) in
+  let m = Eu.medline eu in
+  for id = 0 to 20 do
+    Alcotest.(check bool) "matches record" true
+      (Intset.equal (Eu.concepts_of eu id) (Cit.concepts (M.citation m id)))
+  done
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "tokenizer",
+        [
+          Alcotest.test_case "basic" `Quick test_tokens_basic;
+          Alcotest.test_case "punctuation" `Quick test_tokens_punctuation;
+          Alcotest.test_case "keeps +/-" `Quick test_tokens_keeps_plus_minus;
+          Alcotest.test_case "stopwords/short" `Quick test_tokens_drops_short_and_stopwords;
+          Alcotest.test_case "duplicates preserved" `Quick test_tokens_duplicates_preserved;
+          Alcotest.test_case "unique tokens" `Quick test_unique_tokens;
+          Alcotest.test_case "is_stop_word" `Quick test_is_stop_word;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "postings" `Quick test_index_postings;
+          Alcotest.test_case "case insensitive" `Quick test_index_case_insensitive;
+          Alcotest.test_case "AND" `Quick test_query_and;
+          Alcotest.test_case "OR" `Quick test_query_or;
+          Alcotest.test_case "no duplicate postings" `Quick test_no_duplicate_postings;
+          Alcotest.test_case "stop words not indexed" `Quick test_stop_words_not_indexed;
+        ] );
+      ( "eutils",
+        [
+          Alcotest.test_case "esearch tagged" `Quick test_esearch_finds_tagged;
+          Alcotest.test_case "esearch count" `Quick test_esearch_count;
+          Alcotest.test_case "esearch unknown" `Quick test_esearch_empty_for_unknown;
+          Alcotest.test_case "esummary" `Quick test_esummary;
+          Alcotest.test_case "esearch paged" `Quick test_esearch_paged;
+          Alcotest.test_case "esearch mh field" `Quick test_esearch_mh;
+          Alcotest.test_case "unknown id rejected" `Quick test_unknown_id_rejected;
+          Alcotest.test_case "concepts_of" `Quick test_concepts_of_matches_citation;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+open Bionav_util
+open Bionav_core
+module SL = Session_log
+
+let nav () =
+  let parent = [| -1; 0; 1; 1; 0; 4 |] in
+  let h = Bionav_mesh.Hierarchy.of_parents parent in
+  let attachments =
+    List.init 5 (fun i ->
+        let node = i + 1 in
+        (node, Intset.of_list (List.init 15 (fun j -> (node * 20) + j))))
+  in
+  Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 400)
+
+let test_text_roundtrip () =
+  let t = [ SL.Expand 3; SL.Show_results 7; SL.Backtrack; SL.Expand 1 ] in
+  Alcotest.(check bool) "roundtrip" true (SL.of_string (SL.to_string t) = t)
+
+let test_parse_tolerates_comments () =
+  let t = SL.of_string "# hello\n\nexpand 4\n  show 2  \n" in
+  Alcotest.(check bool) "parsed" true (t = [ SL.Expand 4; SL.Show_results 2 ])
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) text true
+        (try
+           ignore (SL.of_string text);
+           false
+         with Invalid_argument _ -> true))
+    [ "explode 3\n"; "expand x\n"; "show\n"; "expand 1 2\n" ]
+
+let test_recording_produces_replayable_transcript () =
+  let session = Navigation.start Navigation.Static (nav ()) in
+  let r = SL.record session in
+  ignore (SL.expand r 0);
+  ignore (SL.expand r 1);
+  ignore (SL.show_results r 2);
+  let t = SL.transcript r in
+  Alcotest.(check int) "three actions" 3 (List.length t);
+  (* Replay on a fresh session over the same tree applies everything. *)
+  let session2 = Navigation.start Navigation.Static (nav ()) in
+  let outcome = SL.replay session2 t in
+  Alcotest.(check int) "all applied" 3 outcome.SL.applied;
+  Alcotest.(check int) "none skipped" 0 outcome.SL.skipped;
+  Alcotest.(check int) "same cost" (Navigation.total_cost (Navigation.stats session))
+    (Navigation.total_cost outcome.SL.stats)
+
+let test_noop_actions_not_recorded () =
+  let session = Navigation.start Navigation.Static (nav ()) in
+  let r = SL.record session in
+  Alcotest.(check bool) "failed backtrack" false (SL.backtrack r);
+  ignore (SL.expand r 0);
+  ignore (SL.expand r 0);
+  (* second expand of the singleton upper is a no-op *)
+  Alcotest.(check int) "only real actions" 1 (List.length (SL.transcript r))
+
+let test_replay_skips_inapplicable () =
+  let t = [ SL.Expand 0; SL.Expand 9999; SL.Show_results 5; SL.Backtrack; SL.Backtrack ] in
+  let session = Navigation.start Navigation.Static (nav ()) in
+  let outcome = SL.replay session t in
+  (* expand root: ok; concept 9999: skip; show 5 (hidden after root expand?
+     node for concept 5 is visible only if the cut revealed it). *)
+  Alcotest.(check int) "total accounted" 5 (outcome.SL.applied + outcome.SL.skipped);
+  Alcotest.(check bool) "some skipped" true (outcome.SL.skipped >= 1)
+
+let test_replay_across_strategies () =
+  (* Record a BioNav session, replay on a static session: actions address
+     concepts, so whatever is visible still applies. *)
+  let s1 = Navigation.start (Navigation.bionav ()) (nav ()) in
+  let r = SL.record s1 in
+  ignore (SL.expand r 0);
+  let t = SL.transcript r in
+  let s2 = Navigation.start Navigation.Static (nav ()) in
+  let outcome = SL.replay s2 t in
+  Alcotest.(check int) "root expand applies" 1 outcome.SL.applied
+
+let test_save_load () =
+  let t = [ SL.Expand 1; SL.Backtrack ] in
+  let path = Filename.temp_file "bionav_session" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      SL.save t path;
+      Alcotest.(check bool) "roundtrip" true (SL.load path = t))
+
+let () =
+  Alcotest.run "session_log"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+          Alcotest.test_case "comments" `Quick test_parse_tolerates_comments;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "record/replay" `Quick test_recording_produces_replayable_transcript;
+          Alcotest.test_case "noop not recorded" `Quick test_noop_actions_not_recorded;
+          Alcotest.test_case "replay skips" `Quick test_replay_skips_inapplicable;
+          Alcotest.test_case "across strategies" `Quick test_replay_across_strategies;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+    ]

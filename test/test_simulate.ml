@@ -1,0 +1,142 @@
+open Bionav_util
+open Bionav_core
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module DB = Bionav_store.Database
+
+(* Hand-built fixture: a 3-level tree with 12 citations per node. *)
+let fixture () =
+  let parent = [| -1; 0; 1; 2; 0; 4; 5; 1 |] in
+  let h = Bionav_mesh.Hierarchy.of_parents parent in
+  let attachments =
+    List.init 7 (fun i ->
+        let node = i + 1 in
+        (node, Intset.of_list (List.init 12 (fun j -> (node * 12) + j))))
+  in
+  Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 800)
+
+let test_static_expands_equal_target_depth () =
+  let nav = fixture () in
+  (* Node 3 has nav depth 3; static navigation expands once per level. *)
+  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target:3 in
+  Alcotest.(check int) "expands = depth" (Nav_tree.depth nav 3) o.Simulate.expands;
+  Alcotest.(check int) "cost = expands + revealed" (o.Simulate.expands + o.Simulate.revealed)
+    o.Simulate.navigation_cost
+
+let test_target_already_visible () =
+  let nav = fixture () in
+  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target:0 in
+  Alcotest.(check int) "no expands" 0 o.Simulate.expands;
+  Alcotest.(check int) "zero cost" 0 o.Simulate.navigation_cost
+
+let test_show_results_counted () =
+  let nav = fixture () in
+  let o = Simulate.to_target ~show_results:true ~strategy:Navigation.Static nav ~target:3 in
+  Alcotest.(check int) "listed = component distinct" 12 o.Simulate.results_listed;
+  Alcotest.(check int) "total adds listing" (o.Simulate.navigation_cost + 12) o.Simulate.total_cost
+
+let test_bionav_reaches_every_node () =
+  let nav = fixture () in
+  for target = 0 to Nav_tree.size nav - 1 do
+    let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+    Alcotest.(check bool) "terminates with bounded cost" true (o.Simulate.navigation_cost < 1000)
+  done
+
+let test_history_chronological () =
+  let nav = fixture () in
+  let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target:6 in
+  Alcotest.(check int) "history length = expands" o.Simulate.expands
+    (List.length o.Simulate.history);
+  let total_revealed =
+    List.fold_left (fun a (r : Navigation.expand_record) -> a + r.Navigation.n_revealed) 0
+      o.Simulate.history
+  in
+  Alcotest.(check int) "revealed sums" o.Simulate.revealed total_revealed
+
+let test_to_concept () =
+  let nav = fixture () in
+  let o1 = Simulate.to_concept ~strategy:Navigation.Static nav ~concept:3 in
+  let o2 = Simulate.to_target ~strategy:Navigation.Static nav ~target:3 in
+  Alcotest.(check int) "same navigation" o2.Simulate.navigation_cost o1.Simulate.navigation_cost
+
+let test_to_concept_rejects_missing () =
+  let nav = fixture () in
+  Alcotest.(check bool) "missing concept" true
+    (try
+       ignore (Simulate.to_concept ~strategy:Navigation.Static nav ~concept:9999);
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_target_rejects_out_of_range () =
+  let nav = fixture () in
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Simulate.to_target ~strategy:Navigation.Static nav ~target:99);
+       false
+     with Invalid_argument _ -> true)
+
+(* Integration on a generated corpus: both strategies reach random targets,
+   and static cost equals the sum of children counts along the target's
+   path plus the number of levels. *)
+let generated_nav =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:71 () in
+     let m = G.generate ~params:{ G.small_params with G.n_citations = 400 } ~seed:72 h in
+     let db = DB.of_medline m in
+     Nav_tree.of_database db (Intset.of_list (List.init 60 (fun i -> i * 2))))
+
+let test_static_cost_formula_on_generated () =
+  let nav = Lazy.force generated_nav in
+  let target = Nav_tree.size nav - 1 in
+  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+  (* Expected: expanding each node on the root path reveals its children. *)
+  let rec path_up acc n = if n = -1 then acc else path_up (n :: acc) (Nav_tree.parent nav n) in
+  let path = path_up [] (Nav_tree.parent nav target) in
+  let expected_revealed =
+    List.fold_left (fun a n -> a + List.length (Nav_tree.children nav n)) 0 path
+  in
+  Alcotest.(check int) "revealed" expected_revealed o.Simulate.revealed;
+  Alcotest.(check int) "expands" (List.length path) o.Simulate.expands
+
+let test_bionav_vs_static_on_generated () =
+  let nav = Lazy.force generated_nav in
+  let targets = [ Nav_tree.size nav / 2; Nav_tree.size nav - 3; 5 ] in
+  List.iter
+    (fun target ->
+      let st = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+      let bn = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+      (* Not asserting dominance per-target (the heuristic can lose on tiny
+         trees); assert both terminate with sane costs. *)
+      Alcotest.(check bool) "static sane" true (st.Simulate.navigation_cost > 0);
+      Alcotest.(check bool) "bionav sane" true (bn.Simulate.navigation_cost > 0))
+    targets
+
+let test_deterministic_outcomes () =
+  let nav = Lazy.force generated_nav in
+  let target = Nav_tree.size nav - 1 in
+  let a = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+  let b = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+  Alcotest.(check int) "same cost" a.Simulate.navigation_cost b.Simulate.navigation_cost;
+  Alcotest.(check int) "same expands" a.Simulate.expands b.Simulate.expands
+
+let () =
+  Alcotest.run "simulate"
+    [
+      ( "fixture",
+        [
+          Alcotest.test_case "static depth" `Quick test_static_expands_equal_target_depth;
+          Alcotest.test_case "already visible" `Quick test_target_already_visible;
+          Alcotest.test_case "show results" `Quick test_show_results_counted;
+          Alcotest.test_case "bionav reaches all" `Quick test_bionav_reaches_every_node;
+          Alcotest.test_case "history chronological" `Quick test_history_chronological;
+          Alcotest.test_case "to_concept" `Quick test_to_concept;
+          Alcotest.test_case "rejects missing concept" `Quick test_to_concept_rejects_missing;
+          Alcotest.test_case "rejects bad target" `Quick test_to_target_rejects_out_of_range;
+        ] );
+      ( "generated",
+        [
+          Alcotest.test_case "static cost formula" `Quick test_static_cost_formula_on_generated;
+          Alcotest.test_case "both strategies sane" `Quick test_bionav_vs_static_on_generated;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_outcomes;
+        ] );
+    ]

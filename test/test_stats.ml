@@ -1,0 +1,103 @@
+open Bionav_util
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "empty" 0. (Stats.mean [||])
+
+let test_variance_stddev () =
+  feq "variance" 2. (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  feq "stddev" (sqrt 2.) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |]);
+  feq "short" 0. (Stats.variance [| 7. |])
+
+let test_median () =
+  feq "odd" 3. (Stats.median [| 5.; 1.; 3. |]);
+  feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  feq "empty" 0. (Stats.median [||])
+
+let test_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  feq "p0" 10. (Stats.percentile xs 0.);
+  feq "p100" 50. (Stats.percentile xs 100.);
+  feq "p50" 30. (Stats.percentile xs 50.);
+  feq "p25" 20. (Stats.percentile xs 25.)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.percentile xs 50.);
+  Alcotest.(check (array (float 1e-9))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let test_min_max_sum () =
+  let xs = [| 3.; -1.; 2. |] in
+  feq "min" (-1.) (Stats.minimum xs);
+  feq "max" 3. (Stats.maximum xs);
+  feq "sum" 4. (Stats.sum xs);
+  Alcotest.(check int) "sum_int" 6 (Stats.sum_int [| 1; 2; 3 |])
+
+let test_entropy () =
+  feq "uniform 2" (log 2.) (Stats.entropy [| 1.; 1. |]);
+  feq "certain" 0. (Stats.entropy [| 5.; 0.; 0. |]);
+  feq "empty mass" 0. (Stats.entropy [| 0.; 0. |]);
+  (* Entropy invariant under scaling. *)
+  feq "scale invariant" (Stats.entropy [| 1.; 3. |]) (Stats.entropy [| 10.; 30. |])
+
+let test_normalized_entropy () =
+  feq "uniform is 1" 1. (Stats.normalized_entropy [| 2.; 2.; 2. |]);
+  feq "single positive" 0. (Stats.normalized_entropy [| 5.; 0. |]);
+  let v = Stats.normalized_entropy [| 1.; 9. |] in
+  Alcotest.(check bool) "skewed below 1" true (v > 0. && v < 1.)
+
+let test_harmonic () =
+  feq "H1" 1. (Stats.harmonic 1);
+  feq "H3" (1. +. 0.5 +. (1. /. 3.)) (Stats.harmonic 3);
+  feq "H0" 0. (Stats.harmonic 0)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  Alcotest.(check int) "counts total" 4 (c0 + c1);
+  Alcotest.(check int) "empty input" 0 (Array.length (Stats.histogram ~bins:3 [||]))
+
+let test_histogram_constant_input () =
+  let h = Stats.histogram ~bins:4 [| 5.; 5.; 5. |] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 3 total
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile lies within min/max" ~count:300
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (l, p) ->
+      let xs = Array.of_list l in
+      let v = Stats.percentile xs p in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let qcheck_entropy_nonneg =
+  QCheck.Test.make ~name:"entropy is non-negative" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) (float_range 0. 50.))
+    (fun l -> Stats.entropy (Array.of_list l) >= -1e-12)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile no mutation" `Quick test_percentile_does_not_mutate;
+          Alcotest.test_case "min/max/sum" `Quick test_min_max_sum;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "normalized entropy" `Quick test_normalized_entropy;
+          Alcotest.test_case "harmonic" `Quick test_harmonic;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram constant" `Quick test_histogram_constant_input;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+          QCheck_alcotest.to_alcotest qcheck_entropy_nonneg;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+open Bionav_util
+open Bionav_core
+module SU = Stochastic_user
+
+(* A tree with enough citations that P_x = 1 at the root (distinct > 50). *)
+let nav () =
+  let parent = [| -1; 0; 1; 1; 0; 4; 4 |] in
+  let h = Bionav_mesh.Hierarchy.of_parents parent in
+  let attachments =
+    List.init 6 (fun i ->
+        let node = i + 1 in
+        (node, Intset.of_list (List.init 15 (fun j -> (node * 20) + j))))
+  in
+  Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 600)
+
+(* A tiny-result tree where P_x = 0 everywhere: the user must list
+   immediately. *)
+let tiny_nav () =
+  let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0; 0 |] in
+  Nav_tree.build ~hierarchy:h
+    ~attachments:[ (1, Intset.of_list [ 1; 2 ]); (2, Intset.of_list [ 3 ]) ]
+    ~total_count:(fun _ -> 100)
+
+let test_walk_terminates_with_showresults () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    let o = SU.walk ~rng ~strategy:(Navigation.bionav ()) (nav ()) in
+    Alcotest.(check bool) "listed something or bounded" true
+      (o.SU.results_listed > 0 || o.SU.expands > 0);
+    Alcotest.(check int) "cost adds up" o.SU.total_cost
+      (o.SU.expands + o.SU.revealed + o.SU.results_listed)
+  done
+
+let test_small_results_list_immediately () =
+  let rng = Rng.create 2 in
+  let o = SU.walk ~rng ~strategy:(Navigation.bionav ()) (tiny_nav ()) in
+  Alcotest.(check int) "no expands" 0 o.SU.expands;
+  Alcotest.(check int) "all results listed" 3 o.SU.results_listed;
+  Alcotest.(check int) "stopped at root" 0 o.SU.stopped_at
+
+let test_sample_deterministic_in_seed () =
+  let a = SU.sample ~walks:50 ~seed:7 ~strategy:(Navigation.bionav ()) (nav ()) in
+  let b = SU.sample ~walks:50 ~seed:7 ~strategy:(Navigation.bionav ()) (nav ()) in
+  Alcotest.(check (float 1e-9)) "same mean" a.SU.mean_cost b.SU.mean_cost;
+  Alcotest.(check (float 1e-9)) "same median" a.SU.median_cost b.SU.median_cost
+
+let test_sample_shapes () =
+  let s = SU.sample ~walks:80 ~seed:9 ~strategy:Navigation.Static (nav ()) in
+  Alcotest.(check int) "walks recorded" 80 s.SU.walks;
+  Alcotest.(check bool) "positive cost" true (s.SU.mean_cost > 0.);
+  Alcotest.(check bool) "median <= sane bound" true (s.SU.median_cost < 1000.)
+
+let test_sample_rejects_zero_walks () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (SU.sample ~walks:0 ~seed:1 ~strategy:Navigation.Static (nav ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_steps_bounds_walk () =
+  let rng = Rng.create 3 in
+  let o = SU.walk ~max_steps:1 ~rng ~strategy:(Navigation.bionav ()) (nav ()) in
+  Alcotest.(check bool) "at most one expand" true (o.SU.expands <= 1)
+
+let () =
+  Alcotest.run "stochastic_user"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "terminates" `Quick test_walk_terminates_with_showresults;
+          Alcotest.test_case "small results list" `Quick test_small_results_list_immediately;
+          Alcotest.test_case "seed determinism" `Quick test_sample_deterministic_in_seed;
+          Alcotest.test_case "sample shapes" `Quick test_sample_shapes;
+          Alcotest.test_case "rejects zero walks" `Quick test_sample_rejects_zero_walks;
+          Alcotest.test_case "max steps" `Quick test_max_steps_bounds_walk;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+module H = Bionav_mesh.Hierarchy
+module S = Bionav_mesh.Synthetic
+
+let small = S.small_params
+
+let test_deterministic () =
+  let a = S.generate ~params:small ~seed:3 () in
+  let b = S.generate ~params:small ~seed:3 () in
+  Alcotest.(check int) "same size" (H.size a) (H.size b);
+  for i = 0 to H.size a - 1 do
+    if H.label a i <> H.label b i || H.parent a i <> H.parent b i then
+      Alcotest.fail "generation not deterministic"
+  done
+
+let test_seed_changes_output () =
+  let a = S.generate ~params:small ~seed:3 () in
+  let b = S.generate ~params:small ~seed:4 () in
+  let differs =
+    H.size a <> H.size b
+    ||
+    let d = ref false in
+    for i = 0 to H.size a - 1 do
+      if H.label a i <> H.label b i then d := true
+    done;
+    !d
+  in
+  Alcotest.(check bool) "different seeds differ" true differs
+
+let test_size_near_target () =
+  let h = S.generate ~params:small ~seed:1 () in
+  let n = H.size h in
+  Alcotest.(check bool) "within 25% of target" true
+    (float_of_int n > 0.75 *. float_of_int small.S.target_size
+    && float_of_int n < 1.25 *. float_of_int small.S.target_size)
+
+let test_top_fanout () =
+  let h = S.generate ~params:small ~seed:1 () in
+  Alcotest.(check int) "root children" small.S.top_fanout (List.length (H.children h 0))
+
+let test_depth_bounded () =
+  let h = S.generate ~params:small ~seed:2 () in
+  Alcotest.(check bool) "height within max_depth" true (H.height h <= small.S.max_depth);
+  Alcotest.(check bool) "reasonably deep" true (H.height h >= small.S.max_depth - 2)
+
+let test_root_label () =
+  let h = S.generate ~params:small ~seed:1 () in
+  Alcotest.(check string) "MeSH root" "MeSH" (H.label h 0)
+
+let test_category_labels () =
+  let h = S.generate ~params:small ~seed:1 () in
+  let first = List.hd (H.children h 0) in
+  Alcotest.(check string) "first category" "Anatomy" (H.label h first)
+
+let test_labels_unique () =
+  let h = S.generate ~params:small ~seed:6 () in
+  let seen = Hashtbl.create 512 in
+  for i = 0 to H.size h - 1 do
+    let l = H.label h i in
+    if Hashtbl.mem seen l then Alcotest.fail (Printf.sprintf "duplicate label %S" l);
+    Hashtbl.add seen l ()
+  done
+
+let test_level_counts_budget () =
+  let counts = S.level_counts small in
+  Alcotest.(check int) "level 1 pinned" small.S.top_fanout counts.(0);
+  let total = Array.fold_left ( + ) 1 counts in
+  Alcotest.(check bool) "near target" true
+    (abs (total - small.S.target_size) < small.S.target_size / 4);
+  Alcotest.(check bool) "levels bounded" true (Array.length counts <= small.S.max_depth)
+
+let test_default_profile_shape () =
+  let counts = S.level_counts S.default_params in
+  Alcotest.(check int) "112 top trees" 112 counts.(0);
+  (* The profile peaks in the middle depths, as MeSH does. *)
+  let peak = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!peak) then peak := i) counts;
+  Alcotest.(check bool) "peak at depth 4-7" true (!peak >= 3 && !peak <= 6)
+
+let test_bushiness_varies () =
+  let h = S.generate ~params:small ~seed:7 () in
+  (* Zipf parent skew should produce at least one node with many children
+     and many leaves. *)
+  let max_children = ref 0 and leaves = ref 0 in
+  for i = 0 to H.size h - 1 do
+    max_children := max !max_children (List.length (H.children h i));
+    if H.is_leaf h i then incr leaves
+  done;
+  Alcotest.(check bool) "bushy node exists" true (!max_children >= 8);
+  Alcotest.(check bool) "most nodes are leaves" true (!leaves * 2 > H.size h)
+
+let () =
+  Alcotest.run "synthetic"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed changes output" `Quick test_seed_changes_output;
+          Alcotest.test_case "size near target" `Quick test_size_near_target;
+          Alcotest.test_case "top fanout" `Quick test_top_fanout;
+          Alcotest.test_case "depth bounded" `Quick test_depth_bounded;
+          Alcotest.test_case "root label" `Quick test_root_label;
+          Alcotest.test_case "category labels" `Quick test_category_labels;
+          Alcotest.test_case "labels unique" `Quick test_labels_unique;
+          Alcotest.test_case "level counts budget" `Quick test_level_counts_budget;
+          Alcotest.test_case "default profile shape" `Quick test_default_profile_shape;
+          Alcotest.test_case "bushiness varies" `Quick test_bushiness_varies;
+        ] );
+    ]

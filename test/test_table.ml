@@ -1,0 +1,68 @@
+open Bionav_util
+
+let test_render_alignment () =
+  let out = Table.render [ Table.Left; Table.Right ] [ [ "ab"; "1" ]; [ "c"; "22" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check string) "row 1" "ab   1" (List.nth lines 0);
+  Alcotest.(check string) "row 2" "c   22" (List.nth lines 1)
+
+let test_render_header_separator () =
+  let out = Table.render ~header:[ "x"; "y" ] [ Table.Left; Table.Left ] [ [ "1"; "2" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "dashes" true (String.for_all (fun c -> c = '-') (List.nth lines 1));
+  Alcotest.(check int) "line count" 4 (List.length lines)
+
+let test_render_empty () = Alcotest.(check string) "empty" "" (Table.render [] [])
+
+let test_render_ragged_rows () =
+  (* Rows with fewer cells than the widest row must not raise. *)
+  let out = Table.render [ Table.Left ] [ [ "a"; "b" ]; [ "c" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_bar_chart_scaling () =
+  let out = Table.bar_chart ~width:10 ~title:"t" [ ("a", 10.); ("b", 5.) ] in
+  let lines = String.split_on_char '\n' out in
+  let count_hashes s = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 s in
+  Alcotest.(check int) "max bar full width" 10 (count_hashes (List.nth lines 1));
+  Alcotest.(check int) "half bar" 5 (count_hashes (List.nth lines 2))
+
+let test_bar_chart_zero () =
+  let out = Table.bar_chart ~title:"t" [ ("a", 0.) ] in
+  Alcotest.(check bool) "no bars" true (not (String.contains out '#'))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_grouped_bar_chart () =
+  let out =
+    Table.grouped_bar_chart ~width:8 ~title:"cost" ~series_names:("static", "bionav")
+      [ ("q1", 8., 4.) ]
+  in
+  Alcotest.(check bool) "mentions static" true (contains ~sub:"static" out);
+  Alcotest.(check bool) "mentions bionav" true (contains ~sub:"bionav" out);
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "title + two bars + trailing" 4 (List.length lines)
+
+let test_section () =
+  let out = Table.section "Hello" in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  Alcotest.(check string) "middle" "= Hello =" (List.nth lines 1)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "header separator" `Quick test_render_header_separator;
+          Alcotest.test_case "empty" `Quick test_render_empty;
+          Alcotest.test_case "ragged rows" `Quick test_render_ragged_rows;
+          Alcotest.test_case "bar chart scaling" `Quick test_bar_chart_scaling;
+          Alcotest.test_case "bar chart zero" `Quick test_bar_chart_zero;
+          Alcotest.test_case "grouped bar chart" `Quick test_grouped_bar_chart;
+          Alcotest.test_case "section" `Quick test_section;
+        ] );
+    ]

@@ -1,0 +1,32 @@
+open Bionav_util
+
+let test_time_returns_result () =
+  let v, ms = Timing.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check bool) "non-negative" true (ms >= 0.)
+
+let test_time_measures_work () =
+  let _, ms =
+    Timing.time (fun () ->
+        let acc = ref 0. in
+        for i = 1 to 3_000_000 do
+          acc := !acc +. sqrt (float_of_int i)
+        done;
+        ignore !acc)
+  in
+  Alcotest.(check bool) "measurably positive" true (ms > 0.)
+
+let test_repeat_ms_mean () =
+  let ms = Timing.repeat_ms 100 (fun () -> ()) in
+  Alcotest.(check bool) "tiny for no-op" true (ms >= 0. && ms < 10.)
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "returns result" `Quick test_time_returns_result;
+          Alcotest.test_case "measures work" `Quick test_time_measures_work;
+          Alcotest.test_case "repeat mean" `Quick test_repeat_ms_mean;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+open Bionav_util
+open Bionav_core
+module Ted = Bionav_npc.Ted
+
+let mk parent results totals =
+  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+
+(* Star: root empty, children {1}, {1}, {2} — the Theorem 1 shape. *)
+let star () =
+  mk [| -1; 0; 0; 0 |] [| []; [ 1 ]; [ 1 ]; [ 2 ] |] [| 0; 5; 5; 5 |]
+
+let test_components_of_cut () =
+  let t = star () in
+  Alcotest.(check (list (list int))) "upper then lowers" [ [ 0; 2 ]; [ 1 ]; [ 3 ] ]
+    (Topdown_exhaustive.components_of_cut t [ 1; 3 ])
+
+let test_components_rejects_invalid () =
+  let t = mk [| -1; 0; 1 |] [| [ 0 ]; [ 1 ]; [ 2 ] |] [| 3; 3; 3 |] in
+  let rejects cut =
+    try
+      ignore (Topdown_exhaustive.components_of_cut t cut);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true (rejects []);
+  Alcotest.(check bool) "root" true (rejects [ 0 ]);
+  Alcotest.(check bool) "ancestor pair" true (rejects [ 1; 2 ])
+
+let test_cost_of_cut () =
+  let t = star () in
+  (* Cut {3}: 2 components; distinct = |{1}| (upper: nodes 0,1,2) + |{2}| = 2.
+     cost = 2 + 2/2 = 3. *)
+  Alcotest.(check (float 1e-9)) "cut {3}" 3. (Topdown_exhaustive.cost_of_cut t [ 3 ]);
+  (* Cut {1}: upper = {0,2,3} holding {1,2}; cost = 2 + (2+1)/2 = 3.5. *)
+  Alcotest.(check (float 1e-9)) "cut {1}" 3.5 (Topdown_exhaustive.cost_of_cut t [ 1 ])
+
+let test_duplicates_within () =
+  let t = star () in
+  (* Cut {3} keeps the two copies of element 1 together: 1 duplicate. *)
+  Alcotest.(check int) "dup-preserving" 1 (Topdown_exhaustive.duplicates_within t [ 3 ]);
+  Alcotest.(check int) "dup-splitting" 0 (Topdown_exhaustive.duplicates_within t [ 1 ])
+
+let test_best_cut_fixed_j () =
+  let t = star () in
+  (match Topdown_exhaustive.best_cut t ~components:2 with
+  | Some (cut, cost) ->
+      Alcotest.(check (list int)) "keeps duplicates" [ 3 ] cut;
+      Alcotest.(check (float 1e-9)) "cost" 3. cost
+  | None -> Alcotest.fail "expected a cut");
+  Alcotest.(check bool) "impossible j" true (Topdown_exhaustive.best_cut t ~components:9 = None)
+
+let test_cost_duplicates_duality () =
+  (* For fixed j, cost = j + (attached - duplicates)/j: minimizing cost is
+     maximizing duplicates. Check on every valid 2-cut of a random tree. *)
+  let rng = Rng.create 4 in
+  for _ = 1 to 20 do
+    let n = 5 + Rng.int rng 6 in
+    let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+    let results =
+      Array.init n (fun _ -> Intset.of_list (List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng 8)))
+    in
+    let t = Comp_tree.make ~parent ~results ~totals:(Array.make n 100) () in
+    let attached =
+      List.fold_left
+        (fun a v -> a + Comp_tree.result_count t v)
+        0
+        (List.init n Fun.id)
+    in
+    match (Topdown_exhaustive.best_cut t ~components:2, Topdown_exhaustive.max_duplicates t ~components:2) with
+    | Some (_, cost), Some dup ->
+        let expected = 2. +. (float_of_int (attached - dup) /. 2.) in
+        Alcotest.(check (float 1e-9)) "duality" expected cost
+    | None, None -> ()
+    | _ -> Alcotest.fail "solvers disagree about feasibility"
+  done
+
+let test_matches_ted_brute_force () =
+  (* The core solver and the NPC library's TED solver must agree: convert the
+     component tree into a TED instance (same shape, result ids as elements)
+     and compare maximum duplicates for every feasible j. *)
+  let rng = Rng.create 9 in
+  for _ = 1 to 15 do
+    let n = 4 + Rng.int rng 5 in
+    let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+    let results =
+      Array.init n (fun _ -> Intset.of_list (List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng 6)))
+    in
+    let t = Comp_tree.make ~parent ~results ~totals:(Array.make n 50) () in
+    let ted = Ted.make ~parent ~elements:(Array.map Intset.elements results) in
+    for j = 2 to n do
+      let a = Topdown_exhaustive.max_duplicates t ~components:j in
+      let b = Ted.best_duplicates ted ~components:j in
+      Alcotest.(check (option int)) (Printf.sprintf "j=%d" j) b a
+    done
+  done
+
+let test_best_cut_any () =
+  let t = star () in
+  let cut, cost = Topdown_exhaustive.best_cut_any t in
+  Alcotest.(check bool) "non-empty" true (cut <> []);
+  (* Must be at least as good as any fixed-j optimum. *)
+  List.iter
+    (fun j ->
+      match Topdown_exhaustive.best_cut t ~components:j with
+      | Some (_, c) -> Alcotest.(check bool) "dominates" true (cost <= c +. 1e-9)
+      | None -> ())
+    [ 2; 3; 4 ]
+
+let test_best_cut_any_rejects_singleton () =
+  let t = mk [| -1 |] [| [ 1 ] |] [| 2 |] in
+  Alcotest.(check bool) "singleton" true
+    (try
+       ignore (Topdown_exhaustive.best_cut_any t);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "topdown_exhaustive"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "components of cut" `Quick test_components_of_cut;
+          Alcotest.test_case "rejects invalid" `Quick test_components_rejects_invalid;
+          Alcotest.test_case "cost of cut" `Quick test_cost_of_cut;
+          Alcotest.test_case "duplicates within" `Quick test_duplicates_within;
+          Alcotest.test_case "best cut fixed j" `Quick test_best_cut_fixed_j;
+          Alcotest.test_case "cost/duplicates duality" `Quick test_cost_duplicates_duality;
+          Alcotest.test_case "matches TED brute force" `Quick test_matches_ted_brute_force;
+          Alcotest.test_case "best cut any" `Quick test_best_cut_any;
+          Alcotest.test_case "rejects singleton" `Quick test_best_cut_any_rejects_singleton;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+module TN = Bionav_mesh.Tree_number
+
+let tn = Alcotest.testable TN.pp TN.equal
+
+let test_root () =
+  Alcotest.(check string) "empty string" "" (TN.to_string TN.root);
+  Alcotest.(check int) "depth 0" 0 (TN.depth TN.root);
+  Alcotest.(check bool) "no parent" true (TN.parent TN.root = None)
+
+let test_parse_format_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (TN.to_string (TN.of_string s)))
+    [ "A"; "C04"; "C04.588"; "C04.588.033"; "Z99.001.002.003" ]
+
+let test_parse_empty_is_root () = Alcotest.check tn "root" TN.root (TN.of_string "")
+
+let test_parse_rejects_malformed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (try
+           ignore (TN.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "."; "A.."; "A."; ".A"; "a01"; "A 1"; "A-1" ]
+
+let test_child_letters () =
+  Alcotest.(check string) "first child" "A" (TN.to_string (TN.child TN.root 0));
+  Alcotest.(check string) "second child" "B" (TN.to_string (TN.child TN.root 1));
+  Alcotest.(check string) "26th wraps" "A1" (TN.to_string (TN.child TN.root 26))
+
+let test_child_numeric () =
+  let a = TN.child TN.root 0 in
+  Alcotest.(check string) "padded" "A.000" (TN.to_string (TN.child a 0));
+  Alcotest.(check string) "padded 12" "A.012" (TN.to_string (TN.child a 12))
+
+let test_parent_inverse_of_child () =
+  let t = TN.of_string "C04.588.033" in
+  Alcotest.check tn "parent" (TN.of_string "C04.588") (Option.get (TN.parent t));
+  let c = TN.child t 5 in
+  Alcotest.check tn "child's parent" t (Option.get (TN.parent c))
+
+let test_depth () =
+  Alcotest.(check int) "depth 3" 3 (TN.depth (TN.of_string "C04.588.033"));
+  Alcotest.(check int) "depth 1" 1 (TN.depth (TN.of_string "C04"))
+
+let test_is_ancestor () =
+  let a = TN.of_string "C04" and b = TN.of_string "C04.588" and c = TN.of_string "C05" in
+  Alcotest.(check bool) "parent is ancestor" true (TN.is_ancestor a b);
+  Alcotest.(check bool) "root is ancestor" true (TN.is_ancestor TN.root a);
+  Alcotest.(check bool) "not self" false (TN.is_ancestor a a);
+  Alcotest.(check bool) "not sibling" false (TN.is_ancestor a c);
+  Alcotest.(check bool) "not reverse" false (TN.is_ancestor b a)
+
+let test_compare_ancestor_first () =
+  let a = TN.of_string "C04" and b = TN.of_string "C04.588" in
+  Alcotest.(check bool) "ancestor sorts first" true (TN.compare a b < 0);
+  Alcotest.(check int) "equal" 0 (TN.compare a (TN.of_string "C04"))
+
+let qcheck_child_parent_inverse =
+  QCheck.Test.make ~name:"parent (child t i) = t" ~count:300
+    QCheck.(pair (int_range 0 50) (list_of_size (QCheck.Gen.int_range 0 5) (int_range 0 200)))
+    (fun (first, rest) ->
+      let t = List.fold_left (fun acc i -> TN.child acc i) (TN.child TN.root first) rest in
+      let deep = TN.child t 3 in
+      TN.equal (Option.get (TN.parent deep)) t)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string t) = t" ~count:300
+    QCheck.(pair (int_range 0 40) (list_of_size (QCheck.Gen.int_range 0 6) (int_range 0 999)))
+    (fun (first, rest) ->
+      let t = List.fold_left (fun acc i -> TN.child acc i) (TN.child TN.root first) rest in
+      TN.equal (TN.of_string (TN.to_string t)) t)
+
+let () =
+  Alcotest.run "tree_number"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "root" `Quick test_root;
+          Alcotest.test_case "parse/format roundtrip" `Quick test_parse_format_roundtrip;
+          Alcotest.test_case "parse empty" `Quick test_parse_empty_is_root;
+          Alcotest.test_case "parse rejects malformed" `Quick test_parse_rejects_malformed;
+          Alcotest.test_case "child letters" `Quick test_child_letters;
+          Alcotest.test_case "child numeric" `Quick test_child_numeric;
+          Alcotest.test_case "parent inverse" `Quick test_parent_inverse_of_child;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "is_ancestor" `Quick test_is_ancestor;
+          Alcotest.test_case "compare" `Quick test_compare_ancestor_first;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_child_parent_inverse;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+    ]

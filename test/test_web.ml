@@ -1,0 +1,230 @@
+open Bionav_util
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module DB = Bionav_store.Database
+module Eu = Bionav_search.Eutils
+module Html = Bionav_web.Html
+module Http = Bionav_web.Http
+module App = Bionav_web.App
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* --- Html --- *)
+
+let test_escape () =
+  Alcotest.(check string) "all specials" "&amp;&lt;&gt;&quot;&#39;" (Html.escape "&<>\"'");
+  Alcotest.(check string) "plain untouched" "hello" (Html.escape "hello")
+
+let test_tag_and_link () =
+  Alcotest.(check string) "tag" "<p class=\"x\">body</p>"
+    (Html.tag ~attrs:[ ("class", "x") ] "p" "body");
+  Alcotest.(check string) "attr escaped" "<p title=\"a&quot;b\"></p>"
+    (Html.tag ~attrs:[ ("title", "a\"b") ] "p" "");
+  Alcotest.(check string) "link label escaped" "<a href=\"/x\">a&lt;b</a>"
+    (Html.link ~href:"/x" "a<b")
+
+let test_url_encoding () =
+  Alcotest.(check string) "plain" "/p" (Html.url "/p" []);
+  Alcotest.(check string) "params" "/p?q=a+b&x=1%2F2"
+    (Html.url "/p" [ ("q", "a b"); ("x", "1/2") ])
+
+let test_page_shape () =
+  let p = Html.page ~title:"T<" "BODY" in
+  Alcotest.(check bool) "doctype" true (contains ~sub:"<!DOCTYPE html>" p);
+  Alcotest.(check bool) "escaped title" true (contains ~sub:"T&lt;" p);
+  Alcotest.(check bool) "body" true (contains ~sub:"BODY" p)
+
+(* --- Http parsing --- *)
+
+let test_url_decode () =
+  Alcotest.(check string) "plus" "a b" (Http.url_decode "a+b");
+  Alcotest.(check string) "percent" "a/b" (Http.url_decode "a%2Fb");
+  Alcotest.(check string) "malformed passes through" "a%zz" (Http.url_decode "a%zz");
+  Alcotest.(check string) "roundtrip" "x y/z"
+    (Http.url_decode (String.concat "" [ "x"; "+"; "y"; "%2F"; "z" ]))
+
+let test_parse_target () =
+  Alcotest.(check (pair string (list (pair string string)))) "no query" ("/a", [])
+    (Http.parse_target "/a");
+  Alcotest.(check (pair string (list (pair string string)))) "with query"
+    ("/a", [ ("x", "1"); ("y", "b c") ])
+    (Http.parse_target "/a?x=1&y=b%20c");
+  Alcotest.(check (pair string (list (pair string string)))) "flag param"
+    ("/a", [ ("flag", "") ])
+    (Http.parse_target "/a?flag")
+
+let test_parse_request_line () =
+  Alcotest.(check (option (pair string string))) "get" (Some ("GET", "/x?y=1"))
+    (Http.parse_request_line "GET /x?y=1 HTTP/1.1\r");
+  Alcotest.(check (option (pair string string))) "garbage" None
+    (Http.parse_request_line "nonsense")
+
+let test_render_response () =
+  let r = Http.render_response (Http.ok "hi") in
+  Alcotest.(check bool) "status line" true (contains ~sub:"HTTP/1.1 200 OK" r);
+  Alcotest.(check bool) "length" true (contains ~sub:"Content-Length: 2" r);
+  Alcotest.(check bool) "body" true (contains ~sub:"\r\n\r\nhi" r)
+
+(* --- App flows --- *)
+
+let app_fixture =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:121 () in
+     let deep =
+       List.filter (fun c -> Bionav_mesh.Hierarchy.depth h c >= 3)
+         (List.init (Bionav_mesh.Hierarchy.size h) Fun.id)
+     in
+     let params =
+       {
+         G.small_params with
+         G.n_citations = 600;
+         seeded_groups =
+           [
+             {
+               G.tag = Some "webtag";
+               cluster = [ List.nth deep 0; List.nth deep 9 ];
+               count = 60;
+               topics_per_citation = (1, 2);
+             };
+           ];
+       }
+     in
+     let m = G.generate ~params ~seed:122 h in
+     App.create ~suggestions:[ "webtag" ] ~database:(DB.of_medline m) ~eutils:(Eu.create m) ())
+
+let get app path query = App.handle app ~path ~query
+
+let test_home () =
+  let app = Lazy.force app_fixture in
+  let r = get app "/" [] in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  Alcotest.(check bool) "form" true (contains ~sub:"<form" r.Http.body);
+  Alcotest.(check bool) "suggestion" true (contains ~sub:"webtag" r.Http.body)
+
+let test_unknown_route () =
+  let app = Lazy.force app_fixture in
+  Alcotest.(check int) "404" 404 (get app "/nope" []).Http.status
+
+let test_search_creates_session () =
+  let app = Lazy.force app_fixture in
+  let before = App.session_count app in
+  let r = get app "/search" [ ("q", "webtag") ] in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  Alcotest.(check int) "session created" (before + 1) (App.session_count app);
+  Alcotest.(check bool) "tree rendered" true (contains ~sub:"MeSH" r.Http.body);
+  Alcotest.(check bool) "expand link" true (contains ~sub:"/expand?" r.Http.body)
+
+let test_search_no_results () =
+  let app = Lazy.force app_fixture in
+  let r = get app "/search" [ ("q", "zzzznotaword") ] in
+  Alcotest.(check int) "still 200" 200 r.Http.status;
+  Alcotest.(check bool) "message" true (contains ~sub:"No results" r.Http.body)
+
+let test_search_validation () =
+  let app = Lazy.force app_fixture in
+  Alcotest.(check int) "missing q" 400 (get app "/search" []).Http.status;
+  Alcotest.(check int) "bad strategy" 400
+    (get app "/search" [ ("q", "webtag"); ("strategy", "wat") ]).Http.status
+
+(* Extract the first sid/node pair of an expand link from a page. *)
+let find_expand_params body =
+  let marker = "/expand?sid=" in
+  let rec find i =
+    if i + String.length marker >= String.length body then None
+    else if String.sub body i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let rest = String.sub body i (min 80 (String.length body - i)) in
+      (* link shape: /expand?sid=s0&amp;node=12 followed by a quote *)
+      let after = String.sub rest (String.length marker) (String.length rest - String.length marker) in
+      let sid = String.sub after 0 (String.index after '&') in
+      let node_marker = "node=" in
+      let rec findn j =
+        if String.sub after j (String.length node_marker) = node_marker then j else findn (j + 1)
+      in
+      let j = findn 0 + String.length node_marker in
+      let k = ref j in
+      while !k < String.length after && after.[!k] >= '0' && after.[!k] <= '9' do incr k done;
+      Some (sid, int_of_string (String.sub after j (!k - j)))
+
+let test_expand_show_back_flow () =
+  let app = Lazy.force app_fixture in
+  let r = get app "/search" [ ("q", "webtag") ] in
+  match find_expand_params r.Http.body with
+  | None -> Alcotest.fail "no expand link on fresh session"
+  | Some (sid, node) ->
+      let r2 = get app "/expand" [ ("sid", sid); ("node", string_of_int node) ] in
+      Alcotest.(check int) "expand ok" 200 r2.Http.status;
+      Alcotest.(check bool) "more nodes shown" true
+        (String.length r2.Http.body > String.length r.Http.body);
+      let r3 = get app "/show" [ ("sid", sid); ("node", string_of_int node) ] in
+      Alcotest.(check int) "show ok" 200 r3.Http.status;
+      Alcotest.(check bool) "citations listed" true (contains ~sub:"citation" r3.Http.body);
+      let r4 = get app "/back" [ ("sid", sid) ] in
+      Alcotest.(check int) "back ok" 200 r4.Http.status
+
+let test_session_validation () =
+  let app = Lazy.force app_fixture in
+  Alcotest.(check int) "missing sid" 400 (get app "/session" []).Http.status;
+  Alcotest.(check int) "unknown sid" 404
+    (get app "/session" [ ("sid", "nope") ]).Http.status;
+  let r = get app "/search" [ ("q", "webtag") ] in
+  match find_expand_params r.Http.body with
+  | None -> Alcotest.fail "no expand link"
+  | Some (sid, _) ->
+      Alcotest.(check int) "bad node" 400
+        (get app "/expand" [ ("sid", sid); ("node", "xyz") ]).Http.status;
+      Alcotest.(check int) "node out of range" 400
+        (get app "/expand" [ ("sid", sid); ("node", "999999") ]).Http.status
+
+let test_handler_never_raises () =
+  let app = Lazy.force app_fixture in
+  let rng = Rng.create 5 in
+  let paths = [| "/"; "/search"; "/session"; "/expand"; "/show"; "/back"; "/junk" |] in
+  let keys = [| "q"; "sid"; "node"; "strategy"; "bogus" |] in
+  let values = [| ""; "webtag"; "s0"; "-3"; "999999"; "drop table"; "%%%" |] in
+  for _ = 1 to 500 do
+    let path = Rng.choice rng paths in
+    let query =
+      List.init (Rng.int rng 3) (fun _ -> (Rng.choice rng keys, Rng.choice rng values))
+    in
+    let r = App.handle app ~path ~query in
+    if not (List.mem r.Http.status [ 200; 400; 404 ]) then
+      Alcotest.fail (Printf.sprintf "unexpected status %d for %s" r.Http.status path)
+  done
+
+let () =
+  Alcotest.run "web"
+    [
+      ( "html",
+        [
+          Alcotest.test_case "escape" `Quick test_escape;
+          Alcotest.test_case "tag/link" `Quick test_tag_and_link;
+          Alcotest.test_case "url encoding" `Quick test_url_encoding;
+          Alcotest.test_case "page" `Quick test_page_shape;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "url decode" `Quick test_url_decode;
+          Alcotest.test_case "parse target" `Quick test_parse_target;
+          Alcotest.test_case "parse request line" `Quick test_parse_request_line;
+          Alcotest.test_case "render response" `Quick test_render_response;
+        ] );
+      ( "app",
+        [
+          Alcotest.test_case "home" `Quick test_home;
+          Alcotest.test_case "unknown route" `Quick test_unknown_route;
+          Alcotest.test_case "search creates session" `Quick test_search_creates_session;
+          Alcotest.test_case "search no results" `Quick test_search_no_results;
+          Alcotest.test_case "search validation" `Quick test_search_validation;
+          Alcotest.test_case "expand/show/back flow" `Quick test_expand_show_back_flow;
+          Alcotest.test_case "session validation" `Quick test_session_validation;
+          Alcotest.test_case "fuzzed handler" `Quick test_handler_never_raises;
+        ] );
+    ]

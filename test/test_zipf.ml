@@ -1,0 +1,87 @@
+open Bionav_util
+
+let test_probs_sum_to_one () =
+  let z = Zipf.create ~exponent:1.1 100 in
+  let total = ref 0. in
+  for r = 0 to 99 do
+    total := !total +. Zipf.prob z r
+  done;
+  Alcotest.(check bool) "sums to 1" true (Float.abs (!total -. 1.) < 1e-9)
+
+let test_probs_monotone () =
+  let z = Zipf.create 50 in
+  for r = 1 to 49 do
+    Alcotest.(check bool) "non-increasing" true (Zipf.prob z (r - 1) >= Zipf.prob z r)
+  done
+
+let test_rank_zero_most_likely () =
+  let z = Zipf.create ~exponent:1.0 10 in
+  (* P(0) = 1/H_10. *)
+  let expected = 1. /. Stats.harmonic 10 in
+  Alcotest.(check bool) "H-based mass" true (Float.abs (Zipf.prob z 0 -. expected) < 1e-9)
+
+let test_draw_in_range () =
+  let z = Zipf.create 20 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let r = Zipf.draw z rng in
+    Alcotest.(check bool) "in range" true (r >= 0 && r < 20)
+  done
+
+let test_draw_distribution () =
+  let z = Zipf.create ~exponent:1.0 10 in
+  let rng = Rng.create 4 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Zipf.draw z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let expected = Zipf.expected_counts z n in
+  for r = 0 to 9 do
+    let err = Float.abs (float_of_int counts.(r) -. expected.(r)) /. expected.(r) in
+    Alcotest.(check bool) (Printf.sprintf "rank %d within 10%%" r) true (err < 0.10)
+  done
+
+let test_exponent_zero_uniform () =
+  let z = Zipf.create ~exponent:0.0 4 in
+  for r = 0 to 3 do
+    Alcotest.(check bool) "uniform" true (Float.abs (Zipf.prob z r -. 0.25) < 1e-9)
+  done
+
+let test_singleton () =
+  let z = Zipf.create 1 in
+  let rng = Rng.create 5 in
+  Alcotest.(check int) "only rank" 0 (Zipf.draw z rng);
+  Alcotest.(check bool) "prob 1" true (Float.abs (Zipf.prob z 0 -. 1.) < 1e-9)
+
+let test_accessors () =
+  let z = Zipf.create ~exponent:1.5 7 in
+  Alcotest.(check int) "size" 7 (Zipf.size z);
+  Alcotest.(check (float 1e-9)) "exponent" 1.5 (Zipf.exponent z)
+
+let qcheck_draw_in_range =
+  QCheck.Test.make ~name:"draw always within [0,n)" ~count:300
+    QCheck.(pair (int_range 1 200) small_int)
+    (fun (n, seed) ->
+      let z = Zipf.create n in
+      let rng = Rng.create seed in
+      let r = Zipf.draw z rng in
+      r >= 0 && r < n)
+
+let () =
+  Alcotest.run "zipf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "probs sum to one" `Quick test_probs_sum_to_one;
+          Alcotest.test_case "probs monotone" `Quick test_probs_monotone;
+          Alcotest.test_case "rank zero mass" `Quick test_rank_zero_most_likely;
+          Alcotest.test_case "draw in range" `Quick test_draw_in_range;
+          Alcotest.test_case "draw distribution" `Quick test_draw_distribution;
+          Alcotest.test_case "exponent zero uniform" `Quick test_exponent_zero_uniform;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_draw_in_range ]);
+    ]
