@@ -11,6 +11,7 @@
 
 open Bionav_util
 open Bionav_core
+module Engine = Bionav_engine.Engine
 module Q = Bionav_workload.Queries
 module E = Bionav_workload.Experiment
 module R = Bionav_workload.Report
@@ -390,7 +391,7 @@ let montecarlo () =
     List.map
       (fun q ->
         let run strategy =
-          Stochastic_user.sample ~walks:200 ~seed:5 ~strategy q.Q.nav
+          Stochastic_user.sample ~walks:200 ~seed:5 (fun () -> Engine.start strategy q.Q.nav)
         in
         let st = run Navigation.Static in
         let bn = run (Navigation.bionav ()) in
@@ -576,12 +577,14 @@ let micro () =
       Test.make ~name:"fig8/bionav-navigate"
         (Staged.stage (fun () ->
              ignore
-               (Simulate.to_target ~strategy:(Navigation.bionav ()) nav
+               (Simulate.to_target
+                  (Engine.start (Navigation.bionav ()) nav)
                   ~target:q.Q.target_node)));
       Test.make ~name:"fig8/static-navigate"
         (Staged.stage (fun () ->
              ignore
-               (Simulate.to_target ~strategy:Navigation.Static nav ~target:q.Q.target_node)));
+               (Simulate.to_target (Engine.start Navigation.Static nav)
+                  ~target:q.Q.target_node)));
       (* Figs. 10/11 path: a single EXPAND's cut computation and its parts. *)
       Test.make ~name:"fig10/heuristic-best-cut"
         (Staged.stage (fun () -> ignore (Heuristic.best_cut comp)));

@@ -15,6 +15,7 @@ module Medline = Bionav_corpus.Medline
 module DB = Bionav_store.Database
 module Codec = Bionav_store.Codec
 module Eutils = Bionav_search.Eutils
+module Engine = Bionav_engine.Engine
 module Q = Bionav_workload.Queries
 module E = Bionav_workload.Experiment
 module R = Bionav_workload.Report
@@ -31,6 +32,12 @@ let scale_arg =
        & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let config_of = function `Small -> Q.small_config | `Full -> Q.default_config
+
+let metrics_arg =
+  let doc = "Dump the process metrics registry (counters, latency histograms) on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let dump_metrics flag = if flag then print_string (Bionav_util.Metrics.dump ())
 
 let build_workload scale seed =
   Printf.printf "building the synthetic corpus (scale=%s, seed=%d)...\n%!"
@@ -192,81 +199,87 @@ let navigate_cmd =
     let doc = "Apply a recorded transcript before the interactive loop." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let rec run scale seed query strategy auto record replay =
+  let rec run scale seed query strategy auto record replay metrics =
     (* The Optimal strategy is exponential and guarded to tiny components;
        surface its Invalid_argument as a clean error instead of a crash. *)
-    try run_navigate scale seed query strategy auto record replay
+    try run_navigate scale seed query strategy auto record replay metrics
     with Invalid_argument msg ->
       Printf.printf "error: %s\n" msg;
       Printf.printf "(the 'optimal' strategy only handles components of <= %d nodes;\n"
         Bionav_core.Opt_edgecut.max_size;
       Printf.printf " use --strategy bionav for real queries)\n";
       exit 1
-  and run_navigate scale seed query strategy auto record replay =
+  and run_navigate scale seed query strategy auto record replay metrics =
     let w = build_workload scale seed in
-    let result = Eutils.esearch w.Q.eutils query in
-    if Intset.is_empty result then begin
-      Printf.printf "no results for %S\n" query;
-      exit 1
-    end;
-    Printf.printf "%d citations; building the navigation tree...\n" (Intset.cardinal result);
-    let nav = Nav_tree.of_database w.Q.database result in
-    Printf.printf "navigation tree: %d concept nodes\n\n" (Nav_tree.size nav - 1);
-    match auto with
-    | None ->
-        let session = Navigation.start (strategy_of strategy) nav in
-        (match replay with
-        | None -> ()
-        | Some path ->
-            let outcome = Session_log.replay session (Session_log.load path) in
-            Printf.printf "replayed %s: %d applied, %d skipped\n" path
-              outcome.Session_log.applied outcome.Session_log.skipped);
-        interactive_loop ?record session nav w.Q.eutils
-    | Some label -> (
-        match H.find_by_label w.Q.hierarchy label with
+    let engine = Engine.create ~database:w.Q.database ~eutils:w.Q.eutils () in
+    match Engine.search engine ~strategy:(strategy_of strategy) query with
+    | Error msg ->
+        Printf.printf "error: %s\n" msg;
+        exit 1
+    | Ok Engine.No_results ->
+        Printf.printf "no results for %S\n" query;
+        exit 1
+    | Ok (Engine.Session s) -> (
+        let nav = Engine.session_nav s in
+        Printf.printf "%d citations; navigation tree: %d concept nodes\n\n"
+          (Nav_tree.distinct_results nav)
+          (Nav_tree.size nav - 1);
+        (match auto with
         | None ->
-            Printf.printf "no concept labelled %S\n" label;
-            exit 1
-        | Some concept -> (
-            match Nav_tree.node_of_concept nav concept with
+            let session = Engine.navigation s in
+            (match replay with
+            | None -> ()
+            | Some path ->
+                let outcome = Session_log.replay session (Session_log.load path) in
+                Printf.printf "replayed %s: %d applied, %d skipped\n" path
+                  outcome.Session_log.applied outcome.Session_log.skipped);
+            interactive_loop ?record session nav w.Q.eutils
+        | Some label -> (
+            match H.find_by_label w.Q.hierarchy label with
             | None ->
-                Printf.printf "concept %S holds no results of this query\n" label;
+                Printf.printf "no concept labelled %S\n" label;
                 exit 1
-            | Some target ->
-                let outcome =
-                  Simulate.to_target ~strategy:(strategy_of strategy) nav ~target
-                in
-                List.iter
-                  (fun (r : Navigation.expand_record) ->
-                    Printf.printf "EXPAND on %S: %d revealed (%.2f ms)\n"
-                      (Nav_tree.label nav r.Navigation.node)
-                      r.Navigation.n_revealed r.Navigation.elapsed_ms)
-                  outcome.Simulate.history;
-                Printf.printf "\nreached %S: cost %d (%d EXPANDs + %d concepts examined)\n"
-                  label outcome.Simulate.navigation_cost outcome.Simulate.expands
-                  outcome.Simulate.revealed))
+            | Some concept -> (
+                match Nav_tree.node_of_concept nav concept with
+                | None ->
+                    Printf.printf "concept %S holds no results of this query\n" label;
+                    exit 1
+                | Some target ->
+                    let outcome = Simulate.to_target (Engine.navigation s) ~target in
+                    List.iter
+                      (fun (r : Navigation.expand_record) ->
+                        Printf.printf "EXPAND on %S: %d revealed (%.2f ms)\n"
+                          (Nav_tree.label nav r.Navigation.node)
+                          r.Navigation.n_revealed r.Navigation.elapsed_ms)
+                      outcome.Simulate.history;
+                    Printf.printf
+                      "\nreached %S: cost %d (%d EXPANDs + %d concepts examined)\n" label
+                      outcome.Simulate.navigation_cost outcome.Simulate.expands
+                      outcome.Simulate.revealed)));
+        dump_metrics metrics)
   in
   let doc = "Navigate the results of a query (interactively, or --auto to a target)." in
   Cmd.v
     (Cmd.info "navigate" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ query_arg $ strategy_arg $ auto_arg $ record_arg
-      $ replay_arg)
+      $ replay_arg $ metrics_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run scale seed =
+  let run scale seed metrics =
     let w = build_workload scale seed in
     let runs = E.run_all w in
     print_string (R.table1 w);
     print_string (R.fig8 runs);
     print_string (R.fig9 runs);
     print_string (R.fig10 runs);
-    print_string (R.fig11 (List.hd runs))
+    print_string (R.fig11 (List.hd runs));
+    dump_metrics metrics
   in
   let doc = "Run the full evaluation (Table I, Figs. 8-11) on the seeded workload." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ scale_arg $ seed_arg)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ scale_arg $ seed_arg $ metrics_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 
@@ -274,20 +287,29 @@ let serve_cmd =
   let port_arg =
     Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
   in
-  let run scale seed port =
+  let max_sessions_arg =
+    let doc = "Bound on live navigation sessions (LRU-evicted beyond it)." in
+    Arg.(value & opt int Engine.default_config.Engine.max_sessions
+         & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let run scale seed port max_sessions =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     let w = build_workload scale seed in
     let app =
       Bionav_web.App.create
         ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
+        ~config:{ Engine.default_config with Engine.max_sessions }
         ~database:w.Q.database ~eutils:w.Q.eutils ()
     in
     Printf.printf "serving on http://127.0.0.1:%d (Ctrl-C to stop)\n%!" port;
+    Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" port;
     Bionav_web.Http.serve ~port (Bionav_web.App.handle app)
   in
   let doc = "Serve the BioNav web interface over the synthetic corpus." in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ scale_arg $ seed_arg $ port_arg)
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg)
 
 (* --- export / import ---------------------------------------------------- *)
 

@@ -10,6 +10,7 @@
    Run with: dune exec examples/exploratory_search.exe *)
 
 open Bionav_core
+module Engine = Bionav_engine.Engine
 module Q = Bionav_workload.Queries
 module H = Bionav_mesh.Hierarchy
 
@@ -25,7 +26,7 @@ let () =
     (Q.target_level q) (Q.target_l q) (Q.target_lt q);
 
   (* Watch BioNav navigate step by step. *)
-  let session = Navigation.start (Navigation.bionav ()) nav in
+  let session = Engine.start (Navigation.bionav ()) nav in
   let active = Navigation.active session in
   let step = ref 0 in
   while not (Active_tree.is_visible active q.Q.target_node) do
@@ -47,7 +48,9 @@ let () =
     (Navigation.navigation_cost bionav_stats);
 
   (* The same navigation under the static interface. *)
-  let static = Simulate.to_target ~strategy:Navigation.Static nav ~target:q.Q.target_node in
+  let static =
+    Simulate.to_target (Engine.start Navigation.Static nav) ~target:q.Q.target_node
+  in
   Printf.printf "static interface on the same query: %d EXPANDs, %d concepts examined (cost %d)\n"
     static.Simulate.expands static.Simulate.revealed static.Simulate.navigation_cost;
   Printf.printf "improvement: %.0f%% (the paper reports 85%% on average)\n\n"

@@ -89,7 +89,7 @@ let () =
   Printf.printf "query \"prothymosin\": %d of 5 citations match (the review does not)\n"
     (Intset.cardinal result);
   let nav = Nav_tree.of_database database result in
-  let session = Navigation.start (Navigation.bionav ()) nav in
+  let session = Bionav_engine.Engine.start (Navigation.bionav ()) nav in
   ignore (Navigation.expand session (Nav_tree.root nav));
   print_string "\n--- BioNav view of the imported literature ---\n";
   print_string (Active_tree.render (Navigation.active session));

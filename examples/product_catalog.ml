@@ -80,12 +80,12 @@ let () =
     (Nav_tree.distinct_results nav) (Nav_tree.size nav - 1);
 
   print_string "--- static interface (all subcategories, Amazon-style) ---\n";
-  let s = Navigation.start Navigation.Static nav in
+  let s = Bionav_engine.Engine.start Navigation.Static nav in
   ignore (Navigation.expand s (Nav_tree.root nav));
   print_string (Active_tree.render (Navigation.active s));
 
   print_string "\n--- BioNav (cost-optimized reveal) ---\n";
-  let b = Navigation.start (Navigation.bionav ()) nav in
+  let b = Bionav_engine.Engine.start (Navigation.bionav ()) nav in
   ignore (Navigation.expand b (Nav_tree.root nav));
   print_string (Active_tree.render (Navigation.active b));
   print_string "\n";

@@ -53,7 +53,7 @@ let () =
     (Nav_tree.size nav - 1)
     (Nav_tree.height nav) (Nav_tree.total_attached nav);
 
-  let session = Navigation.start (Navigation.bionav ()) nav in
+  let session = Bionav_engine.Engine.start (Navigation.bionav ()) nav in
   let active = Navigation.active session in
   print_string "--- initial active tree ---\n";
   print_string (Active_tree.render active);

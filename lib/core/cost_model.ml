@@ -37,8 +37,7 @@ let root_of _t mask =
   if mask = 0 then invalid_arg "Cost_model.root_of: empty mask";
   (* Node indexing puts parents before children, so the smallest index in a
      connected component is its root. *)
-  let rec first i = if mask land (1 lsl i) <> 0 then i else first (i + 1) in
-  first 0
+  Bionav_util.Bits.lowest_bit mask
 
 let subtree_mask t ~mask v =
   let rec go v acc =

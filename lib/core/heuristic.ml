@@ -14,9 +14,7 @@ type plan = {
   mask : int;  (* plan_tree nodes still in the upper component *)
 }
 
-let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go mask 0
+let popcount = Bionav_util.Bits.popcount
 
 let plan_usable plan = popcount plan.mask >= 2
 
@@ -78,6 +76,8 @@ let fresh_plan ?params ?(k = default_k) tree =
     end
   end
 
+let cut_hist = Bionav_util.Metrics.histogram "bionav_heuristic_cut_ms"
+
 let best_cut_with_plan ?params ?k tree =
   let (report, plan), total_ms =
     Bionav_util.Timing.time (fun () ->
@@ -108,6 +108,7 @@ let best_cut_with_plan ?params ?k tree =
               { plan_tree = tree; reduced = None; state = Opt_edgecut.init ctx; mask = 0 } ))
   in
   (* Report the full wall-clock including partitioning. *)
+  Bionav_util.Metrics.observe cut_hist total_ms;
   ({ report with elapsed_ms = total_ms }, plan)
 
 let best_cut ?params ?k tree = fst (best_cut_with_plan ?params ?k tree)

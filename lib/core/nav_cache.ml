@@ -6,12 +6,32 @@ let create ?(capacity = 32) ~build () = { cache = Lru.create ~capacity; build }
 
 let normalize q = String.lowercase_ascii (String.trim q)
 
+let hits_counter = Metrics.counter "bionav_cache_hits_total"
+let misses_counter = Metrics.counter "bionav_cache_misses_total"
+let evictions_counter = Metrics.counter "bionav_cache_evictions_total"
+let build_hist = Metrics.histogram "bionav_nav_tree_build_ms"
+
 let get t query =
   let key = normalize query in
-  Lru.find_or_add t.cache key (fun () -> t.build query)
+  match Lru.find t.cache key with
+  | Some nav ->
+      Metrics.incr hits_counter;
+      nav
+  | None ->
+      Metrics.incr misses_counter;
+      let nav, build_ms = Timing.time (fun () -> t.build query) in
+      Metrics.observe build_hist build_ms;
+      let evictions_before = Lru.evictions t.cache in
+      Lru.add t.cache key nav;
+      if Lru.evictions t.cache > evictions_before then Metrics.incr evictions_counter;
+      nav
 
 let hit_rate t =
   let h = Lru.hits t.cache and m = Lru.misses t.cache in
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let hits t = Lru.hits t.cache
+let misses t = Lru.misses t.cache
+let evictions t = Lru.evictions t.cache
 
 let clear t = Lru.clear t.cache

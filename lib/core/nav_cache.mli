@@ -18,4 +18,10 @@ val get : t -> string -> Nav_tree.t
 val hit_rate : t -> float
 (** Hits / lookups since creation; 0 before the first lookup. *)
 
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+(** Per-instance counters (lookups also feed the process-wide
+    [bionav_cache_*] metrics, see {!Bionav_util.Metrics}). *)
+
 val clear : t -> unit

@@ -109,21 +109,32 @@ let compute_cut t root =
       in
       (`Cut (nav_cut_children comp solution.Opt_edgecut.cut_children), elapsed, Comp_tree.size comp)
 
+let expand_hist = Metrics.histogram "bionav_expand_latency_ms"
+let expands_counter = Metrics.counter "bionav_expands_total"
+let revealed_counter = Metrics.counter "bionav_concepts_revealed_total"
+
 let expand t root =
   if not (Active_tree.is_expandable t.active root) then []
   else begin
-    let action, elapsed, reduced_size = compute_cut t root in
-    let revealed =
-      match action with
-      | `Static -> Active_tree.expand_static t.active root
-      | `Cut [] -> []
-      | `Cut (_ :: _ as cut_children) -> Active_tree.apply_cut t.active ~root ~cut_children
+    let (revealed, elapsed, reduced_size), total_ms =
+      Timing.time (fun () ->
+          let action, elapsed, reduced_size = compute_cut t root in
+          let revealed =
+            match action with
+            | `Static -> Active_tree.expand_static t.active root
+            | `Cut [] -> []
+            | `Cut (_ :: _ as cut_children) -> Active_tree.apply_cut t.active ~root ~cut_children
+          in
+          (revealed, elapsed, reduced_size))
     in
     if revealed = [] then []
     else begin
     let record =
       { node = root; n_revealed = List.length revealed; elapsed_ms = elapsed; reduced_size }
     in
+    Metrics.observe expand_hist total_ms;
+    Metrics.incr expands_counter;
+    Metrics.incr ~by:record.n_revealed revealed_counter;
     t.stats <-
       {
         t.stats with

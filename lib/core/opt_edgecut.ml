@@ -44,9 +44,7 @@ let init ctx = { ctx; cost_memo = Hashtbl.create 512; best_memo = Hashtbl.create
 
 let context st = st.ctx
 
-let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go mask 0
+let popcount = Bionav_util.Bits.popcount
 
 (* cost(C): expected navigation cost of component [mask]. *)
 let rec cost_mask st mask =
@@ -111,11 +109,18 @@ let check_size tree =
     invalid_arg
       (Printf.sprintf "Opt_edgecut: tree has %d nodes (max %d)" (Comp_tree.size tree) max_size)
 
+let solve_hist = Bionav_util.Metrics.histogram "bionav_opt_edgecut_solve_ms"
+
 let solve ?params ?norm tree =
   check_size tree;
   if Comp_tree.size tree < 2 then invalid_arg "Opt_edgecut.solve: tree must have >= 2 nodes";
-  let ctx = Cost_model.create ?params ?norm tree in
-  solve_mask (init ctx) (Cost_model.full_mask ctx)
+  let solution, elapsed_ms =
+    Bionav_util.Timing.time (fun () ->
+        let ctx = Cost_model.create ?params ?norm tree in
+        solve_mask (init ctx) (Cost_model.full_mask ctx))
+  in
+  Bionav_util.Metrics.observe solve_hist elapsed_ms;
+  solution
 
 let expected_cost ?params ?norm tree =
   check_size tree;

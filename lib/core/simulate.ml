@@ -9,11 +9,11 @@ type outcome = {
 
 let max_steps = 100_000
 
-let to_target ?(show_results = false) ~strategy nav ~target =
+let to_target ?(show_results = false) session ~target =
+  let active = Navigation.active session in
+  let nav = Active_tree.nav active in
   if target < 0 || target >= Nav_tree.size nav then
     invalid_arg (Printf.sprintf "Simulate.to_target: node %d out of range" target);
-  let session = Navigation.start strategy nav in
-  let active = Navigation.active session in
   let rec step n =
     if n > max_steps then failwith "Simulate.to_target: no progress";
     if not (Active_tree.is_visible active target) then begin
@@ -35,9 +35,10 @@ let to_target ?(show_results = false) ~strategy nav ~target =
     history = List.rev stats.Navigation.history;
   }
 
-let to_concept ?show_results ~strategy nav ~concept =
+let to_concept ?show_results session ~concept =
+  let nav = Active_tree.nav (Navigation.active session) in
   match Nav_tree.node_of_concept nav concept with
-  | Some node -> to_target ?show_results ~strategy nav ~target:node
+  | Some node -> to_target ?show_results session ~target:node
   | None ->
       invalid_arg
         (Printf.sprintf "Simulate.to_concept: concept %d has no navigation node" concept)

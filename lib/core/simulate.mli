@@ -4,7 +4,11 @@
     chooses the right node to expand in order to finally reveal the target
     concept." The oracle repeatedly expands the visible node whose component
     contains the target navigation node, until the target itself becomes
-    visible; optionally it then performs SHOWRESULTS on the target. *)
+    visible; optionally it then performs SHOWRESULTS on the target.
+
+    The simulation drives an existing (fresh) {!Navigation.t} session;
+    constructing sessions is the engine layer's job
+    ([Bionav_engine.Engine.start]). *)
 
 type outcome = {
   expands : int;
@@ -15,19 +19,14 @@ type outcome = {
   history : Navigation.expand_record list;  (** Chronological order. *)
 }
 
-val to_target :
-  ?show_results:bool -> strategy:Navigation.strategy -> Nav_tree.t -> target:int -> outcome
-(** Navigate until the target navigation node is visible.
+val to_target : ?show_results:bool -> Navigation.t -> target:int -> outcome
+(** Navigate the given (fresh) session until the target navigation node is
+    visible.
     @raise Invalid_argument if [target] is out of range.
     @raise Failure if navigation stops making progress (cannot happen for
     the shipped strategies; the guard bounds the simulation). *)
 
-val to_concept :
-  ?show_results:bool ->
-  strategy:Navigation.strategy ->
-  Nav_tree.t ->
-  concept:int ->
-  outcome
+val to_concept : ?show_results:bool -> Navigation.t -> concept:int -> outcome
 (** Like {!to_target}, addressing the target by hierarchy concept id.
     @raise Invalid_argument if the concept has no node in the navigation
     tree (no attached results). *)

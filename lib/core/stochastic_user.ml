@@ -49,9 +49,9 @@ let pick_weighted rng choices =
     go 0. choices
   end
 
-let walk ?(params = Probability.default_params) ?(max_steps = 1000) ~rng ~strategy nav =
-  let session = Navigation.start strategy nav in
+let walk ?(params = Probability.default_params) ?(max_steps = 1000) ~rng session =
   let active = Navigation.active session in
+  let nav = Active_tree.nav active in
   let current = ref (Nav_tree.root nav) in
   let finished = ref false in
   let steps = ref 0 in
@@ -97,10 +97,10 @@ type summary = {
   mean_results : float;
 }
 
-let sample ?params ?(walks = 200) ~seed ~strategy nav =
+let sample ?params ?(walks = 200) ~seed make_session =
   if walks < 1 then invalid_arg "Stochastic_user.sample: walks must be >= 1";
   let rng = Rng.create seed in
-  let outcomes = Array.init walks (fun _ -> walk ?params ~rng ~strategy nav) in
+  let outcomes = Array.init walks (fun _ -> walk ?params ~rng (make_session ())) in
   let costs = Array.map (fun o -> float_of_int o.total_cost) outcomes in
   {
     walks;

@@ -32,10 +32,11 @@ val walk :
   ?params:Probability.params ->
   ?max_steps:int ->
   rng:Bionav_util.Rng.t ->
-  strategy:Navigation.strategy ->
-  Nav_tree.t ->
+  Navigation.t ->
   outcome
-(** One sampled session ([max_steps] defaults to 1000). *)
+(** One sampled walk over the given (fresh) session ([max_steps] defaults
+    to 1000). Session construction lives in the engine layer
+    ([Bionav_engine.Engine.start]). *)
 
 type summary = {
   walks : int;
@@ -46,10 +47,6 @@ type summary = {
 }
 
 val sample :
-  ?params:Probability.params ->
-  ?walks:int ->
-  seed:int ->
-  strategy:Navigation.strategy ->
-  Nav_tree.t ->
-  summary
-(** Monte-Carlo estimate over [walks] (default 200) independent users. *)
+  ?params:Probability.params -> ?walks:int -> seed:int -> (unit -> Navigation.t) -> summary
+(** Monte-Carlo estimate over [walks] (default 200) independent users;
+    the factory supplies one fresh session per walk. *)

@@ -1,0 +1,191 @@
+open Bionav_util
+open Bionav_core
+module Eutils = Bionav_search.Eutils
+
+type config = {
+  max_sessions : int;
+  session_ttl_ms : float option;
+  cache_capacity : int;
+}
+
+let default_config = { max_sessions = 256; session_ttl_ms = None; cache_capacity = 32 }
+
+type session = {
+  sid : string;
+  query : string;
+  nav : Nav_tree.t;
+  navigation : Navigation.t;
+  mutable tick : int;  (* recency clock value of the last touch *)
+  mutable last_use_ms : float;  (* wall clock of the last touch, for TTLs *)
+}
+
+type t = {
+  config : config;
+  eutils : Eutils.t;
+  cache : Nav_cache.t;
+  sessions : (string, session) Hashtbl.t;
+  mutable next_sid : int;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let started_counter = Metrics.counter "bionav_sessions_started_total"
+let evicted_counter = Metrics.counter "bionav_sessions_evicted_total"
+let closed_counter = Metrics.counter "bionav_sessions_closed_total"
+let expired_counter = Metrics.counter "bionav_sessions_expired_total"
+let live_gauge = Metrics.gauge "bionav_sessions_live"
+
+let create ?(config = default_config) ~database ~eutils () =
+  if config.max_sessions < 1 then invalid_arg "Engine.create: max_sessions must be >= 1";
+  let build query = Nav_tree.of_database database (Eutils.esearch eutils query) in
+  {
+    config;
+    eutils;
+    cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
+    sessions = Hashtbl.create 64;
+    next_sid = 0;
+    clock = 0;
+    evictions = 0;
+  }
+
+let eutils t = t.eutils
+let config t = t.config
+
+(* --- strategies -------------------------------------------------------- *)
+
+let validate_strategy = function
+  | Navigation.Static_paged { page_size } when page_size < 1 ->
+      Error (Printf.sprintf "page_size must be >= 1 (got %d)" page_size)
+  | s -> Ok s
+
+let strategy_of_name ?(page_size = 10) name =
+  match name with
+  | None | Some "bionav" -> Ok (Navigation.bionav ())
+  | Some "static" -> Ok Navigation.Static
+  | Some "paged" -> validate_strategy (Navigation.Static_paged { page_size })
+  | Some "optimal" -> Ok (Navigation.Optimal { params = Probability.default_params })
+  | Some s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+(* --- session store ----------------------------------------------------- *)
+
+let session_id s = s.sid
+let session_query s = s.query
+let session_nav s = s.nav
+let navigation s = s.navigation
+
+let session_count t = Hashtbl.length t.sessions
+let eviction_count t = t.evictions
+
+let publish_live t = Metrics.set live_gauge (float_of_int (Hashtbl.length t.sessions))
+
+let touch t s =
+  t.clock <- t.clock + 1;
+  s.tick <- t.clock;
+  s.last_use_ms <- Timing.now_ms ()
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match acc with Some best when best.tick <= s.tick -> acc | Some _ | None -> Some s)
+      t.sessions None
+  in
+  match victim with
+  | Some s ->
+      Hashtbl.remove t.sessions s.sid;
+      t.evictions <- t.evictions + 1;
+      Metrics.incr evicted_counter;
+      Logs.debug (fun m -> m "engine: evicted session %s (store full)" s.sid)
+  | None -> ()
+
+type search_outcome = No_results | Session of session
+
+let search t ?(strategy = Navigation.bionav ()) query =
+  match validate_strategy strategy with
+  | Error msg -> Error msg
+  | Ok strategy ->
+      if String.trim query = "" then Error "empty query"
+      else begin
+        let nav = Nav_cache.get t.cache query in
+        if Nav_tree.distinct_results nav = 0 then Ok No_results
+        else begin
+          while Hashtbl.length t.sessions >= t.config.max_sessions do
+            evict_lru t
+          done;
+          let sid = Printf.sprintf "s%d" t.next_sid in
+          t.next_sid <- t.next_sid + 1;
+          let s =
+            {
+              sid;
+              query;
+              nav;
+              navigation = Navigation.start strategy nav;
+              tick = 0;
+              last_use_ms = 0.;
+            }
+          in
+          touch t s;
+          Hashtbl.replace t.sessions sid s;
+          Metrics.incr started_counter;
+          publish_live t;
+          Ok (Session s)
+        end
+      end
+
+let find_session t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some s ->
+      touch t s;
+      Some s
+  | None -> None
+
+let close t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some _ ->
+      Hashtbl.remove t.sessions sid;
+      Metrics.incr closed_counter;
+      publish_live t;
+      true
+  | None -> false
+
+let sweep ?now_ms t =
+  match t.config.session_ttl_ms with
+  | None -> 0
+  | Some ttl ->
+      let now = match now_ms with Some n -> n | None -> Timing.now_ms () in
+      let expired =
+        Hashtbl.fold
+          (fun sid s acc -> if now -. s.last_use_ms > ttl then sid :: acc else acc)
+          t.sessions []
+      in
+      List.iter (Hashtbl.remove t.sessions) expired;
+      let n = List.length expired in
+      if n > 0 then begin
+        Metrics.incr ~by:n expired_counter;
+        publish_live t;
+        Logs.debug (fun m -> m "engine: expired %d idle session(s)" n)
+      end;
+      n
+
+(* --- navigation actions ------------------------------------------------ *)
+
+let expand s node = Navigation.expand s.navigation node
+let show_results s node = Navigation.show_results s.navigation node
+let backtrack s = Navigation.backtrack s.navigation
+
+(* --- detached sessions -------------------------------------------------- *)
+
+let start strategy nav =
+  (match validate_strategy strategy with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Engine.start: " ^ msg));
+  Metrics.incr started_counter;
+  Navigation.start strategy nav
+
+(* --- observability ------------------------------------------------------ *)
+
+let cache_hit_rate t = Nav_cache.hit_rate t.cache
+
+let metrics_text t =
+  publish_live t;
+  Metrics.dump ()

@@ -1,0 +1,120 @@
+(** The serving engine: one owner for the whole query→navigate pipeline.
+
+    Every entry point (web app, CLI, bench harness, workload experiments)
+    used to hand-wire query → {!Bionav_core.Nav_tree} →
+    {!Bionav_core.Navigation} itself, and the web app's session table grew
+    without bound. The engine consolidates that pipeline:
+
+    + {b query normalization and tree caching} — queries go through
+      {!Bionav_core.Nav_cache} (trimmed, lowercased, LRU-bounded);
+    + {b session lifecycle} — sessions get a monotonic id and live in a
+      bounded store: at [max_sessions] the least recently used session is
+      evicted (counted), sessions can be {!close}d explicitly, and a TTL
+      {!sweep} expires idle ones;
+    + {b strategy dispatch} — strategies are validated at construction
+      ({!strategy_of_name}), so a malformed [page_size] is a clean error
+      instead of an exception at EXPAND time;
+    + {b observability} — every stage records into
+      {!Bionav_util.Metrics}; {!metrics_text} renders the registry for
+      the web [/metrics] route and the CLI [--metrics] dump.
+
+    This is the seam future scaling work (sharding, async transports,
+    multi-backend stores) plugs into: entry points talk to the engine,
+    never to [Navigation.start] directly. *)
+
+type config = {
+  max_sessions : int;  (** Bound on live sessions (>= 1). Default 256. *)
+  session_ttl_ms : float option;
+      (** Idle time after which {!sweep} expires a session. Default
+          [None] (no TTL). *)
+  cache_capacity : int;  (** Navigation-tree cache entries. Default 32. *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  database:Bionav_store.Database.t ->
+  eutils:Bionav_search.Eutils.t ->
+  unit ->
+  t
+(** @raise Invalid_argument if [config.max_sessions < 1]. *)
+
+val eutils : t -> Bionav_search.Eutils.t
+val config : t -> config
+
+(* --- strategies ------------------------------------------------------- *)
+
+val validate_strategy :
+  Bionav_core.Navigation.strategy -> (Bionav_core.Navigation.strategy, string) result
+(** [Error] for [Static_paged] with [page_size < 1]. *)
+
+val strategy_of_name :
+  ?page_size:int -> string option -> (Bionav_core.Navigation.strategy, string) result
+(** Parse a user-supplied strategy name: [None] or [Some "bionav"] is the
+    paper's Heuristic-ReducedOpt, plus ["static"], ["paged"] (with
+    [page_size], default 10, validated >= 1) and ["optimal"]. Anything
+    else — including an invalid page size — is [Error]. *)
+
+(* --- sessions --------------------------------------------------------- *)
+
+type session
+
+val session_id : session -> string
+val session_query : session -> string
+val session_nav : session -> Bionav_core.Nav_tree.t
+val navigation : session -> Bionav_core.Navigation.t
+
+type search_outcome =
+  | No_results  (** The query matched no citations; no session created. *)
+  | Session of session
+
+val search :
+  t -> ?strategy:Bionav_core.Navigation.strategy -> string -> (search_outcome, string) result
+(** Run the pipeline: validate the strategy (default {!Bionav_core.Navigation.bionav}),
+    fetch or build the navigation tree through the cache, and — if the
+    query has results — create a session under a fresh monotonic id
+    ("s0", "s1", ...), evicting the least recently used session first
+    when the store is full. [Error] on a blank query or invalid
+    strategy. *)
+
+val find_session : t -> string -> session option
+(** Refreshes the session's recency and idle clock. *)
+
+val close : t -> string -> bool
+(** Explicitly end a session; [false] if the id is unknown. *)
+
+val sweep : ?now_ms:float -> t -> int
+(** Expire sessions idle longer than [config.session_ttl_ms]; returns the
+    number closed (0 when no TTL is configured). [now_ms] defaults to
+    the wall clock and is a parameter for tests. *)
+
+val session_count : t -> int
+val eviction_count : t -> int
+(** LRU evictions (not explicit closes or TTL expiries) since creation. *)
+
+(* --- navigation actions ----------------------------------------------- *)
+
+val expand : session -> int -> int list
+val show_results : session -> int -> Bionav_util.Intset.t
+val backtrack : session -> bool
+
+(* --- detached sessions ------------------------------------------------ *)
+
+val start :
+  Bionav_core.Navigation.strategy -> Bionav_core.Nav_tree.t -> Bionav_core.Navigation.t
+(** A session outside any store, for simulation and benchmarking
+    ({!Bionav_core.Simulate}, {!Bionav_core.Stochastic_user}). This is
+    the one sanctioned wrapper over [Navigation.start]: it validates the
+    strategy (@raise Invalid_argument on a bad one) and counts the
+    session. *)
+
+(* --- observability ---------------------------------------------------- *)
+
+val cache_hit_rate : t -> float
+
+val metrics_text : t -> string
+(** Refresh the engine gauges (live session count) and render the whole
+    process metrics registry ({!Bionav_util.Metrics.dump}). *)

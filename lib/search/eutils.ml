@@ -13,7 +13,14 @@ let create medline =
     ranked = lazy (Ranked.build medline);
   }
 
-let esearch t query = Inverted_index.query_and t.index query
+let esearch_counter = Metrics.counter "bionav_esearch_total"
+let esearch_hist = Metrics.histogram "bionav_esearch_ms"
+
+let esearch t query =
+  Metrics.incr esearch_counter;
+  let result, elapsed_ms = Timing.time (fun () -> Inverted_index.query_and t.index query) in
+  Metrics.observe esearch_hist elapsed_ms;
+  result
 
 let esearch_paged ?(retstart = 0) ?(retmax = 20) ?(sort = `Id) t query =
   if retstart < 0 || retmax < 0 then invalid_arg "Eutils.esearch_paged: negative paging";

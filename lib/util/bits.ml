@@ -1,0 +1,19 @@
+(* SWAR popcount on one 32-bit half: pair sums, nibble sums, then one
+   multiply to fold the byte counts into the top byte. The final mask is
+   needed because OCaml ints are wider than 32 bits, so the multiply's
+   high bytes (dropped by overflow on real 32-bit registers) survive. *)
+let pop32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  ((x * 0x01010101) lsr 24) land 0x3F
+
+(* OCaml ints are 63-bit, so the 64-bit SWAR constants do not fit in a
+   literal; split into two 32-bit halves instead. *)
+let popcount x = pop32 (x land 0xFFFFFFFF) + pop32 ((x lsr 32) land 0x7FFFFFFF)
+
+let lowest_bit m =
+  if m = 0 then invalid_arg "Bits.lowest_bit: zero mask";
+  (* [m land -m] isolates the lowest set bit; subtracting 1 turns it into
+     a mask of all lower positions, whose popcount is the bit's index. *)
+  popcount ((m land -m) - 1)

@@ -6,11 +6,12 @@ type ('k, 'v) t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
-  { capacity; table = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0 }
+  { capacity; table = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0; evictions = 0 }
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
@@ -40,7 +41,11 @@ let evict_lru t =
         | Some _ | None -> Some (k, e.last_use))
       t.table None
   in
-  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
 
 let add t k v =
   if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity then evict_lru t;
@@ -52,6 +57,7 @@ let clear t = Hashtbl.reset t.table
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let find_or_add t k f =
   match find t k with

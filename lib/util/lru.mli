@@ -30,6 +30,10 @@ val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Counted by {!find} only. *)
 
+val evictions : ('k, 'v) t -> int
+(** Capacity evictions since creation ({!remove} and {!clear} do not
+    count). *)
+
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_add t k f] returns the cached value or computes, caches and
     returns [f ()]. *)

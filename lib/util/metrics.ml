@@ -1,0 +1,150 @@
+type counter = { mutable count : int }
+
+(* Gauges and histogram accumulators live in flat float arrays so that
+   updating them never allocates a boxed float. *)
+type gauge = { cell : float array (* [| value |] *) }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1; the last is the overflow bucket *)
+  mutable total : int;
+  acc : float array;  (* [| sum; min; max |] *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let default_latency_buckets =
+  [|
+    0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.;
+    2500.; 5000.; 10000.;
+  |]
+
+let check_name name =
+  let bad c = c = ' ' || c = '"' || c = '{' || c = '}' || c = '\n' in
+  if name = "" || String.exists bad name then
+    invalid_arg (Printf.sprintf "Metrics: malformed metric name %S" name)
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %S registered as another kind" name)
+
+let counter name =
+  check_name name;
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let gauge name =
+  check_name name;
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { cell = [| 0. |] } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let check_buckets bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done
+
+let histogram ?(buckets = default_latency_buckets) name =
+  check_name name;
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      check_buckets buckets;
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          total = 0;
+          acc = [| 0.; infinity; neg_infinity |];
+        }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let set g v = g.cell.(0) <- v
+let gauge_value g = g.cell.(0)
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1;
+  h.acc.(0) <- h.acc.(0) +. v;
+  if v < h.acc.(1) then h.acc.(1) <- v;
+  if v > h.acc.(2) then h.acc.(2) <- v
+
+let count h = h.total
+let sum h = if h.total = 0 then 0. else h.acc.(0)
+
+let percentile h p =
+  if h.total = 0 then 0.
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int h.total in
+    let n = Array.length h.bounds in
+    let rec find i cum =
+      let cum' = cum + h.counts.(i) in
+      if float_of_int cum' >= rank || i = n then (i, cum)
+      else find (i + 1) cum'
+    in
+    let i, cum_before = find 0 0 in
+    let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+    let hi = if i < n then h.bounds.(i) else Float.max lo h.acc.(2) in
+    if h.counts.(i) = 0 then lo
+    else begin
+      let frac = (rank -. float_of_int cum_before) /. float_of_int h.counts.(i) in
+      lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
+    end
+  end
+
+let dump () =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %g\n" name g.cell.(0))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.total);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name (sum h));
+          List.iter
+            (fun (label, p) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%s\"} %g\n" name label (percentile h p)))
+            [ ("0.5", 50.); ("0.95", 95.); ("0.99", 99.) ])
+    (List.sort compare names);
+  Buffer.contents buf
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.cell.(0) <- 0.
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.total <- 0;
+          h.acc.(0) <- 0.;
+          h.acc.(1) <- infinity;
+          h.acc.(2) <- neg_infinity)
+    registry

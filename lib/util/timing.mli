@@ -1,6 +1,10 @@
 (** Monotonic wall-clock timing for the execution-time experiments
     (paper Figs. 10 and 11). *)
 
+val now_ms : unit -> float
+(** Wall-clock milliseconds since the epoch (the clock every other
+    function here reads; exposed for session timestamps and TTLs). *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     wall-clock time in milliseconds. *)

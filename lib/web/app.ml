@@ -1,29 +1,14 @@
 open Bionav_util
 open Bionav_core
+module Engine = Bionav_engine.Engine
 module Eutils = Bionav_search.Eutils
-module Database = Bionav_store.Database
 
-type session = { query : string; nav : Nav_tree.t; session : Navigation.t }
+type t = { engine : Engine.t; suggestions : string list }
 
-type t = {
-  eutils : Eutils.t;
-  cache : Nav_cache.t;
-  suggestions : string list;
-  sessions : (string, session) Hashtbl.t;
-  mutable next_session : int;
-}
+let create ?(suggestions = []) ?config ~database ~eutils () =
+  { engine = Engine.create ?config ~database ~eutils (); suggestions }
 
-let create ?(suggestions = []) ~database ~eutils () =
-  let build query = Nav_tree.of_database database (Eutils.esearch eutils query) in
-  {
-    eutils;
-    cache = Nav_cache.create ~build ();
-    suggestions;
-    sessions = Hashtbl.create 16;
-    next_session = 0;
-  }
-
-let session_count t = Hashtbl.length t.sessions
+let session_count t = Engine.session_count t.engine
 
 (* --- rendering -------------------------------------------------------- *)
 
@@ -54,23 +39,28 @@ let home t =
           <button type=\"submit\">Search</button></form>"
        ^ suggestions))
 
-let strategy_of_param = function
-  | Some "static" -> Some Navigation.Static
-  | Some "paged" -> Some (Navigation.Static_paged { page_size = 10 })
-  | Some "optimal" -> Some (Navigation.Optimal { params = Probability.default_params })
-  | Some "bionav" | None -> Some (Navigation.bionav ())
-  | Some _ -> None
-
-let render_tree s sid =
-  let active = Navigation.active s.session in
-  let nav = s.nav in
+let render_tree s =
+  let sid = Engine.session_id s in
+  let session = Engine.navigation s in
+  let active = Navigation.active session in
+  let nav = Engine.session_nav s in
+  (* Index the visualization once: visible nodes grouped under their
+     visible parent. Filtering the full visible list per rendered node is
+     quadratic in the reveal count and dominated large sessions. *)
+  let children_index = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      match Active_tree.visible_parent active v with
+      | -1 -> ()
+      | p ->
+          let siblings = Option.value ~default:[] (Hashtbl.find_opt children_index p) in
+          Hashtbl.replace children_index p (v :: siblings))
+    (Active_tree.visible active);
+  let children_of node =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt children_index node))
+  in
   let rec render_node node =
-    let children =
-      List.filter
-        (fun v -> Active_tree.visible_parent active v = node)
-        (Active_tree.visible active)
-    in
-    let children = Relevance.rank_visible active children in
+    let children = Relevance.rank_visible active (children_of node) in
     let expand_link =
       if Active_tree.is_expandable active node then
         " "
@@ -94,20 +84,20 @@ let render_tree s sid =
       | [] -> ""
       | _ -> Html.tag "ul" (String.concat "" (List.map render_node children)))
   in
-  let stats = Navigation.stats s.session in
+  let stats = Navigation.stats session in
   Html.tag ~attrs:[ ("class", "bar") ] "div"
-    (Html.text (Printf.sprintf "query: %s — " s.query)
+    (Html.text (Printf.sprintf "query: %s — " (Engine.session_query s))
     ^ Html.text
         (Printf.sprintf "%d results, cost so far %d (%d EXPANDs, %d concepts)"
-           (Nav_tree.distinct_results s.nav)
+           (Nav_tree.distinct_results nav)
            (Navigation.navigation_cost stats)
            stats.Navigation.expands stats.Navigation.revealed)
     ^ " " ^ Html.link ~href:(Html.url "/back" [ ("sid", sid) ]) "[backtrack]"
     ^ " " ^ Html.link ~href:"/" "[new search]")
-  ^ Html.tag "ul" (render_node (Nav_tree.root s.nav))
+  ^ Html.tag "ul" (render_node (Nav_tree.root nav))
 
-let session_page s sid =
-  Http.ok (Html.page ~title:("BioNav: " ^ s.query) (render_tree s sid))
+let session_page s =
+  Http.ok (Html.page ~title:("BioNav: " ^ Engine.session_query s) (render_tree s))
 
 (* --- parameter helpers ------------------------------------------------- *)
 
@@ -117,16 +107,17 @@ let with_session t query f =
   match param query "sid" with
   | None -> Http.bad_request "missing sid"
   | Some sid -> (
-      match Hashtbl.find_opt t.sessions sid with
+      match Engine.find_session t.engine sid with
       | None -> Http.not_found "no such session"
-      | Some s -> f sid s)
+      | Some s -> f s)
 
 let with_visible_node s query f =
   match Option.bind (param query "node") int_of_string_opt with
   | None -> Http.bad_request "missing or malformed node"
   | Some node ->
-      if node < 0 || node >= Nav_tree.size s.nav then Http.bad_request "node out of range"
-      else if not (Active_tree.is_visible (Navigation.active s.session) node) then
+      let nav = Engine.session_nav s in
+      if node < 0 || node >= Nav_tree.size nav then Http.bad_request "node out of range"
+      else if not (Active_tree.is_visible (Navigation.active (Engine.navigation s)) node) then
         Http.bad_request "node not visible"
       else f node
 
@@ -136,58 +127,64 @@ let search t query =
   match param query "q" with
   | None | Some "" -> Http.bad_request "missing query"
   | Some q -> (
-      match strategy_of_param (param query "strategy") with
-      | None -> Http.bad_request "unknown strategy"
-      | Some strategy ->
-          let nav = Nav_cache.get t.cache q in
-          if Nav_tree.distinct_results nav = 0 then
-            Http.ok
-              (Html.page ~title:"BioNav"
-                 (Html.tag "p" (Html.text (Printf.sprintf "No results for %S." q))
-                 ^ Html.link ~href:"/" "back"))
-          else begin
-            let sid = Printf.sprintf "s%d" t.next_session in
-            t.next_session <- t.next_session + 1;
-            let s = { query = q; nav; session = Navigation.start strategy nav } in
-            Hashtbl.replace t.sessions sid s;
-            session_page s sid
-          end)
+      let page_size = Option.bind (param query "page_size") int_of_string_opt in
+      if param query "page_size" <> None && page_size = None then
+        Http.bad_request "malformed page_size"
+      else
+        match Engine.strategy_of_name ?page_size (param query "strategy") with
+        | Error msg -> Http.bad_request msg
+        | Ok strategy -> (
+            match Engine.search t.engine ~strategy q with
+            | Error msg -> Http.bad_request msg
+            | Ok Engine.No_results ->
+                Http.ok
+                  (Html.page ~title:"BioNav"
+                     (Html.tag "p" (Html.text (Printf.sprintf "No results for %S." q))
+                     ^ Html.link ~href:"/" "back"))
+            | Ok (Engine.Session s) -> session_page s))
 
 let show t query =
-  with_session t query (fun sid s ->
+  with_session t query (fun s ->
       with_visible_node s query (fun node ->
-          let citations = Navigation.show_results s.session node in
+          let nav = Engine.session_nav s in
+          let citations = Engine.show_results s node in
           let items =
             Intset.fold
               (fun id acc ->
                 Html.tag ~attrs:[ ("class", "citation") ] "div"
-                  (Html.text (List.hd (Eutils.esummary t.eutils [ id ])))
+                  (Html.text (List.hd (Eutils.esummary (Engine.eutils t.engine) [ id ])))
                 :: acc)
               citations []
           in
           Http.ok
             (Html.page
-               ~title:(Printf.sprintf "BioNav: %s" (Nav_tree.label s.nav node))
+               ~title:(Printf.sprintf "BioNav: %s" (Nav_tree.label nav node))
                (Html.tag "h2"
                   (Html.text
-                     (Printf.sprintf "%s — %d citations" (Nav_tree.label s.nav node)
+                     (Printf.sprintf "%s — %d citations" (Nav_tree.label nav node)
                         (Intset.cardinal citations)))
-               ^ Html.link ~href:(Html.url "/session" [ ("sid", sid) ]) "[back to tree]"
+               ^ Html.link
+                   ~href:(Html.url "/session" [ ("sid", Engine.session_id s) ])
+                   "[back to tree]"
                ^ String.concat "" (List.rev items)))))
+
+let metrics t =
+  Http.ok ~content_type:"text/plain; charset=utf-8" (Engine.metrics_text t.engine)
 
 let handle t ~path ~query =
   match path with
   | "/" -> home t
   | "/search" -> search t query
-  | "/session" -> with_session t query (fun sid s -> session_page s sid)
+  | "/session" -> with_session t query session_page
   | "/expand" ->
-      with_session t query (fun sid s ->
+      with_session t query (fun s ->
           with_visible_node s query (fun node ->
-              ignore (Navigation.expand s.session node);
-              session_page s sid))
+              ignore (Engine.expand s node);
+              session_page s))
   | "/back" ->
-      with_session t query (fun sid s ->
-          ignore (Navigation.backtrack s.session);
-          session_page s sid)
+      with_session t query (fun s ->
+          ignore (Engine.backtrack s);
+          session_page s)
   | "/show" -> show t query
+  | "/metrics" -> metrics t
   | _ -> Http.not_found "no such page"

@@ -1,28 +1,34 @@
 (** The BioNav web application (paper Fig. 7: "BioNav Web Interface").
 
-    A handler over the on-line subsystem: keyword search creates a
-    navigation session; EXPAND / SHOWRESULTS / BACKTRACK are links. The
+    A handler over the serving engine ({!Bionav_engine.Engine}): keyword
+    search creates an engine-managed navigation session (bounded store,
+    LRU eviction); EXPAND / SHOWRESULTS / BACKTRACK are links. The
     handler is pure request-in/response-out (no sockets), so the whole
     interface is unit-testable; {!Http.serve} provides the transport.
 
     Routes (all GET):
     - [/] — search form (with optional suggested queries);
-    - [/search?q=...&strategy=bionav|static|paged|optimal] — run the query,
-      create a session, show its tree;
+    - [/search?q=...&strategy=bionav|static|paged|optimal&page_size=N] —
+      run the query, create a session, show its tree (400 on an unknown
+      strategy or [page_size < 1]);
     - [/session?sid=...] — render a session's active tree;
     - [/expand?sid=...&node=...] — EXPAND a visible node;
     - [/show?sid=...&node=...] — SHOWRESULTS on a visible node;
-    - [/back?sid=...] — BACKTRACK. *)
+    - [/back?sid=...] — BACKTRACK;
+    - [/metrics] — plaintext dump of the process metrics registry
+      (expand latency percentiles, cache and session counters). *)
 
 type t
 
 val create :
   ?suggestions:string list ->
+  ?config:Bionav_engine.Engine.config ->
   database:Bionav_store.Database.t ->
   eutils:Bionav_search.Eutils.t ->
   unit ->
   t
-(** Navigation trees are cached per query ({!Bionav_core.Nav_cache}). *)
+(** [config] bounds the session store and the navigation-tree cache
+    (defaults: {!Bionav_engine.Engine.default_config}). *)
 
 val handle : t -> Http.handler
 (** 404 on unknown routes, 400 on missing/invalid parameters. *)

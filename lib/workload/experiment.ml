@@ -1,6 +1,7 @@
 module Simulate = Bionav_core.Simulate
 module Navigation = Bionav_core.Navigation
 module Probability = Bionav_core.Probability
+module Engine = Bionav_engine.Engine
 
 type run = { query : Queries.query; static : Simulate.outcome; bionav : Simulate.outcome }
 
@@ -17,14 +18,13 @@ let mean_expand_ms (o : Simulate.outcome) =
       /. float_of_int (List.length h)
 
 let run_strategy (q : Queries.query) strategy =
-  Simulate.to_target ~strategy q.Queries.nav ~target:q.Queries.target_node
+  Simulate.to_target (Engine.start strategy q.Queries.nav) ~target:q.Queries.target_node
 
 let run_query ?k ?params (q : Queries.query) =
   let target = q.Queries.target_node in
-  let static = Simulate.to_target ~strategy:Navigation.Static q.Queries.nav ~target in
-  let bionav =
-    Simulate.to_target ~strategy:(Navigation.bionav ?k ?params ()) q.Queries.nav ~target
-  in
+  let run strategy = Simulate.to_target (Engine.start strategy q.Queries.nav) ~target in
+  let static = run Navigation.Static in
+  let bionav = run (Navigation.bionav ?k ?params ()) in
   { query = q; static; bionav }
 
 let run_all ?k ?params (w : Queries.t) = List.map (run_query ?k ?params) w.Queries.queries

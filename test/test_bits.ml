@@ -1,0 +1,78 @@
+open Bionav_util
+
+(* Reference implementation: shift-and-test. *)
+let naive_popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let test_edge_cases () =
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0);
+  Alcotest.(check int) "one" 1 (Bits.popcount 1);
+  Alcotest.(check int) "max_int" 62 (Bits.popcount max_int);
+  Alcotest.(check int) "min_int" 1 (Bits.popcount min_int);
+  Alcotest.(check int) "minus one" 63 (Bits.popcount (-1))
+
+let test_single_bits () =
+  for i = 0 to 62 do
+    Alcotest.(check int) (Printf.sprintf "bit %d" i) 1 (Bits.popcount (1 lsl i))
+  done
+
+let test_matches_naive_on_random () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 10_000 do
+    (* Compose a full-width random int from three 21-bit draws. *)
+    let x =
+      Rng.int rng (1 lsl 21)
+      lor (Rng.int rng (1 lsl 21) lsl 21)
+      lor (Rng.int rng (1 lsl 21) lsl 42)
+    in
+    Alcotest.(check int) (Printf.sprintf "popcount %x" x) (naive_popcount x) (Bits.popcount x)
+  done
+
+let test_half_boundary () =
+  (* Values straddling the 32-bit split inside the implementation. *)
+  List.iter
+    (fun x -> Alcotest.(check int) (Printf.sprintf "%x" x) (naive_popcount x) (Bits.popcount x))
+    [
+      0xFFFFFFFF;
+      0x100000000;
+      0x1FFFFFFFF;
+      0xFFFFFFFF lsl 32 land max_int;
+      0x55555555 lor (0x55555555 lsl 32);
+      0x33333333 lor (0x33333333 lsl 32);
+    ]
+
+let test_lowest_bit () =
+  for i = 0 to 62 do
+    Alcotest.(check int) (Printf.sprintf "1 lsl %d" i) i (Bits.lowest_bit (1 lsl i));
+    (* Setting extra higher bits must not change the answer. *)
+    if i < 60 then
+      Alcotest.(check int)
+        (Printf.sprintf "noisy 1 lsl %d" i)
+        i
+        (Bits.lowest_bit ((1 lsl i) lor (1 lsl 61) lor (1 lsl (i + 2))))
+  done
+
+let test_lowest_bit_rejects_zero () =
+  Alcotest.(check bool) "zero mask" true
+    (try
+       ignore (Bits.lowest_bit 0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "popcount",
+        [
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "single bits" `Quick test_single_bits;
+          Alcotest.test_case "random vs naive" `Quick test_matches_naive_on_random;
+          Alcotest.test_case "32-bit boundary" `Quick test_half_boundary;
+        ] );
+      ( "lowest_bit",
+        [
+          Alcotest.test_case "all positions" `Quick test_lowest_bit;
+          Alcotest.test_case "rejects zero" `Quick test_lowest_bit_rejects_zero;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+open Bionav_util
+open Bionav_core
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module DB = Bionav_store.Database
+module Eu = Bionav_search.Eutils
+module Engine = Bionav_engine.Engine
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* A small corpus with a seeded, findable query word. *)
+let world =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:211 () in
+     let deep =
+       List.filter (fun c -> Bionav_mesh.Hierarchy.depth h c >= 3)
+         (List.init (Bionav_mesh.Hierarchy.size h) Fun.id)
+     in
+     let params =
+       {
+         G.small_params with
+         G.n_citations = 500;
+         seeded_groups =
+           [
+             {
+               G.tag = Some "cancer";
+               cluster = [ List.nth deep 0; List.nth deep 7 ];
+               count = 60;
+               topics_per_citation = (1, 2);
+             };
+           ];
+       }
+     in
+     let m = G.generate ~params ~seed:212 h in
+     (DB.of_medline m, Eu.create m))
+
+let engine ?config () =
+  let database, eutils = Lazy.force world in
+  Engine.create ?config ~database ~eutils ()
+
+let must_session = function
+  | Ok (Engine.Session s) -> s
+  | Ok Engine.No_results -> Alcotest.fail "unexpected No_results"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e)
+
+(* --- strategy validation ---------------------------------------------- *)
+
+let test_validate_strategy () =
+  Alcotest.(check bool) "paged 0 rejected" true
+    (Result.is_error (Engine.validate_strategy (Navigation.Static_paged { page_size = 0 })));
+  Alcotest.(check bool) "paged -3 rejected" true
+    (Result.is_error (Engine.validate_strategy (Navigation.Static_paged { page_size = -3 })));
+  Alcotest.(check bool) "paged 1 ok" true
+    (Result.is_ok (Engine.validate_strategy (Navigation.Static_paged { page_size = 1 })));
+  Alcotest.(check bool) "static ok" true (Result.is_ok (Engine.validate_strategy Navigation.Static))
+
+let test_strategy_of_name () =
+  Alcotest.(check bool) "default is bionav" true (Result.is_ok (Engine.strategy_of_name None));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) n true (Result.is_ok (Engine.strategy_of_name (Some n))))
+    [ "bionav"; "static"; "paged"; "optimal" ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Engine.strategy_of_name (Some "wat")));
+  Alcotest.(check bool) "paged with bad size rejected" true
+    (Result.is_error (Engine.strategy_of_name ~page_size:0 (Some "paged")))
+
+let test_start_validates () =
+  let nav =
+    let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0 |] in
+    Nav_tree.build ~hierarchy:h
+      ~attachments:[ (1, Intset.of_list [ 1; 2; 3 ]) ]
+      ~total_count:(fun _ -> 10)
+  in
+  Alcotest.(check bool) "bad strategy raises" true
+    (try
+       ignore (Engine.start (Navigation.Static_paged { page_size = 0 }) nav);
+       false
+     with Invalid_argument _ -> true);
+  let session = Engine.start Navigation.Static nav in
+  Alcotest.(check bool) "good strategy starts" true
+    (Active_tree.is_visible (Navigation.active session) (Nav_tree.root nav))
+
+(* --- search ------------------------------------------------------------ *)
+
+let test_search_errors () =
+  let t = engine () in
+  Alcotest.(check bool) "blank query" true (Result.is_error (Engine.search t "   "));
+  Alcotest.(check bool) "invalid strategy" true
+    (Result.is_error
+       (Engine.search t ~strategy:(Navigation.Static_paged { page_size = 0 }) "cancer"));
+  Alcotest.(check int) "no sessions created" 0 (Engine.session_count t)
+
+let test_search_no_results () =
+  let t = engine () in
+  (match Engine.search t "zzzznotaword" with
+  | Ok Engine.No_results -> ()
+  | _ -> Alcotest.fail "expected No_results");
+  Alcotest.(check int) "no session" 0 (Engine.session_count t)
+
+let test_search_creates_sessions_with_monotonic_ids () =
+  let t = engine () in
+  let s0 = must_session (Engine.search t "cancer") in
+  let s1 = must_session (Engine.search t "cancer") in
+  Alcotest.(check string) "first id" "s0" (Engine.session_id s0);
+  Alcotest.(check string) "second id" "s1" (Engine.session_id s1);
+  Alcotest.(check int) "two live" 2 (Engine.session_count t);
+  Alcotest.(check bool) "lookup works" true
+    (match Engine.find_session t "s0" with Some _ -> true | None -> false)
+
+(* --- bounded store / LRU ------------------------------------------------ *)
+
+let small_config = { Engine.default_config with Engine.max_sessions = 3 }
+
+let test_eviction_bound () =
+  let t = engine ~config:small_config () in
+  for _ = 1 to 3 do
+    ignore (must_session (Engine.search t "cancer"))
+  done;
+  Alcotest.(check int) "at capacity" 3 (Engine.session_count t);
+  Alcotest.(check int) "no evictions yet" 0 (Engine.eviction_count t);
+  (* The N+1st session evicts exactly one. *)
+  ignore (must_session (Engine.search t "cancer"));
+  Alcotest.(check int) "still at capacity" 3 (Engine.session_count t);
+  Alcotest.(check int) "exactly one eviction" 1 (Engine.eviction_count t);
+  (* The count never exceeds the bound no matter how many more arrive. *)
+  for _ = 1 to 10 do
+    ignore (must_session (Engine.search t "cancer"));
+    Alcotest.(check bool) "bounded" true (Engine.session_count t <= 3)
+  done;
+  Alcotest.(check int) "eviction per overflow" 11 (Engine.eviction_count t)
+
+let test_eviction_is_lru () =
+  let t = engine ~config:small_config () in
+  ignore (must_session (Engine.search t "cancer")) (* s0 *);
+  ignore (must_session (Engine.search t "cancer")) (* s1 *);
+  ignore (must_session (Engine.search t "cancer")) (* s2 *);
+  (* Touch s0 so s1 becomes the least recently used. *)
+  ignore (Engine.find_session t "s0");
+  ignore (must_session (Engine.search t "cancer")) (* s3: evicts s1 *);
+  Alcotest.(check bool) "s0 survives" true (Option.is_some (Engine.find_session t "s0"));
+  Alcotest.(check bool) "s1 evicted" true (Option.is_none (Engine.find_session t "s1"));
+  Alcotest.(check bool) "s2 survives" true (Option.is_some (Engine.find_session t "s2"))
+
+let test_close () =
+  let t = engine () in
+  let s = must_session (Engine.search t "cancer") in
+  Alcotest.(check bool) "close" true (Engine.close t (Engine.session_id s));
+  Alcotest.(check int) "gone" 0 (Engine.session_count t);
+  Alcotest.(check bool) "double close" false (Engine.close t (Engine.session_id s));
+  Alcotest.(check bool) "unknown id" false (Engine.close t "nope")
+
+let test_ttl_sweep () =
+  let config = { Engine.default_config with Engine.session_ttl_ms = Some 1000. } in
+  let t = engine ~config () in
+  ignore (must_session (Engine.search t "cancer"));
+  ignore (must_session (Engine.search t "cancer"));
+  let now = Bionav_util.Timing.now_ms () in
+  Alcotest.(check int) "fresh sessions survive" 0 (Engine.sweep ~now_ms:now t);
+  Alcotest.(check int) "idle sessions expire" 2 (Engine.sweep ~now_ms:(now +. 10_000.) t);
+  Alcotest.(check int) "store empty" 0 (Engine.session_count t)
+
+let test_sweep_without_ttl () =
+  let t = engine () in
+  ignore (must_session (Engine.search t "cancer"));
+  Alcotest.(check int) "no ttl, no expiry" 0 (Engine.sweep ~now_ms:infinity t);
+  Alcotest.(check int) "session kept" 1 (Engine.session_count t)
+
+(* --- cache normalization ------------------------------------------------ *)
+
+let test_query_normalization_shares_cache () =
+  let t = engine () in
+  let a = must_session (Engine.search t "  Cancer ") in
+  let b = must_session (Engine.search t "cancer") in
+  Alcotest.(check bool) "one tree, shared" true (Engine.session_nav a == Engine.session_nav b);
+  Alcotest.(check bool) "hit rate reflects the hit" true (Engine.cache_hit_rate t >= 0.5)
+
+(* --- navigation actions and metrics ------------------------------------- *)
+
+let test_navigation_populates_metrics () =
+  Metrics.reset ();
+  let t = engine () in
+  let s = must_session (Engine.search t "cancer") in
+  let nav = Engine.session_nav s in
+  let revealed = Engine.expand s (Nav_tree.root nav) in
+  Alcotest.(check bool) "expand reveals" true (revealed <> []);
+  Alcotest.(check bool) "backtrack undoes" true (Engine.backtrack s);
+  Alcotest.(check bool) "expands counted" true
+    (Metrics.value (Metrics.counter "bionav_expands_total") >= 1);
+  Alcotest.(check bool) "latency observed" true
+    (Metrics.count (Metrics.histogram "bionav_expand_latency_ms") >= 1);
+  Alcotest.(check bool) "session counted" true
+    (Metrics.value (Metrics.counter "bionav_sessions_started_total") >= 1);
+  let text = Engine.metrics_text t in
+  List.iter
+    (fun sub -> Alcotest.(check bool) sub true (contains ~sub text))
+    [
+      "bionav_expands_total";
+      "bionav_expand_latency_ms_count";
+      "bionav_expand_latency_ms{quantile=\"0.5\"}";
+      "bionav_sessions_live 1";
+      "bionav_cache_misses_total";
+    ]
+
+let test_show_results_returns_citations () =
+  let t = engine () in
+  let s = must_session (Engine.search t "cancer") in
+  let nav = Engine.session_nav s in
+  let citations = Engine.show_results s (Nav_tree.root nav) in
+  Alcotest.(check bool) "nonempty" true (not (Intset.is_empty citations))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "validate" `Quick test_validate_strategy;
+          Alcotest.test_case "of_name" `Quick test_strategy_of_name;
+          Alcotest.test_case "start validates" `Quick test_start_validates;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "errors" `Quick test_search_errors;
+          Alcotest.test_case "no results" `Quick test_search_no_results;
+          Alcotest.test_case "monotonic ids" `Quick test_search_creates_sessions_with_monotonic_ids;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "eviction bound" `Quick test_eviction_bound;
+          Alcotest.test_case "LRU order" `Quick test_eviction_is_lru;
+          Alcotest.test_case "close" `Quick test_close;
+          Alcotest.test_case "ttl sweep" `Quick test_ttl_sweep;
+          Alcotest.test_case "sweep without ttl" `Quick test_sweep_without_ttl;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "normalization shares" `Quick test_query_normalization_shares_cache ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics populated" `Quick test_navigation_populates_metrics;
+          Alcotest.test_case "show results" `Quick test_show_results_returns_citations;
+        ] );
+    ]

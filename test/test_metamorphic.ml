@@ -83,8 +83,8 @@ let test_static_cost_reproducible () =
   let db = Lazy.force database in
   let nav = Nav_tree.of_database db (Intset.of_list (List.init 50 (fun i -> i * 2))) in
   let target = Nav_tree.size nav - 1 in
-  let a = Simulate.to_target ~strategy:Navigation.Static nav ~target in
-  let b = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+  let a = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
+  let b = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
   Alcotest.(check int) "identical" a.Simulate.navigation_cost b.Simulate.navigation_cost
 
 (* Permuting citation ids must not change structural costs: rebuild the
@@ -109,7 +109,7 @@ let test_bionav_cost_bounded () =
   let bound = 2 * Nav_tree.size nav in
   List.iter
     (fun target ->
-      let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+      let o = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
       Alcotest.(check bool) "bounded" true (o.Simulate.navigation_cost <= bound))
     [ 1; Nav_tree.size nav / 2; Nav_tree.size nav - 1 ]
 

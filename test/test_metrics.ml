@@ -1,0 +1,168 @@
+open Bionav_util
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_counter_basics () =
+  let c = Metrics.counter "test_counter_basics" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "accumulates" 5 (Metrics.value c);
+  Metrics.incr ~by:0 c;
+  Alcotest.(check int) "by:0 is a no-op" 5 (Metrics.value c)
+
+let test_counter_is_shared_by_name () =
+  let a = Metrics.counter "test_counter_shared" in
+  let b = Metrics.counter "test_counter_shared" in
+  Metrics.incr a;
+  Alcotest.(check int) "same underlying cell" 1 (Metrics.value b)
+
+let test_counter_rejects_negative () =
+  let c = Metrics.counter "test_counter_negative" in
+  Alcotest.(check bool) "negative by" true
+    (try
+       Metrics.incr ~by:(-1) c;
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge () =
+  let g = Metrics.gauge "test_gauge" in
+  Alcotest.(check (float 0.)) "starts at zero" 0. (Metrics.gauge_value g);
+  Metrics.set g 12.5;
+  Alcotest.(check (float 0.)) "set" 12.5 (Metrics.gauge_value g);
+  Metrics.set g 3.;
+  Alcotest.(check (float 0.)) "overwrite" 3. (Metrics.gauge_value g)
+
+let test_bad_names_rejected () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "name %S" name) true
+        (try
+           ignore (Metrics.counter name);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "has space"; "has\"quote"; "has{brace"; "has}brace"; "has\nnewline" ]
+
+let test_kind_clash_rejected () =
+  ignore (Metrics.counter "test_kind_clash");
+  Alcotest.(check bool) "gauge over counter" true
+    (try
+       ignore (Metrics.gauge "test_kind_clash");
+       false
+     with Invalid_argument _ -> true)
+
+(* Percentiles on a known distribution: observations 1..100 with bucket
+   bounds 10, 20, ..., 100 put exactly 10 observations in each bucket, so
+   linear interpolation recovers pN = N exactly. *)
+let known_histogram () =
+  let h =
+    Metrics.histogram
+      ~buckets:(Array.init 10 (fun i -> float_of_int ((i + 1) * 10)))
+      "test_hist_known"
+  in
+  for v = 1 to 100 do
+    Metrics.observe h (float_of_int v)
+  done;
+  h
+
+let test_histogram_percentiles () =
+  let h = known_histogram () in
+  Alcotest.(check int) "count" 100 (Metrics.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050. (Metrics.sum h);
+  Alcotest.(check (float 1e-9)) "p50" 50. (Metrics.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p95" 95. (Metrics.percentile h 95.);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Metrics.percentile h 99.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Metrics.percentile h 100.)
+
+let test_histogram_empty () =
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] "test_hist_empty" in
+  Alcotest.(check int) "count" 0 (Metrics.count h);
+  Alcotest.(check (float 0.)) "sum" 0. (Metrics.sum h);
+  Alcotest.(check (float 0.)) "p50 of empty" 0. (Metrics.percentile h 50.)
+
+let test_histogram_overflow_bucket () =
+  let h = Metrics.histogram ~buckets:[| 10. |] "test_hist_overflow" in
+  Metrics.observe h 500.;
+  Metrics.observe h 500.;
+  (* Both land beyond the last bound; the overflow bucket interpolates up
+     to the observed maximum. *)
+  Alcotest.(check (float 1e-9)) "p100 = max" 500. (Metrics.percentile h 100.);
+  Alcotest.(check bool) "p50 between bound and max" true
+    (let p = Metrics.percentile h 50. in
+     p >= 10. && p <= 500.)
+
+let test_histogram_rejects_bad_buckets () =
+  List.iter
+    (fun (name, buckets) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (Metrics.histogram ~buckets name);
+           false
+         with Invalid_argument _ -> true))
+    [ ("test_hist_unsorted", [| 2.; 1. |]); ("test_hist_nobuckets", [||]) ]
+
+let test_dump_format () =
+  let c = Metrics.counter "test_dump_counter" in
+  Metrics.incr ~by:7 c;
+  let g = Metrics.gauge "test_dump_gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.; 10. |] "test_dump_hist" in
+  Metrics.observe h 0.5;
+  let out = Metrics.dump () in
+  Alcotest.(check bool) "counter line" true (contains ~sub:"test_dump_counter 7" out);
+  Alcotest.(check bool) "gauge line" true (contains ~sub:"test_dump_gauge 2.5" out);
+  Alcotest.(check bool) "hist count" true (contains ~sub:"test_dump_hist_count 1" out);
+  Alcotest.(check bool) "hist sum" true (contains ~sub:"test_dump_hist_sum 0.5" out);
+  Alcotest.(check bool) "hist quantile" true
+    (contains ~sub:"test_dump_hist{quantile=\"0.5\"}" out);
+  (* Sorted by name: the counter line precedes the gauge line. *)
+  let idx sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = if i + m > n then -1 else if String.sub out i m = sub then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "sorted" true
+    (idx "test_dump_counter" >= 0 && idx "test_dump_counter" < idx "test_dump_gauge")
+
+let test_reset () =
+  let c = Metrics.counter "test_reset_counter" in
+  let h = Metrics.histogram ~buckets:[| 1. |] "test_reset_hist" in
+  Metrics.incr ~by:3 c;
+  Metrics.observe h 0.5;
+  Metrics.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.count h);
+  Metrics.incr c;
+  Alcotest.(check int) "still usable" 1 (Metrics.value c)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "shared by name" `Quick test_counter_is_shared_by_name;
+          Alcotest.test_case "rejects negative" `Quick test_counter_rejects_negative;
+        ] );
+      ( "gauges", [ Alcotest.test_case "set/get" `Quick test_gauge ] );
+      ( "registry",
+        [
+          Alcotest.test_case "bad names" `Quick test_bad_names_rejected;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "known percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "overflow bucket" `Quick test_histogram_overflow_bucket;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_rejects_bad_buckets;
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "format" `Quick test_dump_format;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+    ]

@@ -70,7 +70,25 @@ let test_hit_rate () =
   ignore (Nav_cache.get cache "q");
   ignore (Nav_cache.get cache "q");
   ignore (Nav_cache.get cache "q");
-  Alcotest.(check (float 1e-9)) "2/3" (2. /. 3.) (Nav_cache.hit_rate cache)
+  Alcotest.(check (float 1e-9)) "2/3" (2. /. 3.) (Nav_cache.hit_rate cache);
+  Alcotest.(check int) "hits" 2 (Nav_cache.hits cache);
+  Alcotest.(check int) "misses" 1 (Nav_cache.misses cache)
+
+let test_hit_rate_spans_normalized_variants () =
+  let cache = Nav_cache.create ~build:(fun q -> make_nav (String.length q)) () in
+  let a = Nav_cache.get cache "  Cancer " in
+  let b = Nav_cache.get cache "cancer" in
+  Alcotest.(check bool) "one entry" true (a == b);
+  Alcotest.(check int) "variant was a hit" 1 (Nav_cache.hits cache);
+  Alcotest.(check int) "one miss" 1 (Nav_cache.misses cache);
+  Alcotest.(check (float 1e-9)) "hit rate 1/2" 0.5 (Nav_cache.hit_rate cache)
+
+let test_eviction_counter () =
+  let cache = Nav_cache.create ~capacity:1 ~build:(fun q -> make_nav (String.length q)) () in
+  ignore (Nav_cache.get cache "a");
+  Alcotest.(check int) "no evictions" 0 (Nav_cache.evictions cache);
+  ignore (Nav_cache.get cache "b");
+  Alcotest.(check int) "one eviction" 1 (Nav_cache.evictions cache)
 
 let test_clear () =
   let calls = ref 0 in
@@ -96,6 +114,9 @@ let () =
           Alcotest.test_case "distinct queries" `Quick test_distinct_queries_build_separately;
           Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
           Alcotest.test_case "hit rate" `Quick test_hit_rate;
+          Alcotest.test_case "hit rate across variants" `Quick
+            test_hit_rate_spans_normalized_variants;
+          Alcotest.test_case "eviction counter" `Quick test_eviction_counter;
           Alcotest.test_case "clear" `Quick test_clear;
         ] );
     ]

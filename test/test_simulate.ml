@@ -18,33 +18,33 @@ let fixture () =
 let test_static_expands_equal_target_depth () =
   let nav = fixture () in
   (* Node 3 has nav depth 3; static navigation expands once per level. *)
-  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target:3 in
+  let o = Simulate.to_target (Navigation.start Navigation.Static nav) ~target:3 in
   Alcotest.(check int) "expands = depth" (Nav_tree.depth nav 3) o.Simulate.expands;
   Alcotest.(check int) "cost = expands + revealed" (o.Simulate.expands + o.Simulate.revealed)
     o.Simulate.navigation_cost
 
 let test_target_already_visible () =
   let nav = fixture () in
-  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target:0 in
+  let o = Simulate.to_target (Navigation.start Navigation.Static nav) ~target:0 in
   Alcotest.(check int) "no expands" 0 o.Simulate.expands;
   Alcotest.(check int) "zero cost" 0 o.Simulate.navigation_cost
 
 let test_show_results_counted () =
   let nav = fixture () in
-  let o = Simulate.to_target ~show_results:true ~strategy:Navigation.Static nav ~target:3 in
+  let o = Simulate.to_target ~show_results:true (Navigation.start Navigation.Static nav) ~target:3 in
   Alcotest.(check int) "listed = component distinct" 12 o.Simulate.results_listed;
   Alcotest.(check int) "total adds listing" (o.Simulate.navigation_cost + 12) o.Simulate.total_cost
 
 let test_bionav_reaches_every_node () =
   let nav = fixture () in
   for target = 0 to Nav_tree.size nav - 1 do
-    let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+    let o = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
     Alcotest.(check bool) "terminates with bounded cost" true (o.Simulate.navigation_cost < 1000)
   done
 
 let test_history_chronological () =
   let nav = fixture () in
-  let o = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target:6 in
+  let o = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target:6 in
   Alcotest.(check int) "history length = expands" o.Simulate.expands
     (List.length o.Simulate.history);
   let total_revealed =
@@ -55,15 +55,15 @@ let test_history_chronological () =
 
 let test_to_concept () =
   let nav = fixture () in
-  let o1 = Simulate.to_concept ~strategy:Navigation.Static nav ~concept:3 in
-  let o2 = Simulate.to_target ~strategy:Navigation.Static nav ~target:3 in
+  let o1 = Simulate.to_concept (Navigation.start Navigation.Static nav) ~concept:3 in
+  let o2 = Simulate.to_target (Navigation.start Navigation.Static nav) ~target:3 in
   Alcotest.(check int) "same navigation" o2.Simulate.navigation_cost o1.Simulate.navigation_cost
 
 let test_to_concept_rejects_missing () =
   let nav = fixture () in
   Alcotest.(check bool) "missing concept" true
     (try
-       ignore (Simulate.to_concept ~strategy:Navigation.Static nav ~concept:9999);
+       ignore (Simulate.to_concept (Navigation.start Navigation.Static nav) ~concept:9999);
        false
      with Invalid_argument _ -> true)
 
@@ -71,7 +71,7 @@ let test_to_target_rejects_out_of_range () =
   let nav = fixture () in
   Alcotest.(check bool) "out of range" true
     (try
-       ignore (Simulate.to_target ~strategy:Navigation.Static nav ~target:99);
+       ignore (Simulate.to_target (Navigation.start Navigation.Static nav) ~target:99);
        false
      with Invalid_argument _ -> true)
 
@@ -88,7 +88,7 @@ let generated_nav =
 let test_static_cost_formula_on_generated () =
   let nav = Lazy.force generated_nav in
   let target = Nav_tree.size nav - 1 in
-  let o = Simulate.to_target ~strategy:Navigation.Static nav ~target in
+  let o = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
   (* Expected: expanding each node on the root path reveals its children. *)
   let rec path_up acc n = if n = -1 then acc else path_up (n :: acc) (Nav_tree.parent nav n) in
   let path = path_up [] (Nav_tree.parent nav target) in
@@ -103,8 +103,8 @@ let test_bionav_vs_static_on_generated () =
   let targets = [ Nav_tree.size nav / 2; Nav_tree.size nav - 3; 5 ] in
   List.iter
     (fun target ->
-      let st = Simulate.to_target ~strategy:Navigation.Static nav ~target in
-      let bn = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+      let st = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
+      let bn = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
       (* Not asserting dominance per-target (the heuristic can lose on tiny
          trees); assert both terminate with sane costs. *)
       Alcotest.(check bool) "static sane" true (st.Simulate.navigation_cost > 0);
@@ -114,8 +114,8 @@ let test_bionav_vs_static_on_generated () =
 let test_deterministic_outcomes () =
   let nav = Lazy.force generated_nav in
   let target = Nav_tree.size nav - 1 in
-  let a = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
-  let b = Simulate.to_target ~strategy:(Navigation.bionav ()) nav ~target in
+  let a = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
+  let b = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
   Alcotest.(check int) "same cost" a.Simulate.navigation_cost b.Simulate.navigation_cost;
   Alcotest.(check int) "same expands" a.Simulate.expands b.Simulate.expands
 

@@ -24,7 +24,7 @@ let tiny_nav () =
 let test_walk_terminates_with_showresults () =
   let rng = Rng.create 1 in
   for _ = 1 to 50 do
-    let o = SU.walk ~rng ~strategy:(Navigation.bionav ()) (nav ()) in
+    let o = SU.walk ~rng (Navigation.start (Navigation.bionav ()) (nav ())) in
     Alcotest.(check bool) "listed something or bounded" true
       (o.SU.results_listed > 0 || o.SU.expands > 0);
     Alcotest.(check int) "cost adds up" o.SU.total_cost
@@ -33,19 +33,19 @@ let test_walk_terminates_with_showresults () =
 
 let test_small_results_list_immediately () =
   let rng = Rng.create 2 in
-  let o = SU.walk ~rng ~strategy:(Navigation.bionav ()) (tiny_nav ()) in
+  let o = SU.walk ~rng (Navigation.start (Navigation.bionav ()) (tiny_nav ())) in
   Alcotest.(check int) "no expands" 0 o.SU.expands;
   Alcotest.(check int) "all results listed" 3 o.SU.results_listed;
   Alcotest.(check int) "stopped at root" 0 o.SU.stopped_at
 
 let test_sample_deterministic_in_seed () =
-  let a = SU.sample ~walks:50 ~seed:7 ~strategy:(Navigation.bionav ()) (nav ()) in
-  let b = SU.sample ~walks:50 ~seed:7 ~strategy:(Navigation.bionav ()) (nav ()) in
+  let a = SU.sample ~walks:50 ~seed:7 (fun () -> Navigation.start (Navigation.bionav ()) (nav ())) in
+  let b = SU.sample ~walks:50 ~seed:7 (fun () -> Navigation.start (Navigation.bionav ()) (nav ())) in
   Alcotest.(check (float 1e-9)) "same mean" a.SU.mean_cost b.SU.mean_cost;
   Alcotest.(check (float 1e-9)) "same median" a.SU.median_cost b.SU.median_cost
 
 let test_sample_shapes () =
-  let s = SU.sample ~walks:80 ~seed:9 ~strategy:Navigation.Static (nav ()) in
+  let s = SU.sample ~walks:80 ~seed:9 (fun () -> Navigation.start Navigation.Static (nav ())) in
   Alcotest.(check int) "walks recorded" 80 s.SU.walks;
   Alcotest.(check bool) "positive cost" true (s.SU.mean_cost > 0.);
   Alcotest.(check bool) "median <= sane bound" true (s.SU.median_cost < 1000.)
@@ -53,13 +53,13 @@ let test_sample_shapes () =
 let test_sample_rejects_zero_walks () =
   Alcotest.(check bool) "rejected" true
     (try
-       ignore (SU.sample ~walks:0 ~seed:1 ~strategy:Navigation.Static (nav ()));
+       ignore (SU.sample ~walks:0 ~seed:1 (fun () -> Navigation.start Navigation.Static (nav ())));
        false
      with Invalid_argument _ -> true)
 
 let test_max_steps_bounds_walk () =
   let rng = Rng.create 3 in
-  let o = SU.walk ~max_steps:1 ~rng ~strategy:(Navigation.bionav ()) (nav ()) in
+  let o = SU.walk ~max_steps:1 ~rng (Navigation.start (Navigation.bionav ()) (nav ())) in
   Alcotest.(check bool) "at most one expand" true (o.SU.expands <= 1)
 
 let () =

@@ -129,6 +129,34 @@ let test_search_validation () =
   Alcotest.(check int) "bad strategy" 400
     (get app "/search" [ ("q", "webtag"); ("strategy", "wat") ]).Http.status
 
+let test_page_size_validation () =
+  let app = Lazy.force app_fixture in
+  Alcotest.(check int) "zero page size" 400
+    (get app "/search" [ ("q", "webtag"); ("strategy", "paged"); ("page_size", "0") ])
+      .Http.status;
+  Alcotest.(check int) "negative page size" 400
+    (get app "/search" [ ("q", "webtag"); ("strategy", "paged"); ("page_size", "-2") ])
+      .Http.status;
+  Alcotest.(check int) "malformed page size" 400
+    (get app "/search" [ ("q", "webtag"); ("strategy", "paged"); ("page_size", "ten") ])
+      .Http.status;
+  Alcotest.(check int) "valid page size" 200
+    (get app "/search" [ ("q", "webtag"); ("strategy", "paged"); ("page_size", "5") ])
+      .Http.status
+
+let test_metrics_route () =
+  let app = Lazy.force app_fixture in
+  ignore (get app "/search" [ ("q", "webtag") ]);
+  let r = get app "/metrics" [] in
+  Alcotest.(check int) "200" 200 r.Http.status;
+  Alcotest.(check bool) "plaintext" true
+    (contains ~sub:"text/plain" r.Http.content_type);
+  Alcotest.(check bool) "session counter present" true
+    (contains ~sub:"bionav_sessions_started_total" r.Http.body);
+  Alcotest.(check bool) "live gauge present" true
+    (contains ~sub:"bionav_sessions_live" r.Http.body);
+  Alcotest.(check bool) "not html" false (contains ~sub:"<html" r.Http.body)
+
 (* Extract the first sid/node pair of an expand link from a page. *)
 let find_expand_params body =
   let marker = "/expand?sid=" in
@@ -223,6 +251,8 @@ let () =
           Alcotest.test_case "search creates session" `Quick test_search_creates_session;
           Alcotest.test_case "search no results" `Quick test_search_no_results;
           Alcotest.test_case "search validation" `Quick test_search_validation;
+          Alcotest.test_case "page_size validation" `Quick test_page_size_validation;
+          Alcotest.test_case "metrics route" `Quick test_metrics_route;
           Alcotest.test_case "expand/show/back flow" `Quick test_expand_show_back_flow;
           Alcotest.test_case "session validation" `Quick test_session_validation;
           Alcotest.test_case "fuzzed handler" `Quick test_handler_never_raises;
