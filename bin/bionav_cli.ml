@@ -37,6 +37,18 @@ let metrics_arg =
   let doc = "Dump the process metrics registry (counters, latency histograms) on exit." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let prefetch_arg =
+  let doc =
+    "Enable the prefetch subsystem: memoize EdgeCut plans across sessions and \
+     speculatively precompute cuts for the most promising follow-up expansions."
+  in
+  Arg.(value & flag & info [ "prefetch" ] ~doc)
+
+let engine_config ~prefetch base =
+  { base with
+    Engine.prefetch =
+      (if prefetch then Some Bionav_prefetch.Prefetch.default_config else None) }
+
 let dump_metrics flag = if flag then print_string (Bionav_util.Metrics.dump ())
 
 let build_workload scale seed =
@@ -199,19 +211,23 @@ let navigate_cmd =
     let doc = "Apply a recorded transcript before the interactive loop." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let rec run scale seed query strategy auto record replay metrics =
+  let rec run scale seed query strategy auto record replay prefetch metrics =
     (* The Optimal strategy is exponential and guarded to tiny components;
        surface its Invalid_argument as a clean error instead of a crash. *)
-    try run_navigate scale seed query strategy auto record replay metrics
+    try run_navigate scale seed query strategy auto record replay prefetch metrics
     with Invalid_argument msg ->
       Printf.printf "error: %s\n" msg;
       Printf.printf "(the 'optimal' strategy only handles components of <= %d nodes;\n"
         Bionav_core.Opt_edgecut.max_size;
       Printf.printf " use --strategy bionav for real queries)\n";
       exit 1
-  and run_navigate scale seed query strategy auto record replay metrics =
+  and run_navigate scale seed query strategy auto record replay prefetch metrics =
     let w = build_workload scale seed in
-    let engine = Engine.create ~database:w.Q.database ~eutils:w.Q.eutils () in
+    let engine =
+      Engine.create
+        ~config:(engine_config ~prefetch Engine.default_config)
+        ~database:w.Q.database ~eutils:w.Q.eutils ()
+    in
     match Engine.search engine ~strategy:(strategy_of strategy) query with
     | Error msg ->
         Printf.printf "error: %s\n" msg;
@@ -263,7 +279,7 @@ let navigate_cmd =
     (Cmd.info "navigate" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ query_arg $ strategy_arg $ auto_arg $ record_arg
-      $ replay_arg $ metrics_arg)
+      $ replay_arg $ prefetch_arg $ metrics_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
@@ -292,24 +308,76 @@ let serve_cmd =
     Arg.(value & opt int Engine.default_config.Engine.max_sessions
          & info [ "max-sessions" ] ~docv:"N" ~doc)
   in
-  let run scale seed port max_sessions =
+  let snapshot_arg =
+    let doc = "Warm-start from this snapshot file (see the $(b,warm) command)." in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let run scale seed port max_sessions prefetch snapshot =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     let w = build_workload scale seed in
     let app =
-      Bionav_web.App.create
-        ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
-        ~config:{ Engine.default_config with Engine.max_sessions }
-        ~database:w.Q.database ~eutils:w.Q.eutils ()
+      (* A corrupt, mismatched, or missing snapshot is a clean startup
+         error, not a crash. *)
+      try
+        Bionav_web.App.create
+          ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
+          ~config:(engine_config ~prefetch { Engine.default_config with Engine.max_sessions })
+          ?snapshot ~database:w.Q.database ~eutils:w.Q.eutils ()
+      with (Invalid_argument msg | Sys_error msg) ->
+        Printf.printf "error: %s\n" msg;
+        Printf.printf "(rebuild the snapshot with: bionav warm <FILE>)\n";
+        exit 1
     in
     Printf.printf "serving on http://127.0.0.1:%d (Ctrl-C to stop)\n%!" port;
     Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" port;
+    if prefetch then
+      Printf.printf "prefetch status at http://127.0.0.1:%d/prefetch\n%!" port;
     Bionav_web.Http.serve ~port (Bionav_web.App.handle app)
   in
   let doc = "Serve the BioNav web interface over the synthetic corpus." in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg)
+    Term.(
+      const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
+      $ snapshot_arg)
+
+(* --- warm ---------------------------------------------------------------- *)
+
+let warm_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  let top_arg =
+    let doc = "Warm the top $(docv) workload queries (most popular first)." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run scale seed path top =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info);
+    let w = build_workload scale seed in
+    let engine =
+      Engine.create
+        ~config:(engine_config ~prefetch:true Engine.default_config)
+        ~database:w.Q.database ~eutils:w.Q.eutils ()
+    in
+    (* The workload list is popularity-ordered (the bench draws from it
+       Zipf-style), so its head is exactly what repeat traffic hits. *)
+    let queries =
+      List.filteri (fun i _ -> i < top) (List.map (fun q -> q.Q.keyword) w.Q.queries)
+    in
+    let entries = Engine.warm engine queries in
+    Engine.save_snapshot engine entries path;
+    Printf.printf "warmed %d quer%s; snapshot written to %s\n" (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      path
+  in
+  let doc =
+    "Precompute navigation trees and root EdgeCuts for the top workload queries and save \
+     them as a warm-start snapshot (load with $(b,serve --snapshot))."
+  in
+  Cmd.v (Cmd.info "warm" ~doc) Term.(const run $ scale_arg $ seed_arg $ path_arg $ top_arg)
 
 (* --- export / import ---------------------------------------------------- *)
 
@@ -362,5 +430,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; queries_cmd; search_cmd; navigate_cmd; experiment_cmd; serve_cmd;
-            mesh_export_cmd; db_export_cmd; db_info_cmd;
+            warm_cmd; mesh_export_cmd; db_export_cmd; db_info_cmd;
           ]))

@@ -7,6 +7,7 @@ module Corpus = Bionav_corpus
 module Store = Bionav_store
 module Search = Bionav_search
 module Core = Bionav_core
+module Prefetch = Bionav_prefetch
 module Engine = Bionav_engine
 module Npc = Bionav_npc
 module Workload = Bionav_workload

@@ -34,4 +34,8 @@ let hits t = Lru.hits t.cache
 let misses t = Lru.misses t.cache
 let evictions t = Lru.evictions t.cache
 
-let clear t = Lru.clear t.cache
+let put t query nav = Lru.add t.cache (normalize query) nav
+
+let clear t =
+  Lru.clear t.cache;
+  Lru.reset_counters t.cache

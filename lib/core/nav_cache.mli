@@ -12,16 +12,30 @@ val create : ?capacity:int -> build:(string -> Nav_tree.t) -> unit -> t
     tree (typically [esearch] + {!Nav_tree.of_database}). Queries are
     normalized (trimmed, lowercased) before keying. *)
 
+val normalize : string -> string
+(** The key normalization {!get} applies: trim, then lowercase. Exposed so
+    sibling caches keyed by query (e.g. the prefetch plan cache) agree on
+    what "the same query" means. *)
+
 val get : t -> string -> Nav_tree.t
 (** Cached or freshly built. *)
 
+val put : t -> string -> Nav_tree.t -> unit
+(** Seed the cache with an externally built tree under the normalized
+    query key (warm start); replaces any existing entry. Counts neither as
+    a hit nor a miss. *)
+
 val hit_rate : t -> float
-(** Hits / lookups since creation; 0 before the first lookup. *)
+(** Hits / lookups since creation or the last {!clear}; 0 before the
+    first lookup. *)
 
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
-(** Per-instance counters (lookups also feed the process-wide
-    [bionav_cache_*] metrics, see {!Bionav_util.Metrics}). *)
+(** Per-instance counters, zeroed by {!clear} (lookups also feed the
+    process-wide, never-reset [bionav_cache_*] metrics, see
+    {!Bionav_util.Metrics}). *)
 
 val clear : t -> unit
+(** Drop every entry {e and} reset the per-instance hit/miss/eviction
+    counters, so {!hit_rate} reflects the post-clear regime. *)

@@ -28,12 +28,19 @@ let navigation_cost s = s.expands + s.revealed
 
 let total_cost s = s.expands + s.revealed + s.results_listed
 
+type plan_source = {
+  find_plan : root:int -> members:int list -> int list option;
+  store_plan : root:int -> members:int list -> cut:int list -> unit;
+}
+
 type t = {
   active : Active_tree.t;
   strategy : strategy;
   mutable stats : stats;
   plans : (int, Heuristic.plan) Hashtbl.t;
       (* visible node -> reusable solver state for its component *)
+  mutable plan_source : plan_source option;
+  mutable on_expand : (node:int -> revealed:int list -> unit) option;
 }
 
 let start strategy nav_tree =
@@ -42,11 +49,15 @@ let start strategy nav_tree =
     strategy;
     stats = { expands = 0; revealed = 0; results_listed = 0; history = [] };
     plans = Hashtbl.create 16;
+    plan_source = None;
+    on_expand = None;
   }
 
 let active t = t.active
 let strategy t = t.strategy
 let stats t = t.stats
+let set_plan_source t src = t.plan_source <- src
+let set_on_expand t f = t.on_expand <- f
 
 (* Translate component-tree cut children (indices) back to navigation nodes
    through the component tree's tags. *)
@@ -76,24 +87,40 @@ let heuristic_cut t root ~k ~params ~reuse =
       report.Heuristic.elapsed_ms,
       report.Heuristic.reduced_size )
   in
-  if not reuse then fresh ()
-  else
-    match Hashtbl.find_opt t.plans root with
-    | Some plan -> (
-        match Heuristic.replan plan with
-        | Some (report, next_plan) ->
-            Logs.debug (fun m -> m "navigation: reused plan for node %d" root);
-            Hashtbl.replace t.plans root next_plan;
-            (* Cut children are indices of the plan's original component
-               tree, whose tags are navigation nodes. *)
-            let orig = Heuristic.original_tree plan in
-            ( `Cut (nav_cut_children orig report.Heuristic.cut_children),
-              report.Heuristic.elapsed_ms,
-              report.Heuristic.reduced_size )
-        | None ->
-            Hashtbl.remove t.plans root;
-            fresh ())
-    | None -> fresh ()
+  let computed () =
+    if not reuse then fresh ()
+    else
+      match Hashtbl.find_opt t.plans root with
+      | Some plan -> (
+          match Heuristic.replan plan with
+          | Some (report, next_plan) ->
+              Logs.debug (fun m -> m "navigation: reused plan for node %d" root);
+              Hashtbl.replace t.plans root next_plan;
+              (* Cut children are indices of the plan's original component
+                 tree, whose tags are navigation nodes. *)
+              let orig = Heuristic.original_tree plan in
+              ( `Cut (nav_cut_children orig report.Heuristic.cut_children),
+                report.Heuristic.elapsed_ms,
+                report.Heuristic.reduced_size )
+          | None ->
+              Hashtbl.remove t.plans root;
+              fresh ())
+      | None -> fresh ()
+  in
+  match t.plan_source with
+  | None -> computed ()
+  | Some src -> (
+      let members = Active_tree.component t.active root in
+      match src.find_plan ~root ~members with
+      | Some (_ :: _ as cut) ->
+          Logs.debug (fun m -> m "navigation: injected plan for node %d" root);
+          (`Cut cut, 0., 0)
+      | Some [] | None ->
+          let ((action, _, _) as result) = computed () in
+          (match action with
+          | `Cut (_ :: _ as cut) -> src.store_plan ~root ~members ~cut
+          | `Cut [] | `Static -> ());
+          result)
 
 let compute_cut t root =
   match t.strategy with
@@ -142,6 +169,7 @@ let expand t root =
         revealed = t.stats.revealed + record.n_revealed;
         history = record :: t.stats.history;
       };
+    (match t.on_expand with None -> () | Some f -> f ~node:root ~revealed);
     revealed
     end
   end

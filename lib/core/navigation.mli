@@ -60,6 +60,35 @@ val active : t -> Active_tree.t
 val strategy : t -> strategy
 val stats : t -> stats
 
+type plan_source = {
+  find_plan : root:int -> members:int list -> int list option;
+      (** Memoized EdgeCut for the component of [root] whose members (the
+          current [I(n)], ascending navigation ids) are exactly [members];
+          [None] (or [Some []]) to fall through to computation. The
+          returned cut children must be a valid EdgeCut of that component
+          — sources built on exact-key memoization of previously computed
+          cuts satisfy this by construction. *)
+  store_plan : root:int -> members:int list -> cut:int list -> unit;
+      (** Called after a fresh computation so the source can memoize it. *)
+}
+
+val set_plan_source : t -> plan_source option -> unit
+(** Inject plans instead of always recomputing: when a source is set, the
+    [Heuristic] strategy consults [find_plan] before running
+    Heuristic-ReducedOpt and reports every computed cut to [store_plan].
+    An injected cut is applied verbatim, with [elapsed_ms = 0] and
+    [reduced_size = 0] in the {!expand_record} (no solver ran). Other
+    strategies ([Static], [Static_paged], [Optimal]) never consult the
+    source — their cuts are either trivial or exact. [None] (the
+    {!start} default) restores always-compute. *)
+
+val set_on_expand : t -> (node:int -> revealed:int list -> unit) option -> unit
+(** Observer called after every {e effective} EXPAND (one that revealed
+    at least one concept), with the expanded node and the newly visible
+    nodes, after cost accounting. One observer at most; [None] removes
+    it. The prefetch layer uses this to speculate on follow-up
+    expansions regardless of which entry point drove the session. *)
+
 val expand : t -> int -> int list
 (** EXPAND the component rooted at the given visible node; returns the
     newly revealed navigation nodes (empty for a singleton component, in

@@ -1,14 +1,19 @@
 open Bionav_util
 open Bionav_core
 module Eutils = Bionav_search.Eutils
+module Prefetch = Bionav_prefetch.Prefetch
+module Warmer = Bionav_prefetch.Warmer
+module Snapshot = Bionav_store.Snapshot
 
 type config = {
   max_sessions : int;
   session_ttl_ms : float option;
   cache_capacity : int;
+  prefetch : Prefetch.config option;
 }
 
-let default_config = { max_sessions = 256; session_ttl_ms = None; cache_capacity = 32 }
+let default_config =
+  { max_sessions = 256; session_ttl_ms = None; cache_capacity = 32; prefetch = None }
 
 type session = {
   sid : string;
@@ -21,8 +26,10 @@ type session = {
 
 type t = {
   config : config;
+  database : Bionav_store.Database.t;
   eutils : Eutils.t;
   cache : Nav_cache.t;
+  prefetch : Prefetch.t option;
   sessions : (string, session) Hashtbl.t;
   mutable next_sid : int;
   mutable clock : int;
@@ -35,21 +42,38 @@ let closed_counter = Metrics.counter "bionav_sessions_closed_total"
 let expired_counter = Metrics.counter "bionav_sessions_expired_total"
 let live_gauge = Metrics.gauge "bionav_sessions_live"
 
-let create ?(config = default_config) ~database ~eutils () =
+let create ?(config = default_config) ?snapshot ~database ~eutils () =
   if config.max_sessions < 1 then invalid_arg "Engine.create: max_sessions must be >= 1";
   let build query = Nav_tree.of_database database (Eutils.esearch eutils query) in
-  {
-    config;
-    eutils;
-    cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
-    sessions = Hashtbl.create 64;
-    next_sid = 0;
-    clock = 0;
-    evictions = 0;
-  }
+  let t =
+    {
+      config;
+      database;
+      eutils;
+      cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
+      prefetch = Option.map (fun pc -> Prefetch.create ~config:pc ()) config.prefetch;
+      sessions = Hashtbl.create 64;
+      next_sid = 0;
+      clock = 0;
+      evictions = 0;
+    }
+  in
+  (match snapshot with
+  | None -> ()
+  | Some path ->
+      let entries = Snapshot.load ~db:database path in
+      let n =
+        Warmer.apply ~db:database ~trees:t.cache
+          ?plans:(Option.map Prefetch.plans t.prefetch)
+          entries
+      in
+      Logs.info (fun m -> m "engine: warm-started %d quer%s from %s" n
+                     (if n = 1 then "y" else "ies") path));
+  t
 
 let eutils t = t.eutils
 let config t = t.config
+let prefetch t = t.prefetch
 
 (* --- strategies -------------------------------------------------------- *)
 
@@ -83,6 +107,22 @@ let touch t s =
   s.tick <- t.clock;
   s.last_use_ms <- Timing.now_ms ()
 
+(* A session of [query] just left the store. If it was the last one for
+   that query, cancel its queued speculation — a dead session must not
+   leave pending work behind. Cached plans stay: they are keyed by exact
+   component and remain correct for future sessions of the same query. *)
+let release_query t query =
+  match t.prefetch with
+  | None -> ()
+  | Some pf ->
+      let norm = Nav_cache.normalize query in
+      let still_live =
+        Hashtbl.fold
+          (fun _ s acc -> acc || String.equal norm (Nav_cache.normalize s.query))
+          t.sessions false
+      in
+      if not still_live then ignore (Prefetch.drop_query pf query : int)
+
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -95,6 +135,7 @@ let evict_lru t =
       Hashtbl.remove t.sessions s.sid;
       t.evictions <- t.evictions + 1;
       Metrics.incr evicted_counter;
+      release_query t s.query;
       Logs.debug (fun m -> m "engine: evicted session %s (store full)" s.sid)
   | None -> ()
 
@@ -126,6 +167,9 @@ let search t ?(strategy = Navigation.bionav ()) query =
           in
           touch t s;
           Hashtbl.replace t.sessions sid s;
+          (match t.prefetch with
+          | Some pf -> Prefetch.attach pf ~query s.navigation
+          | None -> ());
           Metrics.incr started_counter;
           publish_live t;
           Ok (Session s)
@@ -141,9 +185,10 @@ let find_session t sid =
 
 let close t sid =
   match Hashtbl.find_opt t.sessions sid with
-  | Some _ ->
+  | Some s ->
       Hashtbl.remove t.sessions sid;
       Metrics.incr closed_counter;
+      release_query t s.query;
       publish_live t;
       true
   | None -> false
@@ -155,10 +200,11 @@ let sweep ?now_ms t =
       let now = match now_ms with Some n -> n | None -> Timing.now_ms () in
       let expired =
         Hashtbl.fold
-          (fun sid s acc -> if now -. s.last_use_ms > ttl then sid :: acc else acc)
+          (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
           t.sessions []
       in
-      List.iter (Hashtbl.remove t.sessions) expired;
+      List.iter (fun s -> Hashtbl.remove t.sessions s.sid) expired;
+      List.iter (fun s -> release_query t s.query) expired;
       let n = List.length expired in
       if n > 0 then begin
         Metrics.incr ~by:n expired_counter;
@@ -182,9 +228,36 @@ let start strategy nav =
   Metrics.incr started_counter;
   Navigation.start strategy nav
 
+(* --- prefetch & warm start ---------------------------------------------- *)
+
+let prefetch_tick t ~budget =
+  match t.prefetch with None -> 0 | Some pf -> Prefetch.tick pf ~budget
+
+let warm t queries =
+  let entries =
+    Warmer.build ~db:t.database ~run:(fun q -> Eutils.esearch t.eutils q) queries
+  in
+  ignore
+    (Warmer.apply ~db:t.database ~trees:t.cache
+       ?plans:(Option.map Prefetch.plans t.prefetch)
+       entries
+      : int);
+  entries
+
+let save_snapshot t entries path = Snapshot.save ~db:t.database entries path
+
 (* --- observability ------------------------------------------------------ *)
 
 let cache_hit_rate t = Nav_cache.hit_rate t.cache
+
+let plan_cache_hit_rate t =
+  match t.prefetch with
+  | None -> 0.
+  | Some pf ->
+      let plans = Prefetch.plans pf in
+      let h = Bionav_prefetch.Plan_cache.hits plans
+      and m = Bionav_prefetch.Plan_cache.misses plans in
+      if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
 let metrics_text t =
   publish_live t;

@@ -28,6 +28,9 @@ type config = {
       (** Idle time after which {!sweep} expires a session. Default
           [None] (no TTL). *)
   cache_capacity : int;  (** Navigation-tree cache entries. Default 32. *)
+  prefetch : Bionav_prefetch.Prefetch.config option;
+      (** Enable the plan cache + speculator ({!Bionav_prefetch}); every
+          Heuristic session is attached to it. Default [None] (off). *)
 }
 
 val default_config : config
@@ -36,14 +39,22 @@ type t
 
 val create :
   ?config:config ->
+  ?snapshot:string ->
   database:Bionav_store.Database.t ->
   eutils:Bionav_search.Eutils.t ->
   unit ->
   t
-(** @raise Invalid_argument if [config.max_sessions < 1]. *)
+(** [snapshot] is a {!Bionav_store.Snapshot} path to warm-start from:
+    navigation trees are rebuilt into the tree cache and — when prefetch
+    is enabled — root cuts seed the plan cache.
+    @raise Invalid_argument if [config.max_sessions < 1] or the snapshot
+    is corrupt or from a different database; [Sys_error] if unreadable. *)
 
 val eutils : t -> Bionav_search.Eutils.t
 val config : t -> config
+
+val prefetch : t -> Bionav_prefetch.Prefetch.t option
+(** The live prefetch facade, when enabled. *)
 
 (* --- strategies ------------------------------------------------------- *)
 
@@ -111,9 +122,29 @@ val start :
     strategy (@raise Invalid_argument on a bad one) and counts the
     session. *)
 
+(* --- prefetch & warm start -------------------------------------------- *)
+
+val prefetch_tick : t -> budget:int -> int
+(** Run up to [budget] queued speculation jobs (idle-time pacing, e.g.
+    between requests in the serve loop); 0 when prefetch is disabled. *)
+
+val warm : t -> string list -> Bionav_store.Snapshot.entry list
+(** Run each query through the engine's own search path, build its
+    navigation tree and root cut ({!Bionav_prefetch.Warmer.build}), and
+    seed the live caches. Returns the entries so the caller can persist
+    them with {!save_snapshot}. Works with prefetch disabled (trees are
+    still warmed; root cuts are only kept when the plan cache exists). *)
+
+val save_snapshot : t -> Bionav_store.Snapshot.entry list -> string -> unit
+(** Persist warm-start entries against this engine's database. *)
+
 (* --- observability ---------------------------------------------------- *)
 
 val cache_hit_rate : t -> float
+
+val plan_cache_hit_rate : t -> float
+(** Plan-cache hits / lookups; 0 when prefetch is disabled or before the
+    first lookup. *)
 
 val metrics_text : t -> string
 (** Refresh the engine gauges (live session count) and render the whole

@@ -1,0 +1,66 @@
+open Bionav_util
+open Bionav_core
+
+type entry = { members : int array; cut : int list }
+type t = { cache : (string, entry) Lru.t }
+
+let hits_counter = Metrics.counter "bionav_prefetch_plan_hits_total"
+let misses_counter = Metrics.counter "bionav_prefetch_plan_misses_total"
+let insertions_counter = Metrics.counter "bionav_prefetch_plan_insertions_total"
+let evictions_counter = Metrics.counter "bionav_prefetch_plan_evictions_total"
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) () = { cache = Lru.create ~capacity }
+
+(* FNV-1a-style fold over the ascending member ids. Collisions are harmless:
+   [find] verifies the stored member list before serving a cut. *)
+let fingerprint members =
+  List.fold_left (fun h m -> (h lxor m) * 0x100000001b3) 0x1505 members land max_int
+
+let key query root members =
+  Printf.sprintf "%s\x00%d\x00%x" (Nav_cache.normalize query) root (fingerprint members)
+
+let same_members stored members =
+  let n = Array.length stored in
+  let rec go i = function
+    | [] -> i = n
+    | m :: rest -> i < n && stored.(i) = m && go (i + 1) rest
+  in
+  go 0 members
+
+let find t ~query ~root ~members =
+  match Lru.find t.cache (key query root members) with
+  | Some e when same_members e.members members ->
+      Metrics.incr hits_counter;
+      Some e.cut
+  | Some _ | None ->
+      Metrics.incr misses_counter;
+      None
+
+let mem t ~query ~root ~members =
+  match Lru.peek t.cache (key query root members) with
+  | Some e -> same_members e.members members
+  | None -> false
+
+let store t ~query ~root ~members ~cut =
+  match cut with
+  | [] -> ()
+  | _ :: _ ->
+      let evictions_before = Lru.evictions t.cache in
+      Lru.add t.cache (key query root members) { members = Array.of_list members; cut };
+      Metrics.incr insertions_counter;
+      if Lru.evictions t.cache > evictions_before then Metrics.incr evictions_counter
+
+let length t = Lru.length t.cache
+let hits t = Lru.hits t.cache
+let misses t = Lru.misses t.cache
+let clear t =
+  Lru.clear t.cache;
+  Lru.reset_counters t.cache
+
+let plan_source t ~query =
+  {
+    Navigation.find_plan = (fun ~root ~members -> find t ~query ~root ~members);
+    store_plan = (fun ~root ~members ~cut -> store t ~query ~root ~members ~cut);
+  }

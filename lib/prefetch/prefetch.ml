@@ -1,0 +1,40 @@
+open Bionav_core
+
+type config = {
+  plan_capacity : int;
+  top_m : int;
+  max_queue : int;
+  budget_per_action : int;
+}
+
+let default_config =
+  { plan_capacity = Plan_cache.default_capacity; top_m = 2; max_queue = 64; budget_per_action = 1 }
+
+type t = { config : config; plans : Plan_cache.t; spec : Speculator.t }
+
+let create ?(config = default_config) () =
+  if config.budget_per_action < 0 then
+    invalid_arg "Prefetch.create: budget_per_action must be >= 0";
+  let plans = Plan_cache.create ~capacity:config.plan_capacity () in
+  let spec = Speculator.create ~top_m:config.top_m ~max_queue:config.max_queue plans in
+  { config; plans; spec }
+
+let config t = t.config
+let plans t = t.plans
+let speculator t = t.spec
+
+let attach t ~query session =
+  match Navigation.strategy session with
+  | Navigation.Heuristic { k; params; _ } ->
+      Navigation.set_plan_source session (Some (Plan_cache.plan_source t.plans ~query));
+      Navigation.set_on_expand session
+        (Some
+           (fun ~node:_ ~revealed ->
+             Speculator.observe t.spec ~query ~active:(Navigation.active session) ~k ~params
+               ~revealed;
+             ignore (Speculator.tick t.spec ~budget:t.config.budget_per_action : int)))
+  | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()
+
+let tick t ~budget = Speculator.tick t.spec ~budget
+let drop_query t query = Speculator.drop_query t.spec query
+let drain t = Speculator.tick t.spec ~budget:max_int

@@ -1,0 +1,130 @@
+open Bionav_util
+open Bionav_core
+
+type job = {
+  query : string;  (* normalized *)
+  root : int;
+  members : int list;  (* component members captured at enqueue time *)
+  nav : Nav_tree.t;
+  k : int;
+  params : Probability.params;
+}
+
+type t = {
+  cache : Plan_cache.t;
+  queue : job Queue.t;
+  top_m : int;
+  max_queue : int;
+  mutable executed : int;
+  mutable dropped : int;
+}
+
+let depth_gauge = Metrics.gauge "bionav_prefetch_queue_depth"
+let speculations_counter = Metrics.counter "bionav_prefetch_speculations_total"
+let dropped_counter = Metrics.counter "bionav_prefetch_dropped_total"
+let precompute_hist = Metrics.histogram "bionav_prefetch_precompute_latency_ms"
+
+let create ?(top_m = 2) ?(max_queue = 64) cache =
+  if top_m < 0 then invalid_arg "Speculator.create: top_m must be >= 0";
+  if max_queue < 1 then invalid_arg "Speculator.create: max_queue must be >= 1";
+  { cache; queue = Queue.create (); top_m; max_queue; executed = 0; dropped = 0 }
+
+let queue_length t = Queue.length t.queue
+let executed t = t.executed
+let dropped t = t.dropped
+
+(* How promising is a follow-up EXPAND of [node]'s component? The cost
+   model's own signals: the component's selectivity mass (the unnormalized
+   EXPLORE numerator — Σ |L|/|LT| over members) times its EXPAND
+   probability. Normalization is skipped: scores only rank siblings of one
+   reveal, and the EXPLORE denominator is shared across them. *)
+let score ~params active node =
+  let nav = Active_tree.nav active in
+  let members = Active_tree.component active node in
+  let mass =
+    List.fold_left
+      (fun acc m ->
+        let lt = Nav_tree.total nav m in
+        if lt = 0 then acc
+        else acc +. (float_of_int (Nav_tree.result_count nav m) /. float_of_int lt))
+      0. members
+  in
+  let comp, _map = Active_tree.comp_tree active node in
+  let all = List.init (Comp_tree.size comp) Fun.id in
+  let px =
+    Probability.expand params comp ~members:all
+      ~distinct:(Active_tree.component_distinct active node)
+  in
+  mass *. px
+
+let observe t ~query ~active ~k ~params ~revealed =
+  let query = Nav_cache.normalize query in
+  let candidates = List.filter (Active_tree.is_expandable active) revealed in
+  let ranked =
+    List.stable_sort
+      (fun (a, sa) (b, sb) ->
+        match Float.compare sb sa with 0 -> Int.compare a b | c -> c)
+      (List.map (fun n -> (n, score ~params active n)) candidates)
+  in
+  let nav = Active_tree.nav active in
+  List.iteri
+    (fun i (node, _score) ->
+      if i < t.top_m then begin
+        let members = Active_tree.component active node in
+        if not (Plan_cache.mem t.cache ~query ~root:node ~members) then
+          if Queue.length t.queue >= t.max_queue then begin
+            t.dropped <- t.dropped + 1;
+            Metrics.incr dropped_counter
+          end
+          else begin
+            Queue.add { query; root = node; members; nav; k; params } t.queue;
+            Metrics.add depth_gauge 1.
+          end
+      end)
+    ranked
+
+let run_job t job =
+  if not (Plan_cache.mem t.cache ~query:job.query ~root:job.root ~members:job.members) then begin
+    let (), ms =
+      Timing.time (fun () ->
+          let comp, _map = Nav_tree.comp_tree_of job.nav ~root:job.root ~members:job.members in
+          if Comp_tree.size comp >= 2 then begin
+            let report = Heuristic.best_cut ~params:job.params ~k:job.k comp in
+            let cut = List.map (Comp_tree.tag comp) report.Heuristic.cut_children in
+            Plan_cache.store t.cache ~query:job.query ~root:job.root ~members:job.members ~cut
+          end)
+    in
+    Metrics.observe precompute_hist ms;
+    Logs.debug (fun m ->
+        m "speculator: precomputed plan for node %d of %S (%.2f ms)" job.root job.query ms)
+  end
+
+let tick t ~budget =
+  let rec go n =
+    if n >= budget || Queue.is_empty t.queue then n
+    else begin
+      let job = Queue.pop t.queue in
+      Metrics.add depth_gauge (-1.);
+      run_job t job;
+      t.executed <- t.executed + 1;
+      Metrics.incr speculations_counter;
+      go (n + 1)
+    end
+  in
+  go 0
+
+let drop_query t query =
+  let query = Nav_cache.normalize query in
+  let keep = Queue.create () in
+  let n_dropped = ref 0 in
+  Queue.iter
+    (fun j -> if String.equal j.query query then incr n_dropped else Queue.add j keep)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue;
+  if !n_dropped > 0 then begin
+    t.dropped <- t.dropped + !n_dropped;
+    Metrics.incr ~by:!n_dropped dropped_counter;
+    Metrics.add depth_gauge (-.float_of_int !n_dropped)
+  end;
+  !n_dropped

@@ -1,0 +1,59 @@
+(** Speculative plan precomputation: guess the user's next EXPAND, compute
+    its cut before they ask.
+
+    After each effective EXPAND, the newly revealed nodes are ranked by
+    the cost model's own signals — a component's selectivity mass (the
+    EXPLORE numerator of §IV) times its EXPAND probability — and the top-m
+    expandable candidates are queued. Work happens only inside {!tick},
+    a cooperative, budget-bounded drain of the FIFO queue: one job is one
+    Heuristic-ReducedOpt run, results land in the shared {!Plan_cache}.
+    No threads, no wall clock — callers decide when and how much to
+    compute, which keeps speculation off the foreground path and makes
+    tests deterministic.
+
+    Jobs capture the component (query, root, exact member list) at
+    enqueue time, so a job executed after the session moved on still
+    memoizes a correct, correctly keyed plan. Instrumented with
+    [bionav_prefetch_queue_depth], [bionav_prefetch_speculations_total],
+    [bionav_prefetch_dropped_total] and
+    [bionav_prefetch_precompute_latency_ms]. *)
+
+type t
+
+val create : ?top_m:int -> ?max_queue:int -> Plan_cache.t -> t
+(** [top_m] (default 2) candidates are queued per EXPAND; the FIFO holds
+    at most [max_queue] (default 64) jobs — overflow drops the {e new}
+    job (freshest speculation is the least certain).
+    @raise Invalid_argument if [top_m < 0] or [max_queue < 1]. *)
+
+val observe :
+  t ->
+  query:string ->
+  active:Bionav_core.Active_tree.t ->
+  k:int ->
+  params:Bionav_core.Probability.params ->
+  revealed:int list ->
+  unit
+(** Rank [revealed] (ties broken by ascending node id — deterministic)
+    and enqueue the top-m expandable candidates whose plans are not
+    already cached. [k] and [params] must match the session's strategy,
+    or speculated cuts would diverge from foreground ones. Does no cut
+    computation itself. *)
+
+val tick : t -> budget:int -> int
+(** Run up to [budget] queued jobs now, oldest first; returns the number
+    executed. A job whose plan appeared in the cache meanwhile (e.g. the
+    user expanded it in the foreground first) is skipped for free but
+    still consumes its budget unit. *)
+
+val drop_query : t -> string -> int
+(** Cancel every queued job for the (normalized) query — called when its
+    last session closes or expires so dead sessions leave no queued work
+    behind; returns how many were dropped. Cached plans are {e not}
+    touched: they are keyed by exact component and stay correct. *)
+
+val queue_length : t -> int
+val executed : t -> int
+val dropped : t -> int
+(** Per-instance counters: jobs run by {!tick}, jobs lost to overflow or
+    {!drop_query}. *)

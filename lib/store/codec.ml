@@ -5,37 +5,69 @@ module Tree_number = Bionav_mesh.Tree_number
 
 let magic = "BIONAVDB1"
 
-(* --- primitive writers ---------------------------------------------- *)
+module Wire = struct
+  (* --- primitive writers -------------------------------------------- *)
 
-let write_i32 buf v =
-  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
-    invalid_arg "Codec: value exceeds 32 bits";
-  let b = Bytes.create 4 in
-  Bytes.set_int32_le b 0 (Int32.of_int v);
-  Buffer.add_bytes buf b
+  let write_i32 buf v =
+    if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+      invalid_arg "Codec: value exceeds 32 bits";
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
 
-let write_string buf s =
-  write_i32 buf (String.length s);
-  Buffer.add_string buf s
+  let write_i64 buf v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    Buffer.add_bytes buf b
 
-(* --- primitive readers ----------------------------------------------- *)
+  let write_string buf s =
+    write_i32 buf (String.length s);
+    Buffer.add_string buf s
 
-type cursor = { data : string; mutable pos : int }
+  (* --- primitive readers --------------------------------------------- *)
 
-let fail msg = invalid_arg ("Codec.decode: " ^ msg)
+  type cursor = { data : string; mutable pos : int }
 
-let read_i32 cur =
-  if cur.pos + 4 > String.length cur.data then fail "truncated integer";
-  let v = Int32.to_int (String.get_int32_le cur.data cur.pos) in
-  cur.pos <- cur.pos + 4;
-  v
+  let cursor ?(pos = 0) data = { data; pos }
+  let pos cur = cur.pos
+  let remaining cur = String.length cur.data - cur.pos
 
-let read_string cur =
-  let len = read_i32 cur in
-  if len < 0 || cur.pos + len > String.length cur.data then fail "truncated string";
-  let s = String.sub cur.data cur.pos len in
-  cur.pos <- cur.pos + len;
-  s
+  let fail msg = invalid_arg ("Codec.decode: " ^ msg)
+
+  let read_i32 cur =
+    if cur.pos + 4 > String.length cur.data then fail "truncated integer";
+    let v = Int32.to_int (String.get_int32_le cur.data cur.pos) in
+    cur.pos <- cur.pos + 4;
+    v
+
+  let read_i64 cur =
+    if cur.pos + 8 > String.length cur.data then fail "truncated 64-bit integer";
+    let v = String.get_int64_le cur.data cur.pos in
+    cur.pos <- cur.pos + 8;
+    v
+
+  let read_string cur =
+    let len = read_i32 cur in
+    if len < 0 || cur.pos + len > String.length cur.data then fail "truncated string";
+    let s = String.sub cur.data cur.pos len in
+    cur.pos <- cur.pos + len;
+    s
+
+  (* FNV-1a over the native 63-bit int space, folded to int64 for the
+     wire: cheap, dependency-free, and plenty for corruption detection
+     (not cryptographic). *)
+  let fnv1a64 ?(init = 0xcbf29ce484222325L) s =
+    let prime = 0x100000001b3L in
+    let h = ref init in
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h prime)
+      s;
+    !h
+end
+
+open Wire
 
 (* --- database layout -------------------------------------------------- *)
 

@@ -7,6 +7,40 @@
     little-endian binary layout (magic ["BIONAVDB1"]) — self-contained and
     independent of OCaml's [Marshal]. *)
 
+module Wire : sig
+  (** The little-endian primitives the database layout is written in,
+      exposed so sibling formats (e.g. {!Snapshot}) stay byte-compatible
+      in style and share one corruption-reporting convention. *)
+
+  val write_i32 : Buffer.t -> int -> unit
+  (** @raise Invalid_argument if the value exceeds 32 bits. *)
+
+  val write_i64 : Buffer.t -> int64 -> unit
+  val write_string : Buffer.t -> string -> unit
+
+  type cursor
+
+  val cursor : ?pos:int -> string -> cursor
+  (** A read position over [data], starting at [pos] (default 0). *)
+
+  val pos : cursor -> int
+  val remaining : cursor -> int
+
+  val fail : string -> 'a
+  (** @raise Invalid_argument prefixed with ["Codec.decode: "] — the
+      uniform corruption error every reader raises. *)
+
+  val read_i32 : cursor -> int
+  val read_i64 : cursor -> int64
+  val read_string : cursor -> string
+  (** @raise Invalid_argument (via {!fail}) on truncation. *)
+
+  val fnv1a64 : ?init:int64 -> string -> int64
+  (** FNV-1a 64-bit checksum (corruption detection, not cryptographic).
+      [init] defaults to the standard offset basis; pass a previous
+      digest to chain over several fragments. *)
+end
+
 val encode : Database.t -> string
 val decode : string -> Database.t
 (** @raise Invalid_argument on a malformed or wrong-version payload. *)

@@ -1,0 +1,73 @@
+open Bionav_util
+open Codec.Wire
+
+let magic = "BIONAVSNAP"
+let version = 1
+
+type entry = { query : string; results : Intset.t; root_cut : int list }
+
+let encode ~db entries =
+  let body = Buffer.create (1 lsl 16) in
+  write_i32 body (Bionav_mesh.Hierarchy.size (Database.hierarchy db));
+  write_i32 body (Assoc_table.n_citations (Database.assoc db));
+  write_i32 body (List.length entries);
+  List.iter
+    (fun e ->
+      write_string body e.query;
+      write_i32 body (Intset.cardinal e.results);
+      Intset.iter (fun cit -> write_i32 body cit) e.results;
+      write_i32 body (List.length e.root_cut);
+      List.iter (fun n -> write_i32 body n) e.root_cut)
+    entries;
+  let body = Buffer.contents body in
+  let out = Buffer.create (String.length body + 32) in
+  Buffer.add_string out magic;
+  write_i32 out version;
+  write_i64 out (fnv1a64 body);
+  Buffer.add_string out body;
+  Buffer.contents out
+
+let decode ~db data =
+  let mlen = String.length magic in
+  if String.length data < mlen || String.sub data 0 mlen <> magic then
+    fail "snapshot: bad magic";
+  let cur = cursor ~pos:mlen data in
+  let v = read_i32 cur in
+  if v <> version then fail (Printf.sprintf "snapshot: version %d, expected %d" v version);
+  let stored_sum = read_i64 cur in
+  let body = String.sub data (pos cur) (remaining cur) in
+  if fnv1a64 body <> stored_sum then fail "snapshot: checksum mismatch";
+  let cur = cursor body in
+  let hsize = read_i32 cur in
+  let ncit = read_i32 cur in
+  if hsize <> Bionav_mesh.Hierarchy.size (Database.hierarchy db) then
+    fail "snapshot: built against a different hierarchy";
+  if ncit <> Assoc_table.n_citations (Database.assoc db) then
+    fail "snapshot: built against a different corpus";
+  let n = read_i32 cur in
+  if n < 0 then fail "snapshot: negative entry count";
+  let entries =
+    List.init n (fun _ ->
+        let query = read_string cur in
+        let k = read_i32 cur in
+        if k < 0 then fail "snapshot: negative result count";
+        let results = Intset.of_array (Array.init k (fun _ -> read_i32 cur)) in
+        let c = read_i32 cur in
+        if c < 0 then fail "snapshot: negative cut length";
+        let root_cut = List.init c (fun _ -> read_i32 cur) in
+        { query; results; root_cut })
+  in
+  if remaining cur <> 0 then fail "snapshot: trailing bytes";
+  entries
+
+let save ~db entries path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode ~db entries))
+
+let load ~db path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode ~db (really_input_string ic (in_channel_length ic)))

@@ -32,6 +32,9 @@ let find t k =
 
 let mem t k = Hashtbl.mem t.table k
 
+let peek t k =
+  match Hashtbl.find_opt t.table k with Some e -> Some e.value | None -> None
+
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -58,6 +61,11 @@ let clear t = Hashtbl.reset t.table
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
 
 let find_or_add t k f =
   match find t k with

@@ -20,6 +20,11 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val mem : ('k, 'v) t -> 'k -> bool
 (** Does not refresh recency. *)
 
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but side-effect free: no recency refresh, no hit/miss
+    accounting. For callers probing "is this already cached?" without
+    distorting the statistics (e.g. speculation that skips known work). *)
+
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Inserts or replaces; evicts the least recently used entry when full. *)
 
@@ -33,6 +38,11 @@ val misses : ('k, 'v) t -> int
 val evictions : ('k, 'v) t -> int
 (** Capacity evictions since creation ({!remove} and {!clear} do not
     count). *)
+
+val reset_counters : ('k, 'v) t -> unit
+(** Zero {!hits}, {!misses} and {!evictions}; entries are untouched.
+    Lets a holder that {!clear}s the cache report statistics of the
+    post-clear regime instead of the whole lifetime. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_add t k f] returns the cached value or computes, caches and

@@ -80,6 +80,7 @@ let incr ?(by = 1) c =
 let value c = c.count
 
 let set g v = g.cell.(0) <- v
+let add g delta = g.cell.(0) <- g.cell.(0) +. delta
 let gauge_value g = g.cell.(0)
 
 let observe h v =

@@ -49,6 +49,13 @@ val incr : ?by:int -> counter -> unit
 val value : counter -> int
 
 val set : gauge -> float -> unit
+
+val add : gauge -> float -> unit
+(** Adjust a gauge by a (possibly negative) delta — the idiom for
+    level-style gauges maintained incrementally (queue depths, in-flight
+    work) where recomputing the absolute value on every transition would
+    cost a scan. *)
+
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit

@@ -5,8 +5,8 @@ module Eutils = Bionav_search.Eutils
 
 type t = { engine : Engine.t; suggestions : string list }
 
-let create ?(suggestions = []) ?config ~database ~eutils () =
-  { engine = Engine.create ?config ~database ~eutils (); suggestions }
+let create ?(suggestions = []) ?config ?snapshot ~database ~eutils () =
+  { engine = Engine.create ?config ?snapshot ~database ~eutils (); suggestions }
 
 let session_count t = Engine.session_count t.engine
 
@@ -171,6 +171,30 @@ let show t query =
 let metrics t =
   Http.ok ~content_type:"text/plain; charset=utf-8" (Engine.metrics_text t.engine)
 
+let prefetch_status t =
+  let body =
+    match Engine.prefetch t.engine with
+    | None -> "prefetch: disabled\n"
+    | Some pf ->
+        let plans = Bionav_prefetch.Prefetch.plans pf in
+        let spec = Bionav_prefetch.Prefetch.speculator pf in
+        let module P = Bionav_prefetch.Plan_cache in
+        let module S = Bionav_prefetch.Speculator in
+        Printf.sprintf
+          "prefetch: enabled\n\
+           plans_cached: %d\n\
+           plan_hits: %d\n\
+           plan_misses: %d\n\
+           plan_hit_rate: %.3f\n\
+           speculation_queue: %d\n\
+           speculations_executed: %d\n\
+           speculations_dropped: %d\n"
+          (P.length plans) (P.hits plans) (P.misses plans)
+          (Engine.plan_cache_hit_rate t.engine)
+          (S.queue_length spec) (S.executed spec) (S.dropped spec)
+  in
+  Http.ok ~content_type:"text/plain; charset=utf-8" body
+
 let handle t ~path ~query =
   match path with
   | "/" -> home t
@@ -187,4 +211,5 @@ let handle t ~path ~query =
           session_page s)
   | "/show" -> show t query
   | "/metrics" -> metrics t
+  | "/prefetch" -> prefetch_status t
   | _ -> Http.not_found "no such page"

@@ -16,19 +16,25 @@
     - [/show?sid=...&node=...] — SHOWRESULTS on a visible node;
     - [/back?sid=...] — BACKTRACK;
     - [/metrics] — plaintext dump of the process metrics registry
-      (expand latency percentiles, cache and session counters). *)
+      (expand latency percentiles, cache, session and prefetch counters);
+    - [/prefetch] — plaintext prefetch status: plan-cache size and hit
+      rate, speculation queue depth and executed/dropped counts (or
+      ["prefetch: disabled"]). *)
 
 type t
 
 val create :
   ?suggestions:string list ->
   ?config:Bionav_engine.Engine.config ->
+  ?snapshot:string ->
   database:Bionav_store.Database.t ->
   eutils:Bionav_search.Eutils.t ->
   unit ->
   t
 (** [config] bounds the session store and the navigation-tree cache
-    (defaults: {!Bionav_engine.Engine.default_config}). *)
+    (defaults: {!Bionav_engine.Engine.default_config}); [snapshot] is a
+    warm-start snapshot path passed through to
+    {!Bionav_engine.Engine.create}. *)
 
 val handle : t -> Http.handler
 (** 404 on unknown routes, 400 on missing/invalid parameters. *)

@@ -36,6 +36,56 @@ let test_capacity_one () =
   Alcotest.(check bool) "first evicted" false (Lru.mem c 1);
   Alcotest.(check (option string)) "second present" (Some "y") (Lru.find c 2)
 
+let test_reinsert_lru_head_refreshes () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* "a" is the current LRU victim; re-inserting it must refresh its
+     recency, shifting the victim role to "b". *)
+  Lru.add c "a" 10;
+  Lru.add c "c" 3;
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check (option int)) "a survives with new value" (Some 10) (Lru.find c "a");
+  Alcotest.(check bool) "c present" true (Lru.mem c "c")
+
+let test_capacity_one_churn () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 2;
+  Alcotest.(check int) "replace at capacity does not evict" 0 (Lru.evictions c);
+  Alcotest.(check (option int)) "replaced" (Some 2) (Lru.find c "a");
+  Lru.add c "b" 3;
+  Alcotest.(check int) "new key evicts" 1 (Lru.evictions c);
+  Alcotest.(check bool) "old gone" false (Lru.mem c "a");
+  Alcotest.(check (option int)) "new present" (Some 3) (Lru.find c "b")
+
+let test_peek_no_side_effects () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "peek hit" (Some 1) (Lru.peek c "a");
+  Alcotest.(check (option int)) "peek miss" None (Lru.peek c "z");
+  Alcotest.(check int) "no hits recorded" 0 (Lru.hits c);
+  Alcotest.(check int) "no misses recorded" 0 (Lru.misses c);
+  (* No recency refresh either: "a" must still be the eviction victim. *)
+  Lru.add c "c" 3;
+  Alcotest.(check bool) "a still evicted first" false (Lru.mem c "a")
+
+let test_reset_counters () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c "a" 1;
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "z");
+  Lru.add c "b" 2;
+  Alcotest.(check bool) "activity recorded" true
+    (Lru.hits c > 0 && Lru.misses c > 0 && Lru.evictions c > 0);
+  Lru.reset_counters c;
+  Alcotest.(check int) "hits zeroed" 0 (Lru.hits c);
+  Alcotest.(check int) "misses zeroed" 0 (Lru.misses c);
+  Alcotest.(check int) "evictions zeroed" 0 (Lru.evictions c);
+  Alcotest.(check int) "entries untouched" 1 (Lru.length c);
+  Alcotest.(check (option int)) "still served" (Some 2) (Lru.find c "b")
+
 let test_hits_misses () =
   let c = Lru.create ~capacity:2 in
   Lru.add c "a" 1;
@@ -101,6 +151,10 @@ let () =
           Alcotest.test_case "eviction order" `Quick test_eviction_order;
           Alcotest.test_case "replace" `Quick test_replace_does_not_evict;
           Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "capacity-one churn" `Quick test_capacity_one_churn;
+          Alcotest.test_case "re-insert LRU head" `Quick test_reinsert_lru_head_refreshes;
+          Alcotest.test_case "peek is side-effect free" `Quick test_peek_no_side_effects;
+          Alcotest.test_case "reset_counters" `Quick test_reset_counters;
           Alcotest.test_case "hits/misses" `Quick test_hits_misses;
           Alcotest.test_case "find_or_add" `Quick test_find_or_add;
           Alcotest.test_case "remove/clear" `Quick test_remove_clear;

@@ -104,6 +104,41 @@ let test_clear () =
   ignore (Nav_cache.get cache "q");
   Alcotest.(check int) "rebuilt after clear" 2 !calls
 
+let test_clear_resets_counters () =
+  let cache = Nav_cache.create ~capacity:1 ~build:(fun q -> make_nav (String.length q)) () in
+  ignore (Nav_cache.get cache "a");
+  ignore (Nav_cache.get cache "a");
+  ignore (Nav_cache.get cache "b");
+  (* lifetime so far: 1 hit, 2 misses, 1 eviction *)
+  Alcotest.(check bool) "pre-clear activity" true
+    (Nav_cache.hits cache > 0 && Nav_cache.misses cache > 0 && Nav_cache.evictions cache > 0);
+  Nav_cache.clear cache;
+  Alcotest.(check int) "hits zeroed" 0 (Nav_cache.hits cache);
+  Alcotest.(check int) "misses zeroed" 0 (Nav_cache.misses cache);
+  Alcotest.(check int) "evictions zeroed" 0 (Nav_cache.evictions cache);
+  Alcotest.(check (float 1e-9)) "hit rate back to empty" 0. (Nav_cache.hit_rate cache);
+  ignore (Nav_cache.get cache "q");
+  ignore (Nav_cache.get cache "q");
+  (* 1 miss + 1 hit since the clear: the rate reflects only this regime. *)
+  Alcotest.(check (float 1e-9)) "post-clear regime" 0.5 (Nav_cache.hit_rate cache)
+
+let test_put_seeds_without_building () =
+  let calls = ref 0 in
+  let cache =
+    Nav_cache.create
+      ~build:(fun q ->
+        incr calls;
+        make_nav (String.length q))
+      ()
+  in
+  let nav = make_nav 3 in
+  Nav_cache.put cache "  Warm " nav;
+  Alcotest.(check int) "no build on put" 0 !calls;
+  Alcotest.(check int) "put is not a lookup" 0 (Nav_cache.hits cache + Nav_cache.misses cache);
+  let got = Nav_cache.get cache "warm" in
+  Alcotest.(check bool) "seeded tree served under normalized key" true (got == nav);
+  Alcotest.(check int) "still no build" 0 !calls
+
 let () =
   Alcotest.run "nav_cache"
     [
@@ -118,5 +153,8 @@ let () =
             test_hit_rate_spans_normalized_variants;
           Alcotest.test_case "eviction counter" `Quick test_eviction_counter;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "clear resets counters" `Quick test_clear_resets_counters;
+          Alcotest.test_case "put seeds without building" `Quick
+            test_put_seeds_without_building;
         ] );
     ]

@@ -165,6 +165,33 @@ let test_esearch_paged () =
        false
      with Invalid_argument _ -> true)
 
+let test_esearch_paged_boundaries () =
+  let eu = Eu.create (Lazy.force generated) in
+  let all = Eu.esearch_paged ~retmax:1000 eu "grueltag" in
+  let n = List.length all in
+  Alcotest.(check (list int)) "retmax 0 is an empty page" []
+    (Eu.esearch_paged ~retmax:0 eu "grueltag");
+  Alcotest.(check (list int)) "retstart 0 is the first page"
+    (List.filteri (fun i _ -> i < 5) all)
+    (Eu.esearch_paged ~retstart:0 ~retmax:5 eu "grueltag");
+  Alcotest.(check (list int)) "retstart exactly at the end" []
+    (Eu.esearch_paged ~retstart:n ~retmax:10 eu "grueltag");
+  Alcotest.(check (list int)) "retstart past the end" []
+    (Eu.esearch_paged ~retstart:(n + 7) ~retmax:10 eu "grueltag");
+  Alcotest.(check (list int)) "last page stops exactly at the end"
+    (List.filteri (fun i _ -> i >= n - 5) all)
+    (Eu.esearch_paged ~retstart:(n - 5) ~retmax:10 eu "grueltag");
+  Alcotest.(check bool) "negative retmax rejected" true
+    (try
+       ignore (Eu.esearch_paged ~retmax:(-1) eu "grueltag");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative retstart rejected" true
+    (try
+       ignore (Eu.esearch_paged ~retstart:(-5) ~retmax:10 eu "grueltag");
+       false
+     with Invalid_argument _ -> true)
+
 let test_esearch_mh () =
   let m = Lazy.force generated in
   let eu = Eu.create m in
@@ -227,6 +254,7 @@ let () =
           Alcotest.test_case "esearch unknown" `Quick test_esearch_empty_for_unknown;
           Alcotest.test_case "esummary" `Quick test_esummary;
           Alcotest.test_case "esearch paged" `Quick test_esearch_paged;
+          Alcotest.test_case "esearch paged boundaries" `Quick test_esearch_paged_boundaries;
           Alcotest.test_case "esearch mh field" `Quick test_esearch_mh;
           Alcotest.test_case "unknown id rejected" `Quick test_unknown_id_rejected;
           Alcotest.test_case "concepts_of" `Quick test_concepts_of_matches_citation;
