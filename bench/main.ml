@@ -710,6 +710,171 @@ let prefetch_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: the Zipf workload under a seeded fault plan                   *)
+(* ------------------------------------------------------------------ *)
+
+module Resil = Bionav_resilience
+
+(* The prefetch bench's repeat traffic, replayed on a simulated clock
+   with a deterministic fault plan injected into the engine's backend
+   guard: esearch calls fail 15% of the time, every op can draw a
+   20-200 ms virtual latency spike, and EXPANDs run under a 50 ms
+   budget, degrading to a static-style cut when a spike ate it. The
+   whole run is seeded (workload, Zipf draws, fault plan, backoff
+   jitter) and time is virtual, so two runs must produce byte-identical
+   event traces. Gates: zero exceptions escaping the engine, trace
+   determinism, and a degraded fraction at most 50%. *)
+let chaos_bench () =
+  say "%s" (Table.section "Chaos: Zipf workload under a seeded fault plan");
+  say "";
+  let w = Q.build ~config:Q.small_config ~seed:workload_seed () in
+  let queries = Array.of_list w.Q.queries in
+  let n_sessions = 60 in
+  let expand_budget_ms = 50. in
+  let chaos_config =
+    { Resil.Chaos.seed = 5;
+      (* esearch only runs on tree-cache misses (one per distinct query),
+         so the per-call failure rate is high enough that some retries
+         and possibly give-ups show up in a 60-session run. *)
+      error_rate = 0.3;
+      delay_rate = 0.25;
+      delay_ms = (20., 200.);
+      fail_ops = [ "esearch" ] }
+  in
+  let run_once () =
+    Metrics.reset ();
+    let clock = Resil.Clock.simulated () in
+    let chaos = Resil.Chaos.create chaos_config in
+    let config =
+      { Engine.default_config with
+        Engine.clock;
+        expand_budget_ms = Some expand_budget_ms;
+        (* A tree cache big enough for the whole workload would absorb
+           all but the first esearch per query; capacity 1 keeps the
+           guarded backend under fire for most sessions. *)
+        cache_capacity = 1;
+        prefetch = Some Bionav_prefetch.Prefetch.default_config }
+    in
+    let engine = Engine.create ~config ~chaos ~database:w.Q.database ~eutils:w.Q.eutils () in
+    let zipf = Zipf.create ~exponent:1.0 (Array.length queries) in
+    let rng = Rng.create 42 in
+    let trace = Buffer.create 4096 in
+    let crashes = ref 0 in
+    let search_errors = ref 0 in
+    let expands = ref 0 in
+    let degraded = ref 0 in
+    (* Trace lines carry only seeded quantities and virtual timestamps —
+       never wall-clock readings — or byte-identity across runs breaks. *)
+    let event i qi fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string trace
+            (Printf.sprintf "s%02d q=%d %s t=%.3f\n" i qi s (Resil.Clock.now_ms clock)))
+        fmt
+    in
+    for i = 1 to n_sessions do
+      let qi = Zipf.draw zipf rng in
+      let q = queries.(qi) in
+      match Engine.search engine q.Q.keyword with
+      | Ok (Engine.Session s) -> (
+          (match Simulate.to_target (Engine.navigation s) ~target:q.Q.target_node with
+          | _cost ->
+              let st = Navigation.stats (Engine.navigation s) in
+              let d =
+                List.length
+                  (List.filter (fun r -> r.Navigation.degraded) st.Navigation.history)
+              in
+              expands := !expands + st.Navigation.expands;
+              degraded := !degraded + d;
+              event i qi "ok expands=%d degraded=%d" st.Navigation.expands d
+          | exception e ->
+              incr crashes;
+              event i qi "CRASH %s" (Printexc.to_string e));
+          ignore (Engine.close engine (Engine.session_id s) : bool))
+      | Ok Engine.No_results -> event i qi "no-results"
+      | Error msg ->
+          incr search_errors;
+          event i qi "unavailable %s" msg
+      | exception e ->
+          incr crashes;
+          event i qi "CRASH %s" (Printexc.to_string e)
+    done;
+    ( Buffer.contents trace,
+      !crashes,
+      !search_errors,
+      !expands,
+      !degraded,
+      Resil.Chaos.injected_failures chaos,
+      Resil.Chaos.injected_delays chaos,
+      Metrics.value (Metrics.counter "bionav_resilience_retries_total"),
+      Metrics.value (Metrics.counter "bionav_resilience_giveups_total") )
+  in
+  let trace1, crashes, search_errors, expands, degraded, failures, delays, retries, giveups =
+    run_once ()
+  in
+  let trace2, _, _, _, _, _, _, _, _ = run_once () in
+  let deterministic = String.equal trace1 trace2 in
+  let degraded_fraction =
+    if expands = 0 then 0. else float_of_int degraded /. float_of_int expands
+  in
+  print_string
+    (Table.render
+       ~header:[ "metric"; "value" ]
+       [ Table.Left; Right ]
+       [
+         [ "sessions"; string_of_int n_sessions ];
+         [ "crashes (escaped exceptions)"; string_of_int crashes ];
+         [ "backend unavailable"; string_of_int search_errors ];
+         [ "EXPANDs"; string_of_int expands ];
+         [ "degraded EXPANDs"; string_of_int degraded ];
+         [ "degraded fraction"; Printf.sprintf "%.1f%%" (100. *. degraded_fraction) ];
+         [ "injected failures"; string_of_int failures ];
+         [ "injected delays"; string_of_int delays ];
+         [ "retries"; string_of_int retries ];
+         [ "give-ups"; string_of_int giveups ];
+         [ "trace deterministic"; (if deterministic then "yes" else "NO") ];
+       ]);
+  say "";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sessions\": %d,\n\
+      \  \"chaos_seed\": %d,\n\
+      \  \"expand_budget_ms\": %.1f,\n\
+      \  \"crashes\": %d,\n\
+      \  \"backend_unavailable\": %d,\n\
+      \  \"expands\": %d,\n\
+      \  \"degraded_expands\": %d,\n\
+      \  \"degraded_fraction\": %.4f,\n\
+      \  \"injected_failures\": %d,\n\
+      \  \"injected_delays\": %d,\n\
+      \  \"retries\": %d,\n\
+      \  \"giveups\": %d,\n\
+      \  \"trace_deterministic\": %b\n\
+       }\n"
+      n_sessions chaos_config.Resil.Chaos.seed expand_budget_ms crashes search_errors
+      expands degraded degraded_fraction failures delays retries giveups deterministic
+  in
+  let path = "BENCH_chaos.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  if crashes > 0 then begin
+    say "  *** FAIL: %d exception(s) escaped the engine under fault injection ***" crashes;
+    exit 1
+  end;
+  if not deterministic then begin
+    say "  *** FAIL: two runs under the same fault plan diverged ***";
+    exit 1
+  end;
+  if degraded_fraction > 0.5 then begin
+    say "  *** FAIL: degraded fraction %.0f%% above the 50%% ceiling ***"
+      (100. *. degraded_fraction);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* CSV export of the headline artifacts                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -752,14 +917,15 @@ let targets =
     ("calibration", calibration);
     ("micro", micro);
     ("prefetch", prefetch_bench);
+    ("chaos", chaos_bench);
     ("csv", csv);
   ]
 
-(* "csv" and "prefetch" write files rather than (only) printing; keep them
-   out of the default everything-run so `bench/main.exe > bench_output.txt`
-   stays pure. *)
+(* "csv", "prefetch" and "chaos" write files rather than (only) printing;
+   keep them out of the default everything-run so
+   `bench/main.exe > bench_output.txt` stays pure. *)
 let default_targets =
-  List.filter (fun (n, _) -> n <> "csv" && n <> "prefetch") targets
+  List.filter (fun (n, _) -> not (List.mem n [ "csv"; "prefetch"; "chaos" ])) targets
 
 let () =
   let requested =

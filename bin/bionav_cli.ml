@@ -312,7 +312,26 @@ let serve_cmd =
     let doc = "Warm-start from this snapshot file (see the $(b,warm) command)." in
     Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
   in
-  let run scale seed port max_sessions prefetch snapshot =
+  let backlog_arg =
+    let doc = "Listen backlog passed to the kernel accept queue." in
+    Arg.(value & opt int Bionav_web.Http.default_server_config.Bionav_web.Http.backlog
+         & info [ "backlog" ] ~docv:"N" ~doc)
+  in
+  let max_connections_arg =
+    let doc = "Connections served per accept burst; the rest are shed with a 503." in
+    Arg.(value
+         & opt int Bionav_web.Http.default_server_config.Bionav_web.Http.max_connections
+         & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let expand_budget_arg =
+    let doc =
+      "Per-EXPAND time budget in milliseconds; once exhausted, sessions degrade to a \
+       static-style cut instead of running the solver."
+    in
+    Arg.(value & opt (some float) None & info [ "expand-budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let run scale seed port max_sessions prefetch snapshot backlog max_connections
+      expand_budget_ms =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     let w = build_workload scale seed in
@@ -322,7 +341,9 @@ let serve_cmd =
       try
         Bionav_web.App.create
           ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
-          ~config:(engine_config ~prefetch { Engine.default_config with Engine.max_sessions })
+          ~config:
+            (engine_config ~prefetch
+               { Engine.default_config with Engine.max_sessions; expand_budget_ms })
           ?snapshot ~database:w.Q.database ~eutils:w.Q.eutils ()
       with (Invalid_argument msg | Sys_error msg) ->
         Printf.printf "error: %s\n" msg;
@@ -333,14 +354,17 @@ let serve_cmd =
     Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" port;
     if prefetch then
       Printf.printf "prefetch status at http://127.0.0.1:%d/prefetch\n%!" port;
-    Bionav_web.Http.serve ~port (Bionav_web.App.handle app)
+    let config =
+      { Bionav_web.Http.default_server_config with Bionav_web.Http.backlog; max_connections }
+    in
+    Bionav_web.Http.serve ~config ~port (Bionav_web.App.handle app)
   in
   let doc = "Serve the BioNav web interface over the synthetic corpus." in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
-      $ snapshot_arg)
+      $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg)
 
 (* --- warm ---------------------------------------------------------------- *)
 

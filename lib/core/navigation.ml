@@ -15,6 +15,7 @@ type expand_record = {
   n_revealed : int;
   elapsed_ms : float;
   reduced_size : int;
+  degraded : bool;
 }
 
 type stats = {
@@ -41,6 +42,9 @@ type t = {
       (* visible node -> reusable solver state for its component *)
   mutable plan_source : plan_source option;
   mutable on_expand : (node:int -> revealed:int list -> unit) option;
+  mutable budget : (unit -> unit -> bool) option;
+      (* called at EXPAND entry; returns the over-budget check consulted
+         before any solver runs (see set_budget) *)
 }
 
 let start strategy nav_tree =
@@ -51,6 +55,7 @@ let start strategy nav_tree =
     plans = Hashtbl.create 16;
     plan_source = None;
     on_expand = None;
+    budget = None;
   }
 
 let active t = t.active
@@ -58,6 +63,7 @@ let strategy t = t.strategy
 let stats t = t.stats
 let set_plan_source t src = t.plan_source <- src
 let set_on_expand t f = t.on_expand <- f
+let set_budget t f = t.budget <- f
 
 (* Translate component-tree cut children (indices) back to navigation nodes
    through the component tree's tags. *)
@@ -78,14 +84,17 @@ let next_page t root page_size =
   in
   List.filteri (fun i _ -> i < page_size) by_count_desc
 
-let heuristic_cut t root ~k ~params ~reuse =
+let degraded_counter = Metrics.counter "bionav_resilience_degraded_expands_total"
+
+let heuristic_cut t root ~over_budget ~k ~params ~reuse =
   let fresh () =
     let comp, _map = Active_tree.comp_tree t.active root in
     let report, plan = Heuristic.best_cut_with_plan ~params ~k comp in
     if reuse then Hashtbl.replace t.plans root plan;
     ( `Cut (nav_cut_children comp report.Heuristic.cut_children),
       report.Heuristic.elapsed_ms,
-      report.Heuristic.reduced_size )
+      report.Heuristic.reduced_size,
+      false )
   in
   let computed () =
     if not reuse then fresh ()
@@ -101,40 +110,58 @@ let heuristic_cut t root ~k ~params ~reuse =
               let orig = Heuristic.original_tree plan in
               ( `Cut (nav_cut_children orig report.Heuristic.cut_children),
                 report.Heuristic.elapsed_ms,
-                report.Heuristic.reduced_size )
+                report.Heuristic.reduced_size,
+                false )
           | None ->
               Hashtbl.remove t.plans root;
               fresh ())
       | None -> fresh ()
   in
+  (* Graceful degradation: once the EXPAND budget is exhausted (and no
+     memoized plan could answer for free), serve the k highest-count
+     children — a Static_paged-style cut — instead of completing
+     Heuristic-ReducedOpt. The record is tagged so callers can tell. *)
+  let compute_or_degrade () =
+    if over_budget () then begin
+      Metrics.incr degraded_counter;
+      Logs.debug (fun m -> m "navigation: budget exhausted, degraded cut for node %d" root);
+      (`Cut (next_page t root k), 0., 0, true)
+    end
+    else computed ()
+  in
   match t.plan_source with
-  | None -> computed ()
+  | None -> compute_or_degrade ()
   | Some src -> (
       let members = Active_tree.component t.active root in
       match src.find_plan ~root ~members with
       | Some (_ :: _ as cut) ->
           Logs.debug (fun m -> m "navigation: injected plan for node %d" root);
-          (`Cut cut, 0., 0)
+          (`Cut cut, 0., 0, false)
       | Some [] | None ->
-          let ((action, _, _) as result) = computed () in
+          let ((action, _, _, degraded) as result) = compute_or_degrade () in
+          (* A degraded cut is not a Heuristic-ReducedOpt solution; caching
+             it would poison future sessions with static-quality plans. *)
           (match action with
-          | `Cut (_ :: _ as cut) -> src.store_plan ~root ~members ~cut
-          | `Cut [] | `Static -> ());
+          | `Cut (_ :: _ as cut) when not degraded -> src.store_plan ~root ~members ~cut
+          | `Cut _ | `Static -> ());
           result)
 
-let compute_cut t root =
+let compute_cut t ~over_budget root =
   match t.strategy with
-  | Static -> (`Static, 0., 0)
+  | Static -> (`Static, 0., 0, false)
   | Static_paged { page_size } ->
       if page_size < 1 then invalid_arg "Navigation: page_size must be >= 1";
-      (`Cut (next_page t root page_size), 0., 0)
-  | Heuristic { k; params; reuse } -> heuristic_cut t root ~k ~params ~reuse
+      (`Cut (next_page t root page_size), 0., 0, false)
+  | Heuristic { k; params; reuse } -> heuristic_cut t root ~over_budget ~k ~params ~reuse
   | Optimal { params } ->
       let comp, _map = Active_tree.comp_tree t.active root in
       let (solution : Opt_edgecut.solution), elapsed =
         Timing.time (fun () -> Opt_edgecut.solve ~params comp)
       in
-      (`Cut (nav_cut_children comp solution.Opt_edgecut.cut_children), elapsed, Comp_tree.size comp)
+      ( `Cut (nav_cut_children comp solution.Opt_edgecut.cut_children),
+        elapsed,
+        Comp_tree.size comp,
+        false )
 
 let expand_hist = Metrics.histogram "bionav_expand_latency_ms"
 let expands_counter = Metrics.counter "bionav_expands_total"
@@ -143,21 +170,30 @@ let revealed_counter = Metrics.counter "bionav_concepts_revealed_total"
 let expand t root =
   if not (Active_tree.is_expandable t.active root) then []
   else begin
-    let (revealed, elapsed, reduced_size), total_ms =
+    let over_budget =
+      match t.budget with None -> fun () -> false | Some start -> start ()
+    in
+    let (revealed, elapsed, reduced_size, degraded), total_ms =
       Timing.time (fun () ->
-          let action, elapsed, reduced_size = compute_cut t root in
+          let action, elapsed, reduced_size, degraded = compute_cut t ~over_budget root in
           let revealed =
             match action with
             | `Static -> Active_tree.expand_static t.active root
             | `Cut [] -> []
             | `Cut (_ :: _ as cut_children) -> Active_tree.apply_cut t.active ~root ~cut_children
           in
-          (revealed, elapsed, reduced_size))
+          (revealed, elapsed, reduced_size, degraded))
     in
     if revealed = [] then []
     else begin
     let record =
-      { node = root; n_revealed = List.length revealed; elapsed_ms = elapsed; reduced_size }
+      {
+        node = root;
+        n_revealed = List.length revealed;
+        elapsed_ms = elapsed;
+        reduced_size;
+        degraded;
+      }
     in
     Metrics.observe expand_hist total_ms;
     Metrics.incr expands_counter;

@@ -38,6 +38,10 @@ type expand_record = {
   reduced_size : int;
       (** Supernodes fed to Opt-EdgeCut (Heuristic), component size
           (Optimal), or 0 (Static) — the Fig. 11 partition count. *)
+  degraded : bool;
+      (** The EXPAND budget (see {!set_budget}) was exhausted before the
+          cut computation started, so a Static_paged-style top-k cut was
+          served instead of Heuristic-ReducedOpt. *)
 }
 
 type stats = {
@@ -81,6 +85,19 @@ val set_plan_source : t -> plan_source option -> unit
     strategies ([Static], [Static_paged], [Optimal]) never consult the
     source — their cuts are either trivial or exact. [None] (the
     {!start} default) restores always-compute. *)
+
+val set_budget : t -> (unit -> unit -> bool) option -> unit
+(** Graceful degradation under a time budget. The factory is called once
+    at the entry of every EXPAND and returns an over-budget check; when
+    the check answers [true] before the cut computation starts, the
+    [Heuristic] strategy serves the [k] highest-count hidden children (a
+    {!Static_paged}-style cut) instead of running Heuristic-ReducedOpt,
+    and the {!expand_record} is tagged [degraded]. A memoized plan (from
+    reuse or a {!plan_source}) that answers for free is served even over
+    budget and is {e not} degraded; degraded cuts are never reported to
+    [store_plan]. Other strategies ignore the budget (their cuts are
+    already trivial or explicitly exact). [None] (the {!start} default)
+    disables budgeting. *)
 
 val set_on_expand : t -> (node:int -> revealed:int list -> unit) option -> unit
 (** Observer called after every {e effective} EXPAND (one that revealed

@@ -4,16 +4,33 @@ module Eutils = Bionav_search.Eutils
 module Prefetch = Bionav_prefetch.Prefetch
 module Warmer = Bionav_prefetch.Warmer
 module Snapshot = Bionav_store.Snapshot
+module Clock = Bionav_resilience.Clock
+module Guard = Bionav_resilience.Guard
+module Deadline = Bionav_resilience.Deadline
+module Chaos = Bionav_resilience.Chaos
+
+exception Backend_unavailable of string
 
 type config = {
   max_sessions : int;
   session_ttl_ms : float option;
   cache_capacity : int;
   prefetch : Prefetch.config option;
+  clock : Clock.t;
+  expand_budget_ms : float option;
+  resilience : Guard.config option;
 }
 
 let default_config =
-  { max_sessions = 256; session_ttl_ms = None; cache_capacity = 32; prefetch = None }
+  {
+    max_sessions = 256;
+    session_ttl_ms = None;
+    cache_capacity = 32;
+    prefetch = None;
+    clock = Clock.real;
+    expand_budget_ms = None;
+    resilience = Some Guard.default_config;
+  }
 
 type session = {
   sid : string;
@@ -21,13 +38,15 @@ type session = {
   nav : Nav_tree.t;
   navigation : Navigation.t;
   mutable tick : int;  (* recency clock value of the last touch *)
-  mutable last_use_ms : float;  (* wall clock of the last touch, for TTLs *)
+  mutable last_use_ms : float;  (* config.clock time of the last touch, for TTLs *)
 }
 
 type t = {
   config : config;
   database : Bionav_store.Database.t;
   eutils : Eutils.t;
+  guard : Guard.t option;
+  run_search : string -> Intset.t;
   cache : Nav_cache.t;
   prefetch : Prefetch.t option;
   sessions : (string, session) Hashtbl.t;
@@ -42,16 +61,37 @@ let closed_counter = Metrics.counter "bionav_sessions_closed_total"
 let expired_counter = Metrics.counter "bionav_sessions_expired_total"
 let live_gauge = Metrics.gauge "bionav_sessions_live"
 
-let create ?(config = default_config) ?snapshot ~database ~eutils () =
+let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   if config.max_sessions < 1 then invalid_arg "Engine.create: max_sessions must be >= 1";
-  let build query = Nav_tree.of_database database (Eutils.esearch eutils query) in
+  (match config.expand_budget_ms with
+  | Some b when b < 0. -> invalid_arg "Engine.create: expand_budget_ms must be >= 0"
+  | Some _ | None -> ());
+  let guard =
+    match (config.resilience, chaos) with
+    | None, None -> None
+    | cfg, chaos ->
+        let gconfig = Option.value cfg ~default:Guard.default_config in
+        Some (Guard.create ?chaos ~config:gconfig ~clock:config.clock ())
+  in
+  let run_search query =
+    match guard with
+    | None -> Eutils.esearch eutils query
+    | Some g -> (
+        match Guard.call g ~op:"esearch" (fun () -> Eutils.esearch eutils query) with
+        | Ok ids -> ids
+        | Error e -> raise (Backend_unavailable (Guard.error_message e)))
+  in
+  let build query = Nav_tree.of_database database (run_search query) in
   let t =
     {
       config;
       database;
       eutils;
+      guard;
+      run_search;
       cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
-      prefetch = Option.map (fun pc -> Prefetch.create ~config:pc ()) config.prefetch;
+      prefetch =
+        Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
       sessions = Hashtbl.create 64;
       next_sid = 0;
       clock = 0;
@@ -74,6 +114,8 @@ let create ?(config = default_config) ?snapshot ~database ~eutils () =
 let eutils t = t.eutils
 let config t = t.config
 let prefetch t = t.prefetch
+let guard t = t.guard
+let resilience_clock t = t.config.clock
 
 (* --- strategies -------------------------------------------------------- *)
 
@@ -105,7 +147,7 @@ let publish_live t = Metrics.set live_gauge (float_of_int (Hashtbl.length t.sess
 let touch t s =
   t.clock <- t.clock + 1;
   s.tick <- t.clock;
-  s.last_use_ms <- Timing.now_ms ()
+  s.last_use_ms <- Clock.now_ms t.config.clock
 
 (* A session of [query] just left the store. If it was the last one for
    that query, cancel its queued speculation — a dead session must not
@@ -141,13 +183,30 @@ let evict_lru t =
 
 type search_outcome = No_results | Session of session
 
+(* The budget factory handed to Navigation.set_budget: runs at EXPAND
+   entry. The deadline starts first so an injected latency spike (the
+   "expand" half of the fault plan) eats into it — that is exactly the
+   overload signal that triggers degradation. *)
+let expand_budget_factory t () =
+  let deadline =
+    Option.map
+      (fun budget_ms -> Deadline.start ~clock:t.config.clock ~budget_ms)
+      t.config.expand_budget_ms
+  in
+  (match t.guard with None -> () | Some g -> Guard.inject g ~op:"expand");
+  match deadline with
+  | None -> fun () -> false
+  | Some d -> fun () -> Deadline.expired d
+
 let search t ?(strategy = Navigation.bionav ()) query =
   match validate_strategy strategy with
   | Error msg -> Error msg
   | Ok strategy ->
       if String.trim query = "" then Error "empty query"
       else begin
-        let nav = Nav_cache.get t.cache query in
+        match Nav_cache.get t.cache query with
+        | exception Backend_unavailable msg -> Error msg
+        | nav ->
         if Nav_tree.distinct_results nav = 0 then Ok No_results
         else begin
           while Hashtbl.length t.sessions >= t.config.max_sessions do
@@ -167,6 +226,8 @@ let search t ?(strategy = Navigation.bionav ()) query =
           in
           touch t s;
           Hashtbl.replace t.sessions sid s;
+          if Option.is_some t.guard || Option.is_some t.config.expand_budget_ms then
+            Navigation.set_budget s.navigation (Some (expand_budget_factory t));
           (match t.prefetch with
           | Some pf -> Prefetch.attach pf ~query s.navigation
           | None -> ());
@@ -197,7 +258,7 @@ let sweep ?now_ms t =
   match t.config.session_ttl_ms with
   | None -> 0
   | Some ttl ->
-      let now = match now_ms with Some n -> n | None -> Timing.now_ms () in
+      let now = match now_ms with Some n -> n | None -> Clock.now_ms t.config.clock in
       let expired =
         Hashtbl.fold
           (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
@@ -234,9 +295,7 @@ let prefetch_tick t ~budget =
   match t.prefetch with None -> 0 | Some pf -> Prefetch.tick pf ~budget
 
 let warm t queries =
-  let entries =
-    Warmer.build ~db:t.database ~run:(fun q -> Eutils.esearch t.eutils q) queries
-  in
+  let entries = Warmer.build ~db:t.database ~run:t.run_search queries in
   ignore
     (Warmer.apply ~db:t.database ~trees:t.cache
        ?plans:(Option.map Prefetch.plans t.prefetch)

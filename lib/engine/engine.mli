@@ -20,7 +20,22 @@
 
     This is the seam future scaling work (sharding, async transports,
     multi-backend stores) plugs into: entry points talk to the engine,
-    never to [Navigation.start] directly. *)
+    never to [Navigation.start] directly.
+
+    {b Resilience} ({!Bionav_resilience}): every backend call (the
+    ESearch keyword lookup) runs under a {!Bionav_resilience.Guard} —
+    retry with backoff, circuit breaker, optional fault injection — and
+    a failed call surfaces as an [Error] from {!search}, never an
+    exception. All timing (session TTLs, EXPAND deadlines, speculation
+    job TTLs, retry backoff) reads [config.clock], so a simulated clock
+    makes the whole engine's time behaviour test-controlled. With
+    [expand_budget_ms] set, an EXPAND whose budget is exhausted before
+    the cut computation starts degrades to a static-style cut (see
+    {!Bionav_core.Navigation.set_budget}). *)
+
+exception Backend_unavailable of string
+(** The guarded backend gave up (retries exhausted or circuit open).
+    Raised by {!warm}; {!search} catches it internally. *)
 
 type config = {
   max_sessions : int;  (** Bound on live sessions (>= 1). Default 256. *)
@@ -31,6 +46,17 @@ type config = {
   prefetch : Bionav_prefetch.Prefetch.config option;
       (** Enable the plan cache + speculator ({!Bionav_prefetch}); every
           Heuristic session is attached to it. Default [None] (off). *)
+  clock : Bionav_resilience.Clock.t;
+      (** The clock behind every engine timing decision. Default the
+          real clock. *)
+  expand_budget_ms : float option;
+      (** Per-EXPAND time budget (>= 0): once exhausted, Heuristic
+          sessions serve a degraded static-style cut instead of running
+          the solver. Default [None] (no budget). *)
+  resilience : Bionav_resilience.Guard.config option;
+      (** Retry/breaker policy for backend calls. Default
+          [Some Guard.default_config]; [None] disables the guard (calls
+          go straight to the backend) unless chaos is injected. *)
 }
 
 val default_config : config
@@ -39,6 +65,7 @@ type t
 
 val create :
   ?config:config ->
+  ?chaos:Bionav_resilience.Chaos.t ->
   ?snapshot:string ->
   database:Bionav_store.Database.t ->
   eutils:Bionav_search.Eutils.t ->
@@ -46,15 +73,25 @@ val create :
   t
 (** [snapshot] is a {!Bionav_store.Snapshot} path to warm-start from:
     navigation trees are rebuilt into the tree cache and — when prefetch
-    is enabled — root cuts seed the plan cache.
-    @raise Invalid_argument if [config.max_sessions < 1] or the snapshot
-    is corrupt or from a different database; [Sys_error] if unreadable. *)
+    is enabled — root cuts seed the plan cache. [chaos] injects a fault
+    plan into the backend guard (forcing a guard into existence even
+    when [config.resilience] is [None]): backend calls draw failures and
+    latency spikes from it, EXPANDs draw latency spikes (op ["expand"]).
+    @raise Invalid_argument if [config.max_sessions < 1], a negative
+    [expand_budget_ms], or the snapshot is corrupt or from a different
+    database; [Sys_error] if unreadable. *)
 
 val eutils : t -> Bionav_search.Eutils.t
 val config : t -> config
 
 val prefetch : t -> Bionav_prefetch.Prefetch.t option
 (** The live prefetch facade, when enabled. *)
+
+val guard : t -> Bionav_resilience.Guard.t option
+(** The backend guard (for breaker/chaos introspection), when enabled. *)
+
+val resilience_clock : t -> Bionav_resilience.Clock.t
+(** [config.clock] — the clock every engine timing decision reads. *)
 
 (* --- strategies ------------------------------------------------------- *)
 
@@ -88,8 +125,9 @@ val search :
     fetch or build the navigation tree through the cache, and — if the
     query has results — create a session under a fresh monotonic id
     ("s0", "s1", ...), evicting the least recently used session first
-    when the store is full. [Error] on a blank query or invalid
-    strategy. *)
+    when the store is full. [Error] on a blank query, invalid strategy,
+    or an unavailable backend (guard gave up / circuit open) — backend
+    faults never escape as exceptions. *)
 
 val find_session : t -> string -> session option
 (** Refreshes the session's recency and idle clock. *)
@@ -100,7 +138,8 @@ val close : t -> string -> bool
 val sweep : ?now_ms:float -> t -> int
 (** Expire sessions idle longer than [config.session_ttl_ms]; returns the
     number closed (0 when no TTL is configured). [now_ms] defaults to
-    the wall clock and is a parameter for tests. *)
+    [config.clock]'s now — prefer driving a simulated clock over passing
+    an explicit [now_ms]. *)
 
 val session_count : t -> int
 val eviction_count : t -> int

@@ -5,18 +5,28 @@ type config = {
   top_m : int;
   max_queue : int;
   budget_per_action : int;
+  job_ttl_ms : float option;
 }
 
 let default_config =
-  { plan_capacity = Plan_cache.default_capacity; top_m = 2; max_queue = 64; budget_per_action = 1 }
+  {
+    plan_capacity = Plan_cache.default_capacity;
+    top_m = 2;
+    max_queue = 64;
+    budget_per_action = 1;
+    job_ttl_ms = None;
+  }
 
 type t = { config : config; plans : Plan_cache.t; spec : Speculator.t }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?clock () =
   if config.budget_per_action < 0 then
     invalid_arg "Prefetch.create: budget_per_action must be >= 0";
   let plans = Plan_cache.create ~capacity:config.plan_capacity () in
-  let spec = Speculator.create ~top_m:config.top_m ~max_queue:config.max_queue plans in
+  let spec =
+    Speculator.create ~top_m:config.top_m ~max_queue:config.max_queue ?clock
+      ?job_ttl_ms:config.job_ttl_ms plans
+  in
   { config; plans; spec }
 
 let config t = t.config

@@ -16,14 +16,18 @@ type config = {
   budget_per_action : int;
       (** Queued jobs run synchronously after each EXPAND (default 1).
           0 means enqueue-only — some external pacer calls {!tick}. *)
+  job_ttl_ms : float option;
+      (** Queued-job TTL on the creation clock (default [None]: never);
+          see {!Speculator.create}. *)
 }
 
 val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
-(** @raise Invalid_argument on negative [budget_per_action] or invalid
+val create : ?config:config -> ?clock:Bionav_resilience.Clock.t -> unit -> t
+(** [clock] (default the real clock) stamps and expires speculation jobs.
+    @raise Invalid_argument on negative [budget_per_action] or invalid
     speculator bounds. *)
 
 val config : t -> config

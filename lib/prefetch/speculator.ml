@@ -1,5 +1,6 @@
 open Bionav_util
 open Bionav_core
+module Clock = Bionav_resilience.Clock
 
 type job = {
   query : string;  (* normalized *)
@@ -8,6 +9,7 @@ type job = {
   nav : Nav_tree.t;
   k : int;
   params : Probability.params;
+  enqueued_at_ms : float;  (* clock time at enqueue, for the job TTL *)
 }
 
 type t = {
@@ -15,23 +17,41 @@ type t = {
   queue : job Queue.t;
   top_m : int;
   max_queue : int;
+  clock : Clock.t;
+  job_ttl_ms : float option;
   mutable executed : int;
   mutable dropped : int;
+  mutable expired : int;
 }
 
 let depth_gauge = Metrics.gauge "bionav_prefetch_queue_depth"
 let speculations_counter = Metrics.counter "bionav_prefetch_speculations_total"
 let dropped_counter = Metrics.counter "bionav_prefetch_dropped_total"
+let expired_counter = Metrics.counter "bionav_prefetch_expired_total"
 let precompute_hist = Metrics.histogram "bionav_prefetch_precompute_latency_ms"
 
-let create ?(top_m = 2) ?(max_queue = 64) cache =
+let create ?(top_m = 2) ?(max_queue = 64) ?(clock = Clock.real) ?job_ttl_ms cache =
   if top_m < 0 then invalid_arg "Speculator.create: top_m must be >= 0";
   if max_queue < 1 then invalid_arg "Speculator.create: max_queue must be >= 1";
-  { cache; queue = Queue.create (); top_m; max_queue; executed = 0; dropped = 0 }
+  (match job_ttl_ms with
+  | Some ttl when ttl < 0. -> invalid_arg "Speculator.create: job_ttl_ms must be >= 0"
+  | Some _ | None -> ());
+  {
+    cache;
+    queue = Queue.create ();
+    top_m;
+    max_queue;
+    clock;
+    job_ttl_ms;
+    executed = 0;
+    dropped = 0;
+    expired = 0;
+  }
 
 let queue_length t = Queue.length t.queue
 let executed t = t.executed
 let dropped t = t.dropped
+let expired t = t.expired
 
 (* How promising is a follow-up EXPAND of [node]'s component? The cost
    model's own signals: the component's selectivity mass (the unnormalized
@@ -77,7 +97,10 @@ let observe t ~query ~active ~k ~params ~revealed =
             Metrics.incr dropped_counter
           end
           else begin
-            Queue.add { query; root = node; members; nav; k; params } t.queue;
+            Queue.add
+              { query; root = node; members; nav; k; params;
+                enqueued_at_ms = Clock.now_ms t.clock }
+              t.queue;
             Metrics.add depth_gauge 1.
           end
       end)
@@ -99,16 +122,32 @@ let run_job t job =
         m "speculator: precomputed plan for node %d of %S (%.2f ms)" job.root job.query ms)
   end
 
+let stale t job =
+  match t.job_ttl_ms with
+  | None -> false
+  | Some ttl -> Clock.now_ms t.clock -. job.enqueued_at_ms > ttl
+
 let tick t ~budget =
   let rec go n =
     if n >= budget || Queue.is_empty t.queue then n
     else begin
       let job = Queue.pop t.queue in
       Metrics.add depth_gauge (-1.);
-      run_job t job;
-      t.executed <- t.executed + 1;
-      Metrics.incr speculations_counter;
-      go (n + 1)
+      if stale t job then begin
+        (* A speculation that sat past its TTL is guessing about a session
+           state long gone; discarding it is free, so it costs no budget. *)
+        t.expired <- t.expired + 1;
+        Metrics.incr expired_counter;
+        Logs.debug (fun m ->
+            m "speculator: expired job for node %d of %S" job.root job.query);
+        go n
+      end
+      else begin
+        run_job t job;
+        t.executed <- t.executed + 1;
+        Metrics.incr speculations_counter;
+        go (n + 1)
+      end
     end
   in
   go 0

@@ -20,11 +20,23 @@
 
 type t
 
-val create : ?top_m:int -> ?max_queue:int -> Plan_cache.t -> t
+val create :
+  ?top_m:int ->
+  ?max_queue:int ->
+  ?clock:Bionav_resilience.Clock.t ->
+  ?job_ttl_ms:float ->
+  Plan_cache.t ->
+  t
 (** [top_m] (default 2) candidates are queued per EXPAND; the FIFO holds
     at most [max_queue] (default 64) jobs — overflow drops the {e new}
-    job (freshest speculation is the least certain).
-    @raise Invalid_argument if [top_m < 0] or [max_queue < 1]. *)
+    job (freshest speculation is the least certain). [job_ttl_ms]
+    (default [None]: jobs never age out) bounds how long a queued job
+    stays runnable: {!tick} discards jobs enqueued more than the TTL ago
+    on [clock] (default the real clock) without charging budget — a
+    speculation that sat that long is guessing about a session state
+    long gone.
+    @raise Invalid_argument if [top_m < 0], [max_queue < 1] or
+    [job_ttl_ms < 0]. *)
 
 val observe :
   t ->
@@ -44,7 +56,9 @@ val tick : t -> budget:int -> int
 (** Run up to [budget] queued jobs now, oldest first; returns the number
     executed. A job whose plan appeared in the cache meanwhile (e.g. the
     user expanded it in the foreground first) is skipped for free but
-    still consumes its budget unit. *)
+    still consumes its budget unit. A job past the TTL is discarded and
+    consumes {e no} budget (counted in [bionav_prefetch_expired_total]
+    and {!expired}). *)
 
 val drop_query : t -> string -> int
 (** Cancel every queued job for the (normalized) query — called when its
@@ -57,3 +71,6 @@ val executed : t -> int
 val dropped : t -> int
 (** Per-instance counters: jobs run by {!tick}, jobs lost to overflow or
     {!drop_query}. *)
+
+val expired : t -> int
+(** Jobs discarded by {!tick} for outliving [job_ttl_ms]. *)

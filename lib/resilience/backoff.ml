@@ -1,0 +1,29 @@
+open Bionav_util
+
+type policy = { base_ms : float; multiplier : float; cap_ms : float; jitter : float }
+
+let default = { base_ms = 10.; multiplier = 2.; cap_ms = 1000.; jitter = 0.5 }
+
+let validate p =
+  if not (p.base_ms > 0.) then Error "base_ms must be > 0"
+  else if p.multiplier < 1. then Error "multiplier must be >= 1"
+  else if p.cap_ms < p.base_ms then Error "cap_ms must be >= base_ms"
+  else if p.jitter < 0. || p.jitter > p.multiplier -. 1. then
+    Error "jitter must be in [0, multiplier - 1]"
+  else Ok p
+
+let check p =
+  match validate p with Ok p -> p | Error msg -> invalid_arg ("Backoff: " ^ msg)
+
+let delay_ms p ~rng ~attempt =
+  let p = check p in
+  if attempt < 0 then invalid_arg "Backoff.delay_ms: negative attempt";
+  (* Draw even when the raw delay is already capped so the rng stream stays
+     aligned with the attempt number. *)
+  let u = Rng.float rng 1. in
+  let raw = p.base_ms *. (p.multiplier ** float_of_int attempt) in
+  Float.min p.cap_ms (raw *. (1. +. (p.jitter *. u)))
+
+let schedule p ~seed ~n =
+  let rng = Rng.create seed in
+  List.init n (fun attempt -> delay_ms p ~rng ~attempt)

@@ -1,0 +1,40 @@
+(** Capped exponential backoff with seeded jitter.
+
+    The schedule for attempt [i] (0-based) is
+    [min cap_ms (base_ms * multiplier^i * (1 + jitter * u_i))] where
+    [u_i] is uniform in [[0, 1)] drawn from the caller's seeded
+    {!Bionav_util.Rng.t}. Two invariants hold by construction and are
+    property-tested:
+
+    - delays are {e monotone non-decreasing} in the attempt number up to
+      the cap (guaranteed because policies require
+      [multiplier >= 1 + jitter]: the smallest possible delay of attempt
+      [i+1] is at least the largest possible delay of attempt [i]);
+    - no delay ever exceeds [cap_ms], and identical seeds yield identical
+      schedules (all randomness flows through the explicit [rng]). *)
+
+type policy = {
+  base_ms : float;  (** First delay before jitter (> 0). *)
+  multiplier : float;  (** Exponential growth factor (>= 1). *)
+  cap_ms : float;  (** Upper bound on any delay (>= base_ms). *)
+  jitter : float;
+      (** Jitter fraction in [0, multiplier - 1]: each delay is scaled by
+          a uniform factor in [1, 1 + jitter]. *)
+}
+
+val default : policy
+(** 10 ms base, doubling, 1 s cap, 0.5 jitter. *)
+
+val validate : policy -> (policy, string) result
+(** Check the field constraints above; every schedule-producing function
+    validates internally. *)
+
+val delay_ms : policy -> rng:Bionav_util.Rng.t -> attempt:int -> float
+(** The delay after failed attempt [attempt] (0-based, >= 0). Draws one
+    variate from [rng], so calling with attempts 0, 1, 2, ... in order
+    reproduces the schedule of {!schedule}.
+    @raise Invalid_argument on a malformed policy or negative attempt. *)
+
+val schedule : policy -> seed:int -> n:int -> float list
+(** The first [n] delays of the seeded schedule (a fresh generator from
+    [seed]); convenience for tests and diagnostics. *)

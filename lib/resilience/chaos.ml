@@ -1,0 +1,57 @@
+open Bionav_util
+
+type config = {
+  seed : int;
+  error_rate : float;
+  delay_rate : float;
+  delay_ms : float * float;
+  fail_ops : string list;
+}
+
+let default_config =
+  { seed = 0; error_rate = 0.1; delay_rate = 0.2; delay_ms = (20., 200.); fail_ops = [] }
+
+type verdict = Pass | Fail | Delay of float
+
+type t = { config : config; rng : Rng.t; mutable failures : int; mutable delays : int }
+
+let failures_counter = Metrics.counter "bionav_resilience_chaos_failures_total"
+let delays_counter = Metrics.counter "bionav_resilience_chaos_delays_total"
+
+let check_rate name r =
+  if r < 0. || r > 1. then invalid_arg (Printf.sprintf "Chaos.create: %s outside [0,1]" name)
+
+let create config =
+  check_rate "error_rate" config.error_rate;
+  check_rate "delay_rate" config.delay_rate;
+  let lo, hi = config.delay_ms in
+  if lo < 0. || hi < lo then invalid_arg "Chaos.create: malformed delay_ms range";
+  { config; rng = Rng.create config.seed; failures = 0; delays = 0 }
+
+let config t = t.config
+
+exception Injected of string
+
+let eligible t op =
+  match t.config.fail_ops with [] -> true | ops -> List.mem op ops
+
+let draw t ~op =
+  (* Fixed draw order keeps the stream aligned no matter the outcome. *)
+  let fail = Rng.bernoulli t.rng t.config.error_rate in
+  let spike = Rng.bernoulli t.rng t.config.delay_rate in
+  let lo, hi = t.config.delay_ms in
+  let d = if hi > lo then lo +. Rng.float t.rng (hi -. lo) else lo in
+  if fail && eligible t op then begin
+    t.failures <- t.failures + 1;
+    Metrics.incr failures_counter;
+    Fail
+  end
+  else if spike then begin
+    t.delays <- t.delays + 1;
+    Metrics.incr delays_counter;
+    Delay d
+  end
+  else Pass
+
+let injected_failures t = t.failures
+let injected_delays t = t.delays

@@ -1,0 +1,51 @@
+(** Deterministic fault-injection plans.
+
+    A plan is a seeded stream of per-operation verdicts: pass, fail (the
+    caller raises {!Injected}), or a virtual-latency spike of a sampled
+    duration. All randomness flows through one {!Bionav_util.Rng.t}
+    created from [seed], and draws happen in call order, so a
+    single-threaded workload replayed under the same plan seed produces a
+    byte-identical event sequence — the foundation of the chaos suite and
+    of [bench chaos].
+
+    Plans know nothing about clocks or backends; {!Guard} turns verdicts
+    into injected exceptions and {!Clock.sleep_ms} calls. Injections are
+    counted in [bionav_resilience_chaos_failures_total] and
+    [bionav_resilience_chaos_delays_total]. *)
+
+type config = {
+  seed : int;
+  error_rate : float;  (** Probability an eligible op fails, in [0, 1]. *)
+  delay_rate : float;  (** Probability of a latency spike, in [0, 1]. *)
+  delay_ms : float * float;  (** Spike duration range [lo, hi], 0 <= lo <= hi. *)
+  fail_ops : string list;
+      (** Ops eligible for failure injection; [[]] means all ops. Delay
+          spikes always apply to every op. *)
+}
+
+val default_config : config
+(** Seed 0, 10% failures on every op, 20% spikes of 20-200 ms. *)
+
+type verdict = Pass | Fail | Delay of float
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on rates outside [0, 1] or a malformed
+    duration range. *)
+
+val config : t -> config
+
+val draw : t -> op:string -> verdict
+(** The next verdict for one execution of [op]. A failure draw for an op
+    not in [fail_ops] still consumes the same rng variates (the stream
+    stays aligned across plans differing only in eligibility) but
+    reports [Pass]. *)
+
+exception Injected of string
+(** Raised by {!Guard} (and available to any caller) to materialize a
+    [Fail] verdict; the payload names the op. *)
+
+val injected_failures : t -> int
+val injected_delays : t -> int
+(** Verdicts issued by this plan so far ([Fail] / [Delay]). *)

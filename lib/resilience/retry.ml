@@ -1,0 +1,29 @@
+open Bionav_util
+
+type config = { max_attempts : int; backoff : Backoff.policy }
+
+let default_config = { max_attempts = 3; backoff = Backoff.default }
+
+let retries_counter = Metrics.counter "bionav_resilience_retries_total"
+let giveups_counter = Metrics.counter "bionav_resilience_giveups_total"
+
+let run config ~clock ~rng f =
+  if config.max_attempts < 1 then invalid_arg "Retry.run: max_attempts must be >= 1";
+  (match Backoff.validate config.backoff with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Retry.run: " ^ msg));
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error _ as err ->
+        if attempt + 1 >= config.max_attempts then begin
+          Metrics.incr giveups_counter;
+          err
+        end
+        else begin
+          Clock.sleep_ms clock (Backoff.delay_ms config.backoff ~rng ~attempt);
+          Metrics.incr retries_counter;
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,23 @@
+(** Bounded retry with backoff sleeps on the virtual clock.
+
+    [run] calls the thunk up to [max_attempts] times; between failures it
+    sleeps the seeded {!Backoff} schedule through the caller's
+    {!Clock.t}, so under a simulated clock a whole retry storm executes
+    instantly and deterministically. Counts
+    [bionav_resilience_retries_total] (re-attempts after a failure) and
+    [bionav_resilience_giveups_total] (schedules exhausted). *)
+
+type config = {
+  max_attempts : int;  (** Total attempts including the first (>= 1). *)
+  backoff : Backoff.policy;
+}
+
+val default_config : config
+(** 3 attempts over {!Backoff.default}. *)
+
+val run :
+  config -> clock:Clock.t -> rng:Bionav_util.Rng.t -> (unit -> ('a, 'e) result) -> ('a, 'e) result
+(** First [Ok] wins; otherwise the last [Error] after [max_attempts]
+    tries. The thunk must not raise — wrap exception-throwing calls
+    yourself (see {!Guard}).
+    @raise Invalid_argument on a malformed config. *)

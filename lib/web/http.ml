@@ -1,3 +1,5 @@
+module Metrics = Bionav_util.Metrics
+
 type response = { status : int; content_type : string; body : string }
 
 let ok ?(content_type = "text/html; charset=utf-8") body = { status = 200; content_type; body }
@@ -7,6 +9,22 @@ let not_found body = { status = 404; content_type = "text/plain; charset=utf-8";
 let bad_request body = { status = 400; content_type = "text/plain; charset=utf-8"; body }
 
 type handler = path:string -> query:(string * string) list -> response
+
+type server_config = {
+  backlog : int;
+  read_timeout_ms : float;
+  max_request_line : int;
+  max_connections : int;
+}
+
+let default_server_config =
+  { backlog = 128; read_timeout_ms = 5_000.; max_request_line = 8192; max_connections = 64 }
+
+let validate_server_config c =
+  if c.backlog < 1 then invalid_arg "Http: backlog must be >= 1";
+  if c.read_timeout_ms < 0. then invalid_arg "Http: read_timeout_ms must be >= 0";
+  if c.max_request_line < 1 then invalid_arg "Http: max_request_line must be >= 1";
+  if c.max_connections < 1 then invalid_arg "Http: max_connections must be >= 1"
 
 let hex_value c =
   match c with
@@ -68,7 +86,9 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Status"
 
 let render_response r =
@@ -76,46 +96,132 @@ let render_response r =
     "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     r.status (status_text r.status) r.content_type (String.length r.body) r.body
 
-let read_request_line ic =
-  (* The request line is all we need; headers are read and dropped. *)
-  let line = input_line ic in
-  let rec drain () =
-    match input_line ic with
+(* --- hardened connection I/O ------------------------------------------- *)
+
+let timeouts_counter = Metrics.counter "bionav_resilience_request_timeouts_total"
+let oversized_counter = Metrics.counter "bionav_resilience_oversized_requests_total"
+let shed_counter = Metrics.counter "bionav_resilience_shed_connections_total"
+
+exception Request_too_long
+exception Read_timeout
+
+(* One LF-terminated line straight off the descriptor, at most [limit]
+   bytes before the terminator. Byte-at-a-time reads are plenty for a
+   request line and let SO_RCVTIMEO bound every wait: a peer that stops
+   mid-line raises [Read_timeout] instead of hanging the accept loop. *)
+let read_line_bounded fd ~limit =
+  let buf = Buffer.create 128 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length buf = 0 then raise End_of_file else Buffer.contents buf
+    | _ -> (
+        match Bytes.get byte 0 with
+        | '\n' -> Buffer.contents buf
+        | c ->
+            if Buffer.length buf >= limit then raise Request_too_long;
+            Buffer.add_char buf c;
+            go ())
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> raise Read_timeout
+  in
+  go ()
+
+let max_header_lines = 128
+
+(* The request line is all we need; headers are read and dropped, each
+   under the same length bound, and capped in number so a drip-feed of
+   headers cannot occupy the server indefinitely. *)
+let read_request fd ~limit =
+  let line = read_line_bounded fd ~limit in
+  let rec drain n =
+    if n >= max_header_lines then raise Request_too_long;
+    match read_line_bounded fd ~limit with
     | "" | "\r" -> ()
-    | _ -> drain ()
+    | _ -> drain (n + 1)
     | exception End_of_file -> ()
   in
-  drain ();
+  drain 0;
   line
 
-let handle_connection handler client =
-  let ic = Unix.in_channel_of_descr client in
-  let oc = Unix.out_channel_of_descr client in
-  let response =
-    match parse_request_line (read_request_line ic) with
-    | None -> bad_request "malformed request line"
-    | Some (meth, _) when meth <> "GET" ->
-        { status = 405; content_type = "text/plain"; body = "only GET is supported" }
-    | Some (_, target) -> (
-        let path, query = parse_target target in
-        try handler ~path ~query
-        with e ->
-          Logs.err (fun m -> m "handler error on %s: %s" path (Printexc.to_string e));
-          { status = 500; content_type = "text/plain"; body = "internal error" })
-    | exception End_of_file -> bad_request "empty request"
-  in
-  output_string oc (render_response response);
-  flush oc
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
 
-let serve ?(host = "127.0.0.1") ~port handler =
+let handle_connection ?(config = default_server_config) handler client =
+  validate_server_config config;
+  if config.read_timeout_ms > 0. then
+    (try Unix.setsockopt_float client Unix.SO_RCVTIMEO (config.read_timeout_ms /. 1000.)
+     with Unix.Unix_error _ -> ());
+  let response =
+    match read_request client ~limit:config.max_request_line with
+    | exception Request_too_long ->
+        Metrics.incr oversized_counter;
+        bad_request "request too long"
+    | exception Read_timeout ->
+        Metrics.incr timeouts_counter;
+        { status = 408; content_type = "text/plain; charset=utf-8"; body = "request timeout" }
+    | exception End_of_file -> bad_request "empty request"
+    | line -> (
+        match parse_request_line line with
+        | None -> bad_request "malformed request line"
+        | Some (meth, _) when meth <> "GET" ->
+            { status = 405; content_type = "text/plain"; body = "only GET is supported" }
+        | Some (_, target) -> (
+            let path, query = parse_target target in
+            try handler ~path ~query
+            with e ->
+              Logs.err (fun m -> m "handler error on %s: %s" path (Printexc.to_string e));
+              { status = 500; content_type = "text/plain"; body = "internal error" }))
+  in
+  write_all client (render_response response)
+
+let shed_connection client =
+  Metrics.incr shed_counter;
+  (try
+     write_all client
+       (render_response
+          { status = 503;
+            content_type = "text/plain; charset=utf-8";
+            body = "server overloaded, try again" })
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let serve ?(host = "127.0.0.1") ?(config = default_server_config) ~port handler =
+  validate_server_config config;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen sock 16;
+  Unix.listen sock config.backlog;
   Logs.app (fun m -> m "bionav listening on http://%s:%d" host port);
+  (* Accept one connection blocking, then sweep whatever else the kernel
+     already queued: the first [max_connections] of a burst are served in
+     arrival order, the rest are shed with an immediate 503 instead of
+     waiting behind a queue they would probably time out of anyway. *)
+  let accept_burst first =
+    let batch = ref [ first ] in
+    let n = ref 1 in
+    Unix.set_nonblock sock;
+    (try
+       while true do
+         let c, _addr = Unix.accept sock in
+         if !n < config.max_connections then begin
+           batch := c :: !batch;
+           incr n
+         end
+         else shed_connection c
+       done
+     with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ());
+    Unix.clear_nonblock sock;
+    List.rev !batch
+  in
   while true do
     let client, _addr = Unix.accept sock in
-    (try handle_connection handler client
-     with e -> Logs.err (fun m -> m "connection error: %s" (Printexc.to_string e)));
-    try Unix.close client with Unix.Unix_error _ -> ()
+    List.iter
+      (fun client ->
+        (try handle_connection ~config handler client
+         with e -> Logs.err (fun m -> m "connection error: %s" (Printexc.to_string e)));
+        try Unix.close client with Unix.Unix_error _ -> ())
+      (accept_burst client)
   done

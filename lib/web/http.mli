@@ -3,7 +3,17 @@
 
     Only GET is supported; connections are handled sequentially (the
     navigation workload is single-user interactive). No external
-    dependencies beyond [Unix]. *)
+    dependencies beyond [Unix].
+
+    Hardened against misbehaving peers: every read carries a socket
+    deadline ([SO_RCVTIMEO]; a peer that stops mid-request gets a 408
+    instead of hanging the accept loop), request lines and header lines
+    are length-bounded (400 past the bound), accept bursts beyond
+    [max_connections] are shed with an immediate 503, and the listen
+    backlog is configurable. The failure paths are counted in
+    [bionav_resilience_request_timeouts_total],
+    [bionav_resilience_oversized_requests_total] and
+    [bionav_resilience_shed_connections_total]. *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -14,6 +24,21 @@ val not_found : string -> response
 val bad_request : string -> response
 
 type handler = path:string -> query:(string * string) list -> response
+
+type server_config = {
+  backlog : int;  (** [Unix.listen] backlog (>= 1). Default 128. *)
+  read_timeout_ms : float;
+      (** Per-read socket deadline; a stalled peer times out with a 408.
+          0 disables the deadline. Default 5000. *)
+  max_request_line : int;
+      (** Bound on the request line and each header line, in bytes
+          (>= 1); longer gets a 400. Default 8192. *)
+  max_connections : int;
+      (** Connections served per accept burst (>= 1); the rest of the
+          burst is shed with a 503. Default 64. *)
+}
+
+val default_server_config : server_config
 
 val url_decode : string -> string
 (** Percent- and [+]-decoding; malformed escapes pass through verbatim. *)
@@ -28,7 +53,20 @@ val parse_request_line : string -> (string * string) option
 val render_response : response -> string
 (** Full HTTP/1.1 response bytes. *)
 
-val serve : ?host:string -> port:int -> handler -> unit
+val handle_connection : ?config:server_config -> handler -> Unix.file_descr -> unit
+(** Serve one connection on a connected descriptor: read the request
+    under the config's deadline and length bounds, run the handler,
+    write the response. Never raises for peer misbehaviour (timeout,
+    oversized or malformed request, handler exception — each maps to an
+    error response); does {e not} close the descriptor. Exposed so tests
+    can drive the full read/respond path over a [Unix.socketpair]. *)
+
+val shed_connection : Unix.file_descr -> unit
+(** Best-effort 503 and close — load shedding for connections beyond
+    [max_connections]. *)
+
+val serve : ?host:string -> ?config:server_config -> port:int -> handler -> unit
 (** Accept loop; never returns normally. Exceptions from the handler
     produce a 500 and are logged; socket errors on one connection do not
-    kill the server. @raise Unix.Unix_error if binding fails. *)
+    kill the server. @raise Invalid_argument on a malformed [config];
+    [Unix.Unix_error] if binding fails. *)

@@ -5,6 +5,7 @@ module G = Bionav_corpus.Generator
 module DB = Bionav_store.Database
 module Eu = Bionav_search.Eutils
 module Engine = Bionav_engine.Engine
+module Clock = Bionav_resilience.Clock
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
@@ -154,19 +155,40 @@ let test_close () =
   Alcotest.(check bool) "unknown id" false (Engine.close t "nope")
 
 let test_ttl_sweep () =
-  let config = { Engine.default_config with Engine.session_ttl_ms = Some 1000. } in
+  let clock = Clock.simulated () in
+  let config =
+    { Engine.default_config with Engine.session_ttl_ms = Some 1000.; clock }
+  in
   let t = engine ~config () in
   ignore (must_session (Engine.search t "cancer"));
   ignore (must_session (Engine.search t "cancer"));
-  let now = Bionav_util.Timing.now_ms () in
-  Alcotest.(check int) "fresh sessions survive" 0 (Engine.sweep ~now_ms:now t);
-  Alcotest.(check int) "idle sessions expire" 2 (Engine.sweep ~now_ms:(now +. 10_000.) t);
+  Alcotest.(check int) "fresh sessions survive" 0 (Engine.sweep t);
+  Clock.advance clock 10_000.;
+  Alcotest.(check int) "idle sessions expire" 2 (Engine.sweep t);
   Alcotest.(check int) "store empty" 0 (Engine.session_count t)
 
+let test_ttl_touch_refreshes () =
+  let clock = Clock.simulated () in
+  let config =
+    { Engine.default_config with Engine.session_ttl_ms = Some 1000.; clock }
+  in
+  let t = engine ~config () in
+  let s = must_session (Engine.search t "cancer") in
+  Clock.advance clock 900.;
+  (* A lookup refreshes the idle clock, so the session survives a sweep
+     that would otherwise have expired it. *)
+  ignore (Engine.find_session t (Engine.session_id s));
+  Clock.advance clock 900.;
+  Alcotest.(check int) "touched session survives" 0 (Engine.sweep t);
+  Clock.advance clock 200.;
+  Alcotest.(check int) "then expires once idle" 1 (Engine.sweep t)
+
 let test_sweep_without_ttl () =
-  let t = engine () in
+  let clock = Clock.simulated () in
+  let t = engine ~config:{ Engine.default_config with Engine.clock = clock } () in
   ignore (must_session (Engine.search t "cancer"));
-  Alcotest.(check int) "no ttl, no expiry" 0 (Engine.sweep ~now_ms:infinity t);
+  Clock.advance clock 1e12;
+  Alcotest.(check int) "no ttl, no expiry" 0 (Engine.sweep t);
   Alcotest.(check int) "session kept" 1 (Engine.session_count t)
 
 (* --- cache normalization ------------------------------------------------ *)
@@ -233,6 +255,7 @@ let () =
           Alcotest.test_case "LRU order" `Quick test_eviction_is_lru;
           Alcotest.test_case "close" `Quick test_close;
           Alcotest.test_case "ttl sweep" `Quick test_ttl_sweep;
+          Alcotest.test_case "ttl touch refreshes" `Quick test_ttl_touch_refreshes;
           Alcotest.test_case "sweep without ttl" `Quick test_sweep_without_ttl;
         ] );
       ( "cache",

@@ -357,10 +357,12 @@ let test_engine_disabled_prefetch_is_inert () =
 (* Satellite: a TTL sweep that races queued speculation must leave no
    stale work behind once the query's last session expires. *)
 let test_engine_ttl_sweep_drops_queued_speculation () =
+  let clock = Bionav_resilience.Clock.simulated () in
   let config =
     {
       prefetch_config with
       Engine.session_ttl_ms = Some 5.;
+      clock;
       prefetch = Some { Prefetch.default_config with budget_per_action = 0 };
     }
   in
@@ -370,7 +372,8 @@ let test_engine_ttl_sweep_drops_queued_speculation () =
   let spec = Prefetch.speculator (Option.get (Engine.prefetch t)) in
   Alcotest.(check bool) "speculation queued, not yet run" true (Speculator.queue_length spec > 0);
   let dropped_before = Speculator.dropped spec in
-  Alcotest.(check int) "session expired" 1 (Engine.sweep ~now_ms:1e18 t);
+  Bionav_resilience.Clock.advance clock 10.;
+  Alcotest.(check int) "session expired" 1 (Engine.sweep t);
   Alcotest.(check int) "expired session left no queued work" 0 (Speculator.queue_length spec);
   Alcotest.(check bool) "drops counted" true (Speculator.dropped spec > dropped_before);
   Alcotest.(check int) "nothing for the pacer to run" 0 (Engine.prefetch_tick t ~budget:8)

@@ -227,6 +227,90 @@ let test_handler_never_raises () =
       Alcotest.fail (Printf.sprintf "unexpected status %d for %s" r.Http.status path)
   done
 
+(* --- Hardening: drive the full read/respond path over a socketpair --- *)
+
+let hello_handler ~path:_ ~query:_ = Http.ok "hello"
+
+let with_socketpair f =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ client; server ])
+    (fun () -> f client server)
+
+let read_all fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    match Unix.read fd chunk 0 1024 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(* Send a complete request, let the server respond, close the server end,
+   then drain what the client sees. *)
+let exchange ?config request =
+  with_socketpair (fun client server ->
+      ignore (Unix.write_substring client request 0 (String.length request));
+      Unix.shutdown client Unix.SHUTDOWN_SEND;
+      Http.handle_connection ?config hello_handler server;
+      (* Shutdown, not close: closing with unread request bytes still in
+         the server's receive buffer resets the connection and can
+         discard the buffered response before the client reads it. *)
+      Unix.shutdown server Unix.SHUTDOWN_SEND;
+      read_all client)
+
+let test_socket_roundtrip () =
+  let reply = exchange "GET /x HTTP/1.1\r\n\r\n" in
+  Alcotest.(check bool) "200 over the wire" true (contains ~sub:"HTTP/1.1 200 OK" reply);
+  Alcotest.(check bool) "body served" true (contains ~sub:"hello" reply)
+
+let test_oversized_request_line_rejected () =
+  let oversized = Metrics.counter "bionav_resilience_oversized_requests_total" in
+  let before = Metrics.value oversized in
+  let config = { Http.default_server_config with Http.max_request_line = 32 } in
+  let reply = exchange ~config ("GET /" ^ String.make 100 'a' ^ " HTTP/1.1\r\n\r\n") in
+  Alcotest.(check bool) "400 over the wire" true (contains ~sub:"HTTP/1.1 400" reply);
+  Alcotest.(check bool) "reason given" true (contains ~sub:"request too long" reply);
+  Alcotest.(check int) "rejection counted" (before + 1) (Metrics.value oversized);
+  (* The same line fits under the default bound. *)
+  let ok = exchange ("GET /" ^ String.make 100 'a' ^ " HTTP/1.1\r\n\r\n") in
+  Alcotest.(check bool) "fits default bound" true (contains ~sub:"HTTP/1.1 200 OK" ok)
+
+let test_truncated_request_times_out () =
+  let timeouts = Metrics.counter "bionav_resilience_request_timeouts_total" in
+  let before = Metrics.value timeouts in
+  let config = { Http.default_server_config with Http.read_timeout_ms = 50. } in
+  let reply =
+    with_socketpair (fun client server ->
+        (* A peer that sends half a request line and then goes silent —
+           without shutting down, so a read would block forever were it
+           not for the socket deadline. *)
+        let partial = "GET /x HT" in
+        ignore (Unix.write_substring client partial 0 (String.length partial));
+        Http.handle_connection ~config hello_handler server;
+        Unix.shutdown server Unix.SHUTDOWN_SEND;
+        read_all client)
+  in
+  Alcotest.(check bool) "408 over the wire" true (contains ~sub:"HTTP/1.1 408" reply);
+  Alcotest.(check int) "timeout counted" (before + 1) (Metrics.value timeouts)
+
+let test_shed_connection_sends_503 () =
+  let shed = Metrics.counter "bionav_resilience_shed_connections_total" in
+  let before = Metrics.value shed in
+  let reply =
+    with_socketpair (fun client server ->
+        Http.shed_connection server;
+        read_all client)
+  in
+  Alcotest.(check bool) "503 over the wire" true (contains ~sub:"HTTP/1.1 503" reply);
+  Alcotest.(check bool) "reason given" true (contains ~sub:"Service Unavailable" reply);
+  Alcotest.(check int) "shed counted" (before + 1) (Metrics.value shed)
+
 let () =
   Alcotest.run "web"
     [
@@ -256,5 +340,12 @@ let () =
           Alcotest.test_case "expand/show/back flow" `Quick test_expand_show_back_flow;
           Alcotest.test_case "session validation" `Quick test_session_validation;
           Alcotest.test_case "fuzzed handler" `Quick test_handler_never_raises;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+          Alcotest.test_case "oversized request line" `Quick test_oversized_request_line_rejected;
+          Alcotest.test_case "truncated request times out" `Quick test_truncated_request_times_out;
+          Alcotest.test_case "shed connection" `Quick test_shed_connection_sends_503;
         ] );
     ]
