@@ -167,9 +167,9 @@ let random_comp_tree seed n =
         let k = 1 + Rng.int rng 9 in
         let l = List.init k (fun j -> !next + j) in
         next := !next + (k / 2) + 1;
-        Intset.of_list l)
+        Docset.of_list l)
   in
-  let totals = Array.init n (fun i -> Intset.cardinal results.(i) * (2 + Rng.int rng 25)) in
+  let totals = Array.init n (fun i -> Docset.cardinal results.(i) * (2 + Rng.int rng 25)) in
   Comp_tree.make ~parent ~results ~totals ()
 
 (* Objective value of an explicit first cut under the shared cost model. *)
@@ -566,7 +566,7 @@ let micro () =
   let comp, _ = Active_tree.comp_tree active 0 in
   let opt_tree = random_comp_tree 3 10 in
   let sets =
-    List.init 32 (fun i -> Intset.of_list (List.init 100 (fun j -> (i * 37) + j)))
+    List.init 32 (fun i -> Docset.of_list (List.init 100 (fun j -> (i * 37) + j)))
   in
   let tests =
     [
@@ -593,7 +593,7 @@ let micro () =
       Test.make ~name:"fig11/opt-edgecut-10"
         (Staged.stage (fun () -> ignore (Opt_edgecut.solve opt_tree)));
       Test.make ~name:"core/intset-union-many"
-        (Staged.stage (fun () -> ignore (Intset.union_many sets)));
+        (Staged.stage (fun () -> ignore (Docset.union_many sets)));
     ]
   in
   let ols =
@@ -875,6 +875,191 @@ let chaos_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Docset: arena interning + memoized set algebra                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal scanner for the flat ["key": number] baseline files this bench
+   writes: no JSON dependency, no nesting needed. *)
+let scan_json_number text key =
+  let needle = Printf.sprintf "\"%s\"" key in
+  let rec find i =
+    if i + String.length needle > String.length text then None
+    else if String.sub text i (String.length needle) = needle then Some (i + String.length needle)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while
+        !i < String.length text
+        && (match text.[!i] with ':' | ' ' | '\t' | '\n' -> true | _ -> false)
+      do
+        incr i
+      done;
+      let start = !i in
+      while
+        !i < String.length text
+        && (match text.[!i] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr i
+      done;
+      if !i = start then None else float_of_string_opt (String.sub text start (!i - start))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The Zipf serving workload with prefetch off — every EXPAND pays the
+   full Heuristic-ReducedOpt cut, whose hot loop is exactly the docset
+   cardinality path — plus Intset-vs-Docset micro comparisons on the
+   workload's own result sets, and the arena's interning economics.
+   Gated against bench/docset_baseline.json when present. *)
+let docset_bench () =
+  say "%s" (Table.section "Docset: arena interning + memoized set algebra");
+  say "";
+  let w = Q.build ~config:Q.small_config ~seed:workload_seed () in
+  let queries = Array.of_list w.Q.queries in
+  let n_sessions = 60 in
+  Metrics.reset ();
+  let engine = Engine.create ~database:w.Q.database ~eutils:w.Q.eutils () in
+  let zipf = Zipf.create ~exponent:1.0 (Array.length queries) in
+  let rng = Rng.create 42 in
+  for _ = 1 to n_sessions do
+    let q = queries.(Zipf.draw zipf rng) in
+    match Engine.search engine q.Q.keyword with
+    | Ok (Engine.Session s) ->
+        ignore (Simulate.to_target (Engine.navigation s) ~target:q.Q.target_node);
+        ignore (Engine.close engine (Engine.session_id s) : bool)
+    | Ok Engine.No_results | Error _ -> ()
+  done;
+  let hist = Metrics.histogram "bionav_expand_latency_ms" in
+  let expand_p50 = Metrics.percentile hist 50. in
+  let expand_p95 = Metrics.percentile hist 95. in
+  let expands = Metrics.count hist in
+  let st = Engine.docset_stats engine in
+  let dedup_rate =
+    if st.Docset_arena.intern_requests = 0 then 0.
+    else float_of_int st.Docset_arena.dedup_hits /. float_of_int st.Docset_arena.intern_requests
+  in
+  (* Set-op micro: the same attachment-shaped sets through both layers.
+     Docset's second pass over identical operands is the memoized regime
+     the navigation stack actually runs in. *)
+  let reps = 200 in
+  let lists = List.init 32 (fun i -> List.init 100 (fun j -> (i * 37) + j)) in
+  let isets = List.map Intset.of_list lists in
+  (* One shared arena, as Nav_tree/Comp_tree hold their sets in practice:
+     the steady state is memo hits, not first computations. *)
+  let micro_arena = Docset_arena.create () in
+  let dsets = List.map (Docset.of_list_in micro_arena) lists in
+  let dsets_shared = Docset.union_many dsets :: dsets in
+  ignore (Docset.union_many dsets_shared : Docset.t);
+  let intset_union_ms = Timing.repeat_ms reps (fun () -> ignore (Intset.union_many isets)) in
+  let docset_union_ms =
+    Timing.repeat_ms reps (fun () -> ignore (Docset.union_many dsets_shared))
+  in
+  let ipairs = Array.of_list isets and dpairs = Array.of_list dsets in
+  let n = Array.length ipairs in
+  let intset_inter_ms =
+    Timing.repeat_ms reps (fun () ->
+        for i = 0 to n - 2 do
+          ignore (Intset.inter_cardinal ipairs.(i) ipairs.(i + 1) : int)
+        done)
+  in
+  let docset_inter_ms =
+    Timing.repeat_ms reps (fun () ->
+        for i = 0 to n - 2 do
+          ignore (Docset.inter_cardinal dpairs.(i) dpairs.(i + 1) : int)
+        done)
+  in
+  let speedup a b = if b > 0. then a /. b else 0. in
+  print_string
+    (Table.render
+       ~header:[ "metric"; "value" ]
+       [ Table.Left; Right ]
+       [
+         [ "EXPANDs (prefetch off)"; string_of_int expands ];
+         [ "expand p50"; Printf.sprintf "%.3f ms" expand_p50 ];
+         [ "expand p95"; Printf.sprintf "%.3f ms" expand_p95 ];
+         [ "interned sets (live arenas)"; string_of_int st.Docset_arena.sets ];
+         [ "resident bytes"; string_of_int st.Docset_arena.bytes ];
+         [ "dense / sparse"; Printf.sprintf "%d / %d" st.Docset_arena.dense st.Docset_arena.sparse ];
+         [ "dedup hit rate"; Printf.sprintf "%.0f%%" (100. *. dedup_rate) ];
+         [ "op-memo hits"; string_of_int st.Docset_arena.memo_hits ];
+         [ "union_many intset"; Printf.sprintf "%.4f ms" intset_union_ms ];
+         [ "union_many docset (memoized)"; Printf.sprintf "%.4f ms" docset_union_ms ];
+         [ "union_many speedup"; Printf.sprintf "%.1fx" (speedup intset_union_ms docset_union_ms) ];
+         [ "inter_cardinal intset"; Printf.sprintf "%.4f ms" intset_inter_ms ];
+         [ "inter_cardinal docset (memoized)"; Printf.sprintf "%.4f ms" docset_inter_ms ];
+         [ "inter_cardinal speedup";
+           Printf.sprintf "%.1fx" (speedup intset_inter_ms docset_inter_ms) ];
+       ]);
+  say "";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sessions\": %d,\n\
+      \  \"expands\": %d,\n\
+      \  \"expand_p50_ms\": %.4f,\n\
+      \  \"expand_p95_ms\": %.4f,\n\
+      \  \"interned_sets\": %d,\n\
+      \  \"resident_bytes\": %d,\n\
+      \  \"dense_sets\": %d,\n\
+      \  \"sparse_sets\": %d,\n\
+      \  \"dedup_hit_rate\": %.4f,\n\
+      \  \"memo_hits\": %d,\n\
+      \  \"union_many_intset_ms\": %.5f,\n\
+      \  \"union_many_docset_ms\": %.5f,\n\
+      \  \"inter_cardinal_intset_ms\": %.5f,\n\
+      \  \"inter_cardinal_docset_ms\": %.5f\n\
+       }\n"
+      n_sessions expands expand_p50 expand_p95 st.Docset_arena.sets st.Docset_arena.bytes
+      st.Docset_arena.dense st.Docset_arena.sparse dedup_rate st.Docset_arena.memo_hits
+      intset_union_ms docset_union_ms intset_inter_ms docset_inter_ms
+  in
+  let path = "BENCH_docset.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  (* Regression gates against the committed baseline. Latency gets a wide
+     multiplier (CI machines vary); the structural gates are tight. *)
+  let baseline_path = "bench/docset_baseline.json" in
+  if Sys.file_exists baseline_path then begin
+    let baseline = read_file baseline_path in
+    let fail = ref false in
+    let gate name ok detail =
+      if not ok then begin
+        say "  *** FAIL: %s (%s) ***" name detail;
+        fail := true
+      end
+    in
+    (match scan_json_number baseline "expand_p50_ms" with
+    | Some b when b > 0. ->
+        gate "expand p50 regressed"
+          (expand_p50 <= 2.5 *. b)
+          (Printf.sprintf "%.3f ms vs baseline %.3f ms (2.5x budget)" expand_p50 b)
+    | Some _ | None -> ());
+    (match scan_json_number baseline "dedup_hit_rate" with
+    | Some b ->
+        gate "dedup hit rate regressed"
+          (dedup_rate >= b -. 0.15)
+          (Printf.sprintf "%.2f vs baseline %.2f (-0.15 budget)" dedup_rate b)
+    | None -> ());
+    (match scan_json_number baseline "memo_hits" with
+    | Some b ->
+        gate "op memoization stopped firing"
+          (float_of_int st.Docset_arena.memo_hits >= 0.5 *. b)
+          (Printf.sprintf "%d vs baseline %.0f (0.5x budget)" st.Docset_arena.memo_hits b)
+    | None -> ());
+    if !fail then exit 1;
+    say "  baseline gates passed (%s)" baseline_path
+  end
+  else say "  no %s — gates skipped" baseline_path
+
+(* ------------------------------------------------------------------ *)
 (* CSV export of the headline artifacts                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -918,14 +1103,17 @@ let targets =
     ("micro", micro);
     ("prefetch", prefetch_bench);
     ("chaos", chaos_bench);
+    ("docset", docset_bench);
     ("csv", csv);
   ]
 
-(* "csv", "prefetch" and "chaos" write files rather than (only) printing;
-   keep them out of the default everything-run so
+(* "csv", "prefetch", "chaos" and "docset" write files rather than (only)
+   printing; keep them out of the default everything-run so
    `bench/main.exe > bench_output.txt` stays pure. *)
 let default_targets =
-  List.filter (fun (n, _) -> not (List.mem n [ "csv"; "prefetch"; "chaos" ])) targets
+  List.filter
+    (fun (n, _) -> not (List.mem n [ "csv"; "prefetch"; "chaos"; "docset" ]))
+    targets
 
 let () =
   let requested =

@@ -51,6 +51,11 @@ let engine_config ~prefetch base =
 
 let dump_metrics flag = if flag then print_string (Bionav_util.Metrics.dump ())
 
+(* When an engine exists, dump through it so the engine-owned gauges (live
+   sessions, docset arenas) are refreshed first. *)
+let dump_engine_metrics flag engine =
+  if flag then print_string (Engine.metrics_text engine)
+
 let build_workload scale seed =
   Printf.printf "building the synthetic corpus (scale=%s, seed=%d)...\n%!"
     (match scale with `Small -> "small" | `Full -> "full")
@@ -99,7 +104,7 @@ let search_cmd =
     let w = build_workload scale seed in
     let ranked = Bionav_search.Ranked.build w.Q.medline in
     let result = Eutils.esearch w.Q.eutils query in
-    Printf.printf "%d citations match %S (TF-IDF ranked)\n" (Intset.cardinal result) query;
+    Printf.printf "%d citations match %S (TF-IDF ranked)\n" (Docset.cardinal result) query;
     List.iter
       (fun (id, score) ->
         Printf.printf "  %5.2f [%d] %s\n" score id (List.hd (Eutils.esummary w.Q.eutils [ id ])))
@@ -176,12 +181,12 @@ let interactive_loop ?record session nav eutils =
             | Some i when i >= 0 && i < List.length visible ->
                 let node = List.nth visible i in
                 let citations = Session_log.show_results recorder node in
-                Printf.printf "%d citations:\n" (Intset.cardinal citations);
+                Printf.printf "%d citations:\n" (Docset.cardinal citations);
                 List.iteri
                   (fun j id ->
                     if j < 10 then
                       Printf.printf "  %s\n" (List.hd (Eutils.esummary eutils [ id ])))
-                  (Intset.elements citations)
+                  (Docset.elements citations)
             | Some _ | None -> print_string "no such node\n")
         | _ -> help ())
   done;
@@ -272,7 +277,7 @@ let navigate_cmd =
                       "\nreached %S: cost %d (%d EXPANDs + %d concepts examined)\n" label
                       outcome.Simulate.navigation_cost outcome.Simulate.expands
                       outcome.Simulate.revealed)));
-        dump_metrics metrics)
+        dump_engine_metrics metrics engine)
   in
   let doc = "Navigate the results of a query (interactively, or --auto to a target)." in
   Cmd.v

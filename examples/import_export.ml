@@ -87,7 +87,7 @@ let () =
   let database = DB.of_medline medline in
   let result = Eu.esearch eutils "prothymosin" in
   Printf.printf "query \"prothymosin\": %d of 5 citations match (the review does not)\n"
-    (Intset.cardinal result);
+    (Docset.cardinal result);
   let nav = Nav_tree.of_database database result in
   let session = Bionav_engine.Engine.start (Navigation.bionav ()) nav in
   ignore (Navigation.expand session (Nav_tree.root nav));

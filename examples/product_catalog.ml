@@ -70,7 +70,7 @@ let () =
     | Some c -> c
     | None -> failwith ("unknown category " ^ label)
   in
-  let attachments = List.map (fun (l, ids) -> (node l, Intset.of_list ids)) matches in
+  let attachments = List.map (fun (l, ids) -> (node l, Docset.of_list ids)) matches in
   let total_count c =
     let label = H.label hierarchy c in
     match List.assoc_opt label totals with Some n -> n | None -> 0

@@ -47,7 +47,7 @@ let () =
   (* On-line: query -> navigation tree -> session. *)
   let query = "examplase" in
   let result = Eutils.esearch eutils query in
-  Printf.printf "query %S -> %d citations\n" query (Intset.cardinal result);
+  Printf.printf "query %S -> %d citations\n" query (Docset.cardinal result);
   let nav = Nav_tree.of_database database result in
   Printf.printf "navigation tree: %d concept nodes, height %d, %d attached (with duplicates)\n\n"
     (Nav_tree.size nav - 1)
@@ -75,10 +75,10 @@ let () =
       let target = match more with m :: _ -> m | [] -> node in
       let citations = Navigation.show_results session target in
       Printf.printf "\n--- SHOWRESULTS on %S: %d citations ---\n"
-        (Nav_tree.label nav target) (Intset.cardinal citations);
+        (Nav_tree.label nav target) (Docset.cardinal citations);
       List.iteri
         (fun i id -> if i < 5 then Printf.printf "  %s\n" (List.hd (Eutils.esummary eutils [ id ])))
-        (Intset.elements citations));
+        (Docset.elements citations));
 
   let stats = Navigation.stats session in
   Printf.printf "\nsession cost: %d EXPANDs + %d concepts examined + %d citations listed = %d\n"

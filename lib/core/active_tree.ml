@@ -41,9 +41,15 @@ let component t r =
 let component_size t r = List.length (component t r)
 
 let component_results t r =
-  Intset.union_many (List.map (Nav_tree.results t.nav) (component t r))
+  Docset.union_many (List.map (Nav_tree.results t.nav) (component t r))
 
-let component_distinct t r = Intset.cardinal (component_results t r)
+let component_distinct t r = Docset.cardinal (component_results t r)
+
+(* The component's member ids as an interned set in the navigation arena:
+   plan caches key on its O(1) content fingerprint instead of rehashing
+   the member list. *)
+let component_set t r =
+  Docset.of_sorted_array_unchecked_in (Nav_tree.arena t.nav) (Array.of_list (component t r))
 
 let is_expandable t r = t.visible.(r) && component_size t r > 1
 

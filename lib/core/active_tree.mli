@@ -35,7 +35,12 @@ val component_distinct : t -> int -> int
     to the visible node (paper Fig. 2 shows it shrinking as concepts are
     revealed). *)
 
-val component_results : t -> int -> Bionav_util.Intset.t
+val component_results : t -> int -> Bionav_util.Docset.t
+
+val component_set : t -> int -> Bionav_util.Docset.t
+(** The member {e navigation ids} as a set interned in the navigation
+    tree's arena — plan caches use its O(1) {!Bionav_util.Docset.fingerprint}
+    as a key component. *)
 
 val is_expandable : t -> int -> bool
 (** Visible with a component of ≥ 2 nodes (the ">>>" affordance). *)

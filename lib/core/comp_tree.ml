@@ -4,7 +4,7 @@ type t = {
   parent : int array;
   children : int list array;
   depth : int array;
-  results : Intset.t array;
+  results : Docset.t array;
   totals : int array;
   labels : string array;
   tags : int array;
@@ -23,7 +23,7 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
       invalid_arg (Printf.sprintf "Comp_tree.make: node %d has parent %d" i parent.(i))
   done;
   for i = 0 to n - 1 do
-    let li = Intset.cardinal results.(i) in
+    let li = Docset.cardinal results.(i) in
     if totals.(i) < li then
       invalid_arg (Printf.sprintf "Comp_tree.make: node %d has LT %d < L %d" i totals.(i) li);
     if li > 0 && totals.(i) <= 0 then
@@ -56,7 +56,7 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
     | Some w ->
         if Array.length w <> n then invalid_arg "Comp_tree.make: sub_weights length mismatch";
         w
-    | None -> Array.init n (fun i -> [| float_of_int (Intset.cardinal results.(i)) |])
+    | None -> Array.init n (fun i -> [| float_of_int (Docset.cardinal results.(i)) |])
   in
   let children = Array.make n [] in
   for i = n - 1 downto 1 do
@@ -70,7 +70,11 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
     parent = Array.copy parent;
     children;
     depth;
-    results = Array.copy results;
+    (* One shared arena across the component's node sets: distinct-count
+       queries over node subsets then memoize in a single place. Results
+       extracted from a navigation tree already share its arena, so this
+       is a no-op copy on the hot construction path. *)
+    results = Docset.consolidate (Array.copy results);
     totals = Array.copy totals;
     labels = Array.copy labels;
     tags = Array.copy tags;
@@ -85,7 +89,7 @@ let children t i = t.children.(i)
 let is_leaf t i = t.children.(i) = []
 let depth t i = t.depth.(i)
 let results t i = t.results.(i)
-let result_count t i = Intset.cardinal t.results.(i)
+let result_count t i = Docset.cardinal t.results.(i)
 let total t i = t.totals.(i)
 let label t i = t.labels.(i)
 let tag t i = t.tags.(i)
@@ -101,13 +105,13 @@ let subtree_nodes t n =
   go n;
   List.rev !acc
 
-let distinct_of_nodes t nodes = Intset.union_many (List.map (fun i -> t.results.(i)) nodes)
+let distinct_of_nodes t nodes = Docset.union_many (List.map (fun i -> t.results.(i)) nodes)
 
 let all_results t = distinct_of_nodes t (subtree_nodes t 0)
 
 let duplicate_count t =
-  let attached = Array.fold_left (fun acc s -> acc + Intset.cardinal s) 0 t.results in
-  attached - Intset.cardinal (all_results t)
+  let attached = Array.fold_left (fun acc s -> acc + Docset.cardinal s) 0 t.results in
+  attached - Docset.cardinal (all_results t)
 
 let singleton ~results ~total ?(label = "c0") ?(tag = 0) () =
   make ~parent:[| -1 |] ~results:[| results |] ~totals:[| total |] ~labels:[| label |]

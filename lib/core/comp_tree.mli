@@ -14,7 +14,7 @@ type t
 
 val make :
   parent:int array ->
-  results:Bionav_util.Intset.t array ->
+  results:Bionav_util.Docset.t array ->
   totals:int array ->
   ?labels:string array ->
   ?tags:int array ->
@@ -34,7 +34,7 @@ val children : t -> int -> int list
 val is_leaf : t -> int -> bool
 val depth : t -> int -> int
 
-val results : t -> int -> Bionav_util.Intset.t
+val results : t -> int -> Bionav_util.Docset.t
 (** [L(i)]: results attached directly to node [i]. *)
 
 val result_count : t -> int -> int
@@ -58,10 +58,10 @@ val sub_weights : t -> int -> float array
 val subtree_nodes : t -> int -> int list
 (** Preorder, argument included. *)
 
-val all_results : t -> Bionav_util.Intset.t
+val all_results : t -> Bionav_util.Docset.t
 (** Distinct results over the whole component. *)
 
-val distinct_of_nodes : t -> int list -> Bionav_util.Intset.t
+val distinct_of_nodes : t -> int list -> Bionav_util.Docset.t
 (** Distinct results over an arbitrary node subset. *)
 
 val duplicate_count : t -> int
@@ -69,7 +69,7 @@ val duplicate_count : t -> int
     TED objective maximizes within components. *)
 
 val singleton :
-  results:Bionav_util.Intset.t -> total:int -> ?label:string -> ?tag:int -> unit -> t
+  results:Bionav_util.Docset.t -> total:int -> ?label:string -> ?tag:int -> unit -> t
 
 val pp : Format.formatter -> t -> unit
 (** Indented tree rendering with counts (diagnostic). *)

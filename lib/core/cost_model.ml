@@ -31,7 +31,14 @@ let members t mask =
   in
   go (n - 1) []
 
-let mask_of nodes = List.fold_left (fun m i -> m lor (1 lsl i)) 0 nodes
+let mask_of nodes =
+  List.fold_left
+    (fun m i ->
+      if i < 0 || i >= max_size then
+        invalid_arg
+          (Printf.sprintf "Cost_model.mask_of: node index %d outside [0, %d)" i max_size);
+      m lor (1 lsl i))
+    0 nodes
 
 let root_of _t mask =
   if mask = 0 then invalid_arg "Cost_model.root_of: empty mask";
@@ -53,7 +60,7 @@ let distinct t mask =
   | Some d -> d
   | None ->
       let d =
-        Bionav_util.Intset.cardinal (Comp_tree.distinct_of_nodes t.tree (members t mask))
+        Bionav_util.Docset.cardinal (Comp_tree.distinct_of_nodes t.tree (members t mask))
       in
       Hashtbl.add t.distinct_memo mask d;
       d

@@ -53,6 +53,8 @@ val members : t -> int -> int list
 (** Node indices of a mask, ascending. *)
 
 val mask_of : int list -> int
+(** @raise Invalid_argument on a node index outside [\[0, max_size)] —
+    such an index would silently shift out of the mask. *)
 
 val root_of : t -> int -> int
 (** Shallowest member — the component root. The mask must be non-empty and

@@ -94,7 +94,7 @@ let best_cut_with_plan ?params ?k tree =
                immediately exhausted. *)
             let cut = Comp_tree.children tree (Comp_tree.root tree) in
             let all = Comp_tree.all_results tree in
-            let total = max (Comp_tree.total tree 0) (Bionav_util.Intset.cardinal all) in
+            let total = max (Comp_tree.total tree 0) (Bionav_util.Docset.cardinal all) in
             let ctx = Cost_model.create ?params (Comp_tree.singleton ~results:all ~total ()) in
             let report =
               {

@@ -36,6 +36,8 @@ let evictions t = Lru.evictions t.cache
 
 let put t query nav = Lru.add t.cache (normalize query) nav
 
+let fold_trees t f acc = Lru.fold t.cache f acc
+
 let clear t =
   Lru.clear t.cache;
   Lru.reset_counters t.cache

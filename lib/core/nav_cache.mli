@@ -25,6 +25,11 @@ val put : t -> string -> Nav_tree.t -> unit
     query key (warm start); replaces any existing entry. Counts neither as
     a hit nor a miss. *)
 
+val fold_trees : t -> (Nav_tree.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the cached trees in unspecified order without touching
+    recency or hit/miss statistics — for observability walks such as the
+    engine's docset-arena gauges. *)
+
 val hit_rate : t -> float
 (** Hits / lookups since creation or the last {!clear}; 0 before the
     first lookup. *)

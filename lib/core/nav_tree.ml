@@ -3,11 +3,12 @@ module Hierarchy = Bionav_mesh.Hierarchy
 module Database = Bionav_store.Database
 
 type t = {
+  arena : Docset_arena.t;  (* owns every set this tree hands out *)
   concept_ids : int array;
   parent : int array;
   children : int list array;
   depth : int array;
-  results : Intset.t array;
+  results : Docset.t array;
   totals : int array;
   labels : string array;
   subtree_distinct : int array;
@@ -21,21 +22,25 @@ type rose = Rose of int * rose list
 
 let build ~hierarchy ~attachments ~total_count =
   let n_concepts = Hierarchy.size hierarchy in
-  let attached = Array.make n_concepts Intset.empty in
+  (* Every set the tree retains is interned into one fresh arena: nodes
+     sharing a citation list share one physical copy, and the bottom-up
+     subtree unions below seed the arena's op memo for the cost model. *)
+  let arena = Docset_arena.create () in
+  let attached = Array.make n_concepts (Docset.in_arena arena Docset.empty) in
   List.iter
     (fun (c, set) ->
       if c < 0 || c >= n_concepts then
         invalid_arg (Printf.sprintf "Nav_tree.build: unknown concept %d" c);
-      if not (Intset.is_empty attached.(c)) then
+      if not (Docset.is_empty attached.(c)) then
         invalid_arg (Printf.sprintf "Nav_tree.build: duplicate attachment for concept %d" c);
-      attached.(c) <- set)
+      attached.(c) <- Docset.in_arena arena set)
     attachments;
   (* Maximum embedding (Definition 2), one depth-first pass: an empty
      internal node is replaced by its kept children, an empty leaf vanishes,
      the root survives unconditionally. *)
   let rec embed c =
     let kept = List.concat_map embed (Hierarchy.children hierarchy c) in
-    if Intset.is_empty attached.(c) then kept else [ Rose (c, kept) ]
+    if Docset.is_empty attached.(c) then kept else [ Rose (c, kept) ]
   in
   let hroot = Hierarchy.root hierarchy in
   let top = Rose (hroot, List.concat_map embed (Hierarchy.children hierarchy hroot)) in
@@ -68,7 +73,7 @@ let build ~hierarchy ~attachments ~total_count =
     Array.init count (fun i ->
         let c = concept_ids.(i) in
         let tc = total_count c in
-        let lc = Intset.cardinal results.(i) in
+        let lc = Docset.cardinal results.(i) in
         if tc < lc then
           invalid_arg
             (Printf.sprintf "Nav_tree.build: concept %d has total %d < attached %d" c tc lc);
@@ -76,16 +81,17 @@ let build ~hierarchy ~attachments ~total_count =
         max tc lc)
     in
   let labels = Array.init count (fun i -> Hierarchy.label hierarchy concept_ids.(i)) in
-  (* Bottom-up union for subtree-distinct counts; sets are dropped after the
-     cardinalities are recorded. *)
-  let subtree_sets = Array.make count Intset.empty in
+  (* Bottom-up union for subtree-distinct counts. The intermediate unions
+     are interned, not dropped: later distinct-of-subtree queries from the
+     cost model hit the arena memo instead of recomputing. *)
+  let subtree_sets = Array.make count (Docset.in_arena arena Docset.empty) in
   for i = count - 1 downto 0 do
     let union =
-      Intset.union_many (results.(i) :: List.map (fun c -> subtree_sets.(c)) children.(i))
+      Docset.union_many (results.(i) :: List.map (fun c -> subtree_sets.(c)) children.(i))
     in
     subtree_sets.(i) <- union
   done;
-  let subtree_distinct = Array.map Intset.cardinal subtree_sets in
+  let subtree_distinct = Array.map Docset.cardinal subtree_sets in
   let tin = Array.init count Fun.id in
   let tout = Array.make count 0 in
   for i = count - 1 downto 0 do
@@ -94,6 +100,7 @@ let build ~hierarchy ~attachments ~total_count =
   let node_of_concept = Hashtbl.create count in
   Array.iteri (fun i c -> Hashtbl.replace node_of_concept c i) concept_ids;
   {
+    arena;
     concept_ids;
     parent;
     children;
@@ -108,9 +115,13 @@ let build ~hierarchy ~attachments ~total_count =
   }
 
 let of_database db result =
-  let attachments = Database.concepts_of_result db result in
+  let attachments =
+    Database.concepts_of_result db (Docset.to_intset result)
+    |> List.map (fun (c, set) -> (c, Docset.of_intset set))
+  in
   build ~hierarchy:(Database.hierarchy db) ~attachments ~total_count:(Database.total_count db)
 
+let arena t = t.arena
 let size t = Array.length t.parent
 let root _ = 0
 let parent t i = t.parent.(i)
@@ -120,12 +131,12 @@ let is_leaf t i = t.children.(i) = []
 let concept_id t i = t.concept_ids.(i)
 let label t i = t.labels.(i)
 let results t i = t.results.(i)
-let result_count t i = Intset.cardinal t.results.(i)
+let result_count t i = Docset.cardinal t.results.(i)
 let total t i = t.totals.(i)
 let subtree_distinct t i = t.subtree_distinct.(i)
 let node_of_concept t c = Hashtbl.find_opt t.node_of_concept c
 let distinct_results t = t.subtree_distinct.(0)
-let total_attached t = Array.fold_left (fun acc s -> acc + Intset.cardinal s) 0 t.results
+let total_attached t = Array.fold_left (fun acc s -> acc + Docset.cardinal s) 0 t.results
 
 let height t = Array.fold_left max 0 t.depth
 

@@ -11,7 +11,7 @@ type t
 
 val build :
   hierarchy:Bionav_mesh.Hierarchy.t ->
-  attachments:(int * Bionav_util.Intset.t) list ->
+  attachments:(int * Bionav_util.Docset.t) list ->
   total_count:(int -> int) ->
   t
 (** [attachments] maps hierarchy concept ids to the result citations
@@ -19,9 +19,13 @@ val build :
     supplies corpus-wide counts [LT]. @raise Invalid_argument on an unknown
     concept id, a duplicate, or [total_count c < |L(c)|]. *)
 
-val of_database : Bionav_store.Database.t -> Bionav_util.Intset.t -> t
+val of_database : Bionav_store.Database.t -> Bionav_util.Docset.t -> t
 (** The on-line construction path: look up the concepts of every result
     citation in the BioNav database and embed. *)
+
+val arena : t -> Bionav_util.Docset_arena.t
+(** The arena owning every set this tree (and component trees extracted
+    from it) hands out; observability reads its {!Bionav_util.Docset_arena.stats}. *)
 
 val size : t -> int
 val root : t -> int
@@ -35,7 +39,7 @@ val concept_id : t -> int -> int
 (** The hierarchy concept behind a navigation node. *)
 
 val label : t -> int -> string
-val results : t -> int -> Bionav_util.Intset.t
+val results : t -> int -> Bionav_util.Docset.t
 (** [L(n)]: citations attached directly to the node. Non-empty for every
     node except possibly the root. *)
 

@@ -30,8 +30,8 @@ let navigation_cost s = s.expands + s.revealed
 let total_cost s = s.expands + s.revealed + s.results_listed
 
 type plan_source = {
-  find_plan : root:int -> members:int list -> int list option;
-  store_plan : root:int -> members:int list -> cut:int list -> unit;
+  find_plan : root:int -> members:Docset.t -> int list option;
+  store_plan : root:int -> members:Docset.t -> cut:int list -> unit;
 }
 
 type t = {
@@ -132,7 +132,7 @@ let heuristic_cut t root ~over_budget ~k ~params ~reuse =
   match t.plan_source with
   | None -> compute_or_degrade ()
   | Some src -> (
-      let members = Active_tree.component t.active root in
+      let members = Active_tree.component_set t.active root in
       match src.find_plan ~root ~members with
       | Some (_ :: _ as cut) ->
           Logs.debug (fun m -> m "navigation: injected plan for node %d" root);
@@ -212,7 +212,7 @@ let expand t root =
 
 let show_results t root =
   let results = Active_tree.component_results t.active root in
-  t.stats <- { t.stats with results_listed = t.stats.results_listed + Intset.cardinal results };
+  t.stats <- { t.stats with results_listed = t.stats.results_listed + Docset.cardinal results };
   results
 
 let backtrack t = Active_tree.backtrack t.active

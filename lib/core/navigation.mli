@@ -65,14 +65,15 @@ val strategy : t -> strategy
 val stats : t -> stats
 
 type plan_source = {
-  find_plan : root:int -> members:int list -> int list option;
+  find_plan : root:int -> members:Bionav_util.Docset.t -> int list option;
       (** Memoized EdgeCut for the component of [root] whose members (the
-          current [I(n)], ascending navigation ids) are exactly [members];
-          [None] (or [Some []]) to fall through to computation. The
-          returned cut children must be a valid EdgeCut of that component
-          — sources built on exact-key memoization of previously computed
-          cuts satisfy this by construction. *)
-  store_plan : root:int -> members:int list -> cut:int list -> unit;
+          current [I(n)] navigation ids, as a set interned in the
+          navigation arena — key on its O(1) fingerprint) are exactly
+          [members]; [None] (or [Some []]) to fall through to computation.
+          The returned cut children must be a valid EdgeCut of that
+          component — sources built on exact-key memoization of previously
+          computed cuts satisfy this by construction. *)
+  store_plan : root:int -> members:Bionav_util.Docset.t -> cut:int list -> unit;
       (** Called after a fresh computation so the source can memoize it. *)
 }
 
@@ -112,7 +113,7 @@ val expand : t -> int -> int list
     which case nothing is charged). @raise Invalid_argument if the node is
     not visible. *)
 
-val show_results : t -> int -> Bionav_util.Intset.t
+val show_results : t -> int -> Bionav_util.Docset.t
 (** SHOWRESULTS on a visible node's component: returns (and charges for)
     its distinct citations. *)
 

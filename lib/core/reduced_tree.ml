@@ -34,13 +34,13 @@ let build orig (partition : Partition.result) =
           Hashtbl.find super_of_root partition.assignment.(p))
       roots
   in
-  let results = Array.map (fun ms -> Intset.union_many (List.map (Comp_tree.results orig) ms)) members in
+  let results = Array.map (fun ms -> Docset.union_many (List.map (Comp_tree.results orig) ms)) members in
   let totals =
     Array.map (fun ms -> List.fold_left (fun acc v -> acc + Comp_tree.total orig v) 0 ms) members
   in
   (* A supernode's union can exceed a member-wise total sum only if totals
      undercount; clamp defensively so Comp_tree.make's invariant holds. *)
-  let totals = Array.mapi (fun s t -> max t (Intset.cardinal results.(s))) totals in
+  let totals = Array.mapi (fun s t -> max t (Docset.cardinal results.(s))) totals in
   let labels = Array.map (Comp_tree.label orig) roots in
   let multiplicity = Array.map List.length members in
   let sub_weights =

@@ -42,7 +42,7 @@ val expand : recorder -> int -> int list
 (** Like {!Navigation.expand} (by navigation node), recording the action by
     concept id. No-op expansions (nothing revealed) are not recorded. *)
 
-val show_results : recorder -> int -> Bionav_util.Intset.t
+val show_results : recorder -> int -> Bionav_util.Docset.t
 val backtrack : recorder -> bool
 (** Failed backtracks (nothing to undo) are not recorded. *)
 

@@ -45,7 +45,7 @@ let cost_of_cut tree cut =
   let j = List.length comps in
   let total_distinct =
     List.fold_left
-      (fun acc comp -> acc + Intset.cardinal (Comp_tree.distinct_of_nodes tree comp))
+      (fun acc comp -> acc + Docset.cardinal (Comp_tree.distinct_of_nodes tree comp))
       0 comps
   in
   float_of_int j +. (float_of_int total_distinct /. float_of_int j)
@@ -60,7 +60,7 @@ let duplicates_within tree cut =
   in
   let distinct =
     List.fold_left
-      (fun acc comp -> acc + Intset.cardinal (Comp_tree.distinct_of_nodes tree comp))
+      (fun acc comp -> acc + Docset.cardinal (Comp_tree.distinct_of_nodes tree comp))
       0 comps
   in
   attached - distinct

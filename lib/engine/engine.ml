@@ -46,7 +46,7 @@ type t = {
   database : Bionav_store.Database.t;
   eutils : Eutils.t;
   guard : Guard.t option;
-  run_search : string -> Intset.t;
+  run_search : string -> Docset.t;
   cache : Nav_cache.t;
   prefetch : Prefetch.t option;
   sessions : (string, session) Hashtbl.t;
@@ -318,6 +318,62 @@ let plan_cache_hit_rate t =
       and m = Bionav_prefetch.Plan_cache.misses plans in
       if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
+let docset_sets_gauge = Metrics.gauge "bionav_docset_live_sets"
+let docset_bytes_gauge = Metrics.gauge "bionav_docset_resident_bytes"
+let docset_dense_gauge = Metrics.gauge "bionav_docset_live_dense"
+let docset_sparse_gauge = Metrics.gauge "bionav_docset_live_sparse"
+let docset_dedup_gauge = Metrics.gauge "bionav_docset_dedup_hit_rate"
+
+(* The arenas alive right now: the inverted index's long-lived arena plus
+   one per cached navigation tree. Session trees come out of the cache, so
+   walking cache + sessions with physical dedup covers every arena the
+   engine can reach. *)
+let live_arenas t =
+  let arenas = ref [ Bionav_search.Inverted_index.arena (Eutils.index t.eutils) ] in
+  let note a = if not (List.memq a !arenas) then arenas := a :: !arenas in
+  Nav_cache.fold_trees t.cache (fun nav () -> note (Nav_tree.arena nav)) ();
+  Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) t.sessions;
+  !arenas
+
+let publish_docset t =
+  let sets, bytes, dense, sparse, requests, hits =
+    List.fold_left
+      (fun (s, b, d, sp, rq, h) arena ->
+        let st = Docset_arena.stats arena in
+        ( s + st.Docset_arena.sets,
+          b + st.Docset_arena.bytes,
+          d + st.Docset_arena.dense,
+          sp + st.Docset_arena.sparse,
+          rq + st.Docset_arena.intern_requests,
+          h + st.Docset_arena.dedup_hits ))
+      (0, 0, 0, 0, 0, 0) (live_arenas t)
+  in
+  Metrics.set docset_sets_gauge (float_of_int sets);
+  Metrics.set docset_bytes_gauge (float_of_int bytes);
+  Metrics.set docset_dense_gauge (float_of_int dense);
+  Metrics.set docset_sparse_gauge (float_of_int sparse);
+  Metrics.set docset_dedup_gauge
+    (if requests = 0 then 0. else float_of_int hits /. float_of_int requests)
+
+let docset_stats t =
+  List.fold_left
+    (fun acc arena ->
+      let st = Docset_arena.stats arena in
+      Docset_arena.
+        {
+          sets = acc.sets + st.sets;
+          bytes = acc.bytes + st.bytes;
+          dense = acc.dense + st.dense;
+          sparse = acc.sparse + st.sparse;
+          intern_requests = acc.intern_requests + st.intern_requests;
+          dedup_hits = acc.dedup_hits + st.dedup_hits;
+          memo_hits = acc.memo_hits + st.memo_hits;
+        })
+    Docset_arena.
+      { sets = 0; bytes = 0; dense = 0; sparse = 0; intern_requests = 0; dedup_hits = 0; memo_hits = 0 }
+    (live_arenas t)
+
 let metrics_text t =
   publish_live t;
+  publish_docset t;
   Metrics.dump ()

@@ -148,7 +148,7 @@ val eviction_count : t -> int
 (* --- navigation actions ----------------------------------------------- *)
 
 val expand : session -> int -> int list
-val show_results : session -> int -> Bionav_util.Intset.t
+val show_results : session -> int -> Bionav_util.Docset.t
 val backtrack : session -> bool
 
 (* --- detached sessions ------------------------------------------------ *)
@@ -185,6 +185,15 @@ val plan_cache_hit_rate : t -> float
 (** Plan-cache hits / lookups; 0 when prefetch is disabled or before the
     first lookup. *)
 
+val docset_stats : t -> Bionav_util.Docset_arena.stats
+(** Aggregate {!Bionav_util.Docset_arena.stats} over every arena the
+    engine can reach: the inverted index's long-lived arena plus one per
+    cached navigation tree (deduplicated physically — session trees come
+    out of the cache). *)
+
 val metrics_text : t -> string
-(** Refresh the engine gauges (live session count) and render the whole
-    process metrics registry ({!Bionav_util.Metrics.dump}). *)
+(** Refresh the engine gauges — live session count plus the docset-arena
+    gauges ([bionav_docset_live_sets], [bionav_docset_resident_bytes],
+    [bionav_docset_live_dense]/[_sparse], [bionav_docset_dedup_hit_rate],
+    aggregated as in {!docset_stats}) — and render the whole process
+    metrics registry ({!Bionav_util.Metrics.dump}). *)

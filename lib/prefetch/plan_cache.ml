@@ -13,21 +13,14 @@ let default_capacity = 512
 
 let create ?(capacity = default_capacity) () = { cache = Lru.create ~capacity }
 
-(* FNV-1a-style fold over the ascending member ids. Collisions are harmless:
-   [find] verifies the stored member list before serving a cut. *)
-let fingerprint members =
-  List.fold_left (fun h m -> (h lxor m) * 0x100000001b3) 0x1505 members land max_int
-
+(* The member set arrives as an interned {!Docset.t}, so the key reuses its
+   O(1) content fingerprint instead of re-folding the member list on every
+   lookup. Collisions are harmless: [find] verifies the stored member
+   array before serving a cut. *)
 let key query root members =
-  Printf.sprintf "%s\x00%d\x00%x" (Nav_cache.normalize query) root (fingerprint members)
+  Printf.sprintf "%s\x00%d\x00%x" (Nav_cache.normalize query) root (Docset.fingerprint members)
 
-let same_members stored members =
-  let n = Array.length stored in
-  let rec go i = function
-    | [] -> i = n
-    | m :: rest -> i < n && stored.(i) = m && go (i + 1) rest
-  in
-  go 0 members
+let same_members stored members = Docset.equal_array members stored
 
 let find t ~query ~root ~members =
   match Lru.find t.cache (key query root members) with
@@ -48,7 +41,7 @@ let store t ~query ~root ~members ~cut =
   | [] -> ()
   | _ :: _ ->
       let evictions_before = Lru.evictions t.cache in
-      Lru.add t.cache (key query root members) { members = Array.of_list members; cut };
+      Lru.add t.cache (key query root members) { members = Docset.to_array members; cut };
       Metrics.incr insertions_counter;
       if Lru.evictions t.cache > evictions_before then Metrics.incr evictions_counter
 

@@ -8,7 +8,8 @@
     once — in the foreground, by speculation, or warmed from a snapshot —
     serves every later EXPAND of that component at O(1).
 
-    The member set is keyed by a fingerprint but {e verified} on lookup
+    The member set is keyed by its arena fingerprint (O(1), computed at
+    intern time) but {e verified} on lookup
     against the stored member list, so hash collisions can only miss,
     never serve a wrong plan — the served cut is always byte-identical to
     what a fresh computation over the same component would feed the active
@@ -22,16 +23,16 @@ val default_capacity : int
 
 val create : ?capacity:int -> unit -> t
 
-val find : t -> query:string -> root:int -> members:int list -> int list option
-(** The memoized cut for the component of [root] with exactly [members]
-    (ascending navigation ids), refreshing LRU recency; [None] on miss or
+val find : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> int list option
+(** The memoized cut for the component of [root] whose member navigation
+    ids are exactly [members], refreshing LRU recency; [None] on miss or
     fingerprint collision. Counts into hits/misses. *)
 
-val mem : t -> query:string -> root:int -> members:int list -> bool
+val mem : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> bool
 (** Side-effect free: no recency refresh, no hit/miss accounting. For
     speculation probing whether work is already done. *)
 
-val store : t -> query:string -> root:int -> members:int list -> cut:int list -> unit
+val store : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> cut:int list -> unit
 (** Memoize a computed cut (ignored when [cut] is empty); replaces any
     entry under the same key, evicting LRU-style when full. *)
 

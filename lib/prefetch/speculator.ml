@@ -5,7 +5,7 @@ module Clock = Bionav_resilience.Clock
 type job = {
   query : string;  (* normalized *)
   root : int;
-  members : int list;  (* component members captured at enqueue time *)
+  members : Docset.t;  (* component member ids captured at enqueue time *)
   nav : Nav_tree.t;
   k : int;
   params : Probability.params;
@@ -90,7 +90,7 @@ let observe t ~query ~active ~k ~params ~revealed =
   List.iteri
     (fun i (node, _score) ->
       if i < t.top_m then begin
-        let members = Active_tree.component active node in
+        let members = Active_tree.component_set active node in
         if not (Plan_cache.mem t.cache ~query ~root:node ~members) then
           if Queue.length t.queue >= t.max_queue then begin
             t.dropped <- t.dropped + 1;
@@ -110,7 +110,9 @@ let run_job t job =
   if not (Plan_cache.mem t.cache ~query:job.query ~root:job.root ~members:job.members) then begin
     let (), ms =
       Timing.time (fun () ->
-          let comp, _map = Nav_tree.comp_tree_of job.nav ~root:job.root ~members:job.members in
+          let comp, _map =
+            Nav_tree.comp_tree_of job.nav ~root:job.root ~members:(Docset.elements job.members)
+          in
           if Comp_tree.size comp >= 2 then begin
             let report = Heuristic.best_cut ~params:job.params ~k:job.k comp in
             let cut = List.map (Comp_tree.tag comp) report.Heuristic.cut_children in

@@ -32,21 +32,26 @@ let build ~db ~run ?(k = Heuristic.default_k) ?(params = Probability.default_par
         let root_cut = root_cut_of ~k ~params nav in
         Logs.info (fun m ->
             m "warmer: %S -> %d results, %d nodes, root cut of %d" query
-              (Intset.cardinal results) (Nav_tree.size nav) (List.length root_cut));
-        Some { Snapshot.query; results; root_cut }
+              (Docset.cardinal results) (Nav_tree.size nav) (List.length root_cut));
+        Some { Snapshot.query; results = Docset.to_intset results; root_cut }
       end)
     queries
 
 let apply ~db ~trees ?plans entries =
   List.iter
     (fun e ->
-      let nav = Nav_tree.of_database db e.Snapshot.results in
+      let nav = Nav_tree.of_database db (Docset.of_intset e.Snapshot.results) in
       Nav_cache.put trees e.query nav;
       Metrics.incr warmed_counter;
       match plans with
       | Some plans when e.root_cut <> [] ->
-          Plan_cache.store plans ~query:e.query ~root:(Nav_tree.root nav)
-            ~members:(List.init (Nav_tree.size nav) Fun.id)
+          (* The full-tree member set, interned in this tree's arena: the
+             content fingerprint matches what serving sessions key on. *)
+          let members =
+            Docset.of_sorted_array_unchecked_in (Nav_tree.arena nav)
+              (Array.init (Nav_tree.size nav) Fun.id)
+          in
+          Plan_cache.store plans ~query:e.query ~root:(Nav_tree.root nav) ~members
             ~cut:e.root_cut
       | Some _ | None -> ())
     entries;

@@ -14,7 +14,7 @@
 
 val build :
   db:Bionav_store.Database.t ->
-  run:(string -> Bionav_util.Intset.t) ->
+  run:(string -> Bionav_util.Docset.t) ->
   ?k:int ->
   ?params:Bionav_core.Probability.params ->
   string list ->

@@ -27,34 +27,38 @@ let esearch_paged ?(retstart = 0) ?(retmax = 20) ?(sort = `Id) t query =
   let results = esearch t query in
   let ordered =
     match sort with
-    | `Id -> Intset.elements results
+    | `Id -> Docset.elements results
     | `Relevance -> Ranked.rank (Lazy.force t.ranked) ~query results
   in
   ordered
   |> List.filteri (fun i _ -> i >= retstart && i < retstart + retmax)
 
-let esearch_count t query = Intset.cardinal (esearch t query)
+let esearch_count t query = Docset.cardinal (esearch t query)
 
 let esearch_mh ?qualifier t label =
+  (* Corpus postings are plain Intsets; results are interned in the index
+     arena like every other search answer. *)
+  let intern s = Docset.of_intset_in (Inverted_index.arena t.index) s in
   let hierarchy = Medline.hierarchy t.medline in
   match Bionav_mesh.Hierarchy.find_by_label hierarchy (String.trim label) with
-  | None -> Intset.empty
+  | None -> intern Intset.empty
   | Some concept -> (
       let annotated = Medline.postings t.medline concept in
       match qualifier with
-      | None -> annotated
+      | None -> intern annotated
       | Some qname -> (
           match Bionav_mesh.Qualifiers.find_by_name qname with
           | None -> invalid_arg (Printf.sprintf "Eutils.esearch_mh: unknown qualifier %S" qname)
           | Some q ->
-              Intset.of_list
-                (Intset.fold
-                   (fun id acc ->
-                     let c = Medline.citation t.medline id in
-                     match List.assoc_opt concept c.Citation.qualified with
-                     | Some qs when List.mem q qs -> id :: acc
-                     | Some _ | None -> acc)
-                   annotated [])))
+              intern
+                (Intset.of_list
+                   (Intset.fold
+                      (fun id acc ->
+                        let c = Medline.citation t.medline id in
+                        match List.assoc_opt concept c.Citation.qualified with
+                        | Some qs when List.mem q qs -> id :: acc
+                        | Some _ | None -> acc)
+                      annotated []))))
 
 let check_id t id =
   if id < 0 || id >= Medline.size t.medline then
@@ -68,6 +72,8 @@ let esummary t ids = List.map (fun id -> Citation.summary (citation t id)) ids
 
 let concepts_of t id =
   check_id t id;
-  Citation.concepts (Medline.citation t.medline id)
+  Docset.of_intset_in (Inverted_index.arena t.index)
+    (Citation.concepts (Medline.citation t.medline id))
 
 let medline t = t.medline
+let index t = t.index

@@ -11,7 +11,7 @@ type t
 val create : Bionav_corpus.Medline.t -> t
 (** Builds the inverted index eagerly. *)
 
-val esearch : t -> string -> Bionav_util.Intset.t
+val esearch : t -> string -> Bionav_util.Docset.t
 (** Keyword query (AND semantics) -> citation id set. *)
 
 val esearch_count : t -> string -> int
@@ -24,7 +24,7 @@ val esearch_paged :
     relevance (default [`Id], like PubMed's default date-ish order). *)
 
 val esearch_mh :
-  ?qualifier:string -> t -> string -> Bionav_util.Intset.t
+  ?qualifier:string -> t -> string -> Bionav_util.Docset.t
 (** PubMed's [term\[mh\]] field search: citations {e annotated} with the
     concept whose label matches exactly, optionally
     restricted to those carrying the given qualifier on that concept
@@ -38,7 +38,11 @@ val esummary : t -> int list -> string list
 val citation : t -> int -> Bionav_corpus.Citation.t
 (** Full record fetch (EFetch-like). @raise Invalid_argument on unknown id. *)
 
-val concepts_of : t -> int -> Bionav_util.Intset.t
+val concepts_of : t -> int -> Bionav_util.Docset.t
 (** Concept associations of one citation. *)
 
 val medline : t -> Bionav_corpus.Medline.t
+
+val index : t -> Inverted_index.t
+(** The underlying inverted index — its {!Inverted_index.arena} carries
+    the search-side docset statistics. *)

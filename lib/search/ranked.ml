@@ -64,7 +64,7 @@ let by_score_desc t ~query docs =
 
 let search ?(limit = 20) t query =
   let candidates = Inverted_index.query_and t.index query in
-  let ranked = by_score_desc t ~query (Intset.elements candidates) in
+  let ranked = by_score_desc t ~query (Docset.elements candidates) in
   List.filteri (fun i _ -> i < limit) ranked
 
-let rank t ~query results = List.map fst (by_score_desc t ~query (Intset.elements results))
+let rank t ~query results = List.map fst (by_score_desc t ~query (Docset.elements results))

@@ -24,6 +24,6 @@ val search : ?limit:int -> t -> string -> (int * float) list
 (** AND-semantics candidates ranked by descending score (ties broken by
     ascending id); [limit] defaults to 20. *)
 
-val rank : t -> query:string -> Bionav_util.Intset.t -> int list
+val rank : t -> query:string -> Bionav_util.Docset.t -> int list
 (** Order an externally-produced result set (e.g. a component's citations)
     by descending relevance. *)

@@ -98,6 +98,11 @@ let decode data =
   let cur = { data; pos = String.length magic } in
   let n = read_i32 cur in
   if n <= 0 then fail "non-positive concept count";
+  (* Every count is checked against the bytes actually left before any
+     allocation sized by it: a corrupted length high byte must fail as
+     "truncated", not attempt a multi-gigabyte Array.make. Each concept
+     occupies at least 12 bytes (parent + two string lengths). *)
+  if n > remaining cur / 12 then fail "concept count exceeds input";
   let parent = Array.make n (-1) in
   let concepts =
     Array.init n (fun i ->
@@ -113,7 +118,7 @@ let decode data =
   let postings =
     Array.init n (fun _ ->
         let k = read_i32 cur in
-        if k < 0 then fail "negative posting length";
+        if k < 0 || k > remaining cur / 4 then fail "posting length exceeds input";
         let arr = Array.init k (fun _ -> read_i32 cur) in
         Intset.of_array arr)
   in

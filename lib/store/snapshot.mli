@@ -8,7 +8,19 @@
     versioned little-endian layout on {!Codec.Wire} primitives — magic
     ["BIONAVSNAP"], a format version, an FNV-1a-64 body checksum, and the
     source database's dimensions so a snapshot is never applied against a
-    hierarchy or corpus other than the one it was built from. *)
+    hierarchy or corpus other than the one it was built from.
+
+    Version 2 writes a deduplicated set table — structurally equal result
+    sets (interned arena-style) are stored once and referenced by index —
+    while version-1 snapshots (inline per-entry result arrays) still
+    decode. Unknown versions fail with an error naming the supported
+    ones. *)
+
+val version : int
+(** The version {!encode} writes (2). *)
+
+val supported_versions : int list
+(** Versions {!decode} accepts. *)
 
 type entry = {
   query : string;  (** Normalized ({!Nav_cache.normalize}-style) query. *)

@@ -112,20 +112,91 @@ let add x t = if mem x t then t else union (singleton x) t
 
 let remove x t = if mem x t then diff t (singleton x) else t
 
-let union_many sets =
-  (* Pairwise balanced merging keeps the total work O(N log k). *)
-  let rec round = function
-    | [] -> empty
-    | [ s ] -> s
-    | sets ->
-        let rec pair acc = function
-          | [] -> acc
-          | [ s ] -> s :: acc
-          | a :: b :: rest -> pair (union a b :: acc) rest
-        in
-        round (pair [] sets)
+(* Heap-based k-way merge: a binary min-heap of (head value, source, cursor)
+   emits the global minimum per step, so total work is O(N log k) with one
+   output pass and no intermediate merge arrays. *)
+let union_many_heap sets =
+  let srcs = Array.of_list sets in
+  let k = Array.length srcs in
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 srcs in
+  (* heap.(i) = (current head value, source index); idx.(s) = cursor into
+     source s. Invariant: every live source appears exactly once. *)
+  let heap = Array.make k (0, 0) in
+  let idx = Array.make k 0 in
+  let hn = ref 0 in
+  let swap i j =
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- tmp
   in
-  round sets
+  let rec sift_up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if fst heap.(i) < fst heap.(p) then begin
+        swap i p;
+        sift_up p
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < !hn && fst heap.(l) < fst heap.(!m) then m := l;
+    if r < !hn && fst heap.(r) < fst heap.(!m) then m := r;
+    if !m <> i then begin
+      swap i !m;
+      sift_down !m
+    end
+  in
+  Array.iteri
+    (fun s src ->
+      if Array.length src > 0 then begin
+        heap.(!hn) <- (src.(0), s);
+        incr hn;
+        sift_up (!hn - 1)
+      end)
+    srcs;
+  let out = Array.make total 0 in
+  let n = ref 0 in
+  while !hn > 0 do
+    let v, s = heap.(0) in
+    if !n = 0 || out.(!n - 1) <> v then begin
+      out.(!n) <- v;
+      incr n
+    end;
+    idx.(s) <- idx.(s) + 1;
+    if idx.(s) < Array.length srcs.(s) then begin
+      heap.(0) <- (srcs.(s).(idx.(s)), s);
+      sift_down 0
+    end
+    else begin
+      decr hn;
+      if !hn > 0 then begin
+        heap.(0) <- heap.(!hn);
+        sift_down 0
+      end
+    end
+  done;
+  if !n = total then out else Array.sub out 0 !n
+
+let union_many sets =
+  (* Pairwise balanced merging is cache-friendlier for few operands; the
+     heap wins once the merge tree gets deep. *)
+  let k = List.length sets in
+  if k > 8 then union_many_heap sets
+  else
+    let rec round = function
+      | [] -> empty
+      | [ s ] -> s
+      | sets ->
+          let rec pair acc = function
+            | [] -> acc
+            | [ s ] -> s :: acc
+            | a :: b :: rest -> pair (union a b :: acc) rest
+          in
+          round (pair [] sets)
+    in
+    round sets
 
 let subset a b = inter_cardinal a b = cardinal a
 

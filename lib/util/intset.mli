@@ -31,7 +31,9 @@ val inter : t -> t -> t
 val diff : t -> t -> t
 
 val union_many : t list -> t
-(** k-way merge; linear in the total input size for small k. *)
+(** k-way merge, O(N log k): pairwise balanced merging for small k,
+    heap-based merge (one output pass, no intermediate arrays) for
+    large k. *)
 
 val inter_cardinal : t -> t -> int
 (** [inter_cardinal a b] = [cardinal (inter a b)] without allocating. *)

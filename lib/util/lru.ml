@@ -56,6 +56,8 @@ let add t k v =
 
 let remove t k = Hashtbl.remove t.table k
 
+let fold t f acc = Hashtbl.fold (fun _ e acc -> f e.value acc) t.table acc
+
 let clear t = Hashtbl.reset t.table
 
 let hits t = t.hits

@@ -31,6 +31,10 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 val remove : ('k, 'v) t -> 'k -> unit
 val clear : ('k, 'v) t -> unit
 
+val fold : ('k, 'v) t -> ('v -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the cached values in unspecified order, without touching
+    recency or hit/miss accounting (observability walks). *)
+
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Counted by {!find} only. *)

@@ -149,7 +149,7 @@ let show t query =
           let nav = Engine.session_nav s in
           let citations = Engine.show_results s node in
           let items =
-            Intset.fold
+            Docset.fold
               (fun id acc ->
                 Html.tag ~attrs:[ ("class", "citation") ] "div"
                   (Html.text (List.hd (Eutils.esummary (Engine.eutils t.engine) [ id ])))
@@ -162,7 +162,7 @@ let show t query =
                (Html.tag "h2"
                   (Html.text
                      (Printf.sprintf "%s — %d citations" (Nav_tree.label nav node)
-                        (Intset.cardinal citations)))
+                        (Docset.cardinal citations)))
                ^ Html.link
                    ~href:(Html.url "/session" [ ("sid", Engine.session_id s) ])
                    "[back to tree]"

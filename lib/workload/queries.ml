@@ -45,7 +45,7 @@ type query = {
   spec : spec;
   keyword : string;
   cluster : int list;
-  result : Intset.t;
+  result : Docset.t;
   nav : Nav_tree.t;
   target_concept : int;
   target_node : int;
@@ -207,7 +207,7 @@ let build ?(config = default_config) ~seed () =
       (fun spec cluster ->
         let keyword = spec.name in
         let result = Eutils.esearch eutils keyword in
-        if Intset.is_empty result then
+        if Docset.is_empty result then
           failwith (Printf.sprintf "Queries.build: empty result for %s" spec.name);
         let nav = Nav_tree.of_database database result in
         let target_node = choose_target hierarchy nav ~cluster ~spec in
@@ -226,7 +226,7 @@ let build ?(config = default_config) ~seed () =
   in
   { hierarchy; medline; database; eutils; queries }
 
-let result_count q = Intset.cardinal q.result
+let result_count q = Docset.cardinal q.result
 let tree_size q = Nav_tree.size q.nav - 1
 let max_width q = Nav_tree.max_width q.nav
 let tree_height q = Nav_tree.height q.nav

@@ -34,7 +34,7 @@ type query = {
   spec : spec;
   keyword : string;  (** The string actually searched (AND over tokens). *)
   cluster : int list;  (** The query's research-line concepts. *)
-  result : Bionav_util.Intset.t;
+  result : Bionav_util.Docset.t;
   nav : Bionav_core.Nav_tree.t;
   target_concept : int;  (** Hierarchy id of the chosen target. *)
   target_node : int;  (** The target's navigation-tree node. *)

@@ -16,11 +16,11 @@ let nav () =
   in
   let attachments =
     [
-      (1, Intset.of_list [ 1; 2 ]);
-      (2, Intset.of_list [ 2; 3 ]);
-      (3, Intset.of_list [ 4 ]);
-      (4, Intset.of_list [ 5; 6 ]);
-      (5, Intset.of_list [ 6; 7 ]);
+      (1, Docset.of_list [ 1; 2 ]);
+      (2, Docset.of_list [ 2; 3 ]);
+      (3, Docset.of_list [ 4 ]);
+      (4, Docset.of_list [ 5; 6 ]);
+      (5, Docset.of_list [ 6; 7 ]);
     ]
   in
   Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 100)
@@ -183,7 +183,7 @@ let qcheck_heuristic_sessions =
       let h = Bionav_mesh.Hierarchy.of_parents parent in
       let attachments =
         List.init (n - 1) (fun i ->
-            (i + 1, Intset.of_list (List.init (1 + Rng.int rng 10) (fun j -> (i * 7) + j))))
+            (i + 1, Docset.of_list (List.init (1 + Rng.int rng 10) (fun j -> (i * 7) + j))))
       in
       let nav_tree = Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 500) in
       let t = Active_tree.create nav_tree in

@@ -3,7 +3,7 @@ open Bionav_core
 
 let mk ?labels ?tags ?multiplicity ?sub_weights parent results totals =
   Comp_tree.make ~parent
-    ~results:(Array.map Intset.of_list results)
+    ~results:(Array.map Docset.of_list results)
     ~totals ?labels ?tags ?multiplicity ?sub_weights ()
 
 (*      0 {1,2}
@@ -28,7 +28,7 @@ let test_counts () =
   let t = sample () in
   Alcotest.(check int) "L(0)" 2 (Comp_tree.result_count t 0);
   Alcotest.(check int) "LT(0)" 100 (Comp_tree.total t 0);
-  Alcotest.(check int) "distinct all" 4 (Intset.cardinal (Comp_tree.all_results t));
+  Alcotest.(check int) "distinct all" 4 (Docset.cardinal (Comp_tree.all_results t));
   (* 6 attached, 4 distinct. *)
   Alcotest.(check int) "duplicates" 2 (Comp_tree.duplicate_count t)
 
@@ -40,7 +40,7 @@ let test_subtree_nodes () =
 let test_distinct_of_nodes () =
   let t = sample () in
   Alcotest.(check int) "subset distinct" 3
-    (Intset.cardinal (Comp_tree.distinct_of_nodes t [ 0; 2 ]))
+    (Docset.cardinal (Comp_tree.distinct_of_nodes t [ 0; 2 ]))
 
 let test_defaults () =
   let t = sample () in
@@ -77,15 +77,15 @@ let test_validation () =
          mk ~multiplicity:[| 0 |] [| -1 |] [| [ 1 ] |] [| 1 |]))
 
 let test_singleton () =
-  let t = Comp_tree.singleton ~results:(Intset.of_list [ 7; 8 ]) ~total:10 ~label:"solo" () in
+  let t = Comp_tree.singleton ~results:(Docset.of_list [ 7; 8 ]) ~total:10 ~label:"solo" () in
   Alcotest.(check int) "size" 1 (Comp_tree.size t);
   Alcotest.(check string) "label" "solo" (Comp_tree.label t 0);
-  Alcotest.(check int) "distinct" 2 (Intset.cardinal (Comp_tree.all_results t))
+  Alcotest.(check int) "distinct" 2 (Docset.cardinal (Comp_tree.all_results t))
 
 let test_empty_root_results_allowed () =
   let t = mk [| -1; 0 |] [| []; [ 1 ] |] [| 0; 5 |] in
   Alcotest.(check int) "root L" 0 (Comp_tree.result_count t 0);
-  Alcotest.(check int) "distinct" 1 (Intset.cardinal (Comp_tree.all_results t))
+  Alcotest.(check int) "distinct" 1 (Docset.cardinal (Comp_tree.all_results t))
 
 let test_pp_renders () =
   let t = sample () in

@@ -4,7 +4,7 @@ open Bionav_core
 let feq = Alcotest.(check (float 1e-9))
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 (*      0 {0,1}
        / \
@@ -80,7 +80,7 @@ let test_cost_unstructured_single_concept () =
 let test_cost_unstructured_supernode () =
   let t =
     Comp_tree.make ~parent:[| -1 |]
-      ~results:[| Intset.of_list (List.init 60 Fun.id) |]
+      ~results:[| Docset.of_list (List.init 60 Fun.id) |]
       ~totals:[| 120 |] ~multiplicity:[| 100 |]
       ~sub_weights:[| Array.make 100 0.6 |]
       ()
@@ -98,7 +98,7 @@ let test_cost_unstructured_supernode () =
 let test_underlying () =
   let t =
     Comp_tree.make ~parent:[| -1; 0 |]
-      ~results:[| Intset.of_list [ 1 ]; Intset.of_list [ 2 ] |]
+      ~results:[| Docset.of_list [ 1 ]; Docset.of_list [ 2 ] |]
       ~totals:[| 5; 5 |] ~multiplicity:[| 7; 2 |] ()
   in
   let c = Cost_model.create t in
@@ -107,7 +107,7 @@ let test_underlying () =
 let test_create_rejects_oversize () =
   let n = Cost_model.max_size + 1 in
   let parent = Array.init n (fun i -> if i = 0 then -1 else 0) in
-  let results = Array.init n (fun i -> Intset.singleton i) in
+  let results = Array.init n (fun i -> Docset.singleton i) in
   let totals = Array.make n 5 in
   let t = Comp_tree.make ~parent ~results ~totals () in
   Alcotest.(check bool) "rejected" true
@@ -123,6 +123,20 @@ let test_root_of_rejects_empty () =
        ignore (Cost_model.root_of c 0);
        false
      with Invalid_argument _ -> true)
+
+(* Satellite regression: node indices outside the mask's word range must
+   fail loudly instead of silently shifting out of the bitmask. *)
+let test_mask_of_rejects_out_of_range () =
+  Alcotest.(check int) "in range" 0b110 (Cost_model.mask_of [ 1; 2 ]);
+  let rejects nodes =
+    try
+      ignore (Cost_model.mask_of nodes);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative index" true (rejects [ -1 ]);
+  Alcotest.(check bool) "index = max_size" true (rejects [ Cost_model.max_size ]);
+  Alcotest.(check bool) "index > max_size" true (rejects [ 0; 1; 62 ])
 
 let () =
   Alcotest.run "cost_model"
@@ -143,5 +157,6 @@ let () =
           Alcotest.test_case "underlying" `Quick test_underlying;
           Alcotest.test_case "rejects oversize" `Quick test_create_rejects_oversize;
           Alcotest.test_case "root_of empty" `Quick test_root_of_rejects_empty;
+          Alcotest.test_case "mask_of range guard" `Quick test_mask_of_rejects_out_of_range;
         ] );
     ]

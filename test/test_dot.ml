@@ -14,7 +14,7 @@ let nav () =
   in
   Nav_tree.build ~hierarchy:h
     ~attachments:
-      [ (1, Intset.of_list [ 1; 2 ]); (2, Intset.of_list [ 2; 3 ]); (3, Intset.of_list [ 4 ]) ]
+      [ (1, Docset.of_list [ 1; 2 ]); (2, Docset.of_list [ 2; 3 ]); (3, Docset.of_list [ 4 ]) ]
     ~total_count:(fun _ -> 50)
 
 let test_nav_tree_dot () =

@@ -73,7 +73,7 @@ let test_start_validates () =
   let nav =
     let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0 |] in
     Nav_tree.build ~hierarchy:h
-      ~attachments:[ (1, Intset.of_list [ 1; 2; 3 ]) ]
+      ~attachments:[ (1, Docset.of_list [ 1; 2; 3 ]) ]
       ~total_count:(fun _ -> 10)
   in
   Alcotest.(check bool) "bad strategy raises" true
@@ -232,7 +232,7 @@ let test_show_results_returns_citations () =
   let s = must_session (Engine.search t "cancer") in
   let nav = Engine.session_nav s in
   let citations = Engine.show_results s (Nav_tree.root nav) in
-  Alcotest.(check bool) "nonempty" true (not (Intset.is_empty citations))
+  Alcotest.(check bool) "nonempty" true (not (Docset.is_empty citations))
 
 let () =
   Alcotest.run "engine"

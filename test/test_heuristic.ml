@@ -2,7 +2,7 @@ open Bionav_util
 open Bionav_core
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 (* A random tree with Zipf-ish weights, like a navigation-tree component. *)
 let random_tree seed n =
@@ -15,9 +15,9 @@ let random_tree seed n =
         let l = List.init k (fun j -> !next + j) in
         (* Overlapping id ranges create duplicate citations across nodes. *)
         next := !next + (k / 2) + 1;
-        Intset.of_list l)
+        Docset.of_list l)
   in
-  let totals = Array.init n (fun i -> Intset.cardinal results.(i) * (2 + Rng.int rng 30)) in
+  let totals = Array.init n (fun i -> Docset.cardinal results.(i) * (2 + Rng.int rng 30)) in
   Comp_tree.make ~parent ~results ~totals ()
 
 let is_antichain tree cut =

@@ -108,6 +108,16 @@ let qcheck_union_many =
         (to_model (Intset.union_many (List.map Intset.of_list ls)))
         (List.fold_left (fun acc l -> IS.union acc (model l)) IS.empty ls))
 
+(* Satellite: the heap-based large-k merge path (k > 8) against a plain
+   fold of binary unions. *)
+let qcheck_union_many_heap =
+  QCheck.Test.make ~name:"union_many heap path matches fold of union" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 9 24) gen_list)
+    (fun ls ->
+      let sets = List.map Intset.of_list ls in
+      Intset.equal (Intset.union_many sets)
+        (List.fold_left Intset.union Intset.empty sets))
+
 let qcheck_mem =
   QCheck.Test.make ~name:"mem matches model" ~count:500 (QCheck.pair gen_list (QCheck.int_range 0 100))
     (fun (l, x) -> Intset.mem x (Intset.of_list l) = IS.mem x (model l))
@@ -143,6 +153,7 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_inter;
           QCheck_alcotest.to_alcotest qcheck_diff;
           QCheck_alcotest.to_alcotest qcheck_union_many;
+          QCheck_alcotest.to_alcotest qcheck_union_many_heap;
           QCheck_alcotest.to_alcotest qcheck_mem;
           QCheck_alcotest.to_alcotest qcheck_inter_cardinal;
         ] );

@@ -24,8 +24,8 @@ let database = lazy (DB.of_medline (Lazy.force medline))
    the same attached counts. *)
 let test_result_monotonicity () =
   let db = Lazy.force database in
-  let small = Intset.of_list (List.init 30 (fun i -> i * 3)) in
-  let large = Intset.union small (Intset.of_list (List.init 40 (fun i -> 200 + i))) in
+  let small = Docset.of_list (List.init 30 (fun i -> i * 3)) in
+  let large = Docset.union small (Docset.of_list (List.init 40 (fun i -> 200 + i))) in
   let nav_small = Nav_tree.of_database db small in
   let nav_large = Nav_tree.of_database db large in
   Alcotest.(check bool) "tree grows" true (Nav_tree.size nav_large >= Nav_tree.size nav_small);
@@ -48,7 +48,7 @@ let test_query_and_monotone () =
   | t1 :: t2 :: _ ->
       let one = Eu.esearch eu t1 in
       let both = Eu.esearch eu (t1 ^ " " ^ t2) in
-      Alcotest.(check bool) "AND shrinks" true (Intset.subset both one)
+      Alcotest.(check bool) "AND shrinks" true (Docset.subset both one)
   | _ -> Alcotest.fail "fixture title too short"
 
 (* Codec idempotence: encode . decode . encode = encode. *)
@@ -81,7 +81,7 @@ let test_codec_fuzz_corruption () =
    distinct count at that moment. *)
 let test_static_cost_reproducible () =
   let db = Lazy.force database in
-  let nav = Nav_tree.of_database db (Intset.of_list (List.init 50 (fun i -> i * 2))) in
+  let nav = Nav_tree.of_database db (Docset.of_list (List.init 50 (fun i -> i * 2))) in
   let target = Nav_tree.size nav - 1 in
   let a = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
   let b = Simulate.to_target (Navigation.start Navigation.Static nav) ~target in
@@ -105,13 +105,86 @@ let test_tree_shape_independent_of_ids () =
    number of concepts in the tree plus expansions (sanity upper bound). *)
 let test_bionav_cost_bounded () =
   let db = Lazy.force database in
-  let nav = Nav_tree.of_database db (Intset.of_list (List.init 60 Fun.id)) in
+  let nav = Nav_tree.of_database db (Docset.of_list (List.init 60 Fun.id)) in
   let bound = 2 * Nav_tree.size nav in
   List.iter
     (fun target ->
       let o = Simulate.to_target (Navigation.start (Navigation.bionav ()) nav) ~target in
       Alcotest.(check bool) "bounded" true (o.Simulate.navigation_cost <= bound))
     [ 1; Nav_tree.size nav / 2; Nav_tree.size nav - 1 ]
+
+(* --- Docset vs Intset equivalence (the tentpole's correctness anchor):
+   over random attachment-style sets, every Docset operation agrees with
+   the Intset reference implementation, and fingerprints are stable
+   across arenas. *)
+
+let gen_attachment =
+  (* Mix of sparse and dense-ish ranges so both physical representations
+     are exercised. *)
+  QCheck.(
+    oneof
+      [
+        list_of_size (Gen.int_range 0 40) (int_range 0 2000);
+        list_of_size (Gen.int_range 0 200) (int_range 0 256);
+      ])
+
+let agree op_name dop iop (a, b) =
+  let da = Docset.of_list a and db_ = Docset.of_list b in
+  let ia = Intset.of_list a and ib = Intset.of_list b in
+  let got = Docset.elements (dop da db_) and want = Intset.elements (iop ia ib) in
+  if got = want then true
+  else QCheck.Test.fail_reportf "%s: docset %s / intset %s" op_name
+         (String.concat "," (List.map string_of_int got))
+         (String.concat "," (List.map string_of_int want))
+
+let qcheck_docset_union =
+  QCheck.Test.make ~name:"docset union = intset union" ~count:300
+    (QCheck.pair gen_attachment gen_attachment)
+    (agree "union" Docset.union Intset.union)
+
+let qcheck_docset_inter =
+  QCheck.Test.make ~name:"docset inter = intset inter" ~count:300
+    (QCheck.pair gen_attachment gen_attachment)
+    (agree "inter" Docset.inter Intset.inter)
+
+let qcheck_docset_diff =
+  QCheck.Test.make ~name:"docset diff = intset diff" ~count:300
+    (QCheck.pair gen_attachment gen_attachment)
+    (agree "diff" Docset.diff Intset.diff)
+
+let qcheck_docset_cardinal =
+  QCheck.Test.make ~name:"docset cardinals = intset cardinals" ~count:300
+    (QCheck.pair gen_attachment gen_attachment)
+    (fun (a, b) ->
+      let da = Docset.of_list a and db_ = Docset.of_list b in
+      let ia = Intset.of_list a and ib = Intset.of_list b in
+      Docset.cardinal da = Intset.cardinal ia
+      && Docset.inter_cardinal da db_ = Intset.inter_cardinal ia ib
+      && Docset.union_cardinal da db_ = Intset.cardinal (Intset.union ia ib)
+      && Docset.subset da db_ = Intset.subset ia ib)
+
+let qcheck_docset_fingerprint_stable =
+  QCheck.Test.make ~name:"docset fingerprint stable across arenas" ~count:300
+    gen_attachment
+    (fun l ->
+      (* Same content interned three ways: private arenas, a shared arena,
+         and through set algebra — one fingerprint everywhere, and equal
+         content is equal regardless of arena. *)
+      let a = Docset.of_list l and b = Docset.of_list (List.rev l) in
+      let arena = Docset_arena.create () in
+      let c = Docset.of_list_in arena l in
+      let rebuilt = Docset.union (Docset.of_list l) (Docset.of_list l) in
+      Docset.fingerprint a = Docset.fingerprint b
+      && Docset.fingerprint a = Docset.fingerprint c
+      && Docset.fingerprint a = Docset.fingerprint rebuilt
+      && Docset.equal a b && Docset.equal a c && Docset.equal a rebuilt)
+
+let qcheck_docset_union_many =
+  QCheck.Test.make ~name:"docset union_many = intset union_many" ~count:150
+    QCheck.(list_of_size (Gen.int_range 0 12) gen_attachment)
+    (fun ls ->
+      Docset.elements (Docset.union_many (List.map Docset.of_list ls))
+      = Intset.elements (Intset.union_many (List.map Intset.of_list ls)))
 
 let () =
   Alcotest.run "metamorphic"
@@ -125,5 +198,14 @@ let () =
           Alcotest.test_case "static reproducible" `Quick test_static_cost_reproducible;
           Alcotest.test_case "id-independent counts" `Quick test_tree_shape_independent_of_ids;
           Alcotest.test_case "bionav cost bounded" `Quick test_bionav_cost_bounded;
+        ] );
+      ( "docset_vs_intset",
+        [
+          QCheck_alcotest.to_alcotest qcheck_docset_union;
+          QCheck_alcotest.to_alcotest qcheck_docset_inter;
+          QCheck_alcotest.to_alcotest qcheck_docset_diff;
+          QCheck_alcotest.to_alcotest qcheck_docset_cardinal;
+          QCheck_alcotest.to_alcotest qcheck_docset_fingerprint_stable;
+          QCheck_alcotest.to_alcotest qcheck_docset_union_many;
         ] );
     ]

@@ -4,7 +4,7 @@ open Bionav_core
 let make_nav n_results =
   let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0 |] in
   Nav_tree.build ~hierarchy:h
-    ~attachments:[ (1, Intset.of_list (List.init n_results Fun.id)) ]
+    ~attachments:[ (1, Docset.of_list (List.init n_results Fun.id)) ]
     ~total_count:(fun _ -> 1000)
 
 let test_builds_once_per_query () =

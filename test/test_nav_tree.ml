@@ -24,7 +24,7 @@ let labels =
 let hierarchy () = H.of_parents ~labels:(fun i -> labels.(i)) [| -1; 0; 1; 2; 3; 3; 1; 6; 0 |]
 
 let attachments =
-  [ (2, Intset.of_list [ 1; 2 ]); (4, Intset.of_list [ 3; 4 ]); (7, Intset.of_list [ 2; 5; 6 ]) ]
+  [ (2, Docset.of_list [ 1; 2 ]); (4, Docset.of_list [ 3; 4 ]); (7, Docset.of_list [ 2; 5; 6 ]) ]
 
 let totals = [| 0; 50; 10; 20; 30; 5; 40; 25; 60 |]
 
@@ -123,7 +123,7 @@ let test_build_rejects_bad_attachment () =
     (try
        ignore
          (Nav_tree.build ~hierarchy:h
-            ~attachments:[ (99, Intset.singleton 1) ]
+            ~attachments:[ (99, Docset.singleton 1) ]
             ~total_count:(fun _ -> 10));
        false
      with Invalid_argument _ -> true);
@@ -131,7 +131,7 @@ let test_build_rejects_bad_attachment () =
     (try
        ignore
          (Nav_tree.build ~hierarchy:h
-            ~attachments:[ (2, Intset.singleton 1); (2, Intset.singleton 2) ]
+            ~attachments:[ (2, Docset.singleton 1); (2, Docset.singleton 2) ]
             ~total_count:(fun _ -> 10));
        false
      with Invalid_argument _ -> true);
@@ -139,7 +139,7 @@ let test_build_rejects_bad_attachment () =
     (try
        ignore
          (Nav_tree.build ~hierarchy:h
-            ~attachments:[ (2, Intset.of_list [ 1; 2; 3 ]) ]
+            ~attachments:[ (2, Docset.of_list [ 1; 2; 3 ]) ]
             ~total_count:(fun _ -> 1));
        false
      with Invalid_argument _ -> true)
@@ -155,18 +155,18 @@ let test_of_database_consistency () =
   let h = S.generate ~params:S.small_params ~seed:61 () in
   let m = G.generate ~params:{ G.small_params with G.n_citations = 250 } ~seed:62 h in
   let db = DB.of_medline m in
-  let result = Intset.of_list (List.init 40 (fun i -> i * 3)) in
+  let result = Docset.of_list (List.init 40 (fun i -> i * 3)) in
   let t = Nav_tree.of_database db result in
   (* Every nav node's direct results are a subset of the query result, and
      all nodes except the root are non-empty. *)
   for node = 1 to Nav_tree.size t - 1 do
     let l = Nav_tree.results t node in
-    Alcotest.(check bool) "non-empty" true (not (Intset.is_empty l));
-    Alcotest.(check bool) "subset of result" true (Intset.subset l result);
+    Alcotest.(check bool) "non-empty" true (not (Docset.is_empty l));
+    Alcotest.(check bool) "subset of result" true (Docset.subset l result);
     Alcotest.(check bool) "LT >= L" true
       (Nav_tree.total t node >= Nav_tree.result_count t node)
   done;
-  Alcotest.(check int) "root distinct = |result|" (Intset.cardinal result)
+  Alcotest.(check int) "root distinct = |result|" (Docset.cardinal result)
     (Nav_tree.distinct_results t);
   (* Parent relationships respect hierarchy ancestry. *)
   for node = 1 to Nav_tree.size t - 1 do
@@ -180,7 +180,7 @@ let test_of_database_distinct_monotone () =
   let h = S.generate ~params:S.small_params ~seed:63 () in
   let m = G.generate ~params:{ G.small_params with G.n_citations = 250 } ~seed:64 h in
   let db = DB.of_medline m in
-  let t = Nav_tree.of_database db (Intset.of_list (List.init 30 Fun.id)) in
+  let t = Nav_tree.of_database db (Docset.of_list (List.init 30 Fun.id)) in
   for node = 1 to Nav_tree.size t - 1 do
     Alcotest.(check bool) "child subtree counts bounded by parent" true
       (Nav_tree.subtree_distinct t node

@@ -9,7 +9,7 @@ let nav () =
   let attachments =
     List.init 7 (fun i ->
         let node = i + 1 in
-        (node, Intset.of_list (List.init 12 (fun j -> (node * 10) + j))))
+        (node, Docset.of_list (List.init 12 (fun j -> (node * 10) + j))))
   in
   Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 500)
 
@@ -31,9 +31,9 @@ let test_cost_accounting () =
   Alcotest.(check int) "revealed" 4 stats.Navigation.revealed;
   Alcotest.(check int) "navigation cost" 6 (Navigation.navigation_cost stats);
   let results = Navigation.show_results s 2 in
-  Alcotest.(check int) "listed" (Intset.cardinal results)
+  Alcotest.(check int) "listed" (Docset.cardinal results)
     (Navigation.stats s).Navigation.results_listed;
-  Alcotest.(check int) "total cost" (6 + Intset.cardinal results)
+  Alcotest.(check int) "total cost" (6 + Docset.cardinal results)
     (Navigation.total_cost (Navigation.stats s))
 
 let test_expand_on_leaf_component_is_noop () =

@@ -2,7 +2,7 @@ open Bionav_util
 open Bionav_core
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 let path n =
   (* 0 - 1 - 2 - ... each node holding a few overlapping citations. *)

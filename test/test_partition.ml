@@ -2,7 +2,7 @@ open Bionav_util
 open Bionav_core
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 (* A three-branch tree with distinct result lists so every node weighs 1-3. *)
 let sample () =
@@ -153,7 +153,7 @@ let tree_of (parents, seed) =
   let n = Array.length parents in
   let results =
     Array.init n (fun i ->
-        Intset.of_list (List.init (1 + Rng.int rng 5) (fun j -> (i * 10) + j)))
+        Docset.of_list (List.init (1 + Rng.int rng 5) (fun j -> (i * 10) + j)))
   in
   Comp_tree.make ~parent:parents ~results ~totals:(Array.make n 1000) ()
 

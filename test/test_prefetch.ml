@@ -94,43 +94,43 @@ let drain_engine session =
 let test_plan_cache_roundtrip () =
   let c = Plan_cache.create () in
   Alcotest.(check (option (list int))) "cold miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:[ 0; 1; 2 ]);
-  Plan_cache.store c ~query:"  Cancer " ~root:0 ~members:[ 0; 1; 2 ] ~cut:[ 1; 2 ];
+    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
+  Plan_cache.store c ~query:"  Cancer " ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]) ~cut:[ 1; 2 ];
   Alcotest.(check (option (list int))) "hit under normalized variant" (Some [ 1; 2 ])
-    (Plan_cache.find c ~query:"CANCER" ~root:0 ~members:[ 0; 1; 2 ]);
+    (Plan_cache.find c ~query:"CANCER" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check (option (list int))) "different members miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:[ 0; 1; 3 ]);
+    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 3 ]));
   Alcotest.(check (option (list int))) "different root miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:1 ~members:[ 0; 1; 2 ]);
+    (Plan_cache.find c ~query:"cancer" ~root:1 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check (option (list int))) "different query miss" None
-    (Plan_cache.find c ~query:"histones" ~root:0 ~members:[ 0; 1; 2 ]);
+    (Plan_cache.find c ~query:"histones" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check int) "one entry" 1 (Plan_cache.length c);
   Alcotest.(check int) "hits" 1 (Plan_cache.hits c);
   Alcotest.(check int) "misses" 4 (Plan_cache.misses c)
 
 let test_plan_cache_empty_cut_ignored () =
   let c = Plan_cache.create () in
-  Plan_cache.store c ~query:"q" ~root:3 ~members:[ 3; 4 ] ~cut:[];
+  Plan_cache.store c ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]) ~cut:[];
   Alcotest.(check int) "nothing stored" 0 (Plan_cache.length c);
   Alcotest.(check (option (list int))) "still a miss" None
-    (Plan_cache.find c ~query:"q" ~root:3 ~members:[ 3; 4 ])
+    (Plan_cache.find c ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]))
 
 let test_plan_cache_mem_is_pure () =
   let c = Plan_cache.create () in
-  Plan_cache.store c ~query:"q" ~root:0 ~members:[ 0; 1 ] ~cut:[ 1 ];
-  Alcotest.(check bool) "mem hit" true (Plan_cache.mem c ~query:"q" ~root:0 ~members:[ 0; 1 ]);
-  Alcotest.(check bool) "mem miss" false (Plan_cache.mem c ~query:"q" ~root:9 ~members:[ 9 ]);
+  Plan_cache.store c ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
+  Alcotest.(check bool) "mem hit" true (Plan_cache.mem c ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
+  Alcotest.(check bool) "mem miss" false (Plan_cache.mem c ~query:"q" ~root:9 ~members:(Docset.of_list [ 9 ]));
   Alcotest.(check int) "no hits recorded" 0 (Plan_cache.hits c);
   Alcotest.(check int) "no misses recorded" 0 (Plan_cache.misses c)
 
 let test_plan_cache_capacity_and_clear () =
   let c = Plan_cache.create ~capacity:1 () in
-  Plan_cache.store c ~query:"a" ~root:0 ~members:[ 0; 1 ] ~cut:[ 1 ];
-  Plan_cache.store c ~query:"b" ~root:0 ~members:[ 0; 1 ] ~cut:[ 1 ];
+  Plan_cache.store c ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
+  Plan_cache.store c ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
   Alcotest.(check int) "LRU bound holds" 1 (Plan_cache.length c);
   Alcotest.(check bool) "older evicted" false
-    (Plan_cache.mem c ~query:"a" ~root:0 ~members:[ 0; 1 ]);
-  ignore (Plan_cache.find c ~query:"b" ~root:0 ~members:[ 0; 1 ]);
+    (Plan_cache.mem c ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
+  ignore (Plan_cache.find c ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
   Plan_cache.clear c;
   Alcotest.(check int) "emptied" 0 (Plan_cache.length c);
   Alcotest.(check int) "hits zeroed" 0 (Plan_cache.hits c);
@@ -209,7 +209,7 @@ let test_speculator_is_deterministic () =
     let plans =
       List.filter_map
         (fun n ->
-          let members = Active_tree.component active n in
+          let members = Active_tree.component_set active n in
           Option.map (fun cut -> (n, cut)) (Plan_cache.find cache ~query:"cancer" ~root:n ~members))
         revealed
     in
@@ -232,7 +232,7 @@ let test_speculated_plan_matches_foreground () =
   let target =
     List.find
       (fun n ->
-        Plan_cache.mem cache ~query:"cancer" ~root:n ~members:(Active_tree.component active1 n))
+        Plan_cache.mem cache ~query:"cancer" ~root:n ~members:(Active_tree.component_set active1 n))
       revealed
   in
   (* Replay: the speculated plan serves the follow-up EXPAND... *)
@@ -302,7 +302,7 @@ let test_snapshot_rejects_corruption () =
   (* Header: 10-byte magic, 4-byte version, 8-byte checksum; body at 22. *)
   Alcotest.(check bool) "bad magic" true (rejects (fun () -> Snapshot.decode ~db (flip_byte data 0)));
   let bumped = Bytes.of_string data in
-  Bytes.set bumped 10 '\x02';
+  Bytes.set bumped 10 '\x63';
   Alcotest.(check bool) "future version" true
     (rejects (fun () -> Snapshot.decode ~db (Bytes.to_string bumped)));
   Alcotest.(check bool) "checksum catches a body flip" true

@@ -4,7 +4,7 @@ open Bionav_core
 let feq = Alcotest.(check (float 1e-9))
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 let params = Probability.default_params
 
@@ -57,7 +57,7 @@ let test_expand_singleton_supernode_uses_multiplicity () =
   (* One node, but it stands for 3 concepts: still expandable. *)
   let t =
     Comp_tree.make ~parent:[| -1 |]
-      ~results:[| Intset.of_list (List.init 30 Fun.id) |]
+      ~results:[| Docset.of_list (List.init 30 Fun.id) |]
       ~totals:[| 90 |] ~multiplicity:[| 3 |]
       ~sub_weights:[| [| 10.; 10.; 10. |] |]
       ()

@@ -67,7 +67,7 @@ let test_search_order_and_limit () =
 
 let test_rank_external_set () =
   let r = Lazy.force ranked in
-  let order = Ranked.rank r ~query:"apoptosis" (Intset.of_list [ 0; 1; 2; 3 ]) in
+  let order = Ranked.rank r ~query:"apoptosis" (Docset.of_list [ 0; 1; 2; 3 ]) in
   Alcotest.(check int) "best first" 2 (List.hd order);
   Alcotest.(check int) "all preserved" 4 (List.length order);
   Alcotest.(check int) "irrelevant last" 3 (List.nth order 3)

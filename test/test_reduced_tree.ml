@@ -2,7 +2,7 @@ open Bionav_util
 open Bionav_core
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 let sample () =
   (* 0 - {1 - {3, 4}, 2 - {5}} with overlapping results. *)
@@ -31,9 +31,9 @@ let test_supernode_results_are_unions () =
   let rt = Reduced_tree.tree red in
   for s = 0 to Reduced_tree.size red - 1 do
     let expected =
-      Intset.union_many (List.map (Comp_tree.results tree) (Reduced_tree.members red s))
+      Docset.union_many (List.map (Comp_tree.results tree) (Reduced_tree.members red s))
     in
-    Alcotest.(check bool) "union" true (Intset.equal expected (Comp_tree.results rt s))
+    Alcotest.(check bool) "union" true (Docset.equal expected (Comp_tree.results rt s))
   done
 
 let test_supernode_multiplicity () =
@@ -133,7 +133,7 @@ let qcheck_mapped_cuts_valid =
     (fun (n, seed, k) ->
       let rng = Rng.create seed in
       let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
-      let results = Array.init n (fun i -> Intset.of_list [ i; i + 1 ]) in
+      let results = Array.init n (fun i -> Docset.of_list [ i; i + 1 ]) in
       let tree = Comp_tree.make ~parent ~results ~totals:(Array.make n 100) () in
       let part = Partition.run_k tree ~k in
       let red = Reduced_tree.build tree part in

@@ -10,9 +10,9 @@ let nav () =
   in
   let attachments =
     [
-      (1, Intset.of_list (List.init 20 Fun.id));
-      (2, Intset.of_list (List.init 20 (fun i -> 100 + i)));
-      (3, Intset.of_list (List.init 10 (fun i -> 200 + i)));
+      (1, Docset.of_list (List.init 20 Fun.id));
+      (2, Docset.of_list (List.init 20 (fun i -> 100 + i)));
+      (3, Docset.of_list (List.init 10 (fun i -> 200 + i)));
     ]
   in
   let totals = function 1 -> 25 | 2 -> 20_000 | 3 -> 50 | _ -> 0 in

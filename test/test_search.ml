@@ -62,26 +62,26 @@ let tiny_medline () =
 
 let test_index_postings () =
   let idx = Idx.build (tiny_medline ()) in
-  Alcotest.(check (list int)) "prothymosin" [ 0; 1 ] (Intset.elements (Idx.postings idx "prothymosin"));
-  Alcotest.(check (list int)) "apoptosis" [ 0 ] (Intset.elements (Idx.postings idx "apoptosis"));
-  Alcotest.(check (list int)) "unknown" [] (Intset.elements (Idx.postings idx "zzz"))
+  Alcotest.(check (list int)) "prothymosin" [ 0; 1 ] (Docset.elements (Idx.postings idx "prothymosin"));
+  Alcotest.(check (list int)) "apoptosis" [ 0 ] (Docset.elements (Idx.postings idx "apoptosis"));
+  Alcotest.(check (list int)) "unknown" [] (Docset.elements (Idx.postings idx "zzz"))
 
 let test_index_case_insensitive () =
   let idx = Idx.build (tiny_medline ()) in
   Alcotest.(check (list int)) "uppercase query" [ 0; 1 ]
-    (Intset.elements (Idx.postings idx "PROTHYMOSIN"))
+    (Docset.elements (Idx.postings idx "PROTHYMOSIN"))
 
 let test_query_and () =
   let idx = Idx.build (tiny_medline ()) in
   Alcotest.(check (list int)) "conjunction" [ 1 ]
-    (Intset.elements (Idx.query_and idx "prothymosin histone"));
-  Alcotest.(check (list int)) "no match" [] (Intset.elements (Idx.query_and idx "apoptosis heart"));
-  Alcotest.(check (list int)) "empty query" [] (Intset.elements (Idx.query_and idx ""))
+    (Docset.elements (Idx.query_and idx "prothymosin histone"));
+  Alcotest.(check (list int)) "no match" [] (Docset.elements (Idx.query_and idx "apoptosis heart"));
+  Alcotest.(check (list int)) "empty query" [] (Docset.elements (Idx.query_and idx ""))
 
 let test_query_or () =
   let idx = Idx.build (tiny_medline ()) in
   Alcotest.(check (list int)) "disjunction" [ 0; 1; 2 ]
-    (Intset.elements (Idx.query_or idx "apoptosis heart histone"))
+    (Docset.elements (Idx.query_or idx "apoptosis heart histone"))
 
 let test_no_duplicate_postings () =
   (* "apoptosis" appears twice in citation 0; the posting must list it once. *)
@@ -90,7 +90,7 @@ let test_no_duplicate_postings () =
 
 let test_stop_words_not_indexed () =
   let idx = Idx.build (tiny_medline ()) in
-  Alcotest.(check (list int)) "stop word" [] (Intset.elements (Idx.postings idx "of"))
+  Alcotest.(check (list int)) "stop word" [] (Docset.elements (Idx.postings idx "of"))
 
 (* --- Eutils over a generated corpus --- *)
 
@@ -116,7 +116,7 @@ let generated =
 
 let test_esearch_finds_tagged () =
   let eu = Eu.create (Lazy.force generated) in
-  Alcotest.(check int) "tagged result size" 25 (Intset.cardinal (Eu.esearch eu "grueltag"))
+  Alcotest.(check int) "tagged result size" 25 (Docset.cardinal (Eu.esearch eu "grueltag"))
 
 let test_esearch_count () =
   let eu = Eu.create (Lazy.force generated) in
@@ -204,13 +204,13 @@ let test_esearch_mh () =
   done;
   let label = Bionav_mesh.Hierarchy.label h !best in
   let hits = Eu.esearch_mh eu label in
-  Alcotest.(check int) "matches postings" (M.concept_count m !best) (Intset.cardinal hits);
+  Alcotest.(check int) "matches postings" (M.concept_count m !best) (Docset.cardinal hits);
   Alcotest.(check int) "unknown label empty" 0
-    (Intset.cardinal (Eu.esearch_mh eu "No Such Concept Xyz"));
+    (Docset.cardinal (Eu.esearch_mh eu "No Such Concept Xyz"));
   (* Qualifier-restricted search returns a subset. *)
   let me = "metabolism" in
   let restricted = Eu.esearch_mh ~qualifier:me eu label in
-  Alcotest.(check bool) "subset" true (Intset.subset restricted hits);
+  Alcotest.(check bool) "subset" true (Docset.subset restricted hits);
   Alcotest.(check bool) "bad qualifier rejected" true
     (try
        ignore (Eu.esearch_mh ~qualifier:"flavour" eu label);
@@ -222,7 +222,7 @@ let test_concepts_of_matches_citation () =
   let m = Eu.medline eu in
   for id = 0 to 20 do
     Alcotest.(check bool) "matches record" true
-      (Intset.equal (Eu.concepts_of eu id) (Cit.concepts (M.citation m id)))
+      (Docset.equal (Eu.concepts_of eu id) (Docset.of_intset (Cit.concepts (M.citation m id))))
   done
 
 let () =

@@ -8,7 +8,7 @@ let nav () =
   let attachments =
     List.init 5 (fun i ->
         let node = i + 1 in
-        (node, Intset.of_list (List.init 15 (fun j -> (node * 20) + j))))
+        (node, Docset.of_list (List.init 15 (fun j -> (node * 20) + j))))
   in
   Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 400)
 

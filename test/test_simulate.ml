@@ -11,7 +11,7 @@ let fixture () =
   let attachments =
     List.init 7 (fun i ->
         let node = i + 1 in
-        (node, Intset.of_list (List.init 12 (fun j -> (node * 12) + j))))
+        (node, Docset.of_list (List.init 12 (fun j -> (node * 12) + j))))
   in
   Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 800)
 
@@ -83,7 +83,7 @@ let generated_nav =
     (let h = S.generate ~params:S.small_params ~seed:71 () in
      let m = G.generate ~params:{ G.small_params with G.n_citations = 400 } ~seed:72 h in
      let db = DB.of_medline m in
-     Nav_tree.of_database db (Intset.of_list (List.init 60 (fun i -> i * 2))))
+     Nav_tree.of_database db (Docset.of_list (List.init 60 (fun i -> i * 2))))
 
 let test_static_cost_formula_on_generated () =
   let nav = Lazy.force generated_nav in

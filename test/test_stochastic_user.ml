@@ -9,7 +9,7 @@ let nav () =
   let attachments =
     List.init 6 (fun i ->
         let node = i + 1 in
-        (node, Intset.of_list (List.init 15 (fun j -> (node * 20) + j))))
+        (node, Docset.of_list (List.init 15 (fun j -> (node * 20) + j))))
   in
   Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 600)
 
@@ -18,7 +18,7 @@ let nav () =
 let tiny_nav () =
   let h = Bionav_mesh.Hierarchy.of_parents [| -1; 0; 0 |] in
   Nav_tree.build ~hierarchy:h
-    ~attachments:[ (1, Intset.of_list [ 1; 2 ]); (2, Intset.of_list [ 3 ]) ]
+    ~attachments:[ (1, Docset.of_list [ 1; 2 ]); (2, Docset.of_list [ 3 ]) ]
     ~total_count:(fun _ -> 100)
 
 let test_walk_terminates_with_showresults () =

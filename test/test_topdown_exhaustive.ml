@@ -3,7 +3,7 @@ open Bionav_core
 module Ted = Bionav_npc.Ted
 
 let mk parent results totals =
-  Comp_tree.make ~parent ~results:(Array.map Intset.of_list results) ~totals ()
+  Comp_tree.make ~parent ~results:(Array.map Docset.of_list results) ~totals ()
 
 (* Star: root empty, children {1}, {1}, {2} — the Theorem 1 shape. *)
 let star () =
@@ -57,7 +57,7 @@ let test_cost_duplicates_duality () =
     let n = 5 + Rng.int rng 6 in
     let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
     let results =
-      Array.init n (fun _ -> Intset.of_list (List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng 8)))
+      Array.init n (fun _ -> Docset.of_list (List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng 8)))
     in
     let t = Comp_tree.make ~parent ~results ~totals:(Array.make n 100) () in
     let attached =
@@ -83,10 +83,10 @@ let test_matches_ted_brute_force () =
     let n = 4 + Rng.int rng 5 in
     let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
     let results =
-      Array.init n (fun _ -> Intset.of_list (List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng 6)))
+      Array.init n (fun _ -> Docset.of_list (List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng 6)))
     in
     let t = Comp_tree.make ~parent ~results ~totals:(Array.make n 50) () in
-    let ted = Ted.make ~parent ~elements:(Array.map Intset.elements results) in
+    let ted = Ted.make ~parent ~elements:(Array.map Docset.elements results) in
     for j = 2 to n do
       let a = Topdown_exhaustive.max_duplicates t ~components:j in
       let b = Ted.best_duplicates ted ~components:j in
