@@ -7,7 +7,8 @@
      bench/main.exe                 run everything
      bench/main.exe <target> ...    run selected targets:
        table1 fig8 fig9 fig10 fig11 ablation-opt ablation-k
-       ablation-expandcost theorem1 micro *)
+       ablation-expandcost theorem1 micro parallel ...
+     bench/main.exe parallel --smoke    reduced session count (CI) *)
 
 open Bionav_util
 open Bionav_core
@@ -19,6 +20,9 @@ module Npc_mes = Bionav_npc.Mes
 module Npc_red = Bionav_npc.Reduction
 
 let workload_seed = 11
+
+(* Set by the [--smoke] flag: shrink file-writing benches to CI size. *)
+let smoke_mode = ref false
 
 let workload = lazy (Q.build ~seed:workload_seed ())
 
@@ -1060,6 +1064,212 @@ let docset_bench () =
   else say "  no %s — gates skipped" baseline_path
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling: the Zipf workload across 1/2/4 worker domains    *)
+(* ------------------------------------------------------------------ *)
+
+type parallel_run = {
+  pr_domains : int;
+  pr_expands : int;  (** Summed from each domain's session stats. *)
+  pr_metric_count : int;  (** The expand-latency histogram's count. *)
+  pr_elapsed_ms : float;
+  pr_throughput : float;  (** EXPANDs per second, wall-clock. *)
+  pr_worst_p95 : float;  (** Worst per-domain p95 expand latency, ms. *)
+  pr_crashes : int;
+}
+
+(* The docset bench's Zipf serving workload, replayed across a pool of
+   1, 2 and 4 domains against one sharded engine per pool size. The
+   session list is pre-drawn once and partitioned round-robin, so every
+   pool replays identical work: expand totals must agree run to run (and
+   with the committed baseline) to the last record — the "no expand lost
+   or duplicated" gate. The histogram-vs-local-count and crash gates
+   always apply; the scaling gates (>= 1.8x at 4 domains, monotone
+   throughput, per-domain p95 within 2x of single-domain) only where
+   there are >= 4 cores to scale onto — the JSON records which regime
+   produced it. *)
+let parallel_bench () =
+  say "%s" (Table.section "Parallel: Zipf workload across 1/2/4 worker domains");
+  say "";
+  let smoke = !smoke_mode in
+  let w = Q.build ~config:Q.small_config ~seed:workload_seed () in
+  let queries = Array.of_list w.Q.queries in
+  let n_sessions = if smoke then 24 else 96 in
+  let shards = 16 in
+  let zipf = Zipf.create ~exponent:1.0 (Array.length queries) in
+  let rng = Rng.create 42 in
+  let draws = Array.init n_sessions (fun _ -> Zipf.draw zipf rng) in
+  let run_with pr_domains =
+    Metrics.reset ();
+    let config = { Engine.default_config with Engine.shards } in
+    let engine = Engine.create ~config ~database:w.Q.database ~eutils:w.Q.eutils () in
+    let crashes = Atomic.make 0 in
+    (* Domain [d] serves sessions d, d+pool, d+2*pool, ... Bulk driving
+       (Simulate + stats reads) runs under [Engine.run_locked], the same
+       discipline the web handler uses. *)
+    let worker d () =
+      let expands = ref 0 and lats = ref [] in
+      (try
+         let i = ref d in
+         while !i < n_sessions do
+           let q = queries.(draws.(!i)) in
+           (match Engine.search engine q.Q.keyword with
+           | Ok (Engine.Session s) ->
+               Engine.run_locked s (fun () ->
+                   let nav = Engine.navigation s in
+                   ignore (Simulate.to_target nav ~target:q.Q.target_node);
+                   let st = Navigation.stats nav in
+                   expands := !expands + st.Navigation.expands;
+                   List.iter
+                     (fun r -> lats := r.Navigation.elapsed_ms :: !lats)
+                     st.Navigation.history);
+               ignore (Engine.close engine (Engine.session_id s) : bool)
+           | Ok Engine.No_results | Error _ -> ());
+           i := !i + pr_domains
+         done
+       with e ->
+         say "  domain %d crashed: %s" d (Printexc.to_string e);
+         Atomic.incr crashes);
+      (!expands, !lats)
+    in
+    let t0 = Timing.now_ms () in
+    let per_domain =
+      if pr_domains = 1 then [| worker 0 () |]
+      else
+        Array.map Domain.join (Array.init pr_domains (fun d -> Domain.spawn (worker d)))
+    in
+    let pr_elapsed_ms = Timing.now_ms () -. t0 in
+    let pr_expands = Array.fold_left (fun acc (e, _) -> acc + e) 0 per_domain in
+    let pr_metric_count = Metrics.count (Metrics.histogram "bionav_expand_latency_ms") in
+    let pr_worst_p95 =
+      Array.fold_left
+        (fun acc (_, lats) ->
+          match lats with
+          | [] -> acc
+          | l -> Float.max acc (Stats.percentile (Array.of_list l) 95.))
+        0. per_domain
+    in
+    let pr_throughput =
+      if pr_elapsed_ms > 0. then 1000. *. float_of_int pr_expands /. pr_elapsed_ms else 0.
+    in
+    { pr_domains; pr_expands; pr_metric_count; pr_elapsed_ms; pr_throughput;
+      pr_worst_p95; pr_crashes = Atomic.get crashes }
+  in
+  let runs = List.map run_with [ 1; 2; 4 ] in
+  let r1 = List.nth runs 0 and r2 = List.nth runs 1 and r4 = List.nth runs 2 in
+  let cores = Domain.recommended_domain_count () in
+  let gates_enforced = cores >= 4 in
+  let speedup r = if r1.pr_throughput > 0. then r.pr_throughput /. r1.pr_throughput else 0. in
+  print_string
+    (Table.render
+       ~header:[ "domains"; "EXPANDs"; "elapsed"; "EXPANDs/s"; "worst p95"; "speedup" ]
+       [ Table.Right; Right; Right; Right; Right; Right ]
+       (List.map
+          (fun r ->
+            [
+              string_of_int r.pr_domains;
+              string_of_int r.pr_expands;
+              Printf.sprintf "%.0f ms" r.pr_elapsed_ms;
+              Printf.sprintf "%.0f" r.pr_throughput;
+              Printf.sprintf "%.3f ms" r.pr_worst_p95;
+              Printf.sprintf "%.2fx" (speedup r);
+            ])
+          runs));
+  say "";
+  say "  cores: %d — scaling gates %s" cores
+    (if gates_enforced then "enforced" else "recorded only (need >= 4 cores)");
+  say "";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sessions\": %d,\n\
+      \  \"shards\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"cores\": %d,\n\
+      \  \"gates_enforced\": %b,\n\
+      \  \"expands\": %d,\n\
+      \  \"crashes\": %d,\n\
+      \  \"elapsed_ms_1\": %.2f,\n\
+      \  \"elapsed_ms_2\": %.2f,\n\
+      \  \"elapsed_ms_4\": %.2f,\n\
+      \  \"throughput_1\": %.2f,\n\
+      \  \"throughput_2\": %.2f,\n\
+      \  \"throughput_4\": %.2f,\n\
+      \  \"p95_ms_1\": %.4f,\n\
+      \  \"p95_ms_2\": %.4f,\n\
+      \  \"p95_ms_4\": %.4f,\n\
+      \  \"speedup_2x\": %.3f,\n\
+      \  \"speedup_4x\": %.3f\n\
+       }\n"
+      n_sessions shards smoke cores gates_enforced r1.pr_expands
+      (r1.pr_crashes + r2.pr_crashes + r4.pr_crashes)
+      r1.pr_elapsed_ms r2.pr_elapsed_ms r4.pr_elapsed_ms r1.pr_throughput r2.pr_throughput
+      r4.pr_throughput r1.pr_worst_p95 r2.pr_worst_p95 r4.pr_worst_p95 (speedup r2) (speedup r4)
+  in
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  let fail = ref false in
+  let gate name ok detail =
+    if not ok then begin
+      say "  *** FAIL: %s (%s) ***" name detail;
+      fail := true
+    end
+  in
+  (* Correctness gates — always enforced, on every run. *)
+  List.iter
+    (fun r ->
+      gate
+        (Printf.sprintf "crash at %d domains" r.pr_domains)
+        (r.pr_crashes = 0)
+        (Printf.sprintf "%d domain(s) died" r.pr_crashes);
+      gate
+        (Printf.sprintf "metrics drift at %d domains" r.pr_domains)
+        (r.pr_metric_count = r.pr_expands)
+        (Printf.sprintf "histogram count %d vs %d locally-counted EXPANDs" r.pr_metric_count
+           r.pr_expands);
+      gate
+        (Printf.sprintf "expand record lost/duplicated at %d domains" r.pr_domains)
+        (r.pr_expands = r1.pr_expands)
+        (Printf.sprintf "%d EXPANDs vs %d serial" r.pr_expands r1.pr_expands))
+    runs;
+  (* Scaling gates — only meaningful with cores to scale onto. The 0.95
+     monotone tolerance absorbs scheduler noise without letting a real
+     regression through. *)
+  if gates_enforced then begin
+    gate "4-domain speedup below 1.8x"
+      (speedup r4 >= 1.8)
+      (Printf.sprintf "%.2fx" (speedup r4));
+    gate "throughput not monotone 1->2"
+      (r2.pr_throughput >= 0.95 *. r1.pr_throughput)
+      (Printf.sprintf "%.0f/s vs %.0f/s" r2.pr_throughput r1.pr_throughput);
+    gate "throughput not monotone 2->4"
+      (r4.pr_throughput >= 0.95 *. r2.pr_throughput)
+      (Printf.sprintf "%.0f/s vs %.0f/s" r4.pr_throughput r2.pr_throughput);
+    if r1.pr_worst_p95 > 0. then
+      gate "per-domain p95 blew past 2x single-domain"
+        (r4.pr_worst_p95 <= 2. *. r1.pr_worst_p95)
+        (Printf.sprintf "%.3f ms vs %.3f ms" r4.pr_worst_p95 r1.pr_worst_p95)
+  end;
+  (* Structural gate against the committed baseline: the workload is
+     deterministic, so the expand total must match exactly. *)
+  let baseline_path = "bench/parallel_baseline.json" in
+  if Sys.file_exists baseline_path then begin
+    let baseline = read_file baseline_path in
+    let key = if smoke then "smoke_expands" else "expands" in
+    (match scan_json_number baseline key with
+    | Some b ->
+        gate "expand total diverged from baseline"
+          (float_of_int r1.pr_expands = b)
+          (Printf.sprintf "%d vs baseline %.0f (%s)" r1.pr_expands b key)
+    | None -> say "  no %S in %s — baseline gate skipped" key baseline_path);
+    if not !fail then say "  baseline gates passed (%s)" baseline_path
+  end
+  else say "  no %s — baseline gate skipped" baseline_path;
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* CSV export of the headline artifacts                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1104,23 +1314,23 @@ let targets =
     ("prefetch", prefetch_bench);
     ("chaos", chaos_bench);
     ("docset", docset_bench);
+    ("parallel", parallel_bench);
     ("csv", csv);
   ]
 
-(* "csv", "prefetch", "chaos" and "docset" write files rather than (only)
-   printing; keep them out of the default everything-run so
+(* "csv", "prefetch", "chaos", "docset" and "parallel" write files rather
+   than (only) printing; keep them out of the default everything-run so
    `bench/main.exe > bench_output.txt` stays pure. *)
 let default_targets =
   List.filter
-    (fun (n, _) -> not (List.mem n [ "csv"; "prefetch"; "chaos"; "docset" ]))
+    (fun (n, _) -> not (List.mem n [ "csv"; "prefetch"; "chaos"; "docset"; "parallel" ]))
     targets
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst default_targets
-  in
+  let args = match Array.to_list Sys.argv with _ :: args -> args | [] -> [] in
+  let flags, names = List.partition (fun a -> a = "--smoke") args in
+  if flags <> [] then smoke_mode := true;
+  let requested = match names with [] -> List.map fst default_targets | _ -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name targets with

@@ -335,10 +335,21 @@ let serve_cmd =
     in
     Arg.(value & opt (some float) None & info [ "expand-budget-ms" ] ~docv:"MS" ~doc)
   in
+  let domains_arg =
+    let doc =
+      "Worker domains serving requests in parallel (the session store is sharded to \
+       match). 1 serves sequentially in the accept loop."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
   let run scale seed port max_sessions prefetch snapshot backlog max_connections
-      expand_budget_ms =
+      expand_budget_ms domains =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
+    if domains < 1 then begin
+      Printf.printf "error: --domains must be >= 1\n";
+      exit 1
+    end;
     let w = build_workload scale seed in
     let app =
       (* A corrupt, mismatched, or missing snapshot is a clean startup
@@ -348,28 +359,44 @@ let serve_cmd =
           ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
           ~config:
             (engine_config ~prefetch
-               { Engine.default_config with Engine.max_sessions; expand_budget_ms })
+               { Engine.default_config with
+                 Engine.max_sessions;
+                 expand_budget_ms;
+                 shards = domains;
+               })
           ?snapshot ~database:w.Q.database ~eutils:w.Q.eutils ()
       with (Invalid_argument msg | Sys_error msg) ->
         Printf.printf "error: %s\n" msg;
         Printf.printf "(rebuild the snapshot with: bionav warm <FILE>)\n";
         exit 1
     in
-    Printf.printf "serving on http://127.0.0.1:%d (Ctrl-C to stop)\n%!" port;
+    Printf.printf "serving on http://127.0.0.1:%d with %d domain%s (Ctrl-C to stop)\n%!"
+      port domains (if domains = 1 then "" else "s");
     Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" port;
     if prefetch then
       Printf.printf "prefetch status at http://127.0.0.1:%d/prefetch\n%!" port;
     let config =
-      { Bionav_web.Http.default_server_config with Bionav_web.Http.backlog; max_connections }
+      { Bionav_web.Http.default_server_config with Bionav_web.Http.backlog;
+        max_connections; domains }
     in
-    Bionav_web.Http.serve ~config ~port (Bionav_web.App.handle app)
+    (* With multiple serving domains, speculation moves off the request
+       path onto its own background domain (each tick takes the shard
+       locks, so it never races the workers). *)
+    let pd =
+      if prefetch && domains > 1 then
+        Some (Engine.spawn_prefetch_domain (Bionav_web.App.engine app) ~budget:4)
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Engine.stop_prefetch_domain pd)
+      (fun () -> Bionav_web.Http.serve ~config ~port (Bionav_web.App.handle app))
   in
   let doc = "Serve the BioNav web interface over the synthetic corpus." in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
-      $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg)
+      $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg $ domains_arg)
 
 (* --- warm ---------------------------------------------------------------- *)
 

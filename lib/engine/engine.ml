@@ -19,6 +19,7 @@ type config = {
   clock : Clock.t;
   expand_budget_ms : float option;
   resilience : Guard.config option;
+  shards : int;
 }
 
 let default_config =
@@ -30,29 +31,42 @@ let default_config =
     clock = Clock.real;
     expand_budget_ms = None;
     resilience = Some Guard.default_config;
+    shards = 1;
   }
 
+(* A session is pinned to the shard that created it ([home]): its
+   navigation tree came out of that shard's cache and the tree's arena is
+   mutated on every expand, so all access happens under [home.lock]. *)
 type session = {
   sid : string;
   query : string;
   nav : Nav_tree.t;
   navigation : Navigation.t;
+  home : shard;
   mutable tick : int;  (* recency clock value of the last touch *)
   mutable last_use_ms : float;  (* config.clock time of the last touch, for TTLs *)
+}
+
+and shard = {
+  snum : int;
+  lock : Mutex.t;
+  cache : Nav_cache.t;
+  sprefetch : Prefetch.t option;
+  sguard : Guard.t option;
+  srun_search : string -> Docset.t;
+  sessions : (string, session) Hashtbl.t;
+  shard_max : int;  (* per-shard session bound *)
+  mutable sclock : int;
+  mutable sevictions : int;
 }
 
 type t = {
   config : config;
   database : Bionav_store.Database.t;
   eutils : Eutils.t;
-  guard : Guard.t option;
-  run_search : string -> Docset.t;
-  cache : Nav_cache.t;
-  prefetch : Prefetch.t option;
-  sessions : (string, session) Hashtbl.t;
-  mutable next_sid : int;
-  mutable clock : int;
-  mutable evictions : int;
+  search_lock : Mutex.t;  (* confines the inverted index's shared arena *)
+  shards : shard array;
+  next_sid : int Atomic.t;
 }
 
 let started_counter = Metrics.counter "bionav_sessions_started_total"
@@ -63,59 +77,89 @@ let live_gauge = Metrics.gauge "bionav_sessions_live"
 
 let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   if config.max_sessions < 1 then invalid_arg "Engine.create: max_sessions must be >= 1";
+  if config.shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
   (match config.expand_budget_ms with
   | Some b when b < 0. -> invalid_arg "Engine.create: expand_budget_ms must be >= 0"
   | Some _ | None -> ());
-  let guard =
-    match (config.resilience, chaos) with
-    | None, None -> None
-    | cfg, chaos ->
-        let gconfig = Option.value cfg ~default:Guard.default_config in
-        Some (Guard.create ?chaos ~config:gconfig ~clock:config.clock ())
+  let search_lock = Mutex.create () in
+  let index_arena = Bionav_search.Inverted_index.arena (Eutils.index eutils) in
+  let make_shard snum =
+    let guard =
+      (* The chaos plan draws from one stateful stream; give it to shard 0
+         only so multi-shard engines never race it (chaos runs are
+         single-shard in practice). *)
+      let chaos = if snum = 0 then chaos else None in
+      match (config.resilience, chaos) with
+      | None, None -> None
+      | cfg, chaos ->
+          let gconfig = Option.value cfg ~default:Guard.default_config in
+          Some (Guard.create ?chaos ~config:gconfig ~clock:config.clock ())
+    in
+    let run_search query =
+      (* esearch interns into the process-wide index arena: serialized
+         across shards, and the arena is adopted by whichever domain got
+         the lock. Only tree-cache misses pay this. *)
+      let locked () =
+        Mutex.protect search_lock (fun () ->
+            Docset_arena.adopt index_arena;
+            Eutils.esearch eutils query)
+      in
+      match guard with
+      | None -> locked ()
+      | Some g -> (
+          match Guard.call g ~op:"esearch" locked with
+          | Ok ids -> ids
+          | Error e -> raise (Backend_unavailable (Guard.error_message e)))
+    in
+    let build query = Nav_tree.of_database database (run_search query) in
+    {
+      snum;
+      lock = Mutex.create ();
+      cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
+      sprefetch =
+        Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
+      sguard = guard;
+      srun_search = run_search;
+      sessions = Hashtbl.create 64;
+      shard_max = max 1 (config.max_sessions / config.shards);
+      sclock = 0;
+      sevictions = 0;
+    }
   in
-  let run_search query =
-    match guard with
-    | None -> Eutils.esearch eutils query
-    | Some g -> (
-        match Guard.call g ~op:"esearch" (fun () -> Eutils.esearch eutils query) with
-        | Ok ids -> ids
-        | Error e -> raise (Backend_unavailable (Guard.error_message e)))
-  in
-  let build query = Nav_tree.of_database database (run_search query) in
   let t =
     {
       config;
       database;
       eutils;
-      guard;
-      run_search;
-      cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
-      prefetch =
-        Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
-      sessions = Hashtbl.create 64;
-      next_sid = 0;
-      clock = 0;
-      evictions = 0;
+      search_lock;
+      shards = Array.init config.shards make_shard;
+      next_sid = Atomic.make 0;
     }
   in
   (match snapshot with
   | None -> ()
   | Some path ->
       let entries = Snapshot.load ~db:database path in
-      let n =
-        Warmer.apply ~db:database ~trees:t.cache
-          ?plans:(Option.map Prefetch.plans t.prefetch)
-          entries
-      in
-      Logs.info (fun m -> m "engine: warm-started %d quer%s from %s" n
-                     (if n = 1 then "y" else "ies") path));
+      let n = ref 0 in
+      Array.iter
+        (fun shard ->
+          n :=
+            Warmer.apply ~db:database ~trees:shard.cache
+              ?plans:(Option.map Prefetch.plans shard.sprefetch)
+              entries)
+        t.shards;
+      Logs.info (fun m -> m "engine: warm-started %d quer%s from %s" !n
+                     (if !n = 1 then "y" else "ies") path));
   t
 
 let eutils t = t.eutils
 let config t = t.config
-let prefetch t = t.prefetch
-let guard t = t.guard
+let prefetch t = t.shards.(0).sprefetch
+let guard t = t.shards.(0).sguard
 let resilience_clock t = t.config.clock
+let shard_count t = Array.length t.shards
+
+let shard_of_sid t sid = t.shards.(Hashtbl.hash sid mod Array.length t.shards)
 
 (* --- strategies -------------------------------------------------------- *)
 
@@ -139,46 +183,52 @@ let session_query s = s.query
 let session_nav s = s.nav
 let navigation s = s.navigation
 
-let session_count t = Hashtbl.length t.sessions
-let eviction_count t = t.evictions
+let session_count t =
+  Array.fold_left (fun acc shard -> acc + Hashtbl.length shard.sessions) 0 t.shards
 
-let publish_live t = Metrics.set live_gauge (float_of_int (Hashtbl.length t.sessions))
+let eviction_count t = Array.fold_left (fun acc shard -> acc + shard.sevictions) 0 t.shards
+
+(* Reads other shards' table sizes without their locks: an int-field read
+   per table, tolerable staleness for a gauge. *)
+let publish_live t = Metrics.set live_gauge (float_of_int (session_count t))
 
 let touch t s =
-  t.clock <- t.clock + 1;
-  s.tick <- t.clock;
+  let shard = s.home in
+  shard.sclock <- shard.sclock + 1;
+  s.tick <- shard.sclock;
   s.last_use_ms <- Clock.now_ms t.config.clock
 
-(* A session of [query] just left the store. If it was the last one for
-   that query, cancel its queued speculation — a dead session must not
-   leave pending work behind. Cached plans stay: they are keyed by exact
-   component and remain correct for future sessions of the same query. *)
-let release_query t query =
-  match t.prefetch with
+(* A session of [query] just left this shard. If it was the shard's last
+   one for that query, cancel the shard's queued speculation — a dead
+   session must not leave pending work behind. Cached plans stay: they
+   are keyed by exact component and remain correct for future sessions.
+   Prefetch state is shard-local, so only this shard's sessions matter. *)
+let release_query shard query =
+  match shard.sprefetch with
   | None -> ()
   | Some pf ->
       let norm = Nav_cache.normalize query in
       let still_live =
         Hashtbl.fold
           (fun _ s acc -> acc || String.equal norm (Nav_cache.normalize s.query))
-          t.sessions false
+          shard.sessions false
       in
       if not still_live then ignore (Prefetch.drop_query pf query : int)
 
-let evict_lru t =
+let evict_lru shard =
   let victim =
     Hashtbl.fold
       (fun _ s acc ->
         match acc with Some best when best.tick <= s.tick -> acc | Some _ | None -> Some s)
-      t.sessions None
+      shard.sessions None
   in
   match victim with
   | Some s ->
-      Hashtbl.remove t.sessions s.sid;
-      t.evictions <- t.evictions + 1;
+      Hashtbl.remove shard.sessions s.sid;
+      shard.sevictions <- shard.sevictions + 1;
       Metrics.incr evicted_counter;
-      release_query t s.query;
-      Logs.debug (fun m -> m "engine: evicted session %s (store full)" s.sid)
+      release_query shard s.query;
+      Logs.debug (fun m -> m "engine: evicted session %s (shard %d full)" s.sid shard.snum)
   | None -> ()
 
 type search_outcome = No_results | Session of session
@@ -187,13 +237,13 @@ type search_outcome = No_results | Session of session
    entry. The deadline starts first so an injected latency spike (the
    "expand" half of the fault plan) eats into it — that is exactly the
    overload signal that triggers degradation. *)
-let expand_budget_factory t () =
+let expand_budget_factory t shard () =
   let deadline =
     Option.map
       (fun budget_ms -> Deadline.start ~clock:t.config.clock ~budget_ms)
       t.config.expand_budget_ms
   in
-  (match t.guard with None -> () | Some g -> Guard.inject g ~op:"expand");
+  (match shard.sguard with None -> () | Some g -> Guard.inject g ~op:"expand");
   match deadline with
   | None -> fun () -> false
   | Some d -> fun () -> Deadline.expired d
@@ -204,69 +254,86 @@ let search t ?(strategy = Navigation.bionav ()) query =
   | Ok strategy ->
       if String.trim query = "" then Error "empty query"
       else begin
-        match Nav_cache.get t.cache query with
-        | exception Backend_unavailable msg -> Error msg
-        | nav ->
-        if Nav_tree.distinct_results nav = 0 then Ok No_results
-        else begin
-          while Hashtbl.length t.sessions >= t.config.max_sessions do
-            evict_lru t
-          done;
-          let sid = Printf.sprintf "s%d" t.next_sid in
-          t.next_sid <- t.next_sid + 1;
-          let s =
-            {
-              sid;
-              query;
-              nav;
-              navigation = Navigation.start strategy nav;
-              tick = 0;
-              last_use_ms = 0.;
-            }
-          in
-          touch t s;
-          Hashtbl.replace t.sessions sid s;
-          if Option.is_some t.guard || Option.is_some t.config.expand_budget_ms then
-            Navigation.set_budget s.navigation (Some (expand_budget_factory t));
-          (match t.prefetch with
-          | Some pf -> Prefetch.attach pf ~query s.navigation
-          | None -> ());
-          Metrics.incr started_counter;
-          publish_live t;
-          Ok (Session s)
-        end
+        (* The sid is allocated before the (fallible) tree build so the
+           shard — and therefore the lock and cache — can be chosen up
+           front; a failed search burns an id, which stays monotonic. *)
+        let sid = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_sid 1) in
+        let shard = shard_of_sid t sid in
+        Mutex.protect shard.lock (fun () ->
+            match Nav_cache.get shard.cache query with
+            | exception Backend_unavailable msg -> Error msg
+            | nav ->
+                Docset_arena.adopt (Nav_tree.arena nav);
+                if Nav_tree.distinct_results nav = 0 then Ok No_results
+                else begin
+                  while Hashtbl.length shard.sessions >= shard.shard_max do
+                    evict_lru shard
+                  done;
+                  let s =
+                    {
+                      sid;
+                      query;
+                      nav;
+                      navigation = Navigation.start strategy nav;
+                      home = shard;
+                      tick = 0;
+                      last_use_ms = 0.;
+                    }
+                  in
+                  touch t s;
+                  Hashtbl.replace shard.sessions sid s;
+                  if Option.is_some shard.sguard || Option.is_some t.config.expand_budget_ms
+                  then
+                    Navigation.set_budget s.navigation (Some (expand_budget_factory t shard));
+                  (match shard.sprefetch with
+                  | Some pf -> Prefetch.attach pf ~query s.navigation
+                  | None -> ());
+                  Metrics.incr started_counter;
+                  publish_live t;
+                  Ok (Session s)
+                end)
       end
 
 let find_session t sid =
-  match Hashtbl.find_opt t.sessions sid with
-  | Some s ->
-      touch t s;
-      Some s
-  | None -> None
+  let shard = shard_of_sid t sid in
+  Mutex.protect shard.lock (fun () ->
+      match Hashtbl.find_opt shard.sessions sid with
+      | Some s ->
+          touch t s;
+          Some s
+      | None -> None)
 
 let close t sid =
-  match Hashtbl.find_opt t.sessions sid with
-  | Some s ->
-      Hashtbl.remove t.sessions sid;
-      Metrics.incr closed_counter;
-      release_query t s.query;
-      publish_live t;
-      true
-  | None -> false
+  let shard = shard_of_sid t sid in
+  Mutex.protect shard.lock (fun () ->
+      match Hashtbl.find_opt shard.sessions sid with
+      | Some s ->
+          Hashtbl.remove shard.sessions sid;
+          Metrics.incr closed_counter;
+          release_query shard s.query;
+          publish_live t;
+          true
+      | None -> false)
 
 let sweep ?now_ms t =
   match t.config.session_ttl_ms with
   | None -> 0
   | Some ttl ->
       let now = match now_ms with Some n -> n | None -> Clock.now_ms t.config.clock in
-      let expired =
-        Hashtbl.fold
-          (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
-          t.sessions []
-      in
-      List.iter (fun s -> Hashtbl.remove t.sessions s.sid) expired;
-      List.iter (fun s -> release_query t s.query) expired;
-      let n = List.length expired in
+      let total = ref 0 in
+      Array.iter
+        (fun shard ->
+          Mutex.protect shard.lock (fun () ->
+              let expired =
+                Hashtbl.fold
+                  (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
+                  shard.sessions []
+              in
+              List.iter (fun s -> Hashtbl.remove shard.sessions s.sid) expired;
+              List.iter (fun s -> release_query shard s.query) expired;
+              total := !total + List.length expired))
+        t.shards;
+      let n = !total in
       if n > 0 then begin
         Metrics.incr ~by:n expired_counter;
         publish_live t;
@@ -276,9 +343,14 @@ let sweep ?now_ms t =
 
 (* --- navigation actions ------------------------------------------------ *)
 
-let expand s node = Navigation.expand s.navigation node
-let show_results s node = Navigation.show_results s.navigation node
-let backtrack s = Navigation.backtrack s.navigation
+let run_locked s f =
+  Mutex.protect s.home.lock (fun () ->
+      Docset_arena.adopt (Nav_tree.arena s.nav);
+      f ())
+
+let expand s node = run_locked s (fun () -> Navigation.expand s.navigation node)
+let show_results s node = run_locked s (fun () -> Navigation.show_results s.navigation node)
+let backtrack s = run_locked s (fun () -> Navigation.backtrack s.navigation)
 
 (* --- detached sessions -------------------------------------------------- *)
 
@@ -292,31 +364,76 @@ let start strategy nav =
 (* --- prefetch & warm start ---------------------------------------------- *)
 
 let prefetch_tick t ~budget =
-  match t.prefetch with None -> 0 | Some pf -> Prefetch.tick pf ~budget
+  Array.fold_left
+    (fun acc shard ->
+      match shard.sprefetch with
+      | None -> acc
+      | Some pf ->
+          acc
+          + Mutex.protect shard.lock (fun () ->
+                (* Speculation jobs compute cuts on trees cached in this
+                   shard; run_job adopts each job's arena itself. *)
+                Prefetch.tick pf ~budget))
+    0 t.shards
+
+type prefetch_domain = { stop_flag : bool Atomic.t; handle : unit Domain.t }
+
+let spawn_prefetch_domain ?(interval_s = 0.01) t ~budget =
+  let stop_flag = Atomic.make false in
+  let handle =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop_flag) do
+          ignore (prefetch_tick t ~budget : int);
+          Unix.sleepf interval_s
+        done)
+  in
+  { stop_flag; handle }
+
+let stop_prefetch_domain pd =
+  Atomic.set pd.stop_flag true;
+  Domain.join pd.handle
 
 let warm t queries =
-  let entries = Warmer.build ~db:t.database ~run:t.run_search queries in
-  ignore
-    (Warmer.apply ~db:t.database ~trees:t.cache
-       ?plans:(Option.map Prefetch.plans t.prefetch)
-       entries
-      : int);
+  let entries = Warmer.build ~db:t.database ~run:t.shards.(0).srun_search queries in
+  Array.iter
+    (fun shard ->
+      Mutex.protect shard.lock (fun () ->
+          ignore
+            (Warmer.apply ~db:t.database ~trees:shard.cache
+               ?plans:(Option.map Prefetch.plans shard.sprefetch)
+               entries
+              : int)))
+    t.shards;
   entries
 
 let save_snapshot t entries path = Snapshot.save ~db:t.database entries path
 
 (* --- observability ------------------------------------------------------ *)
 
-let cache_hit_rate t = Nav_cache.hit_rate t.cache
+let cache_hit_rate t =
+  let hits, lookups =
+    Array.fold_left
+      (fun (h, l) shard ->
+        let sh = Nav_cache.hits shard.cache and sm = Nav_cache.misses shard.cache in
+        (h + sh, l + sh + sm))
+      (0, 0) t.shards
+  in
+  if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
 
 let plan_cache_hit_rate t =
-  match t.prefetch with
-  | None -> 0.
-  | Some pf ->
-      let plans = Prefetch.plans pf in
-      let h = Bionav_prefetch.Plan_cache.hits plans
-      and m = Bionav_prefetch.Plan_cache.misses plans in
-      if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+  let hits, lookups =
+    Array.fold_left
+      (fun (h, l) shard ->
+        match shard.sprefetch with
+        | None -> (h, l)
+        | Some pf ->
+            let plans = Prefetch.plans pf in
+            let ph = Bionav_prefetch.Plan_cache.hits plans
+            and pm = Bionav_prefetch.Plan_cache.misses plans in
+            (h + ph, l + ph + pm))
+      (0, 0) t.shards
+  in
+  if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
 
 let docset_sets_gauge = Metrics.gauge "bionav_docset_live_sets"
 let docset_bytes_gauge = Metrics.gauge "bionav_docset_resident_bytes"
@@ -325,14 +442,18 @@ let docset_sparse_gauge = Metrics.gauge "bionav_docset_live_sparse"
 let docset_dedup_gauge = Metrics.gauge "bionav_docset_dedup_hit_rate"
 
 (* The arenas alive right now: the inverted index's long-lived arena plus
-   one per cached navigation tree. Session trees come out of the cache, so
-   walking cache + sessions with physical dedup covers every arena the
-   engine can reach. *)
+   one per cached navigation tree. Session trees come out of their shard's
+   cache, so walking each shard's cache + sessions (under its lock) with
+   physical dedup covers every arena the engine can reach. *)
 let live_arenas t =
   let arenas = ref [ Bionav_search.Inverted_index.arena (Eutils.index t.eutils) ] in
   let note a = if not (List.memq a !arenas) then arenas := a :: !arenas in
-  Nav_cache.fold_trees t.cache (fun nav () -> note (Nav_tree.arena nav)) ();
-  Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) t.sessions;
+  Array.iter
+    (fun shard ->
+      Mutex.protect shard.lock (fun () ->
+          Nav_cache.fold_trees shard.cache (fun nav () -> note (Nav_tree.arena nav)) ();
+          Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) shard.sessions))
+    t.shards;
   !arenas
 
 let publish_docset t =

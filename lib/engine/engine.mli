@@ -18,9 +18,18 @@
       {!Bionav_util.Metrics}; {!metrics_text} renders the registry for
       the web [/metrics] route and the CLI [--metrics] dump.
 
-    This is the seam future scaling work (sharding, async transports,
-    multi-backend stores) plugs into: entry points talk to the engine,
-    never to [Navigation.start] directly.
+    This is the seam scaling work plugs into: entry points talk to the
+    engine, never to [Navigation.start] directly.
+
+    {b Concurrency} (DESIGN.md §11): the store is sharded
+    [config.shards] ways by session-id hash. Each shard owns a mutex, a
+    tree cache, prefetch state and a backend guard; sessions — and the
+    navigation trees and docset arenas behind them — are confined to
+    their shard and only touched under its lock, with the arena
+    {!Bionav_util.Docset_arena.adopt}ed by the locking domain. The one
+    cross-shard structure, the inverted index's arena, is confined by an
+    internal search lock taken only on tree-cache misses. Expands on
+    sessions in different shards run in parallel.
 
     {b Resilience} ({!Bionav_resilience}): every backend call (the
     ESearch keyword lookup) runs under a {!Bionav_resilience.Guard} —
@@ -57,6 +66,15 @@ type config = {
       (** Retry/breaker policy for backend calls. Default
           [Some Guard.default_config]; [None] disables the guard (calls
           go straight to the backend) unless chaos is injected. *)
+  shards : int;
+      (** Session-store shards (>= 1, default 1). Sessions are hashed to
+          a shard by session id; each shard has its own mutex, tree
+          cache, prefetch state and guard, so expands on sessions in
+          different shards proceed in parallel while every navigation
+          tree stays confined to the shard that built it (the same query
+          may therefore be built once per shard). The per-shard session
+          bound is [max 1 (max_sessions / shards)]. With chaos injected,
+          only shard 0's guard draws from the fault plan. *)
 }
 
 val default_config : config
@@ -85,10 +103,15 @@ val eutils : t -> Bionav_search.Eutils.t
 val config : t -> config
 
 val prefetch : t -> Bionav_prefetch.Prefetch.t option
-(** The live prefetch facade, when enabled. *)
+(** Shard 0's prefetch facade, when enabled (prefetch state is
+    per-shard; shard 0 is the whole engine when [shards = 1]). *)
 
 val guard : t -> Bionav_resilience.Guard.t option
-(** The backend guard (for breaker/chaos introspection), when enabled. *)
+(** Shard 0's backend guard (for breaker/chaos introspection), when
+    enabled. *)
+
+val shard_count : t -> int
+(** [config.shards]. *)
 
 val resilience_clock : t -> Bionav_resilience.Clock.t
 (** [config.clock] — the clock every engine timing decision reads. *)
@@ -150,6 +173,17 @@ val eviction_count : t -> int
 val expand : session -> int -> int list
 val show_results : session -> int -> Bionav_util.Docset.t
 val backtrack : session -> bool
+(** Each action takes the session's shard lock and adopts the tree's
+    docset arena for the calling domain, so any worker domain may serve
+    any session. *)
+
+val run_locked : session -> (unit -> 'a) -> 'a
+(** Run [f] holding the session's shard lock with the tree's arena
+    adopted — for bulk drivers (rendering, simulation replay) that make
+    many tree reads/expands as one atom. Inside [f], use the raw
+    {!Bionav_core.Navigation} operations, {b never} {!expand}/
+    {!show_results}/{!backtrack} (the shard mutex is not reentrant;
+    relocking self-deadlocks). *)
 
 (* --- detached sessions ------------------------------------------------ *)
 
@@ -164,8 +198,21 @@ val start :
 (* --- prefetch & warm start -------------------------------------------- *)
 
 val prefetch_tick : t -> budget:int -> int
-(** Run up to [budget] queued speculation jobs (idle-time pacing, e.g.
-    between requests in the serve loop); 0 when prefetch is disabled. *)
+(** Run up to [budget] queued speculation jobs {e per shard} (idle-time
+    pacing, e.g. between requests in the serve loop), each shard ticked
+    under its own lock; 0 when prefetch is disabled. *)
+
+type prefetch_domain
+
+val spawn_prefetch_domain : ?interval_s:float -> t -> budget:int -> prefetch_domain
+(** Spawn a background domain calling {!prefetch_tick} every
+    [interval_s] seconds (default 0.01). Each tick takes the shard locks
+    in turn, so speculation never races request-serving domains over
+    shard state. Stop it with {!stop_prefetch_domain} before discarding
+    the engine. *)
+
+val stop_prefetch_domain : prefetch_domain -> unit
+(** Signal the domain to stop and join it. *)
 
 val warm : t -> string list -> Bionav_store.Snapshot.entry list
 (** Run each query through the engine's own search path, build its

@@ -107,6 +107,10 @@ let observe t ~query ~active ~k ~params ~revealed =
     ranked
 
 let run_job t job =
+  (* Ticks may run on a background prefetch domain (under the engine's
+     shard lock): take ownership of the job tree's arena before the cut
+     computation mutates its memo tables. *)
+  Docset_arena.adopt (Nav_tree.arena job.nav);
   if not (Plan_cache.mem t.cache ~query:job.query ~root:job.root ~members:job.members) then begin
     let (), ms =
       Timing.time (fun () ->

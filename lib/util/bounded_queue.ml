@@ -1,0 +1,40 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    items = Queue.create ();
+    capacity;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let pop_opt t =
+  Mutex.protect t.lock (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty)
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)

@@ -1,0 +1,27 @@
+(** A bounded multi-producer multi-consumer queue (mutex + condition).
+
+    The web layer's listener/worker handoff: the listener
+    {!try_push}es accepted connections and sheds when the queue is
+    full (backpressure becomes a 503, never an unbounded buffer);
+    worker domains block in {!pop_opt} until work arrives or the queue
+    is {!close}d for shutdown. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when the queue is full or closed
+    (the caller sheds the item). *)
+
+val pop_opt : 'a t -> 'a option
+(** Block until an item is available and dequeue it. [None] once the
+    queue is closed {e and} drained — the consumer's signal to exit.
+    Items pushed before {!close} are still delivered. *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake all blocked consumers. Idempotent. *)
+
+val length : 'a t -> int
+(** Instantaneous occupancy (racy under concurrency; for metrics). *)

@@ -14,6 +14,7 @@ type repr =
          [base] is a multiple of 32 and elements are non-negative *)
 
 type t = {
+  own : Ownership.t;
   mutable reprs : repr array;
   mutable fps : int array;
   mutable n : int;
@@ -50,6 +51,7 @@ let fingerprint_of_array a =
 let create () =
   let t =
     {
+      own = Ownership.create ~name:"Docset_arena" ();
       reprs = Array.make 16 (Sparse [||]);
       fps = Array.make 16 0;
       n = 0;
@@ -181,7 +183,12 @@ let grow t =
     t.fps <- fps
   end
 
+let adopt t = Ownership.adopt t.own
+
+let owner_domain t = Ownership.owner t.own
+
 let intern_unchecked t a =
+  Ownership.check t.own;
   t.intern_requests <- t.intern_requests + 1;
   Metrics.incr interned_counter;
   if Array.length a = 0 then begin
@@ -320,6 +327,7 @@ let op_inter = 1
 let op_diff = 2
 
 let binop t op a b =
+  Ownership.check t.own;
   check_id t a;
   check_id t b;
   (* Union and intersection are commutative: normalize the key. *)
@@ -404,6 +412,8 @@ let inter_cardinal t a b =
   if a = empty_id || b = empty_id then 0
   else if a = b then repr_cardinal t.reprs.(a)
   else begin
+    (* Even the "read" path mutates: memo-table insertion and hit stats. *)
+    Ownership.check t.own;
     let ka, kb = if a > b then (b, a) else (a, b) in
     match Hashtbl.find_opt t.count_memo (ka, kb) with
     | Some c ->

@@ -13,7 +13,13 @@
     Ids are only meaningful within their arena. {!Docset} wraps (arena, id)
     pairs into self-contained handles; this module is the storage layer.
 
-    Not domain-safe, like the rest of the serving stack. *)
+    {b Not internally synchronized.} An arena is confined to one domain
+    at a time: it carries an {!Ownership} stamp, mutating operations
+    (interning, set algebra and even memoizing "reads" like
+    {!inter_cardinal}) check it, and the engine {!adopt}s an arena
+    under the shard lock before touching it from a worker domain. With
+    [BIONAV_OWNERSHIP=1] a cross-domain mutation raises
+    {!Ownership.Violation} instead of corrupting the tables. *)
 
 type t
 
@@ -22,6 +28,14 @@ type id = int
     (and therefore structurally equal) set. *)
 
 val create : unit -> t
+(** A fresh arena owned by the calling domain. *)
+
+val adopt : t -> unit
+(** Transfer ownership to the calling domain. Call only while holding
+    the lock that serializes access to this arena (see {!Ownership.adopt}). *)
+
+val owner_domain : t -> int
+(** Id of the domain currently owning this arena. *)
 
 val empty_id : id
 (** The empty set, pre-interned in every arena (id 0). *)

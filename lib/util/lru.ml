@@ -7,11 +7,24 @@ type ('k, 'v) t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable iterating : bool;
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
-  { capacity; table = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0; evictions = 0 }
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    iterating = false;
+  }
+
+let guard_iteration t op =
+  if t.iterating then
+    invalid_arg (Printf.sprintf "Lru.%s: structural mutation during fold" op)
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
@@ -51,14 +64,23 @@ let evict_lru t =
   | None -> ()
 
 let add t k v =
+  guard_iteration t "add";
   if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity then evict_lru t;
   Hashtbl.replace t.table k { value = v; last_use = tick t }
 
-let remove t k = Hashtbl.remove t.table k
+let remove t k =
+  guard_iteration t "remove";
+  Hashtbl.remove t.table k
 
-let fold t f acc = Hashtbl.fold (fun _ e acc -> f e.value acc) t.table acc
+let fold t f acc =
+  t.iterating <- true;
+  Fun.protect
+    ~finally:(fun () -> t.iterating <- false)
+    (fun () -> Hashtbl.fold (fun _ e acc -> f e.value acc) t.table acc)
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  guard_iteration t "clear";
+  Hashtbl.reset t.table
 
 let hits t = t.hits
 let misses t = t.misses

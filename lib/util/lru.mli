@@ -33,7 +33,11 @@ val clear : ('k, 'v) t -> unit
 
 val fold : ('k, 'v) t -> ('v -> 'a -> 'a) -> 'a -> 'a
 (** Fold over the cached values in unspecified order, without touching
-    recency or hit/miss accounting (observability walks). *)
+    recency or hit/miss accounting (observability walks). Structural
+    mutation from inside the fold callback — {!add}, {!remove},
+    {!clear} — raises [Invalid_argument] rather than leaving iteration
+    behavior unspecified; non-structural reads ({!find}, {!peek},
+    {!mem}) remain allowed. *)
 
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int

@@ -1,19 +1,44 @@
-type counter = { mutable count : int }
+(* Domain-safety model (see the interface): counters and gauges are
+   lock-free atomics; histograms shard their buckets per domain and
+   aggregate at scrape time, so the record path never takes a lock and
+   never contends with other domains. The registry itself is guarded by
+   one mutex, but registration happens at module initialization, not on
+   the hot path. *)
 
-(* Gauges and histogram accumulators live in flat float arrays so that
-   updating them never allocates a boxed float. *)
-type gauge = { cell : float array (* [| value |] *) }
+type counter = { count : int Atomic.t }
+
+type gauge = { cell : float Atomic.t }
+
+(* One histogram shard, written by exactly one domain. [acc] is
+   [| sum; min; max |], flat so updating never allocates a boxed float. *)
+type shard = {
+  counts : int array;  (* length bounds + 1; the last is the overflow bucket *)
+  mutable total : int;
+  acc : float array;
+}
 
 type histogram = {
   bounds : float array;  (* strictly increasing upper bounds *)
-  counts : int array;  (* length bounds + 1; the last is the overflow bucket *)
-  mutable total : int;
-  acc : float array;  (* [| sum; min; max |] *)
+  mutable shards : shard array;  (* indexed by the domain's slot *)
+  hlock : Mutex.t;  (* guards shard-array growth and reset, never recording *)
 }
+
+(* Every domain gets a small dense slot the first time it records into any
+   histogram; slots are never reused, so a shard has a single writer for
+   the whole process lifetime and its plain mutable fields are race-free.
+   Aggregation reads may observe a shard mid-update (a total without its
+   bucket, say) — acceptable for monitoring; joining a domain publishes
+   all its writes, so post-join totals are exact. *)
+let next_slot = Atomic.make 0
+
+let slot_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_slot 1)
+
+let my_slot () = Domain.DLS.get slot_key
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let default_latency_buckets =
   [|
@@ -28,25 +53,26 @@ let check_name name =
 
 let kind_error name = invalid_arg (Printf.sprintf "Metrics: %S registered as another kind" name)
 
+let find_or_register name f =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+          let m = f () in
+          Hashtbl.replace registry name m;
+          m)
+
 let counter name =
   check_name name;
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some _ -> kind_error name
-  | None ->
-      let c = { count = 0 } in
-      Hashtbl.replace registry name (Counter c);
-      c
+  match find_or_register name (fun () -> Counter { count = Atomic.make 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_error name
 
 let gauge name =
   check_name name;
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
-  | Some _ -> kind_error name
-  | None ->
-      let g = { cell = [| 0. |] } in
-      Hashtbl.replace registry name (Gauge g);
-      g
+  match find_or_register name (fun () -> Gauge { cell = Atomic.make 0. }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_error name
 
 let check_buckets bounds =
   if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty buckets";
@@ -55,97 +81,143 @@ let check_buckets bounds =
       invalid_arg "Metrics.histogram: buckets must be strictly increasing"
   done
 
+let new_shard n_bounds =
+  { counts = Array.make (n_bounds + 1) 0; total = 0; acc = [| 0.; infinity; neg_infinity |] }
+
 let histogram ?(buckets = default_latency_buckets) name =
   check_name name;
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
-  | Some _ -> kind_error name
-  | None ->
-      check_buckets buckets;
-      let h =
-        {
-          bounds = Array.copy buckets;
-          counts = Array.make (Array.length buckets + 1) 0;
-          total = 0;
-          acc = [| 0.; infinity; neg_infinity |];
-        }
-      in
-      Hashtbl.replace registry name (Histogram h);
-      h
+  match
+    find_or_register name (fun () ->
+        check_buckets buckets;
+        Histogram { bounds = Array.copy buckets; shards = [||]; hlock = Mutex.create () })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_error name
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c.count by : int)
 
-let value c = c.count
+let value c = Atomic.get c.count
 
-let set g v = g.cell.(0) <- v
-let add g delta = g.cell.(0) <- g.cell.(0) +. delta
-let gauge_value g = g.cell.(0)
+let set g v = Atomic.set g.cell v
+
+let rec add g delta =
+  let old = Atomic.get g.cell in
+  if not (Atomic.compare_and_set g.cell old (old +. delta)) then add g delta
+
+let gauge_value g = Atomic.get g.cell
+
+(* The caller's own shard; grows the shard array under the lock on first
+   use. Growth copies shard {e references}, so a domain that raced us and
+   read the old array still records into shards the aggregate walk sees. *)
+let own_shard h =
+  let slot = my_slot () in
+  let shards = h.shards in
+  if slot < Array.length shards then shards.(slot)
+  else
+    Mutex.protect h.hlock (fun () ->
+        if slot < Array.length h.shards then h.shards.(slot)
+        else begin
+          let grown = Array.init (slot + 1) (fun i ->
+              if i < Array.length h.shards then h.shards.(i)
+              else new_shard (Array.length h.bounds))
+          in
+          h.shards <- grown;
+          grown.(slot)
+        end)
 
 let observe h v =
+  let s = own_shard h in
   let n = Array.length h.bounds in
   let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.total <- h.total + 1;
-  h.acc.(0) <- h.acc.(0) +. v;
-  if v < h.acc.(1) then h.acc.(1) <- v;
-  if v > h.acc.(2) then h.acc.(2) <- v
+  s.counts.(i) <- s.counts.(i) + 1;
+  s.total <- s.total + 1;
+  s.acc.(0) <- s.acc.(0) +. v;
+  if v < s.acc.(1) then s.acc.(1) <- v;
+  if v > s.acc.(2) then s.acc.(2) <- v
 
-let count h = h.total
-let sum h = if h.total = 0 then 0. else h.acc.(0)
+(* --- scrape-time aggregation ------------------------------------------- *)
+
+let fold_shards h f init = Array.fold_left f init h.shards
+
+let count h = fold_shards h (fun acc s -> acc + s.total) 0
+
+let sum h = if count h = 0 then 0. else fold_shards h (fun acc s -> acc +. s.acc.(0)) 0.
+
+let agg_counts h =
+  let out = Array.make (Array.length h.bounds + 1) 0 in
+  Array.iter
+    (fun s -> Array.iteri (fun i c -> out.(i) <- out.(i) + c) s.counts)
+    h.shards;
+  out
+
+let agg_max h = fold_shards h (fun acc s -> Float.max acc s.acc.(2)) neg_infinity
 
 let percentile h p =
-  if h.total = 0 then 0.
+  let total = count h in
+  if total = 0 then 0.
   else begin
+    let counts = agg_counts h in
     let p = Float.max 0. (Float.min 100. p) in
-    let rank = p /. 100. *. float_of_int h.total in
+    let rank = p /. 100. *. float_of_int total in
     let n = Array.length h.bounds in
     let rec find i cum =
-      let cum' = cum + h.counts.(i) in
+      let cum' = cum + counts.(i) in
       if float_of_int cum' >= rank || i = n then (i, cum)
       else find (i + 1) cum'
     in
     let i, cum_before = find 0 0 in
     let lo = if i = 0 then 0. else h.bounds.(i - 1) in
-    let hi = if i < n then h.bounds.(i) else Float.max lo h.acc.(2) in
-    if h.counts.(i) = 0 then lo
+    let hi = if i < n then h.bounds.(i) else Float.max lo (agg_max h) in
+    if counts.(i) = 0 then lo
     else begin
-      let frac = (rank -. float_of_int cum_before) /. float_of_int h.counts.(i) in
+      let frac = (rank -. float_of_int cum_before) /. float_of_int counts.(i) in
       lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
     end
   end
 
 let dump () =
-  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  let entries =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
   let buf = Buffer.create 1024 in
   List.iter
-    (fun name ->
-      match Hashtbl.find registry name with
-      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
-      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %g\n" name g.cell.(0))
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name (value c))
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %g\n" name (gauge_value g))
       | Histogram h ->
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.total);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name (count h));
           Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name (sum h));
           List.iter
             (fun (label, p) ->
               Buffer.add_string buf
                 (Printf.sprintf "%s{quantile=\"%s\"} %g\n" name label (percentile h p)))
             [ ("0.5", 50.); ("0.95", 95.); ("0.99", 99.) ])
-    (List.sort compare names);
+    (List.sort (fun (a, _) (b, _) -> compare a b) entries);
   Buffer.contents buf
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
+  let metrics =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  List.iter
+    (fun m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.cell.(0) <- 0.
+      | Counter c -> Atomic.set c.count 0
+      | Gauge g -> Atomic.set g.cell 0.
       | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.total <- 0;
-          h.acc.(0) <- 0.;
-          h.acc.(1) <- infinity;
-          h.acc.(2) <- neg_infinity)
-    registry
+          Mutex.protect h.hlock (fun () ->
+              Array.iter
+                (fun s ->
+                  Array.fill s.counts 0 (Array.length s.counts) 0;
+                  s.total <- 0;
+                  s.acc.(0) <- 0.;
+                  s.acc.(1) <- infinity;
+                  s.acc.(2) <- neg_infinity)
+                h.shards))
+    metrics

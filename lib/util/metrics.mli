@@ -12,15 +12,23 @@
 
     - {b One registry per process.} Two lookups of the same name return
       the same metric, so call sites never thread handles around.
-    - {b No allocation on the hot path.} Counters bump an immediate
-      [int] field; histograms bump preallocated [int]/[float] arrays.
-      Creation (registry lookup) allocates; keep it at module top level.
+    - {b No allocation on the hot path.} Counters bump an [Atomic.t];
+      histograms bump preallocated [int]/[float] arrays. Creation
+      (registry lookup) allocates and takes the registry mutex; keep it
+      at module top level.
     - {b Fixed-bucket histograms.} Observations land in a bucket of a
       fixed, sorted bound array (default: log-spaced 0.01 ms - 10 s), so
       recording is O(buckets) worst case with no stored samples;
       percentiles are linearly interpolated within the winning bucket.
-    - Not domain-safe: the serving stack is single-threaded (one
-      request at a time); wrap in a mutex before going multicore. *)
+    - {b Domain-safe, lock-free recording.} Counters and gauges are
+      atomics ([add] is a CAS loop). Each histogram keeps one bucket
+      shard per recording domain (assigned via domain-local storage the
+      first time a domain observes), so [observe] touches only
+      single-writer state and never contends; [count]/[sum]/
+      [percentile]/[dump] aggregate the shards at scrape time. A scrape
+      racing live recorders may read a shard mid-update (monitoring
+      tolerance); once a recording domain has been joined, totals read
+      from the joining domain are exact. *)
 
 type counter
 type gauge

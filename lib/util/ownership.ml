@@ -1,0 +1,33 @@
+exception Violation of string
+
+type t = { mutable owner : int; name : string }
+
+let enforce =
+  let from_env =
+    match Sys.getenv_opt "BIONAV_OWNERSHIP" with
+    | Some ("1" | "on" | "true") -> true
+    | Some _ | None -> false
+  in
+  Atomic.make from_env
+
+let set_enforced b = Atomic.set enforce b
+
+let enforced () = Atomic.get enforce
+
+let self_id () = (Domain.self () :> int)
+
+let create ?(name = "anonymous") () = { owner = self_id (); name }
+
+let owner t = t.owner
+
+let adopt t = t.owner <- self_id ()
+
+let check t =
+  if Atomic.get enforce then begin
+    let me = self_id () in
+    if t.owner <> me then
+      raise
+        (Violation
+           (Printf.sprintf "%s: domain %d mutating structure owned by domain %d" t.name me
+              t.owner))
+  end

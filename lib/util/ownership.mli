@@ -1,0 +1,43 @@
+(** Single-owner discipline for mutable structures shared across domains.
+
+    Docset arenas (and the trees built over them) are deliberately
+    unsynchronized: interning, op memos and count memos are plain
+    hashtables mutated on the expand hot path. Rather than lock them,
+    the concurrency model confines each arena to one domain at a time —
+    the engine transfers an arena to the domain that holds its shard
+    lock. An [Ownership.t] stamp makes that protocol checkable: the
+    structure records its owning domain id, mutators call {!check}, and
+    a lock-protected handover calls {!adopt}.
+
+    Checks are off by default (zero-cost beyond a bool read) and
+    enabled in debug builds via the [BIONAV_OWNERSHIP] environment
+    variable ([1]/[on]/[true]) or {!set_enforced}. A violation raises
+    {!Violation} rather than silently corrupting shared state. *)
+
+exception Violation of string
+(** Raised by {!check} when enforcement is on and the calling domain is
+    not the current owner. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** A stamp owned by the calling domain. [name] labels {!Violation}
+    messages (default ["anonymous"]). *)
+
+val owner : t -> int
+(** Id of the domain that currently owns the structure. *)
+
+val adopt : t -> unit
+(** Transfer ownership to the calling domain. Correct only while the
+    caller holds whatever lock serializes access to the structure (the
+    engine's shard lock); adoption itself is just a stamp update, not a
+    synchronization. *)
+
+val check : t -> unit
+(** No-op when enforcement is off or the caller owns the stamp.
+    @raise Violation otherwise. *)
+
+val set_enforced : bool -> unit
+(** Toggle enforcement process-wide (tests, debug builds). *)
+
+val enforced : unit -> bool

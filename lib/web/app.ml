@@ -9,6 +9,7 @@ let create ?(suggestions = []) ?config ?snapshot ~database ~eutils () =
   { engine = Engine.create ?config ?snapshot ~database ~eutils (); suggestions }
 
 let session_count t = Engine.session_count t.engine
+let engine t = t.engine
 
 (* --- rendering -------------------------------------------------------- *)
 
@@ -103,13 +104,19 @@ let session_page s =
 
 let param query name = List.assoc_opt name query
 
+(* Session-scoped routes run their whole body — visibility checks, the
+   navigation action, rendering (which touches arena memo tables even on
+   reads) — as one atom under the session's shard lock, so concurrent
+   worker domains never interleave on a tree. Inside [f], use the raw
+   [Navigation] operations, never [Engine.expand]/[show_results]/
+   [backtrack]: the shard mutex is not reentrant. *)
 let with_session t query f =
   match param query "sid" with
   | None -> Http.bad_request "missing sid"
   | Some sid -> (
       match Engine.find_session t.engine sid with
       | None -> Http.not_found "no such session"
-      | Some s -> f s)
+      | Some s -> Engine.run_locked s (fun () -> f s))
 
 let with_visible_node s query f =
   match Option.bind (param query "node") int_of_string_opt with
@@ -141,13 +148,13 @@ let search t query =
                   (Html.page ~title:"BioNav"
                      (Html.tag "p" (Html.text (Printf.sprintf "No results for %S." q))
                      ^ Html.link ~href:"/" "back"))
-            | Ok (Engine.Session s) -> session_page s))
+            | Ok (Engine.Session s) -> Engine.run_locked s (fun () -> session_page s)))
 
 let show t query =
   with_session t query (fun s ->
       with_visible_node s query (fun node ->
           let nav = Engine.session_nav s in
-          let citations = Engine.show_results s node in
+          let citations = Navigation.show_results (Engine.navigation s) node in
           let items =
             Docset.fold
               (fun id acc ->
@@ -203,11 +210,11 @@ let handle t ~path ~query =
   | "/expand" ->
       with_session t query (fun s ->
           with_visible_node s query (fun node ->
-              ignore (Engine.expand s node);
+              ignore (Navigation.expand (Engine.navigation s) node);
               session_page s))
   | "/back" ->
       with_session t query (fun s ->
-          ignore (Engine.backtrack s);
+          ignore (Navigation.backtrack (Engine.navigation s));
           session_page s)
   | "/show" -> show t query
   | "/metrics" -> metrics t

@@ -41,3 +41,7 @@ val handle : t -> Http.handler
 
 val session_count : t -> int
 (** Live sessions (for tests and monitoring). *)
+
+val engine : t -> Bionav_engine.Engine.t
+(** The app's engine — so a server can drive engine-level concerns the
+    handler does not (background prefetch ticks, sweeps). *)

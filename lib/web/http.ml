@@ -1,4 +1,5 @@
 module Metrics = Bionav_util.Metrics
+module Bounded_queue = Bionav_util.Bounded_queue
 
 type response = { status : int; content_type : string; body : string }
 
@@ -15,16 +16,27 @@ type server_config = {
   read_timeout_ms : float;
   max_request_line : int;
   max_connections : int;
+  domains : int;
+  queue_capacity : int;
 }
 
 let default_server_config =
-  { backlog = 128; read_timeout_ms = 5_000.; max_request_line = 8192; max_connections = 64 }
+  {
+    backlog = 128;
+    read_timeout_ms = 5_000.;
+    max_request_line = 8192;
+    max_connections = 64;
+    domains = 1;
+    queue_capacity = 64;
+  }
 
 let validate_server_config c =
   if c.backlog < 1 then invalid_arg "Http: backlog must be >= 1";
   if c.read_timeout_ms < 0. then invalid_arg "Http: read_timeout_ms must be >= 0";
   if c.max_request_line < 1 then invalid_arg "Http: max_request_line must be >= 1";
-  if c.max_connections < 1 then invalid_arg "Http: max_connections must be >= 1"
+  if c.max_connections < 1 then invalid_arg "Http: max_connections must be >= 1";
+  if c.domains < 1 then invalid_arg "Http: domains must be >= 1";
+  if c.queue_capacity < 1 then invalid_arg "Http: queue_capacity must be >= 1"
 
 let hex_value c =
   match c with
@@ -33,14 +45,20 @@ let hex_value c =
   | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
   | _ -> None
 
-let url_decode s =
+(* Malformed escapes — a lone ['%'], or ['%'] followed by fewer than two
+   hex digits (including at end-of-string) — pass through verbatim
+   rather than erroring: the decoder never fails, the handler decides
+   what a weird parameter means. [plus_as_space] is the
+   [x-www-form-urlencoded] rule and applies to query components only; in
+   a path, ['+'] is an ordinary character. *)
+let url_decode_component ~plus_as_space s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let rec go i =
     if i >= n then ()
     else
       match s.[i] with
-      | '+' ->
+      | '+' when plus_as_space ->
           Buffer.add_char buf ' ';
           go (i + 1)
       | '%' when i + 2 < n -> (
@@ -58,9 +76,11 @@ let url_decode s =
   go 0;
   Buffer.contents buf
 
+let url_decode s = url_decode_component ~plus_as_space:true s
+
 let parse_target target =
   match String.index_opt target '?' with
-  | None -> (url_decode target, [])
+  | None -> (url_decode_component ~plus_as_space:false target, [])
   | Some k ->
       let path = String.sub target 0 k in
       let query_str = String.sub target (k + 1) (String.length target - k - 1) in
@@ -74,7 +94,7 @@ let parse_target target =
                    ( url_decode (String.sub pair 0 e),
                      url_decode (String.sub pair (e + 1) (String.length pair - e - 1)) ))
       in
-      (url_decode path, params)
+      (url_decode_component ~plus_as_space:false path, params)
 
 let parse_request_line line =
   match String.split_on_char ' ' (String.trim line) with
@@ -188,13 +208,30 @@ let shed_connection client =
    with Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close client with Unix.Unix_error _ -> ()
 
-let serve ?(host = "127.0.0.1") ?(config = default_server_config) ~port handler =
+let queue_gauge = Metrics.gauge "bionav_web_queue_depth"
+
+let serve_and_close ~config handler client =
+  (try handle_connection ~config handler client
+   with e -> Logs.err (fun m -> m "connection error: %s" (Printexc.to_string e)));
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let serve ?(host = "127.0.0.1") ?(config = default_server_config) ?on_ready ?max_requests
+    ~port handler =
   validate_server_config config;
+  (match max_requests with
+  | Some n when n < 1 -> invalid_arg "Http.serve: max_requests must be >= 1"
+  | Some _ | None -> ());
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen sock config.backlog;
-  Logs.app (fun m -> m "bionav listening on http://%s:%d" host port);
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  Logs.app (fun m ->
+      m "bionav listening on http://%s:%d (%d domain%s)" host port config.domains
+        (if config.domains = 1 then "" else "s"));
+  (match on_ready with Some f -> f ~port | None -> ());
   (* Accept one connection blocking, then sweep whatever else the kernel
      already queued: the first [max_connections] of a burst are served in
      arrival order, the rest are shed with an immediate 503 instead of
@@ -216,12 +253,53 @@ let serve ?(host = "127.0.0.1") ?(config = default_server_config) ~port handler 
     Unix.clear_nonblock sock;
     List.rev !batch
   in
-  while true do
-    let client, _addr = Unix.accept sock in
-    List.iter
-      (fun client ->
-        (try handle_connection ~config handler client
-         with e -> Logs.err (fun m -> m "connection error: %s" (Printexc.to_string e)));
-        try Unix.close client with Unix.Unix_error _ -> ())
-      (accept_burst client)
-  done
+  let served = ref 0 in
+  let budget_left () = match max_requests with None -> true | Some n -> !served < n in
+  if config.domains = 1 then begin
+    (* Sequential path, byte-for-byte the pre-multicore behavior. *)
+    while budget_left () do
+      let client, _addr = Unix.accept sock in
+      List.iter
+        (fun client ->
+          serve_and_close ~config handler client;
+          incr served)
+        (accept_burst client)
+    done;
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  end
+  else begin
+    (* Listener + fixed pool of worker domains over a bounded queue. The
+       listener never blocks on a slow client; workers run the unchanged
+       [handle_connection], so the 400/408 hardening semantics are
+       identical, and both shedding paths (accept burst overflow, queue
+       full) answer 503 from the listener domain. *)
+    let queue : Unix.file_descr Bounded_queue.t =
+      Bounded_queue.create ~capacity:config.queue_capacity
+    in
+    let workers =
+      Array.init config.domains (fun _ ->
+          Domain.spawn (fun () ->
+              let rec loop () =
+                match Bounded_queue.pop_opt queue with
+                | None -> ()
+                | Some client ->
+                    serve_and_close ~config handler client;
+                    loop ()
+              in
+              loop ()))
+    in
+    while budget_left () do
+      let client, _addr = Unix.accept sock in
+      List.iter
+        (fun client ->
+          if Bounded_queue.try_push queue client then begin
+            incr served;
+            Metrics.set queue_gauge (float_of_int (Bounded_queue.length queue))
+          end
+          else shed_connection client)
+        (accept_burst client)
+    done;
+    Bounded_queue.close queue;
+    Array.iter Domain.join workers;
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  end

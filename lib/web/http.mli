@@ -1,9 +1,13 @@
 (** A minimal HTTP/1.1 server — just enough to serve the navigation
     interface locally, with the parsing layer exposed for tests.
 
-    Only GET is supported; connections are handled sequentially (the
-    navigation workload is single-user interactive). No external
-    dependencies beyond [Unix].
+    Only GET is supported. With [domains = 1] connections are handled
+    sequentially in the accept loop; with [domains > 1] a listener
+    domain accepts and hands descriptors to a fixed pool of worker
+    domains over a bounded queue (the handler must then be safe to call
+    from multiple domains concurrently — the engine's sharded sessions
+    and domain-safe metrics are). No external dependencies beyond
+    [Unix].
 
     Hardened against misbehaving peers: every read carries a socket
     deadline ([SO_RCVTIMEO]; a peer that stops mid-request gets a 408
@@ -36,16 +40,35 @@ type server_config = {
   max_connections : int;
       (** Connections served per accept burst (>= 1); the rest of the
           burst is shed with a 503. Default 64. *)
+  domains : int;
+      (** Worker domains (>= 1). 1 (the default) serves sequentially in
+          the accept loop; N > 1 spawns N workers fed by the listener. *)
+  queue_capacity : int;
+      (** Bound on the listener→worker handoff queue (>= 1, default
+          64); accepted connections beyond it are shed with a 503
+          ([bionav_resilience_shed_connections_total]), the queue depth
+          is published as [bionav_web_queue_depth]. Unused when
+          [domains = 1]. *)
 }
 
 val default_server_config : server_config
 
 val url_decode : string -> string
-(** Percent- and [+]-decoding; malformed escapes pass through verbatim. *)
+(** Percent- and [+]-decoding ([x-www-form-urlencoded]); malformed
+    escapes — a lone ["%"], or ["%"] followed by fewer than two hex
+    digits, including truncated at end-of-string — pass through
+    verbatim. Never raises. *)
+
+val url_decode_component : plus_as_space:bool -> string -> string
+(** {!url_decode} with the [+]→space rule optional: pass [false] for
+    path components, where ["+"] is an ordinary character. *)
 
 val parse_target : string -> string * (string * string) list
 (** Split a request target into path and decoded query parameters:
-    ["/a?x=1&y=b%20c"] -> [("/a", [("x","1"); ("y","b c")])]. *)
+    ["/a?x=1&y=b%20c"] -> [("/a", [("x","1"); ("y","b c")])]. The path
+    is percent-decoded without the [+]→space rule. Repeated keys are
+    all kept, in request order, so [List.assoc] sees the first
+    occurrence — the behavior every route in {!App} relies on. *)
 
 val parse_request_line : string -> (string * string) option
 (** ["GET /x HTTP/1.1"] -> [Some ("GET", "/x")]; [None] if malformed. *)
@@ -65,8 +88,21 @@ val shed_connection : Unix.file_descr -> unit
 (** Best-effort 503 and close — load shedding for connections beyond
     [max_connections]. *)
 
-val serve : ?host:string -> ?config:server_config -> port:int -> handler -> unit
-(** Accept loop; never returns normally. Exceptions from the handler
-    produce a 500 and are logged; socket errors on one connection do not
-    kill the server. @raise Invalid_argument on a malformed [config];
-    [Unix.Unix_error] if binding fails. *)
+val serve :
+  ?host:string ->
+  ?config:server_config ->
+  ?on_ready:(port:int -> unit) ->
+  ?max_requests:int ->
+  port:int ->
+  handler ->
+  unit
+(** Accept loop (listener + worker pool when [config.domains > 1]).
+    Exceptions from the handler produce a 500 and are logged; socket
+    errors on one connection do not kill the server. [on_ready] fires
+    once the socket is listening, with the actual bound port (pass
+    [port:0] to let the kernel pick — the way tests avoid port races).
+    With [max_requests:n] the server stops accepting after dispatching
+    [n] connections, drains the workers and returns — without it, the
+    loop never returns normally. @raise Invalid_argument on a malformed
+    [config] or [max_requests < 1]; [Unix.Unix_error] if binding
+    fails. *)

@@ -119,6 +119,29 @@ let test_rejects_zero_capacity () =
        false
      with Invalid_argument _ -> true)
 
+(* Mutating the cache from inside [fold] would invalidate the hashtable
+   walk; the guard turns that latent corruption into an immediate
+   [Invalid_argument], while reads stay allowed and the guard is always
+   released — even when the fold raises. *)
+let test_mutation_during_fold () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  let raises op = try op (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "add during fold" true
+    (raises (fun () -> Lru.fold c (fun _ () -> Lru.add c "c" 3) ()));
+  Alcotest.(check bool) "remove during fold" true
+    (raises (fun () -> Lru.fold c (fun _ () -> Lru.remove c "a") ()));
+  Alcotest.(check bool) "clear during fold" true
+    (raises (fun () -> Lru.fold c (fun _ () -> Lru.clear c) ()));
+  (* Non-structural reads inside the fold are fine. *)
+  Alcotest.(check int) "peek during fold ok" 2
+    (Lru.fold c (fun _ acc -> ignore (Lru.peek c "a" : int option); acc + 1) 0);
+  (* A raising fold must release the guard for the next mutation. *)
+  (try Lru.fold c (fun _ () -> failwith "boom") () with Failure _ -> ());
+  Lru.add c "d" 4;
+  Alcotest.(check bool) "guard released after raising fold" true (Lru.mem c "d")
+
 let qcheck_never_exceeds_capacity =
   QCheck.Test.make ~name:"length never exceeds capacity" ~count:300
     QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 20)))
@@ -159,6 +182,7 @@ let () =
           Alcotest.test_case "find_or_add" `Quick test_find_or_add;
           Alcotest.test_case "remove/clear" `Quick test_remove_clear;
           Alcotest.test_case "rejects zero capacity" `Quick test_rejects_zero_capacity;
+          Alcotest.test_case "mutation during fold" `Quick test_mutation_during_fold;
         ] );
       ( "property",
         [

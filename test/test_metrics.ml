@@ -138,6 +138,44 @@ let test_reset () =
   Metrics.incr c;
   Alcotest.(check int) "still usable" 1 (Metrics.value c)
 
+(* --- multi-domain exactness ------------------------------------------- *)
+(* Joining a domain is a happens-before edge, so after every writer is
+   joined the aggregated values must be exact, not approximate. *)
+
+let test_counter_cross_domain_exact () =
+  let c = Metrics.counter "test_domains_counter" in
+  let domains = 4 and per_domain = 10_000 in
+  let workers =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "no lost increment" (domains * per_domain) (Metrics.value c)
+
+let test_histogram_cross_domain_exact () =
+  let h =
+    Metrics.histogram ~buckets:(Array.init 10 (fun i -> float_of_int ((i + 1) * 10)))
+      "test_domains_hist"
+  in
+  let domains = 4 and per_domain = 2_500 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for v = 1 to per_domain do
+              Metrics.observe h (float_of_int (((d + v) mod 100) + 1))
+            done))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "every observation counted" (domains * per_domain) (Metrics.count h);
+  Alcotest.(check bool) "percentiles aggregate across shards" true
+    (let p = Metrics.percentile h 50. in
+     p > 0. && p <= 100.);
+  Metrics.reset ();
+  Alcotest.(check int) "reset clears every domain's shard" 0 (Metrics.count h)
+
 let () =
   Alcotest.run "metrics"
     [
@@ -164,5 +202,12 @@ let () =
         [
           Alcotest.test_case "format" `Quick test_dump_format;
           Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "counter exact across domains" `Quick
+            test_counter_cross_domain_exact;
+          Alcotest.test_case "histogram exact across domains" `Quick
+            test_histogram_cross_domain_exact;
         ] );
     ]

@@ -139,6 +139,19 @@ let test_put_seeds_without_building () =
   Alcotest.(check bool) "seeded tree served under normalized key" true (got == nav);
   Alcotest.(check int) "still no build" 0 !calls
 
+let test_mutation_during_fold_trees () =
+  let cache = Nav_cache.create ~build:(fun q -> make_nav (String.length q)) () in
+  ignore (Nav_cache.get cache "a");
+  ignore (Nav_cache.get cache "b");
+  Alcotest.(check bool) "put during fold_trees rejected" true
+    (try
+       Nav_cache.fold_trees cache (fun _ () -> Nav_cache.put cache "c" (make_nav 3)) ();
+       false
+     with Invalid_argument _ -> true);
+  (* The guard released: the cache still works. *)
+  Alcotest.(check int) "fold still walks both trees" 2
+    (Nav_cache.fold_trees cache (fun _ n -> n + 1) 0)
+
 let () =
   Alcotest.run "nav_cache"
     [
@@ -156,5 +169,7 @@ let () =
           Alcotest.test_case "clear resets counters" `Quick test_clear_resets_counters;
           Alcotest.test_case "put seeds without building" `Quick
             test_put_seeds_without_building;
+          Alcotest.test_case "mutation during fold_trees" `Quick
+            test_mutation_during_fold_trees;
         ] );
     ]

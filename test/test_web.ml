@@ -46,6 +46,44 @@ let test_url_decode () =
   Alcotest.(check string) "roundtrip" "x y/z"
     (Http.url_decode (String.concat "" [ "x"; "+"; "y"; "%2F"; "z" ]))
 
+let test_url_decode_malformed () =
+  Alcotest.(check string) "lone percent" "%" (Http.url_decode "%");
+  Alcotest.(check string) "trailing percent" "a%" (Http.url_decode "a%");
+  Alcotest.(check string) "one hex digit at end" "%2" (Http.url_decode "%2");
+  Alcotest.(check string) "bad second digit" "%2Gx" (Http.url_decode "%2Gx");
+  Alcotest.(check string) "bad first digit" "%zz" (Http.url_decode "%zz");
+  Alcotest.(check string) "recovers after bad escape" "%zz c" (Http.url_decode "%zz+c");
+  Alcotest.(check string) "percent-encoded percent" "100%" (Http.url_decode "100%25")
+
+let test_plus_in_path () =
+  (* '+' is an ordinary character in a path; the form rule applies to
+     query components only. *)
+  Alcotest.(check (pair string (list (pair string string)))) "path plus survives"
+    ("/a+b", [ ("q", "c d") ])
+    (Http.parse_target "/a+b?q=c+d");
+  Alcotest.(check (pair string (list (pair string string)))) "path percent decodes"
+    ("/a b", [])
+    (Http.parse_target "/a%20b")
+
+let test_repeated_keys () =
+  let _, params = Http.parse_target "/a?k=1&k=2&k=3&other=x" in
+  Alcotest.(check (list (pair string string))) "all occurrences kept in order"
+    [ ("k", "1"); ("k", "2"); ("k", "3"); ("other", "x") ]
+    params;
+  Alcotest.(check (option string)) "assoc sees the first" (Some "1") (List.assoc_opt "k" params)
+
+let qcheck_url_roundtrip =
+  QCheck.Test.make ~name:"Html.url encode -> parse_target decode roundtrip" ~count:500
+    QCheck.(pair string string)
+    (fun (k, v) ->
+      Http.parse_target (Html.url "/p" [ (k, v) ]) = ("/p", [ (k, v) ]))
+
+let qcheck_url_decode_total =
+  QCheck.Test.make ~name:"url_decode never raises" ~count:500 QCheck.string (fun s ->
+      ignore (Http.url_decode s : string);
+      ignore (Http.url_decode_component ~plus_as_space:false s : string);
+      true)
+
 let test_parse_target () =
   Alcotest.(check (pair string (list (pair string string)))) "no query" ("/a", [])
     (Http.parse_target "/a");
@@ -311,6 +349,46 @@ let test_shed_connection_sends_503 () =
   Alcotest.(check bool) "reason given" true (contains ~sub:"Service Unavailable" reply);
   Alcotest.(check int) "shed counted" (before + 1) (Metrics.value shed)
 
+(* --- Worker-domain pool: end-to-end over real sockets --- *)
+
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      Unix.shutdown sock Unix.SHUTDOWN_SEND;
+      read_all sock)
+
+let test_multi_domain_serve () =
+  let n = 6 in
+  let port = Atomic.make 0 in
+  let hits = Atomic.make 0 in
+  let handler ~path:_ ~query:_ =
+    Atomic.incr hits;
+    Http.ok "pooled"
+  in
+  let config = { Http.default_server_config with Http.domains = 2 } in
+  let server =
+    Domain.spawn (fun () ->
+        Http.serve ~config
+          ~on_ready:(fun ~port:p -> Atomic.set port p)
+          ~max_requests:n ~port:0 handler)
+  in
+  while Atomic.get port = 0 do
+    Domain.cpu_relax ()
+  done;
+  let p = Atomic.get port in
+  for i = 1 to n do
+    let reply = http_get ~port:p (Printf.sprintf "/r%d" i) in
+    Alcotest.(check bool) "200 over the wire" true (contains ~sub:"HTTP/1.1 200 OK" reply);
+    Alcotest.(check bool) "body served" true (contains ~sub:"pooled" reply)
+  done;
+  Domain.join server;
+  Alcotest.(check int) "every request reached the handler" n (Atomic.get hits)
+
 let () =
   Alcotest.run "web"
     [
@@ -324,9 +402,14 @@ let () =
       ( "http",
         [
           Alcotest.test_case "url decode" `Quick test_url_decode;
+          Alcotest.test_case "malformed escapes" `Quick test_url_decode_malformed;
+          Alcotest.test_case "plus in path" `Quick test_plus_in_path;
+          Alcotest.test_case "repeated keys" `Quick test_repeated_keys;
           Alcotest.test_case "parse target" `Quick test_parse_target;
           Alcotest.test_case "parse request line" `Quick test_parse_request_line;
           Alcotest.test_case "render response" `Quick test_render_response;
+          QCheck_alcotest.to_alcotest qcheck_url_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_url_decode_total;
         ] );
       ( "app",
         [
@@ -348,4 +431,6 @@ let () =
           Alcotest.test_case "truncated request times out" `Quick test_truncated_request_times_out;
           Alcotest.test_case "shed connection" `Quick test_shed_connection_sends_503;
         ] );
+      ( "pool",
+        [ Alcotest.test_case "multi-domain serve end-to-end" `Quick test_multi_domain_serve ] );
     ]
