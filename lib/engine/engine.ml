@@ -1,7 +1,9 @@
 open Bionav_util
 open Bionav_core
 module Eutils = Bionav_search.Eutils
+module Nav_snapshot = Bionav_search.Nav_snapshot
 module Prefetch = Bionav_prefetch.Prefetch
+module Speculator = Bionav_prefetch.Speculator
 module Warmer = Bionav_prefetch.Warmer
 module Snapshot = Bionav_store.Snapshot
 module Clock = Bionav_resilience.Clock
@@ -36,13 +38,21 @@ let default_config =
 
 (* A session is pinned to the shard that created it ([home]): its
    navigation tree came out of that shard's cache and the tree's arena is
-   mutated on every expand, so all access happens under [home.lock]. *)
+   mutated on every expand, so all mutation happens under [home.lock].
+   Reads go through [snapshot]: an immutable epoch-versioned view
+   republished (RCU-style) after every mutation, consumed with
+   [Atomic.get] and no lock (DESIGN.md §12). *)
 type session = {
   sid : string;
   query : string;
   nav : Nav_tree.t;
   navigation : Navigation.t;
   home : shard;
+  snapshot : Nav_snapshot.t Atomic.t;
+  pending_spec : int list Atomic.t;
+      (* nodes revealed since the last speculation pass; appended (under
+         the shard lock) by the expand observer, drained off-lock *)
+  mutable epoch : int;  (* bumped under the shard lock at each publish *)
   mutable tick : int;  (* recency clock value of the last touch *)
   mutable last_use_ms : float;  (* config.clock time of the last touch, for TTLs *)
 }
@@ -50,12 +60,17 @@ type session = {
 and shard = {
   snum : int;
   lock : Mutex.t;
+  lock_owner : int Atomic.t;  (* domain id holding [lock]; -1 when free *)
+  swaiters : Metrics.gauge;  (* per-shard lock queue depth *)
   cache : Nav_cache.t;
   sprefetch : Prefetch.t option;
   sguard : Guard.t option;
   srun_search : string -> Docset.t;
   sessions : (string, session) Hashtbl.t;
   shard_max : int;  (* per-shard session bound *)
+  sarena_stats : Docset_arena.stats Atomic.t;
+      (* aggregate over this shard's reachable arenas, refreshed on lock
+         release so the metrics scrape never takes the lock *)
   mutable sclock : int;
   mutable sevictions : int;
 }
@@ -74,6 +89,80 @@ let evicted_counter = Metrics.counter "bionav_sessions_evicted_total"
 let closed_counter = Metrics.counter "bionav_sessions_closed_total"
 let expired_counter = Metrics.counter "bionav_sessions_expired_total"
 let live_gauge = Metrics.gauge "bionav_sessions_live"
+let lock_acq_counter = Metrics.counter "bionav_shard_lock_acquisitions_total"
+let lock_wait_hist = Metrics.histogram "bionav_shard_lock_wait_ms"
+let lock_hold_hist = Metrics.histogram "bionav_shard_lock_hold_ms"
+
+(* --- the shard lock ----------------------------------------------------- *)
+
+let zero_arena_stats =
+  Docset_arena.
+    {
+      sets = 0;
+      bytes = 0;
+      dense = 0;
+      sparse = 0;
+      intern_requests = 0;
+      dedup_hits = 0;
+      memo_hits = 0;
+    }
+
+let add_arena_stats acc (st : Docset_arena.stats) =
+  Docset_arena.
+    {
+      sets = acc.sets + st.sets;
+      bytes = acc.bytes + st.bytes;
+      dense = acc.dense + st.dense;
+      sparse = acc.sparse + st.sparse;
+      intern_requests = acc.intern_requests + st.intern_requests;
+      dedup_hits = acc.dedup_hits + st.dedup_hits;
+      memo_hits = acc.memo_hits + st.memo_hits;
+    }
+
+(* Aggregate stats over the arenas this shard can reach (cached trees +
+   live sessions, physically deduplicated). Called under the shard lock. *)
+let shard_arena_stats shard =
+  let arenas = ref [] in
+  let note a = if not (List.memq a !arenas) then arenas := a :: !arenas in
+  Nav_cache.fold_trees shard.cache (fun nav () -> note (Nav_tree.arena nav)) ();
+  Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) shard.sessions;
+  List.fold_left (fun acc a -> add_arena_stats acc (Docset_arena.stats a)) zero_arena_stats !arenas
+
+(* Every acquisition of a shard lock goes through here: it detects
+   same-domain re-entry (the mutexes are non-reentrant, so that would
+   deadlock), maintains the wait/hold histograms and the per-shard
+   queue-depth gauge, and refreshes the shard's published arena stats on
+   the way out. *)
+let with_shard shard f =
+  let me = Ownership.self_id () in
+  if Atomic.get shard.lock_owner = me then
+    invalid_arg
+      (Printf.sprintf
+         "Engine: reentrant use of shard %d's lock from domain %d (run_locked inside \
+          run_locked?)"
+         shard.snum me);
+  Metrics.add shard.swaiters 1.;
+  let t0 = Timing.now_ms () in
+  Mutex.lock shard.lock;
+  let t1 = Timing.now_ms () in
+  Metrics.add shard.swaiters (-1.);
+  Metrics.observe lock_wait_hist (t1 -. t0);
+  Metrics.incr lock_acq_counter;
+  Atomic.set shard.lock_owner me;
+  let release () =
+    Atomic.set shard.sarena_stats (shard_arena_stats shard);
+    Atomic.set shard.lock_owner (-1);
+    Metrics.observe lock_hold_hist (Timing.now_ms () -. t1);
+    Mutex.unlock shard.lock
+  in
+  match f () with
+  | v ->
+      release ();
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      release ();
+      Printexc.raise_with_backtrace e bt
 
 let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   if config.max_sessions < 1 then invalid_arg "Engine.create: max_sessions must be >= 1";
@@ -81,14 +170,18 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   (match config.expand_budget_ms with
   | Some b when b < 0. -> invalid_arg "Engine.create: expand_budget_ms must be >= 0"
   | Some _ | None -> ());
+  (* A chaos plan is one stateful fault stream: sharding the engine would
+     race the draws and silently skew the plan. Refuse instead of
+     silently confining it to shard 0 (which dropped it for every other
+     shard's traffic). *)
+  (match chaos with
+  | Some _ when config.shards > 1 ->
+      invalid_arg "Engine.create: a chaos plan requires shards = 1"
+  | Some _ | None -> ());
   let search_lock = Mutex.create () in
   let index_arena = Bionav_search.Inverted_index.arena (Eutils.index eutils) in
   let make_shard snum =
     let guard =
-      (* The chaos plan draws from one stateful stream; give it to shard 0
-         only so multi-shard engines never race it (chaos runs are
-         single-shard in practice). *)
-      let chaos = if snum = 0 then chaos else None in
       match (config.resilience, chaos) with
       | None, None -> None
       | cfg, chaos ->
@@ -115,6 +208,8 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
     {
       snum;
       lock = Mutex.create ();
+      lock_owner = Atomic.make (-1);
+      swaiters = Metrics.gauge (Printf.sprintf "bionav_shard_lock_waiters_s%d" snum);
       cache = Nav_cache.create ~capacity:config.cache_capacity ~build ();
       sprefetch =
         Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
@@ -122,6 +217,7 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
       srun_search = run_search;
       sessions = Hashtbl.create 64;
       shard_max = max 1 (config.max_sessions / config.shards);
+      sarena_stats = Atomic.make zero_arena_stats;
       sclock = 0;
       sevictions = 0;
     }
@@ -182,6 +278,7 @@ let session_id s = s.sid
 let session_query s = s.query
 let session_nav s = s.nav
 let navigation s = s.navigation
+let snapshot s = Atomic.get s.snapshot
 
 let session_count t =
   Array.fold_left (fun acc shard -> acc + Hashtbl.length shard.sessions) 0 t.shards
@@ -259,7 +356,7 @@ let search t ?(strategy = Navigation.bionav ()) query =
            front; a failed search burns an id, which stays monotonic. *)
         let sid = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_sid 1) in
         let shard = shard_of_sid t sid in
-        Mutex.protect shard.lock (fun () ->
+        with_shard shard (fun () ->
             match Nav_cache.get shard.cache query with
             | exception Backend_unavailable msg -> Error msg
             | nav ->
@@ -269,13 +366,18 @@ let search t ?(strategy = Navigation.bionav ()) query =
                   while Hashtbl.length shard.sessions >= shard.shard_max do
                     evict_lru shard
                   done;
+                  let navigation = Navigation.start strategy nav in
                   let s =
                     {
                       sid;
                       query;
                       nav;
-                      navigation = Navigation.start strategy nav;
+                      navigation;
                       home = shard;
+                      snapshot =
+                        Atomic.make (Nav_snapshot.capture ~epoch:0 ~query navigation);
+                      pending_spec = Atomic.make [];
+                      epoch = 0;
                       tick = 0;
                       last_use_ms = 0.;
                     }
@@ -286,7 +388,21 @@ let search t ?(strategy = Navigation.bionav ()) query =
                   then
                     Navigation.set_budget s.navigation (Some (expand_budget_factory t shard));
                   (match shard.sprefetch with
-                  | Some pf -> Prefetch.attach pf ~query s.navigation
+                  | Some pf ->
+                      Prefetch.attach_plans pf ~query s.navigation;
+                      (match Navigation.strategy s.navigation with
+                      | Navigation.Heuristic _ ->
+                          (* Record reveals only; ranking runs off-lock
+                             against the published snapshot (see
+                             [drain_speculation]). *)
+                          Navigation.set_on_expand s.navigation
+                            (Some
+                               (fun ~node:_ ~revealed ->
+                                 Atomic.set s.pending_spec
+                                   (revealed @ Atomic.get s.pending_spec)))
+                      | Navigation.Optimal _ | Navigation.Static
+                      | Navigation.Static_paged _ ->
+                          ())
                   | None -> ());
                   Metrics.incr started_counter;
                   publish_live t;
@@ -296,7 +412,7 @@ let search t ?(strategy = Navigation.bionav ()) query =
 
 let find_session t sid =
   let shard = shard_of_sid t sid in
-  Mutex.protect shard.lock (fun () ->
+  with_shard shard (fun () ->
       match Hashtbl.find_opt shard.sessions sid with
       | Some s ->
           touch t s;
@@ -305,7 +421,7 @@ let find_session t sid =
 
 let close t sid =
   let shard = shard_of_sid t sid in
-  Mutex.protect shard.lock (fun () ->
+  with_shard shard (fun () ->
       match Hashtbl.find_opt shard.sessions sid with
       | Some s ->
           Hashtbl.remove shard.sessions sid;
@@ -323,7 +439,7 @@ let sweep ?now_ms t =
       let total = ref 0 in
       Array.iter
         (fun shard ->
-          Mutex.protect shard.lock (fun () ->
+          with_shard shard (fun () ->
               let expired =
                 Hashtbl.fold
                   (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
@@ -343,10 +459,49 @@ let sweep ?now_ms t =
 
 (* --- navigation actions ------------------------------------------------ *)
 
+(* Re-capture and publish the session's snapshot. Runs under the shard
+   lock: capture reads the live active tree and interns into its arena's
+   memo tables; the Atomic.set is the RCU-style publication point. *)
+let publish s =
+  s.epoch <- s.epoch + 1;
+  Atomic.set s.snapshot (Nav_snapshot.capture ~epoch:s.epoch ~query:s.query s.navigation)
+
+(* Speculation, engine-driven: the expand observer only records revealed
+   nodes, and this drains them — ranking (the expensive comp-tree +
+   probability work) runs with no lock against the just-published
+   snapshot; only the queue append and the budgeted tick re-enter the
+   shard lock. Nodes that were hidden again or expanded meanwhile simply
+   rank out (they are absent or non-expandable in the snapshot). *)
+let drain_speculation s =
+  match s.home.sprefetch with
+  | None -> ()
+  | Some pf -> (
+      match Atomic.exchange s.pending_spec [] with
+      | [] -> ()
+      | revealed -> (
+          match Navigation.strategy s.navigation with
+          | Navigation.Heuristic { k; params; _ } ->
+              let snap = Atomic.get s.snapshot in
+              let revealed = List.sort_uniq Int.compare revealed in
+              let ranked = Speculator.rank_snapshot ~params snap revealed in
+              let budget = (Prefetch.config pf).Prefetch.budget_per_action in
+              if ranked <> [] || budget > 0 then
+                with_shard s.home (fun () ->
+                    Speculator.enqueue_ranked (Prefetch.speculator pf) ~query:s.query snap
+                      ~k ~params ranked;
+                    ignore (Prefetch.tick pf ~budget : int))
+          | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()))
+
 let run_locked s f =
-  Mutex.protect s.home.lock (fun () ->
-      Docset_arena.adopt (Nav_tree.arena s.nav);
-      f ())
+  let r =
+    with_shard s.home (fun () ->
+        Docset_arena.adopt (Nav_tree.arena s.nav);
+        let r = f () in
+        publish s;
+        r)
+  in
+  drain_speculation s;
+  r
 
 let expand s node = run_locked s (fun () -> Navigation.expand s.navigation node)
 let show_results s node = run_locked s (fun () -> Navigation.show_results s.navigation node)
@@ -370,7 +525,7 @@ let prefetch_tick t ~budget =
       | None -> acc
       | Some pf ->
           acc
-          + Mutex.protect shard.lock (fun () ->
+          + with_shard shard (fun () ->
                 (* Speculation jobs compute cuts on trees cached in this
                    shard; run_job adopts each job's arena itself. *)
                 Prefetch.tick pf ~budget))
@@ -397,7 +552,7 @@ let warm t queries =
   let entries = Warmer.build ~db:t.database ~run:t.shards.(0).srun_search queries in
   Array.iter
     (fun shard ->
-      Mutex.protect shard.lock (fun () ->
+      with_shard shard (fun () ->
           ignore
             (Warmer.apply ~db:t.database ~trees:shard.cache
                ?plans:(Option.map Prefetch.plans shard.sprefetch)
@@ -441,58 +596,29 @@ let docset_dense_gauge = Metrics.gauge "bionav_docset_live_dense"
 let docset_sparse_gauge = Metrics.gauge "bionav_docset_live_sparse"
 let docset_dedup_gauge = Metrics.gauge "bionav_docset_dedup_hit_rate"
 
-(* The arenas alive right now: the inverted index's long-lived arena plus
-   one per cached navigation tree. Session trees come out of their shard's
-   cache, so walking each shard's cache + sessions (under its lock) with
-   physical dedup covers every arena the engine can reach. *)
-let live_arenas t =
-  let arenas = ref [ Bionav_search.Inverted_index.arena (Eutils.index t.eutils) ] in
-  let note a = if not (List.memq a !arenas) then arenas := a :: !arenas in
-  Array.iter
-    (fun shard ->
-      Mutex.protect shard.lock (fun () ->
-          Nav_cache.fold_trees shard.cache (fun nav () -> note (Nav_tree.arena nav)) ();
-          Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) shard.sessions))
-    t.shards;
-  !arenas
+(* Aggregate docset stats without any shard lock: the inverted index's
+   arena is read directly (pure reads are domain-safe; its plain stat
+   fields may lag the writer by a beat — monitoring tolerance), and each
+   shard contributes the aggregate it published at its last lock
+   release. The scrape path therefore never contends with navigation. *)
+let docset_stats t =
+  let acc =
+    add_arena_stats zero_arena_stats
+      (Docset_arena.stats (Bionav_search.Inverted_index.arena (Eutils.index t.eutils)))
+  in
+  Array.fold_left
+    (fun acc shard -> add_arena_stats acc (Atomic.get shard.sarena_stats))
+    acc t.shards
 
 let publish_docset t =
-  let sets, bytes, dense, sparse, requests, hits =
-    List.fold_left
-      (fun (s, b, d, sp, rq, h) arena ->
-        let st = Docset_arena.stats arena in
-        ( s + st.Docset_arena.sets,
-          b + st.Docset_arena.bytes,
-          d + st.Docset_arena.dense,
-          sp + st.Docset_arena.sparse,
-          rq + st.Docset_arena.intern_requests,
-          h + st.Docset_arena.dedup_hits ))
-      (0, 0, 0, 0, 0, 0) (live_arenas t)
-  in
-  Metrics.set docset_sets_gauge (float_of_int sets);
-  Metrics.set docset_bytes_gauge (float_of_int bytes);
-  Metrics.set docset_dense_gauge (float_of_int dense);
-  Metrics.set docset_sparse_gauge (float_of_int sparse);
+  let st = docset_stats t in
+  Metrics.set docset_sets_gauge (float_of_int st.Docset_arena.sets);
+  Metrics.set docset_bytes_gauge (float_of_int st.Docset_arena.bytes);
+  Metrics.set docset_dense_gauge (float_of_int st.Docset_arena.dense);
+  Metrics.set docset_sparse_gauge (float_of_int st.Docset_arena.sparse);
   Metrics.set docset_dedup_gauge
-    (if requests = 0 then 0. else float_of_int hits /. float_of_int requests)
-
-let docset_stats t =
-  List.fold_left
-    (fun acc arena ->
-      let st = Docset_arena.stats arena in
-      Docset_arena.
-        {
-          sets = acc.sets + st.sets;
-          bytes = acc.bytes + st.bytes;
-          dense = acc.dense + st.dense;
-          sparse = acc.sparse + st.sparse;
-          intern_requests = acc.intern_requests + st.intern_requests;
-          dedup_hits = acc.dedup_hits + st.dedup_hits;
-          memo_hits = acc.memo_hits + st.memo_hits;
-        })
-    Docset_arena.
-      { sets = 0; bytes = 0; dense = 0; sparse = 0; intern_requests = 0; dedup_hits = 0; memo_hits = 0 }
-    (live_arenas t)
+    (if st.Docset_arena.intern_requests = 0 then 0.
+     else float_of_int st.Docset_arena.dedup_hits /. float_of_int st.Docset_arena.intern_requests)
 
 let metrics_text t =
   publish_live t;

@@ -21,15 +21,28 @@
     This is the seam scaling work plugs into: entry points talk to the
     engine, never to [Navigation.start] directly.
 
-    {b Concurrency} (DESIGN.md §11): the store is sharded
+    {b Concurrency} (DESIGN.md §11–§12): the store is sharded
     [config.shards] ways by session-id hash. Each shard owns a mutex, a
     tree cache, prefetch state and a backend guard; sessions — and the
     navigation trees and docset arenas behind them — are confined to
-    their shard and only touched under its lock, with the arena
+    their shard and only {e mutated} under its lock, with the arena
     {!Bionav_util.Docset_arena.adopt}ed by the locking domain. The one
     cross-shard structure, the inverted index's arena, is confined by an
-    internal search lock taken only on tree-cache misses. Expands on
-    sessions in different shards run in parallel.
+    internal search lock taken only on tree-cache misses.
+
+    Reads never take the shard lock: every mutating action republishes
+    an immutable {!Bionav_search.Nav_snapshot} of the session (frozen
+    arena, epoch-versioned), and {!snapshot} hands it out with one
+    [Atomic.get]. The shard mutex covers only session-table mutation,
+    tree/plan-cache writes, speculation enqueueing and snapshot
+    publication; rendering, result paging, metrics scraping and
+    speculative {e ranking} all run lock-free. Lock behaviour is
+    instrumented: [bionav_shard_lock_wait_ms] / [_hold_ms] histograms,
+    [bionav_shard_lock_acquisitions_total], and a
+    [bionav_shard_lock_waiters_s<N>] queue-depth gauge per shard. Shard
+    mutexes are non-reentrant; acquiring one twice from the same domain
+    ({!run_locked} inside {!run_locked}, or {!expand} inside
+    {!run_locked}) raises [Invalid_argument] instead of deadlocking.
 
     {b Resilience} ({!Bionav_resilience}): every backend call (the
     ESearch keyword lookup) runs under a {!Bionav_resilience.Guard} —
@@ -73,8 +86,8 @@ type config = {
           different shards proceed in parallel while every navigation
           tree stays confined to the shard that built it (the same query
           may therefore be built once per shard). The per-shard session
-          bound is [max 1 (max_sessions / shards)]. With chaos injected,
-          only shard 0's guard draws from the fault plan. *)
+          bound is [max 1 (max_sessions / shards)]. A chaos plan requires
+          [shards = 1] (see {!create}). *)
 }
 
 val default_config : config
@@ -95,9 +108,13 @@ val create :
     plan into the backend guard (forcing a guard into existence even
     when [config.resilience] is [None]): backend calls draw failures and
     latency spikes from it, EXPANDs draw latency spikes (op ["expand"]).
+    A chaos plan is one stateful fault stream, so it requires
+    [config.shards = 1] — sharding would race the draws and silently
+    skew the plan.
     @raise Invalid_argument if [config.max_sessions < 1], a negative
-    [expand_budget_ms], or the snapshot is corrupt or from a different
-    database; [Sys_error] if unreadable. *)
+    [expand_budget_ms], [chaos] combined with [config.shards > 1], or
+    the snapshot is corrupt or from a different database; [Sys_error]
+    if unreadable. *)
 
 val eutils : t -> Bionav_search.Eutils.t
 val config : t -> config
@@ -138,6 +155,13 @@ val session_query : session -> string
 val session_nav : session -> Bionav_core.Nav_tree.t
 val navigation : session -> Bionav_core.Navigation.t
 
+val snapshot : session -> Bionav_search.Nav_snapshot.t
+(** The session's latest published snapshot — one [Atomic.get], no lock.
+    Safe from any domain; the view is internally consistent as of the
+    epoch it carries, and stays valid (immutable) even as the session
+    advances. This is the read path: render, page results and rank from
+    it instead of locking. *)
+
 type search_outcome =
   | No_results  (** The query matched no citations; no session created. *)
   | Session of session
@@ -173,17 +197,22 @@ val eviction_count : t -> int
 val expand : session -> int -> int list
 val show_results : session -> int -> Bionav_util.Docset.t
 val backtrack : session -> bool
-(** Each action takes the session's shard lock and adopts the tree's
-    docset arena for the calling domain, so any worker domain may serve
-    any session. *)
+(** Each action takes the session's shard lock, adopts the tree's docset
+    arena for the calling domain (so any worker domain may serve any
+    session), and republishes the session {!snapshot} before releasing
+    the lock. The docset returned by {!show_results} lives in the live
+    arena but is safe to iterate after the lock is released (pure arena
+    reads are domain-safe). *)
 
 val run_locked : session -> (unit -> 'a) -> 'a
 (** Run [f] holding the session's shard lock with the tree's arena
-    adopted — for bulk drivers (rendering, simulation replay) that make
-    many tree reads/expands as one atom. Inside [f], use the raw
-    {!Bionav_core.Navigation} operations, {b never} {!expand}/
-    {!show_results}/{!backtrack} (the shard mutex is not reentrant;
-    relocking self-deadlocks). *)
+    adopted — for bulk drivers (simulation replay) that make many tree
+    reads/expands as one atom — then republish the session {!snapshot}.
+    Inside [f], use the raw {!Bionav_core.Navigation} operations,
+    {b never} {!expand}/{!show_results}/{!backtrack} or a nested
+    [run_locked]: the shard mutex is not reentrant, and re-entry from
+    the owning domain raises [Invalid_argument]. For pure reads, prefer
+    {!snapshot} — it needs no lock at all. *)
 
 (* --- detached sessions ------------------------------------------------ *)
 
@@ -236,7 +265,9 @@ val docset_stats : t -> Bionav_util.Docset_arena.stats
 (** Aggregate {!Bionav_util.Docset_arena.stats} over every arena the
     engine can reach: the inverted index's long-lived arena plus one per
     cached navigation tree (deduplicated physically — session trees come
-    out of the cache). *)
+    out of the cache). Lock-free: the index arena is read directly and
+    each shard contributes the aggregate it published at its last lock
+    release, so the figures may lag in-flight work by one lock cycle. *)
 
 val metrics_text : t -> string
 (** Refresh the engine gauges — live session count plus the docset-arena

@@ -45,6 +45,12 @@ let attach t ~query session =
              ignore (Speculator.tick t.spec ~budget:t.config.budget_per_action : int)))
   | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()
 
+let attach_plans t ~query session =
+  match Navigation.strategy session with
+  | Navigation.Heuristic _ ->
+      Navigation.set_plan_source session (Some (Plan_cache.plan_source t.plans ~query))
+  | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()
+
 let tick t ~budget = Speculator.tick t.spec ~budget
 let drop_query t query = Speculator.drop_query t.spec query
 let drain t = Speculator.tick t.spec ~budget:max_int

@@ -41,6 +41,14 @@ val attach : t -> query:string -> Bionav_core.Navigation.t -> unit
     [k]/[params], keeping speculated cuts byte-identical to foreground
     ones. *)
 
+val attach_plans : t -> query:string -> Bionav_core.Navigation.t -> unit
+(** Like {!attach} but wires only the plan source, not the expand
+    observer — for callers (the engine) that drive speculation off
+    published snapshots instead: rank with
+    {!Speculator.rank_snapshot} outside the shard lock, then
+    {!Speculator.enqueue_ranked} and {!tick} inside it. Keeps the
+    in-lock portion of each EXPAND to a queue append. *)
+
 val tick : t -> budget:int -> int
 (** Run up to [budget] queued speculation jobs (idle-time pacing). *)
 

@@ -77,6 +77,64 @@ let score ~params active node =
   in
   mass *. px
 
+module Nav_snapshot = Bionav_search.Nav_snapshot
+
+(* The same score computed from a published snapshot instead of the live
+   active tree. Everything read here is immutable or domain-safe — the
+   snapshot's vnodes, its frozen arena, and pure reads on the pinned
+   navigation tree — so ranking runs with no lock held at all. *)
+let snapshot_score ~params snap (v : Nav_snapshot.vnode) =
+  let comp, _map =
+    Nav_tree.comp_tree_of (Nav_snapshot.nav snap) ~root:v.Nav_snapshot.id
+      ~members:(Array.to_list v.Nav_snapshot.members)
+  in
+  let all = List.init (Comp_tree.size comp) Fun.id in
+  let px = Probability.expand params comp ~members:all ~distinct:v.Nav_snapshot.distinct in
+  v.Nav_snapshot.weight *. px
+
+let rank_snapshot ~params snap revealed =
+  let candidates =
+    List.filter_map
+      (fun n ->
+        match Nav_snapshot.find snap n with
+        | Some v when v.Nav_snapshot.expandable -> Some v
+        | Some _ | None -> None)
+      revealed
+  in
+  List.map fst
+    (List.stable_sort
+       (fun ((a : Nav_snapshot.vnode), sa) (b, sb) ->
+         match Float.compare sb sa with
+         | 0 -> Int.compare a.Nav_snapshot.id b.Nav_snapshot.id
+         | c -> c)
+       (List.map (fun v -> (v, snapshot_score ~params snap v)) candidates))
+
+let enqueue_ranked t ~query snap ~k ~params ranked =
+  let query = Nav_cache.normalize query in
+  let nav = Nav_snapshot.nav snap in
+  List.iteri
+    (fun i (v : Nav_snapshot.vnode) ->
+      if i < t.top_m then begin
+        (* The member set lives in the snapshot's frozen arena; its
+           content fingerprint matches the live component set, so cached
+           plans serve both paths. *)
+        let members = v.Nav_snapshot.member_set in
+        let root = v.Nav_snapshot.id in
+        if not (Plan_cache.mem t.cache ~query ~root ~members) then
+          if Queue.length t.queue >= t.max_queue then begin
+            t.dropped <- t.dropped + 1;
+            Metrics.incr dropped_counter
+          end
+          else begin
+            Queue.add
+              { query; root; members; nav; k; params;
+                enqueued_at_ms = Clock.now_ms t.clock }
+              t.queue;
+            Metrics.add depth_gauge 1.
+          end
+      end)
+    ranked
+
 let observe t ~query ~active ~k ~params ~revealed =
   let query = Nav_cache.normalize query in
   let candidates = List.filter (Active_tree.is_expandable active) revealed in

@@ -52,6 +52,34 @@ val observe :
     or speculated cuts would diverge from foreground ones. Does no cut
     computation itself. *)
 
+val rank_snapshot :
+  params:Bionav_core.Probability.params ->
+  Bionav_search.Nav_snapshot.t ->
+  int list ->
+  Bionav_search.Nav_snapshot.vnode list
+(** The snapshot-based half of {!observe}'s ranking, safe with {e no}
+    lock held: filter the revealed nodes down to expandable ones and
+    order them by selectivity mass × EXPAND probability, all computed
+    from the published snapshot (frozen arena + pure navigation-tree
+    reads). Ties break by ascending node id. The expensive scoring runs
+    off the engine's shard lock; pass the result to {!enqueue_ranked}
+    under the lock. *)
+
+val enqueue_ranked :
+  t ->
+  query:string ->
+  Bionav_search.Nav_snapshot.t ->
+  k:int ->
+  params:Bionav_core.Probability.params ->
+  Bionav_search.Nav_snapshot.vnode list ->
+  unit
+(** Enqueue the top-m of an already-ranked candidate list (from
+    {!rank_snapshot}) whose plans are not yet cached. This is the narrow
+    mutating half: call it under the lock that serializes this
+    speculator. Jobs capture the snapshot's frozen member sets, whose
+    content fingerprints match the live components, so cached plans
+    serve foreground expands too. *)
+
 val tick : t -> budget:int -> int
 (** Run up to [budget] queued jobs now, oldest first; returns the number
     executed. A job whose plan appeared in the cache meanwhile (e.g. the

@@ -1,0 +1,91 @@
+open Bionav_util
+open Bionav_core
+
+type vnode = {
+  id : int;
+  label : string;
+  weight : float;
+  distinct : int;
+  expandable : bool;
+  parent : int;
+  children : int list;
+  members : int array;
+  member_set : Docset.t;
+  results : Docset.t;
+}
+
+type t = {
+  epoch : int;
+  query : string;
+  stats : Navigation.stats;
+  distinct_results : int;
+  root : int;
+  order : int list;
+  index : (int, vnode) Hashtbl.t;
+  arena : Docset_arena.t;
+  nav : Nav_tree.t;
+}
+
+let capture ~epoch ~query navigation =
+  let active = Navigation.active navigation in
+  let nav = Active_tree.nav active in
+  let arena = Docset_arena.create () in
+  let order = Active_tree.visible active in
+  let index = Hashtbl.create (max 16 (List.length order)) in
+  List.iter
+    (fun id ->
+      (* Component member lists come out ascending and strictly
+         increasing, so they intern without a sort. *)
+      let members = Array.of_list (Active_tree.component active id) in
+      let member_set = Docset.of_sorted_array_unchecked_in arena (Array.copy members) in
+      let results =
+        Docset.of_sorted_array_unchecked_in arena
+          (Docset.to_array (Active_tree.component_results active id))
+      in
+      Hashtbl.replace index id
+        {
+          id;
+          label = Nav_tree.label nav id;
+          weight = Relevance.component_weight active id;
+          distinct = Docset.cardinal results;
+          expandable = Active_tree.is_expandable active id;
+          parent = Active_tree.visible_parent active id;
+          children = Relevance.ranked_children active id;
+          members;
+          member_set;
+          results;
+        })
+    order;
+  Docset_arena.freeze arena;
+  {
+    epoch;
+    query;
+    stats = Navigation.stats navigation;
+    distinct_results = Nav_tree.distinct_results nav;
+    root = Nav_tree.root nav;
+    order;
+    index;
+    arena;
+    nav;
+  }
+
+let epoch t = t.epoch
+let query t = t.query
+let stats t = t.stats
+let distinct_results t = t.distinct_results
+let root t = t.root
+let visible t = t.order
+let arena t = t.arena
+let nav t = t.nav
+let find t id = Hashtbl.find_opt t.index id
+
+let get t id =
+  match find t id with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Nav_snapshot.get: node %d is not visible" id)
+
+let mem t id = Hashtbl.mem t.index id
+
+let iter t f = List.iter (fun id -> f (get t id)) t.order
+
+let node_count t = Hashtbl.length t.index

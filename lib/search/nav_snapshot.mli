@@ -1,0 +1,81 @@
+(** Immutable, epoch-versioned views of a navigation session.
+
+    The lock-free read path of DESIGN.md §12: after every mutating
+    navigation action (EXPAND, SHOWRESULTS, BACKTRACK) the engine
+    {!capture}s the session's visible tree — while still holding the
+    shard lock — into a self-contained snapshot and publishes it through
+    an [Atomic.t], RCU-style. Readers (HTML rendering, result paging,
+    metrics, speculative ranking) work entirely off the snapshot they
+    [Atomic.get] and never touch the shard lock; a reader holding epoch
+    [e] keeps a consistent view even as the session advances past it.
+
+    Consistency guarantees of one snapshot:
+    - every visible node has a {!vnode}, and the {!vnode.members} of all
+      visible nodes partition the navigation tree's node set;
+    - {!vnode.distinct} equals the cardinality of {!vnode.results};
+    - {!vnode.parent} / {!vnode.children} describe one coherent
+      Definition-5 embedding (children are relevance-ranked);
+    - all docsets live in a single private {e frozen} arena
+      ({!Bionav_util.Docset_arena.freeze}), so reading them from any
+      number of domains is safe and any attempted mutation raises.
+
+    The snapshot also pins [nav], the underlying navigation tree, whose
+    post-build state is immutable except for its arena's memo tables —
+    pure reads on it (labels, counts, component-tree extraction) are
+    domain-safe. *)
+
+type vnode = {
+  id : int;  (** Navigation node id (dense, preorder). *)
+  label : string;
+  weight : float;
+      (** Explore mass [Σ |L|/|LT|] of the component — the relevance
+          signal, precomputed so ranking needs no tree walk. *)
+  distinct : int;  (** Distinct citations of the component. *)
+  expandable : bool;  (** Component has ≥ 2 nodes (the ">>>" affordance). *)
+  parent : int;  (** Visible parent in the embedding; -1 for the root. *)
+  children : int list;  (** Visible children, relevance-ranked. *)
+  members : int array;  (** Component members, ascending navigation ids. *)
+  member_set : Bionav_util.Docset.t;
+      (** [members] interned in the snapshot arena — plan caches key on
+          its O(1) fingerprint, which is content-based and therefore
+          consistent with live-arena member sets. *)
+  results : Bionav_util.Docset.t;
+      (** Distinct citations of the component, in the snapshot arena. *)
+}
+
+type t
+
+val capture : epoch:int -> query:string -> Bionav_core.Navigation.t -> t
+(** Build a snapshot of the session's current visible tree. Must be
+    called while holding whatever lock serializes mutation of the
+    session (the engine's shard lock): capture reads the active tree and
+    interns into the navigation arena's memo tables. The returned
+    snapshot's private arena is frozen before return. *)
+
+val epoch : t -> int
+val query : t -> string
+
+val stats : t -> Bionav_core.Navigation.stats
+(** Cost accounting as of the capture. *)
+
+val distinct_results : t -> int
+(** The query result size (distinct citations in the whole tree). *)
+
+val root : t -> int
+
+val visible : t -> int list
+(** Visible navigation nodes in preorder (the root first). *)
+
+val find : t -> int -> vnode option
+val get : t -> int -> vnode
+(** @raise Invalid_argument if the node was not visible at capture. *)
+
+val mem : t -> int -> bool
+val iter : t -> (vnode -> unit) -> unit
+val node_count : t -> int
+
+val arena : t -> Bionav_util.Docset_arena.t
+(** The snapshot's private arena; always frozen. *)
+
+val nav : t -> Bionav_core.Nav_tree.t
+(** The underlying navigation tree (shared with the live session). *)

@@ -13,11 +13,24 @@ type repr =
       (* bit [i] of [words.(w)] set <=> [base + 32*w + i] is a member;
          [base] is a multiple of 32 and elements are non-negative *)
 
+(* Storage uses the OCaml 5 publication idiom so that pure reads need no
+   lock even while a (serialized) writer interns new sets: a writer that
+   needs room first publishes a grown copy of [reprs]/[fps] via
+   Atomic.set, then fills the new slot with plain stores, and only then
+   publishes the slot via [Atomic.set n]. A reader that loads [n] first
+   and the arrays second therefore always sees fully-initialized slots
+   for every id below the [n] it read. Ids at or above that [n] simply
+   don't exist yet from the reader's point of view.
+
+   The memo/intern hashtables are NOT covered by this protocol: they are
+   plain tables serialized by ownership while the arena is live, and
+   become safely readable by everyone once the arena is {!freeze}d
+   (frozen arenas never insert — see [inter_cardinal]). *)
 type t = {
   own : Ownership.t;
-  mutable reprs : repr array;
-  mutable fps : int array;
-  mutable n : int;
+  reprs : repr array Atomic.t;
+  fps : int array Atomic.t;
+  n : int Atomic.t;
   intern_tbl : (int, id list ref) Hashtbl.t;  (* fingerprint -> candidate ids *)
   op_memo : (int * id * id, id) Hashtbl.t;
   count_memo : (id * id, int) Hashtbl.t;  (* normalized pair -> |a inter b| *)
@@ -49,12 +62,16 @@ let fingerprint_of_array a =
   Array.fold_left (fun h x -> (h lxor x) * fp_prime land max_int) fp_seed a
 
 let create () =
+  let reprs = Array.make 16 (Sparse [||]) in
+  let fps = Array.make 16 0 in
+  reprs.(0) <- Sparse [||];
+  fps.(0) <- fingerprint_of_array [||];
   let t =
     {
       own = Ownership.create ~name:"Docset_arena" ();
-      reprs = Array.make 16 (Sparse [||]);
-      fps = Array.make 16 0;
-      n = 0;
+      reprs = Atomic.make reprs;
+      fps = Atomic.make fps;
+      n = Atomic.make 1;
       intern_tbl = Hashtbl.create 64;
       op_memo = Hashtbl.create 128;
       count_memo = Hashtbl.create 128;
@@ -66,11 +83,8 @@ let create () =
       memo_hits = 0;
     }
   in
-  (* Pre-intern the empty set as id 0 without counting it as a request. *)
-  t.reprs.(0) <- Sparse [||];
-  t.fps.(0) <- fingerprint_of_array [||];
-  t.n <- 1;
-  Hashtbl.replace t.intern_tbl t.fps.(0) (ref [ 0 ]);
+  (* The empty set is pre-interned as id 0 without counting as a request. *)
+  Hashtbl.replace t.intern_tbl fps.(0) (ref [ 0 ]);
   t.sparse_count <- t.sparse_count + 1;
   t
 
@@ -167,25 +181,39 @@ let pack a =
     end
   end
 
+(* --- read-side access (lock-free) -------------------------------------- *)
+
+(* Load [n] before the arrays: the writer publishes grown arrays before
+   bumping [n], so any id that passes this bound check has a valid slot
+   in the arrays fetched afterwards. *)
+let check_id t id =
+  if id < 0 || id >= Atomic.get t.n then
+    invalid_arg (Printf.sprintf "Docset_arena: unknown id %d" id)
+
+let get_repr t id = (Atomic.get t.reprs).(id)
+
+let get_fp t id = (Atomic.get t.fps).(id)
+
 (* --- interning --------------------------------------------------------- *)
 
-let check_id t id =
-  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Docset_arena: unknown id %d" id)
-
-let grow t =
-  if t.n = Array.length t.reprs then begin
-    let cap = 2 * Array.length t.reprs in
+let grow t n =
+  if n = Array.length (Atomic.get t.reprs) then begin
+    let cap = 2 * n in
     let reprs = Array.make cap (Sparse [||]) in
-    Array.blit t.reprs 0 reprs 0 t.n;
-    t.reprs <- reprs;
+    Array.blit (Atomic.get t.reprs) 0 reprs 0 n;
+    Atomic.set t.reprs reprs;
     let fps = Array.make cap 0 in
-    Array.blit t.fps 0 fps 0 t.n;
-    t.fps <- fps
+    Array.blit (Atomic.get t.fps) 0 fps 0 n;
+    Atomic.set t.fps fps
   end
 
 let adopt t = Ownership.adopt t.own
 
 let owner_domain t = Ownership.owner t.own
+
+let freeze t = Ownership.freeze t.own
+
+let is_frozen t = Ownership.is_frozen t.own
 
 let intern_unchecked t a =
   Ownership.check t.own;
@@ -206,18 +234,19 @@ let intern_unchecked t a =
           Hashtbl.add t.intern_tbl fp b;
           b
     in
-    match List.find_opt (fun id -> repr_equal_array t.reprs.(id) a) !bucket with
+    match List.find_opt (fun id -> repr_equal_array (get_repr t id) a) !bucket with
     | Some id ->
         t.dedup_hits <- t.dedup_hits + 1;
         Metrics.incr dedup_counter;
         id
     | None ->
-        grow t;
-        let id = t.n in
+        let id = Atomic.get t.n in
+        grow t id;
         let r = pack a in
-        t.reprs.(id) <- r;
-        t.fps.(id) <- fp;
-        t.n <- t.n + 1;
+        (* Fill the slot with plain stores, then publish it via [n]. *)
+        (Atomic.get t.reprs).(id) <- r;
+        (Atomic.get t.fps).(id) <- fp;
+        Atomic.set t.n (id + 1);
         bucket := id :: !bucket;
         t.bytes <- t.bytes + repr_bytes r;
         (match r with
@@ -241,33 +270,33 @@ let intern t a =
 
 let cardinal t id =
   check_id t id;
-  repr_cardinal t.reprs.(id)
+  repr_cardinal (get_repr t id)
 
 let fingerprint t id =
   check_id t id;
-  t.fps.(id)
+  get_fp t id
 
 let mem t id x =
   check_id t id;
-  repr_mem t.reprs.(id) x
+  repr_mem (get_repr t id) x
 
 let to_array t id =
   check_id t id;
-  repr_to_array t.reprs.(id)
+  repr_to_array (get_repr t id)
 
 let iter t id f =
   check_id t id;
-  repr_iter t.reprs.(id) f
+  repr_iter (get_repr t id) f
 
 let fold t id f init =
   check_id t id;
   let acc = ref init in
-  repr_iter t.reprs.(id) (fun x -> acc := f x !acc);
+  repr_iter (get_repr t id) (fun x -> acc := f x !acc);
   !acc
 
 let choose t id =
   check_id t id;
-  match t.reprs.(id) with
+  match get_repr t id with
   | Sparse [||] -> raise Not_found
   | Sparse a -> a.(0)
   | Dense { base; words; _ } ->
@@ -280,7 +309,7 @@ let choose t id =
 
 let equal_array t id a =
   check_id t id;
-  repr_equal_array t.reprs.(id) a
+  repr_equal_array (get_repr t id) a
 
 (* --- set algebra ------------------------------------------------------- *)
 
@@ -338,7 +367,7 @@ let binop t op a b =
       Metrics.incr memo_counter;
       r
   | None ->
-      let aa = repr_to_array t.reprs.(a) and ba = repr_to_array t.reprs.(b) in
+      let aa = repr_to_array (get_repr t a) and ba = repr_to_array (get_repr t b) in
       let out =
         if op = op_union then merge ~left:true ~both:true ~right:true aa ba
         else if op = op_inter then merge ~left:false ~both:true ~right:false aa ba
@@ -366,7 +395,7 @@ let union_many t ids =
    Dense/dense pairs fold SWAR popcounts over the overlapping word range;
    sparse/dense probes the bitset per element; sparse/sparse merge-counts. *)
 let inter_cardinal_raw t a b =
-  match (t.reprs.(a), t.reprs.(b)) with
+  match (get_repr t a, get_repr t b) with
   | Sparse aa, Sparse ba ->
       let na = Array.length aa and nb = Array.length ba in
       let i = ref 0 and j = ref 0 and k = ref 0 in
@@ -410,9 +439,18 @@ let inter_cardinal t a b =
   check_id t a;
   check_id t b;
   if a = empty_id || b = empty_id then 0
-  else if a = b then repr_cardinal t.reprs.(a)
+  else if a = b then repr_cardinal (get_repr t a)
+  else if Ownership.is_frozen t.own then begin
+    (* Frozen arena: nobody inserts into [count_memo] anymore, so a
+       lookup is race-free from any domain. Misses recompute without
+       memoizing — correctness over a cold counter. *)
+    let ka, kb = if a > b then (b, a) else (a, b) in
+    match Hashtbl.find_opt t.count_memo (ka, kb) with
+    | Some c -> c
+    | None -> inter_cardinal_raw t a b
+  end
   else begin
-    (* Even the "read" path mutates: memo-table insertion and hit stats. *)
+    (* Even the live "read" path mutates: memo insertion and hit stats. *)
     Ownership.check t.own;
     let ka, kb = if a > b then (b, a) else (a, b) in
     match Hashtbl.find_opt t.count_memo (ka, kb) with
@@ -444,7 +482,7 @@ type stats = {
 
 let stats t =
   {
-    sets = t.n;
+    sets = Atomic.get t.n;
     bytes = t.bytes;
     dense = t.dense_count;
     sparse = t.sparse_count;

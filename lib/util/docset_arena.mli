@@ -13,13 +13,29 @@
     Ids are only meaningful within their arena. {!Docset} wraps (arena, id)
     pairs into self-contained handles; this module is the storage layer.
 
-    {b Not internally synchronized.} An arena is confined to one domain
-    at a time: it carries an {!Ownership} stamp, mutating operations
-    (interning, set algebra and even memoizing "reads" like
+    {b Concurrency model.} Writers are confined to one domain at a
+    time: the arena carries an {!Ownership} stamp, mutating operations
+    (interning, set algebra, live memoizing "reads" like
     {!inter_cardinal}) check it, and the engine {!adopt}s an arena
     under the shard lock before touching it from a worker domain. With
     [BIONAV_OWNERSHIP=1] a cross-domain mutation raises
-    {!Ownership.Violation} instead of corrupting the tables. *)
+    {!Ownership.Violation} instead of corrupting the tables.
+
+    Pure reads ({!cardinal}, {!mem}, {!iter}, {!to_array},
+    {!fingerprint}, …) are safe from {e any} domain {e concurrently
+    with the single writer}: interned sets are immutable once published,
+    and the backing arrays are grown copy-then-publish through
+    [Atomic]s (slot stores happen before the set count is advanced, so
+    a reader never observes a half-initialized slot). Only the memo
+    tables remain writer-private — which is why {!inter_cardinal} is a
+    mutating call on a live arena.
+
+    A {!freeze}d arena rejects all further mutation (unconditionally,
+    not just under [BIONAV_OWNERSHIP]) and in exchange every operation
+    that doesn't intern — including {!inter_cardinal}, which switches
+    to lookup-only memo reads — becomes safe from any number of domains
+    with no lock. The engine freezes each published navigation
+    snapshot's arena (DESIGN.md §12). *)
 
 type t
 
@@ -36,6 +52,16 @@ val adopt : t -> unit
 
 val owner_domain : t -> int
 (** Id of the domain currently owning this arena. *)
+
+val freeze : t -> unit
+(** Irreversibly seal the arena: every mutating operation (interning,
+    set algebra, {!adopt}) raises {!Ownership.Violation} from then on,
+    and all remaining operations — including {!inter_cardinal} — become
+    safe to call from any domain without synchronization. Call while
+    still holding exclusive access; freezing is the arena's last
+    mutation. *)
+
+val is_frozen : t -> bool
 
 val empty_id : id
 (** The empty set, pre-interned in every arena (id 0). *)
@@ -87,7 +113,8 @@ val union_many : t -> id list -> id
 val inter_cardinal : t -> id -> id -> int
 (** [cardinal (inter a b)] without materializing the intersection:
     SWAR popcount over word pairs for bitset operands, merge-count for
-    sorted ones. Memoized. *)
+    sorted ones. Memoized on live arenas (a mutating call); on frozen
+    arenas the memo is consulted read-only and misses recompute. *)
 
 val union_cardinal : t -> id -> id -> int
 (** [cardinal a + cardinal b - inter_cardinal a b], allocation-free. *)

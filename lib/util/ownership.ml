@@ -1,6 +1,8 @@
 exception Violation of string
 
-type t = { mutable owner : int; name : string }
+type t = { mutable owner : int; mutable frozen : bool; name : string }
+
+type state = Live of int | Frozen
 
 let enforce =
   let from_env =
@@ -16,14 +18,26 @@ let enforced () = Atomic.get enforce
 
 let self_id () = (Domain.self () :> int)
 
-let create ?(name = "anonymous") () = { owner = self_id (); name }
+let create ?(name = "anonymous") () = { owner = self_id (); frozen = false; name }
 
 let owner t = t.owner
 
-let adopt t = t.owner <- self_id ()
+let is_frozen t = t.frozen
+
+let state t = if t.frozen then Frozen else Live t.owner
+
+let freeze t = t.frozen <- true
+
+let frozen_violation t =
+  raise
+    (Violation
+       (Printf.sprintf "%s: domain %d mutating a frozen structure" t.name (self_id ())))
+
+let adopt t = if t.frozen then frozen_violation t else t.owner <- self_id ()
 
 let check t =
-  if Atomic.get enforce then begin
+  if t.frozen then frozen_violation t
+  else if Atomic.get enforce then begin
     let me = self_id () in
     if t.owner <> me then
       raise

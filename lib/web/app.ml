@@ -1,6 +1,6 @@
 open Bionav_util
-open Bionav_core
 module Engine = Bionav_engine.Engine
+module Nav_snapshot = Bionav_search.Nav_snapshot
 module Eutils = Bionav_search.Eutils
 
 type t = { engine : Engine.t; suggestions : string list }
@@ -10,6 +10,8 @@ let create ?(suggestions = []) ?config ?snapshot ~database ~eutils () =
 
 let session_count t = Engine.session_count t.engine
 let engine t = t.engine
+
+let results_page_size = 20
 
 (* --- rendering -------------------------------------------------------- *)
 
@@ -40,93 +42,87 @@ let home t =
           <button type=\"submit\">Search</button></form>"
        ^ suggestions))
 
-let render_tree s =
-  let sid = Engine.session_id s in
-  let session = Engine.navigation s in
-  let active = Navigation.active session in
-  let nav = Engine.session_nav s in
-  (* Index the visualization once: visible nodes grouped under their
-     visible parent. Filtering the full visible list per rendered node is
-     quadratic in the reveal count and dominated large sessions. *)
-  let children_index = Hashtbl.create 64 in
-  List.iter
-    (fun v ->
-      match Active_tree.visible_parent active v with
-      | -1 -> ()
-      | p ->
-          let siblings = Option.value ~default:[] (Hashtbl.find_opt children_index p) in
-          Hashtbl.replace children_index p (v :: siblings))
-    (Active_tree.visible active);
-  let children_of node =
-    List.rev (Option.value ~default:[] (Hashtbl.find_opt children_index node))
-  in
-  let rec render_node node =
-    let children = Relevance.rank_visible active (children_of node) in
+(* Render entirely from a published snapshot: no shard lock is held, and
+   the page is a consistent view of one epoch even while other domains
+   advance the session. *)
+let render_tree ~sid snap =
+  let rec render_node (v : Nav_snapshot.vnode) =
     let expand_link =
-      if Active_tree.is_expandable active node then
+      if v.Nav_snapshot.expandable then
         " "
         ^ Html.tag ~attrs:
             [ ("class", "expand");
-              ("href", Html.url "/expand" [ ("sid", sid); ("node", string_of_int node) ]) ]
+              ("href",
+               Html.url "/expand" [ ("sid", sid); ("node", string_of_int v.Nav_snapshot.id) ]) ]
             "a" "&gt;&gt;&gt;"
       else ""
     in
     let show_link =
       " "
-      ^ Html.link ~href:(Html.url "/show" [ ("sid", sid); ("node", string_of_int node) ]) "[show]"
+      ^ Html.link
+          ~href:(Html.url "/show" [ ("sid", sid); ("node", string_of_int v.Nav_snapshot.id) ])
+          "[show]"
     in
     Html.tag "li"
-      (Html.text (Nav_tree.label nav node)
+      (Html.text v.Nav_snapshot.label
       ^ Html.tag ~attrs:[ ("class", "count") ] "span"
-          (Printf.sprintf " (%d)" (Active_tree.component_distinct active node))
+          (Printf.sprintf " (%d)" v.Nav_snapshot.distinct)
       ^ expand_link ^ show_link
       ^
-      match children with
+      match v.Nav_snapshot.children with
       | [] -> ""
-      | _ -> Html.tag "ul" (String.concat "" (List.map render_node children)))
+      | children ->
+          Html.tag "ul"
+            (String.concat ""
+               (List.map (fun c -> render_node (Nav_snapshot.get snap c)) children)))
   in
-  let stats = Navigation.stats session in
+  let stats = Nav_snapshot.stats snap in
   Html.tag ~attrs:[ ("class", "bar") ] "div"
-    (Html.text (Printf.sprintf "query: %s — " (Engine.session_query s))
+    (Html.text (Printf.sprintf "query: %s — " (Nav_snapshot.query snap))
     ^ Html.text
         (Printf.sprintf "%d results, cost so far %d (%d EXPANDs, %d concepts)"
-           (Nav_tree.distinct_results nav)
-           (Navigation.navigation_cost stats)
-           stats.Navigation.expands stats.Navigation.revealed)
+           (Nav_snapshot.distinct_results snap)
+           (Bionav_core.Navigation.navigation_cost stats)
+           stats.Bionav_core.Navigation.expands stats.Bionav_core.Navigation.revealed)
     ^ " " ^ Html.link ~href:(Html.url "/back" [ ("sid", sid) ]) "[backtrack]"
     ^ " " ^ Html.link ~href:"/" "[new search]")
-  ^ Html.tag "ul" (render_node (Nav_tree.root nav))
+  ^ Html.tag "ul" (render_node (Nav_snapshot.get snap (Nav_snapshot.root snap)))
 
 let session_page s =
-  Http.ok (Html.page ~title:("BioNav: " ^ Engine.session_query s) (render_tree s))
+  let snap = Engine.snapshot s in
+  Http.ok
+    (Html.page ~title:("BioNav: " ^ Nav_snapshot.query snap)
+       (render_tree ~sid:(Engine.session_id s) snap))
 
 (* --- parameter helpers ------------------------------------------------- *)
 
 let param query name = List.assoc_opt name query
 
-(* Session-scoped routes run their whole body — visibility checks, the
-   navigation action, rendering (which touches arena memo tables even on
-   reads) — as one atom under the session's shard lock, so concurrent
-   worker domains never interleave on a tree. Inside [f], use the raw
-   [Navigation] operations, never [Engine.expand]/[show_results]/
-   [backtrack]: the shard mutex is not reentrant. *)
+(* Look the session up (a narrow lock on its shard's table, which also
+   refreshes recency) and hand it to [f] with no lock held: read routes
+   work off the published snapshot, mutating routes go through the
+   [Engine] actions which take the lock themselves. *)
 let with_session t query f =
   match param query "sid" with
   | None -> Http.bad_request "missing sid"
   | Some sid -> (
       match Engine.find_session t.engine sid with
       | None -> Http.not_found "no such session"
-      | Some s -> Engine.run_locked s (fun () -> f s))
+      | Some s -> f s)
 
-let with_visible_node s query f =
+(* Validate the node against the snapshot the route will act on. A
+   mutation racing us between validation and action is caught by the
+   action itself (Navigation raises on a no-longer-visible node). *)
+let with_visible_node snap query f =
   match Option.bind (param query "node") int_of_string_opt with
   | None -> Http.bad_request "missing or malformed node"
   | Some node ->
-      let nav = Engine.session_nav s in
-      if node < 0 || node >= Nav_tree.size nav then Http.bad_request "node out of range"
-      else if not (Active_tree.is_visible (Navigation.active (Engine.navigation s)) node) then
-        Http.bad_request "node not visible"
-      else f node
+      if node < 0 || node >= Bionav_core.Nav_tree.size (Nav_snapshot.nav snap) then
+        Http.bad_request "node out of range"
+      else (
+        match Nav_snapshot.find snap node with
+        | None -> Http.bad_request "node not visible"
+        | Some v -> f node v)
 
 (* --- routes ------------------------------------------------------------ *)
 
@@ -148,32 +144,104 @@ let search t query =
                   (Html.page ~title:"BioNav"
                      (Html.tag "p" (Html.text (Printf.sprintf "No results for %S." q))
                      ^ Html.link ~href:"/" "back"))
-            | Ok (Engine.Session s) -> Engine.run_locked s (fun () -> session_page s)))
+            | Ok (Engine.Session s) -> session_page s))
 
+let expand t query =
+  with_session t query (fun s ->
+      with_visible_node (Engine.snapshot s) query (fun node _v ->
+          match Engine.expand s node with
+          | (_ : int list) -> session_page s
+          | exception Invalid_argument _ -> Http.bad_request "node not visible"))
+
+let back t query =
+  with_session t query (fun s ->
+      ignore (Engine.backtrack s : bool);
+      session_page s)
+
+let citation_items t citations =
+  Docset.fold
+    (fun id acc ->
+      Html.tag ~attrs:[ ("class", "citation") ] "div"
+        (Html.text (List.hd (Eutils.esummary (Engine.eutils t.engine) [ id ])))
+    :: acc)
+    citations []
+
+let show_page_links ~sid ~node ~page ~pages =
+  let link p label =
+    Html.link
+      ~href:
+        (Html.url "/show"
+           [ ("sid", sid); ("node", string_of_int node); ("page", string_of_int p) ])
+      label
+  in
+  String.concat " "
+    ((if page > 0 then [ link (page - 1) "[prev]" ] else [])
+    @ [ Html.text (Printf.sprintf "page %d of %d" (page + 1) (max 1 pages)) ]
+    @ (if page + 1 < pages then [ link (page + 1) "[next]" ] else []))
+
+(* SHOWRESULTS. Without [page]: the paper's action — charge the cost,
+   list every citation (a mutation, so it goes through the engine lock
+   and republishes). With [page=N] (0-based): a lock-free paged read of
+   the already-published component results — browsing pages costs
+   neither lock acquisitions nor SHOWRESULTS charges. *)
 let show t query =
   with_session t query (fun s ->
-      with_visible_node s query (fun node ->
-          let nav = Engine.session_nav s in
-          let citations = Navigation.show_results (Engine.navigation s) node in
-          let items =
-            Docset.fold
-              (fun id acc ->
-                Html.tag ~attrs:[ ("class", "citation") ] "div"
-                  (Html.text (List.hd (Eutils.esummary (Engine.eutils t.engine) [ id ])))
-                :: acc)
-              citations []
-          in
-          Http.ok
-            (Html.page
-               ~title:(Printf.sprintf "BioNav: %s" (Nav_tree.label nav node))
-               (Html.tag "h2"
-                  (Html.text
-                     (Printf.sprintf "%s — %d citations" (Nav_tree.label nav node)
-                        (Docset.cardinal citations)))
-               ^ Html.link
-                   ~href:(Html.url "/session" [ ("sid", Engine.session_id s) ])
-                   "[back to tree]"
-               ^ String.concat "" (List.rev items)))))
+      let snap = Engine.snapshot s in
+      with_visible_node snap query (fun node v ->
+          let sid = Engine.session_id s in
+          let page = Option.bind (param query "page") int_of_string_opt in
+          if param query "page" <> None && page = None then
+            Http.bad_request "malformed page"
+          else
+            match page with
+            | Some p when p < 0 -> Http.bad_request "page out of range"
+            | Some p ->
+                let all = Docset.to_array v.Nav_snapshot.results in
+                let total = Array.length all in
+                let pages = (total + results_page_size - 1) / results_page_size in
+                let from = p * results_page_size in
+                let slice =
+                  if from >= total then [||]
+                  else Array.sub all from (min results_page_size (total - from))
+                in
+                let items =
+                  List.rev
+                    (citation_items t (Docset.of_sorted_array_unchecked slice))
+                in
+                Http.ok
+                  (Html.page
+                     ~title:(Printf.sprintf "BioNav: %s" v.Nav_snapshot.label)
+                     (Html.tag "h2"
+                        (Html.text
+                           (Printf.sprintf "%s — %d citations" v.Nav_snapshot.label total))
+                     ^ Html.link ~href:(Html.url "/session" [ ("sid", sid) ]) "[back to tree]"
+                     ^ Html.tag ~attrs:[ ("class", "pager") ] "div"
+                         (show_page_links ~sid ~node ~page:p ~pages)
+                     ^ String.concat "" items))
+            | None -> (
+                match Engine.show_results s node with
+                | exception Invalid_argument _ -> Http.bad_request "node not visible"
+                | citations ->
+                    (* The docset lives in the live arena; iterating it
+                       after the lock was released is a pure, domain-safe
+                       read. *)
+                    let items = citation_items t citations in
+                    Http.ok
+                      (Html.page
+                         ~title:(Printf.sprintf "BioNav: %s" v.Nav_snapshot.label)
+                         (Html.tag "h2"
+                            (Html.text
+                               (Printf.sprintf "%s — %d citations" v.Nav_snapshot.label
+                                  (Docset.cardinal citations)))
+                         ^ Html.link
+                             ~href:(Html.url "/session" [ ("sid", sid) ])
+                             "[back to tree]"
+                         ^ Html.tag ~attrs:[ ("class", "pager") ] "div"
+                             (show_page_links ~sid ~node ~page:0
+                                ~pages:
+                                  ((Docset.cardinal citations + results_page_size - 1)
+                                  / results_page_size))
+                         ^ String.concat "" (List.rev items))))))
 
 let metrics t =
   Http.ok ~content_type:"text/plain; charset=utf-8" (Engine.metrics_text t.engine)
@@ -207,15 +275,8 @@ let handle t ~path ~query =
   | "/" -> home t
   | "/search" -> search t query
   | "/session" -> with_session t query session_page
-  | "/expand" ->
-      with_session t query (fun s ->
-          with_visible_node s query (fun node ->
-              ignore (Navigation.expand (Engine.navigation s) node);
-              session_page s))
-  | "/back" ->
-      with_session t query (fun s ->
-          ignore (Navigation.backtrack (Engine.navigation s));
-          session_page s)
+  | "/expand" -> expand t query
+  | "/back" -> back t query
   | "/show" -> show t query
   | "/metrics" -> metrics t
   | "/prefetch" -> prefetch_status t

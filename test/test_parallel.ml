@@ -74,6 +74,149 @@ let test_multi_domain_stress () =
     (Metrics.count (Metrics.histogram "bionav_expand_latency_ms"));
   Alcotest.(check int) "all sessions closed" 0 (Engine.session_count eng)
 
+(* --- lock discipline --------------------------------------------------- *)
+
+(* Regression: a nested [run_locked] (or an engine action inside one)
+   used to deadlock on the non-reentrant shard mutex; the engine now
+   detects re-entry from the owning domain and raises. *)
+let test_reentrant_run_locked () =
+  let w = Lazy.force workload in
+  let eng = engine () in
+  let q = List.hd w.Q.queries in
+  match Engine.search eng q.Q.keyword with
+  | Ok (Engine.Session s) ->
+      let raised =
+        Engine.run_locked s (fun () ->
+            match Engine.run_locked s (fun () -> ()) with
+            | () -> false
+            | exception Invalid_argument _ -> true)
+      in
+      Alcotest.(check bool) "nested run_locked raises Invalid_argument" true raised;
+      (* The outer lock must have been released cleanly: the session
+         still serves locked actions afterwards. *)
+      ignore (Engine.backtrack s : bool);
+      Alcotest.(check bool) "session usable after failed re-entry" true
+        (Engine.run_locked s (fun () -> true))
+  | Ok Engine.No_results -> Alcotest.fail "query unexpectedly empty"
+  | Error e -> Alcotest.fail ("search failed: " ^ e)
+
+let test_chaos_requires_single_shard () =
+  let w = Lazy.force workload in
+  let chaos =
+    Bionav_resilience.Chaos.create
+      { Bionav_resilience.Chaos.seed = 1;
+        error_rate = 0.;
+        delay_rate = 0.;
+        delay_ms = (0., 0.);
+        fail_ops = [] }
+  in
+  Alcotest.(check bool) "chaos plan with shards > 1 is rejected" true
+    (match
+       Engine.create
+         ~config:{ Engine.default_config with Engine.shards = 2 }
+         ~chaos ~database:w.Q.database ~eutils:w.Q.eutils ()
+     with
+    | (_ : Engine.t) -> false
+    | exception Invalid_argument _ -> true);
+  (* shards = 1 still accepts a plan — the supported chaos regime. *)
+  let eng =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.shards = 1 }
+      ~chaos ~database:w.Q.database ~eutils:w.Q.eutils ()
+  in
+  Alcotest.(check int) "single-shard chaos engine works" 0 (Engine.session_count eng)
+
+(* --- snapshot isolation ------------------------------------------------ *)
+
+(* Check one published snapshot is a single, internally consistent
+   epoch: walking the children edges from the root reaches exactly the
+   captured node set, the visible components partition the navigation
+   tree's nodes, and every cached cardinal matches its frozen docset. A
+   torn mix of epochs trips at least one of these. *)
+let assert_consistent snap =
+  let module Snap = Bionav_search.Nav_snapshot in
+  let nav_size = Nav_tree.size (Snap.nav snap) in
+  let seen = ref 0 and members = ref 0 in
+  let rec go id =
+    incr seen;
+    let v = Snap.get snap id in
+    members := !members + Array.length v.Snap.members;
+    if v.Snap.distinct <> Docset.cardinal v.Snap.results then
+      Alcotest.failf "epoch %d: node %d cardinal %d <> |results| %d" (Snap.epoch snap)
+        id v.Snap.distinct
+        (Docset.cardinal v.Snap.results);
+    List.iter go v.Snap.children
+  in
+  go (Snap.root snap);
+  if !seen <> Snap.node_count snap then
+    Alcotest.failf "epoch %d: %d nodes reachable, %d captured" (Snap.epoch snap) !seen
+      (Snap.node_count snap);
+  if !members <> nav_size then
+    Alcotest.failf "epoch %d: members cover %d of %d tree nodes" (Snap.epoch snap)
+      !members nav_size
+
+(* Readers race writers over shared sessions on 4 domains: two writer
+   domains loop expand-to-exhaustion-then-backtrack while two reader
+   domains hammer [Engine.snapshot], asserting every observed snapshot
+   is internally consistent and that epochs never go backwards within
+   one reader's stream of a session. *)
+let test_snapshot_isolation_stress () =
+  let module Snap = Bionav_search.Nav_snapshot in
+  let w = Lazy.force workload in
+  let eng = engine () in
+  let sessions =
+    List.filter_map
+      (fun q ->
+        match Engine.search eng q.Q.keyword with
+        | Ok (Engine.Session s) -> Some s
+        | Ok Engine.No_results | Error _ -> None)
+      w.Q.queries
+  in
+  Alcotest.(check bool) "workload produced sessions" true (sessions <> []);
+  let sessions = Array.of_list sessions in
+  let stop = Atomic.make false in
+  let writer d () =
+    let rng = Rng.create (40 + d) in
+    for _ = 1 to 60 do
+      let s = Rng.choice rng sessions in
+      let snap = Engine.snapshot s in
+      let expandable =
+        List.filter (fun id -> (Snap.get snap id).Snap.expandable) (Snap.visible snap)
+      in
+      match expandable with
+      | [] -> ignore (Engine.backtrack s : bool)
+      | l -> (
+          (* Losing the visibility race to the other writer is fine. *)
+          try ignore (Engine.expand s (Rng.choice_list rng l) : int list)
+          with Invalid_argument _ -> ())
+    done
+  in
+  let reader d () =
+    let rng = Rng.create (80 + d) in
+    let last_epoch = Array.map (fun _ -> -1) sessions in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let i = Rng.int rng (Array.length sessions) in
+      let snap = Engine.snapshot sessions.(i) in
+      assert_consistent snap;
+      if Snap.epoch snap < last_epoch.(i) then
+        Alcotest.failf "session %d epoch went backwards: %d after %d" i (Snap.epoch snap)
+          last_epoch.(i);
+      last_epoch.(i) <- Snap.epoch snap;
+      incr checks
+    done;
+    !checks
+  in
+  let readers = Array.init 2 (fun d -> Domain.spawn (reader d)) in
+  let writers = Array.init 2 (fun d -> Domain.spawn (writer d)) in
+  Array.iter Domain.join writers;
+  Atomic.set stop true;
+  let checks = Array.fold_left (fun acc r -> acc + Domain.join r) 0 readers in
+  Alcotest.(check bool) "readers observed snapshots" true (checks > 0);
+  (* Quiesced: the published epoch equals the session's mutation count
+     and one more consistency pass over the final snapshots holds. *)
+  Array.iter (fun s -> assert_consistent (Engine.snapshot s)) sessions
+
 (* --- ownership --------------------------------------------------------- *)
 
 let test_ownership_violation () =
@@ -158,7 +301,13 @@ let () =
   Alcotest.run "parallel"
     [
       ( "engine",
-        [ Alcotest.test_case "multi-domain stress vs serial replay" `Quick test_multi_domain_stress ] );
+        [
+          Alcotest.test_case "multi-domain stress vs serial replay" `Quick test_multi_domain_stress;
+          Alcotest.test_case "reentrant run_locked raises" `Quick test_reentrant_run_locked;
+          Alcotest.test_case "chaos requires single shard" `Quick test_chaos_requires_single_shard;
+        ] );
+      ( "snapshots",
+        [ Alcotest.test_case "isolation under 4 domains" `Quick test_snapshot_isolation_stress ] );
       ( "ownership",
         [ Alcotest.test_case "violation + adoption" `Quick test_ownership_violation ] );
       ( "bounded_queue",
