@@ -1573,6 +1573,282 @@ let contention_bench () =
   if !fail then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Segment store: streaming bulk ingest + cold-cache serving           *)
+(* ------------------------------------------------------------------ *)
+
+module Seg_store = Bionav_segstore.Store
+module Seg_ingest = Bionav_segstore.Ingest
+module Seg_bridge = Bionav_segstore.Bridge
+module DB = Bionav_store.Database
+module Syn = Bionav_mesh.Synthetic
+module Gen = Bionav_corpus.Generator
+
+(* Both segstore targets contribute fragments to one artifact, so
+   `bench/main.exe ingest coldexpand` produces a single
+   BENCH_ingest.json covering ingest and serving. *)
+let segstore_json : (string * string) list ref = ref []
+
+let write_segstore_json () =
+  let json =
+    Printf.sprintf "{\n%s\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (k, v) -> Printf.sprintf "  \"%s\": %s" k v)
+            (List.rev !segstore_json)))
+  in
+  let path = "BENCH_ingest.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let bench_seg_dir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("bionav_bench_" ^ name)
+  in
+  rm_rf dir;
+  dir
+
+(* The out-of-core promise, measured: stream a synthetic corpus that
+   never exists in memory through the run-spill/merge pipeline and gate
+   the process peak-RSS growth against the configured memory budget
+   (run buffer during ingest + the block-cache budget the sealed
+   segments will be served under, which is sized at a tenth of the
+   segment bytes so the corpus is always >= 10x the cache). The fixed
+   allowance absorbs runtime/minor-heap noise; a pipeline that
+   materialized the corpus would blow past it by an order of
+   magnitude. *)
+let ingest_bench () =
+  say "%s" (Table.section "Segment store: streaming bulk ingest (bounded peak RSS)");
+  say "";
+  let smoke = !smoke_mode in
+  let n_citations = if smoke then 40_000 else 300_000 in
+  let run_budget_pairs = if smoke then 1 lsl 17 else 1 lsl 20 in
+  let config = { Seg_ingest.run_budget_pairs; segment_max_bytes = 8 * 1024 * 1024 } in
+  let hierarchy = Syn.generate ~params:Syn.small_params ~seed:71 () in
+  let dir = bench_seg_dir "ingest" in
+  let peak0 = Procinfo.peak_rss_bytes () in
+  let t0 = Timing.now_ms () in
+  let summary =
+    Seg_ingest.ingest_generated ~config ~dir
+      ~params:{ Gen.small_params with Gen.n_citations }
+      ~seed:72 hierarchy
+  in
+  let elapsed_ms = Timing.now_ms () -. t0 in
+  let peak1 = Procinfo.peak_rss_bytes () in
+  let peak_delta = peak1 - peak0 in
+  let run_buffer_bytes = run_budget_pairs * 8 in
+  let cache_budget_bytes = max 1 (summary.Seg_ingest.bytes / 10) in
+  let allowance = 48 * 1024 * 1024 in
+  let rss_ceiling = (2 * (run_buffer_bytes + cache_budget_bytes)) + allowance in
+  let per_s x = if elapsed_ms > 0. then 1000. *. float_of_int x /. elapsed_ms else 0. in
+  let mib x = float_of_int x /. (1024. *. 1024.) in
+  print_string
+    (Table.render
+       ~header:[ "metric"; "value" ]
+       [ Table.Left; Right ]
+       [
+         [ "citations"; string_of_int summary.Seg_ingest.n_citations ];
+         [ "associations"; string_of_int summary.Seg_ingest.n_associations ];
+         [ "runs spilled"; string_of_int summary.Seg_ingest.runs_spilled ];
+         [ "segments sealed"; string_of_int summary.Seg_ingest.n_segments ];
+         [ "segment bytes"; Printf.sprintf "%.1f MiB" (mib summary.Seg_ingest.bytes) ];
+         [ "elapsed"; Printf.sprintf "%.0f ms" elapsed_ms ];
+         [ "citations/s"; Printf.sprintf "%.0f" (per_s summary.Seg_ingest.n_citations) ];
+         [ "associations/s"; Printf.sprintf "%.0f" (per_s summary.Seg_ingest.n_associations) ];
+         [ "run buffer"; Printf.sprintf "%.1f MiB" (mib run_buffer_bytes) ];
+         [ "cache budget (bytes/10)"; Printf.sprintf "%.1f MiB" (mib cache_budget_bytes) ];
+         [ "corpus / cache ratio";
+           Printf.sprintf "%.1fx"
+             (float_of_int summary.Seg_ingest.bytes /. float_of_int cache_budget_bytes) ];
+         [ "peak RSS before"; Printf.sprintf "%.1f MiB" (mib peak0) ];
+         [ "peak RSS after"; Printf.sprintf "%.1f MiB" (mib peak1) ];
+         [ "peak RSS growth"; Printf.sprintf "%.1f MiB" (mib peak_delta) ];
+         [ "RSS ceiling (2x budget + slack)"; Printf.sprintf "%.1f MiB" (mib rss_ceiling) ];
+       ]);
+  say "";
+  let rss_ok = peak_delta <= rss_ceiling in
+  let ratio_ok = summary.Seg_ingest.bytes >= 10 * cache_budget_bytes in
+  segstore_json :=
+    ( "ingest",
+      Printf.sprintf
+        "{\n\
+        \    \"smoke\": %b,\n\
+        \    \"citations\": %d,\n\
+        \    \"associations\": %d,\n\
+        \    \"runs_spilled\": %d,\n\
+        \    \"segments\": %d,\n\
+        \    \"segment_bytes\": %d,\n\
+        \    \"elapsed_ms\": %.2f,\n\
+        \    \"citations_per_s\": %.1f,\n\
+        \    \"run_buffer_bytes\": %d,\n\
+        \    \"cache_budget_bytes\": %d,\n\
+        \    \"peak_rss_before_bytes\": %d,\n\
+        \    \"peak_rss_after_bytes\": %d,\n\
+        \    \"peak_rss_growth_bytes\": %d,\n\
+        \    \"rss_ceiling_bytes\": %d,\n\
+        \    \"corpus_at_least_10x_cache\": %b,\n\
+        \    \"rss_gate_ok\": %b\n\
+        \  }"
+        smoke summary.Seg_ingest.n_citations summary.Seg_ingest.n_associations
+        summary.Seg_ingest.runs_spilled summary.Seg_ingest.n_segments
+        summary.Seg_ingest.bytes elapsed_ms
+        (per_s summary.Seg_ingest.n_citations)
+        run_buffer_bytes cache_budget_bytes peak0 peak1 peak_delta rss_ceiling ratio_ok
+        rss_ok )
+    :: !segstore_json;
+  write_segstore_json ();
+  say "";
+  if not ratio_ok then begin
+    say "  *** FAIL: corpus %d bytes below 10x the cache budget %d ***"
+      summary.Seg_ingest.bytes cache_budget_bytes;
+    exit 1
+  end;
+  if not rss_ok then begin
+    say "  *** FAIL: ingest peak RSS grew %.1f MiB, ceiling %.1f MiB ***" (mib peak_delta)
+      (mib rss_ceiling);
+    exit 1
+  end
+
+(* Serve expand traffic against freshly sealed segments with a stone-cold
+   block cache and hold the backend to byte-identity with the in-memory
+   association table: same navigation trees (per-node concepts and result
+   sets compared with Docset.equal), same oracle traces. Cold p95 comes
+   from the expand-latency histogram of the segstore run. *)
+let coldexpand_bench () =
+  say "%s" (Table.section "Segment store: cold-cache expand traffic vs in-memory");
+  say "";
+  let w = Q.build ~config:Q.small_config ~seed:workload_seed () in
+  let dir = bench_seg_dir "coldexpand" in
+  let ingest_summary = Seg_ingest.ingest_medline ~dir w.Q.medline in
+  say "  ingested %d citations into %d segment(s), %d bytes"
+    ingest_summary.Seg_ingest.n_citations ingest_summary.Seg_ingest.n_segments
+    ingest_summary.Seg_ingest.bytes;
+  say "";
+  (* Structural byte-identity, checked off the serving path: the same
+     result sets must attach the same concepts with the same citation
+     sets on both backends. *)
+  let store = Seg_store.open_dir dir in
+  let ext_db = Seg_bridge.database store (DB.hierarchy w.Q.database) in
+  let results_identical = ref true in
+  List.iter
+    (fun q ->
+      let nav_mem = Nav_tree.of_database w.Q.database q.Q.result in
+      let nav_ext = Nav_tree.of_database ext_db q.Q.result in
+      if Nav_tree.size nav_mem <> Nav_tree.size nav_ext then results_identical := false
+      else
+        for node = 0 to Nav_tree.size nav_mem - 1 do
+          if
+            Nav_tree.concept_id nav_mem node <> Nav_tree.concept_id nav_ext node
+            || not
+                 (Docset.equal (Nav_tree.results nav_mem node)
+                    (Nav_tree.results nav_ext node))
+          then results_identical := false
+        done)
+    w.Q.queries;
+  (* Engine-level runs: one backend at a time, each from a fresh engine,
+     tracing every oracle navigation. The segstore engine opens its own
+     store, so its block cache starts empty — every first-touch decode
+     in the trace is a cold read. *)
+  let run_backend config =
+    Metrics.reset ();
+    let engine = Engine.create ~config ~database:w.Q.database ~eutils:w.Q.eutils () in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun q ->
+        match Engine.search engine q.Q.keyword with
+        | Ok (Engine.Session s) ->
+            let outcome = Simulate.to_target (Engine.navigation s) ~target:q.Q.target_node in
+            Buffer.add_string buf
+              (Printf.sprintf "%s cost=%d expands=%d revealed=%d [%s]\n" q.Q.spec.Q.name
+                 outcome.Simulate.navigation_cost outcome.Simulate.expands
+                 outcome.Simulate.revealed
+                 (String.concat ";"
+                    (List.map
+                       (fun (r : Navigation.expand_record) ->
+                         Printf.sprintf "%d:%d" r.Navigation.node r.Navigation.n_revealed)
+                       outcome.Simulate.history)));
+            ignore (Engine.close engine (Engine.session_id s) : bool)
+        | Ok Engine.No_results | Error _ ->
+            Buffer.add_string buf (Printf.sprintf "%s no-results\n" q.Q.spec.Q.name))
+      w.Q.queries;
+    let hist = Metrics.histogram "bionav_expand_latency_ms" in
+    let hits = Metrics.value (Metrics.counter "bionav_segstore_block_cache_hits_total") in
+    let misses =
+      Metrics.value (Metrics.counter "bionav_segstore_block_cache_misses_total")
+    in
+    ( Buffer.contents buf,
+      Metrics.count hist,
+      Metrics.percentile hist 50.,
+      Metrics.percentile hist 95.,
+      hits,
+      misses )
+  in
+  let mem_trace, mem_expands, mem_p50, mem_p95, _, _ =
+    run_backend Engine.default_config
+  in
+  let cold_trace, cold_expands, cold_p50, cold_p95, hits, misses =
+    run_backend { Engine.default_config with Engine.segstore = Some (Seg_store.spec dir) }
+  in
+  let trace_identical = String.equal mem_trace cold_trace in
+  print_string
+    (Table.render
+       ~header:[ "backend"; "EXPANDs"; "p50/EXPAND"; "p95/EXPAND" ]
+       [ Table.Left; Right; Right; Right ]
+       [
+         [ "in-memory"; string_of_int mem_expands; Printf.sprintf "%.3f ms" mem_p50;
+           Printf.sprintf "%.3f ms" mem_p95 ];
+         [ "segstore (cold)"; string_of_int cold_expands; Printf.sprintf "%.3f ms" cold_p50;
+           Printf.sprintf "%.3f ms" cold_p95 ];
+       ]);
+  say "";
+  say "  block cache: %d hit(s), %d miss(es); traces %s; result sets %s" hits misses
+    (if trace_identical then "byte-identical" else "DIVERGED")
+    (if !results_identical then "byte-identical" else "DIVERGED");
+  say "";
+  let p95_ceiling_ms = 100. in
+  let p95_ok = cold_p95 <= p95_ceiling_ms in
+  segstore_json :=
+    ( "coldexpand",
+      Printf.sprintf
+        "{\n\
+        \    \"queries\": %d,\n\
+        \    \"segments\": %d,\n\
+        \    \"segment_bytes\": %d,\n\
+        \    \"mem_expands\": %d,\n\
+        \    \"mem_expand_p50_ms\": %.4f,\n\
+        \    \"mem_expand_p95_ms\": %.4f,\n\
+        \    \"cold_expands\": %d,\n\
+        \    \"cold_expand_p50_ms\": %.4f,\n\
+        \    \"cold_expand_p95_ms\": %.4f,\n\
+        \    \"cold_p95_ceiling_ms\": %.1f,\n\
+        \    \"block_cache_hits\": %d,\n\
+        \    \"block_cache_misses\": %d,\n\
+        \    \"traces_identical\": %b,\n\
+        \    \"results_identical\": %b\n\
+        \  }"
+        (List.length w.Q.queries) ingest_summary.Seg_ingest.n_segments
+        ingest_summary.Seg_ingest.bytes mem_expands mem_p50 mem_p95 cold_expands cold_p50
+        cold_p95 p95_ceiling_ms hits misses trace_identical !results_identical )
+    :: !segstore_json;
+  write_segstore_json ();
+  say "";
+  if not (trace_identical && !results_identical) then begin
+    say "  *** FAIL: segstore backend diverged from the in-memory backend ***";
+    exit 1
+  end;
+  if not p95_ok then begin
+    say "  *** FAIL: cold expand p95 %.3f ms above the %.0f ms ceiling ***" cold_p95
+      p95_ceiling_ms;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* CSV export of the headline artifacts                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1619,16 +1895,22 @@ let targets =
     ("docset", docset_bench);
     ("parallel", parallel_bench);
     ("contention", contention_bench);
+    ("ingest", ingest_bench);
+    ("coldexpand", coldexpand_bench);
     ("csv", csv);
   ]
 
-(* "csv", "prefetch", "chaos", "docset", "parallel" and "contention"
-   write files rather than (only) printing; keep them out of the default
-   everything-run so `bench/main.exe > bench_output.txt` stays pure. *)
+(* "csv", "prefetch", "chaos", "docset", "parallel", "contention",
+   "ingest" and "coldexpand" write files rather than (only) printing;
+   keep them out of the default everything-run so
+   `bench/main.exe > bench_output.txt` stays pure. *)
 let default_targets =
   List.filter
     (fun (n, _) ->
-      not (List.mem n [ "csv"; "prefetch"; "chaos"; "docset"; "parallel"; "contention" ]))
+      not
+        (List.mem n
+           [ "csv"; "prefetch"; "chaos"; "docset"; "parallel"; "contention"; "ingest";
+             "coldexpand" ]))
     targets
 
 let () =

@@ -16,6 +16,7 @@ module DB = Bionav_store.Database
 module Codec = Bionav_store.Codec
 module Eutils = Bionav_search.Eutils
 module Engine = Bionav_engine.Engine
+module Seg = Bionav_segstore
 module Q = Bionav_workload.Queries
 module E = Bionav_workload.Experiment
 module R = Bionav_workload.Report
@@ -49,6 +50,17 @@ let engine_config ~prefetch base =
     Engine.prefetch =
       (if prefetch then Some Bionav_prefetch.Prefetch.default_config else None) }
 
+let segstore_arg =
+  let doc =
+    "Serve concept-citation associations from the out-of-core segment store in \
+     $(docv) (built with the $(b,ingest) command over the same scale and seed) \
+     instead of the in-memory table."
+  in
+  Arg.(value & opt (some string) None & info [ "segstore" ] ~docv:"DIR" ~doc)
+
+let with_segstore segstore base =
+  { base with Engine.segstore = Option.map Seg.Store.spec segstore }
+
 let dump_metrics flag = if flag then print_string (Bionav_util.Metrics.dump ())
 
 (* When an engine exists, dump through it so the engine-owned gauges (live
@@ -73,8 +85,7 @@ let stats_cmd =
       (H.max_width h);
     Printf.printf "corpus:    %d citations, %.1f concepts/citation, %d concepts populated\n"
       (Medline.size m) (Medline.mean_annotations m) (Medline.concepts_with_citations m);
-    Printf.printf "database:  %d associations\n"
-      (Bionav_store.Assoc_table.n_associations (DB.assoc w.Q.database));
+    Printf.printf "database:  %d associations\n" (DB.n_associations w.Q.database);
     Printf.printf "queries:   %s\n"
       (String.concat ", " (List.map (fun q -> q.Q.spec.Q.name) w.Q.queries))
   in
@@ -216,21 +227,21 @@ let navigate_cmd =
     let doc = "Apply a recorded transcript before the interactive loop." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let rec run scale seed query strategy auto record replay prefetch metrics =
+  let rec run scale seed query strategy auto record replay prefetch segstore metrics =
     (* The Optimal strategy is exponential and guarded to tiny components;
        surface its Invalid_argument as a clean error instead of a crash. *)
-    try run_navigate scale seed query strategy auto record replay prefetch metrics
+    try run_navigate scale seed query strategy auto record replay prefetch segstore metrics
     with Invalid_argument msg ->
       Printf.printf "error: %s\n" msg;
       Printf.printf "(the 'optimal' strategy only handles components of <= %d nodes;\n"
         Bionav_core.Opt_edgecut.max_size;
       Printf.printf " use --strategy bionav for real queries)\n";
       exit 1
-  and run_navigate scale seed query strategy auto record replay prefetch metrics =
+  and run_navigate scale seed query strategy auto record replay prefetch segstore metrics =
     let w = build_workload scale seed in
     let engine =
       Engine.create
-        ~config:(engine_config ~prefetch Engine.default_config)
+        ~config:(with_segstore segstore (engine_config ~prefetch Engine.default_config))
         ~database:w.Q.database ~eutils:w.Q.eutils ()
     in
     match Engine.search engine ~strategy:(strategy_of strategy) query with
@@ -284,7 +295,7 @@ let navigate_cmd =
     (Cmd.info "navigate" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ query_arg $ strategy_arg $ auto_arg $ record_arg
-      $ replay_arg $ prefetch_arg $ metrics_arg)
+      $ replay_arg $ prefetch_arg $ segstore_arg $ metrics_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
@@ -343,7 +354,7 @@ let serve_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
   in
   let run scale seed port max_sessions prefetch snapshot backlog max_connections
-      expand_budget_ms domains =
+      expand_budget_ms domains segstore =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     if domains < 1 then begin
@@ -352,22 +363,24 @@ let serve_cmd =
     end;
     let w = build_workload scale seed in
     let app =
-      (* A corrupt, mismatched, or missing snapshot is a clean startup
-         error, not a crash. *)
+      (* A corrupt, mismatched, or missing snapshot (or segment store) is
+         a clean startup error, not a crash. *)
       try
         Bionav_web.App.create
           ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
           ~config:
-            (engine_config ~prefetch
-               { Engine.default_config with
-                 Engine.max_sessions;
-                 expand_budget_ms;
-                 shards = domains;
-               })
+            (with_segstore segstore
+               (engine_config ~prefetch
+                  { Engine.default_config with
+                    Engine.max_sessions;
+                    expand_budget_ms;
+                    shards = domains;
+                  }))
           ?snapshot ~database:w.Q.database ~eutils:w.Q.eutils ()
       with (Invalid_argument msg | Sys_error msg) ->
         Printf.printf "error: %s\n" msg;
-        Printf.printf "(rebuild the snapshot with: bionav warm <FILE>)\n";
+        Printf.printf "(rebuild the snapshot with: bionav warm <FILE>;\n";
+        Printf.printf " rebuild the segment store with: bionav ingest <DIR>)\n";
         exit 1
     in
     Printf.printf "serving on http://127.0.0.1:%d with %d domain%s (Ctrl-C to stop)\n%!"
@@ -396,7 +409,52 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
-      $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg $ domains_arg)
+      $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg $ domains_arg
+      $ segstore_arg)
+
+(* --- ingest -------------------------------------------------------------- *)
+
+let ingest_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Segment-store output directory (created if absent).")
+  in
+  let run_budget_arg =
+    let doc = "In-memory run buffer capacity in (concept, citation) pairs — the ingest \
+               memory bound." in
+    Arg.(value & opt int Seg.Ingest.default_config.Seg.Ingest.run_budget_pairs
+         & info [ "run-budget" ] ~docv:"PAIRS" ~doc)
+  in
+  let segment_max_arg =
+    let doc = "Rolling segment cut threshold in bytes." in
+    Arg.(value & opt int Seg.Ingest.default_config.Seg.Ingest.segment_max_bytes
+         & info [ "segment-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let run scale seed dir run_budget_pairs segment_max_bytes =
+    let w = build_workload scale seed in
+    let config = { Seg.Ingest.run_budget_pairs; segment_max_bytes } in
+    let t0 = Unix.gettimeofday () in
+    let s = Seg.Ingest.ingest_medline ~config ~dir w.Q.medline in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "ingested %d citations (%d associations) into %s in %.2fs\n"
+      s.Seg.Ingest.n_citations s.Seg.Ingest.n_associations dir dt;
+    Printf.printf "  %d segment(s), %.1f MiB on disk, %d sorted run(s) spilled\n"
+      s.Seg.Ingest.n_segments
+      (float_of_int s.Seg.Ingest.bytes /. 1048576.)
+      s.Seg.Ingest.runs_spilled;
+    Printf.printf "serve it with: bionav serve --scale %s --seed %d --segstore %s\n"
+      (match scale with `Small -> "small" | `Full -> "full")
+      seed dir
+  in
+  let doc =
+    "Bulk-ingest the synthetic corpus into an out-of-core segment store (compressed, \
+     mmap-backed posting lists; bounded-memory external sort). Use the same scale and \
+     seed when serving from it."
+  in
+  Cmd.v
+    (Cmd.info "ingest" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ dir_arg $ run_budget_arg $ segment_max_arg)
 
 (* --- warm ---------------------------------------------------------------- *)
 
@@ -470,8 +528,7 @@ let db_info_cmd =
     let h = DB.hierarchy db in
     Printf.printf "hierarchy: %d concepts, height %d\n" (H.size h) (H.height h);
     Printf.printf "citations: %d\n" (DB.n_citations db);
-    Printf.printf "associations: %d\n"
-      (Bionav_store.Assoc_table.n_associations (DB.assoc db))
+    Printf.printf "associations: %d\n" (DB.n_associations db)
   in
   let doc = "Inspect an exported BioNav database file." in
   Cmd.v (Cmd.info "db-info" ~doc) Term.(const run $ path_arg)
@@ -486,5 +543,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; queries_cmd; search_cmd; navigate_cmd; experiment_cmd; serve_cmd;
-            warm_cmd; mesh_export_cmd; db_export_cmd; db_info_cmd;
+            ingest_cmd; warm_cmd; mesh_export_cmd; db_export_cmd; db_info_cmd;
           ]))

@@ -115,10 +115,7 @@ let build ~hierarchy ~attachments ~total_count =
   }
 
 let of_database db result =
-  let attachments =
-    Database.concepts_of_result db (Docset.to_intset result)
-    |> List.map (fun (c, set) -> (c, Docset.of_intset set))
-  in
+  let attachments = Database.concepts_of_result_ds db result in
   build ~hierarchy:(Database.hierarchy db) ~attachments ~total_count:(Database.total_count db)
 
 let arena t = t.arena

@@ -91,18 +91,30 @@ let organic_topic_count rng =
   let u = Rng.float rng 1.0 in
   if u < 0.5 then 1 else if u < 0.85 then 2 else 3
 
-let generate ?(params = default_params) ~seed hierarchy =
+let iter ?(params = default_params) ~seed hierarchy ~f =
   let p = params in
   validate_groups p hierarchy;
   let rng = Rng.create seed in
   let text = Text_gen.create (Rng.split rng) in
   let annotator = Annotator.create ~params:p.annotator_params hierarchy (Rng.split rng) in
   let tm = topic_model p (Rng.split rng) hierarchy in
-  let groups = group_assignment p (Rng.split rng) in
-  let citations =
-    Array.init p.n_citations (fun id ->
-        let major_topics, tag =
-          match groups.(id) with
+  (* With no seeded groups the assignment is all-None; skip the two
+     O(n_citations) arrays so streaming generation is O(1) resident in
+     the corpus size. The split is taken either way, so the parent rng's
+     draw stream — and therefore every citation — is byte-identical to
+     the grouped path's. *)
+  let groups =
+    let grng = Rng.split rng in
+    if p.seeded_groups = [] then fun _ -> None
+    else begin
+      let slots = group_assignment p grng in
+      fun id -> slots.(id)
+    end
+  in
+  for id = 0 to p.n_citations - 1 do
+    f
+      ( let major_topics, tag =
+          match groups id with
           | None ->
               let n = organic_topic_count rng in
               (List.sort_uniq Int.compare (List.init n (fun _ -> draw_topic tm rng)), None)
@@ -144,6 +156,10 @@ let generate ?(params = default_params) ~seed hierarchy =
           major_topics;
           concepts;
           qualified;
-        })
-  in
-  Medline.make hierarchy citations
+        } )
+  done
+
+let generate ?(params = default_params) ~seed hierarchy =
+  let acc = ref [] in
+  iter ~params ~seed hierarchy ~f:(fun c -> acc := c :: !acc);
+  Medline.make hierarchy (Array.of_list (List.rev !acc))

@@ -46,3 +46,14 @@ val generate :
 (** Deterministic in [seed]. @raise Invalid_argument if a cluster concept is
     out of range, a group is malformed, or group counts exceed
     [n_citations]. *)
+
+val iter :
+  ?params:params ->
+  seed:int ->
+  Bionav_mesh.Hierarchy.t ->
+  f:(Citation.t -> unit) ->
+  unit
+(** Stream the same corpus {!generate} builds, one citation at a time in id
+    order, without materializing the array — the shape segment-store bulk
+    ingest consumes. [iter ~params ~seed h ~f] visits exactly the citations
+    of [generate ~params ~seed h]. *)

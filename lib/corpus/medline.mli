@@ -20,6 +20,18 @@ val citations : t -> Citation.t array
 val postings : t -> int -> Bionav_util.Intset.t
 (** [postings t concept] = set of citation ids associated with [concept]. *)
 
+val postings_in : Bionav_util.Docset_arena.t -> t -> int -> Bionav_util.Docset.t
+(** {!postings} interned into a caller-supplied arena — the
+    {!Bionav_util.Docset} face of the corpus boundary. *)
+
+val iter_postings : t -> int -> (int -> unit) -> unit
+(** Visit the concept's citations in increasing id order without handing
+    out the underlying set. *)
+
+val iter_citation_concepts : t -> int -> (int -> unit) -> unit
+(** Visit a citation's annotation concepts in increasing id order — the
+    streaming shape bulk ingest consumes. *)
+
 val concept_count : t -> int -> int
 (** [concept_count t concept] = |postings| — the corpus-wide citation count
     [LT(n)] used by the EXPLORE-probability estimate. *)

@@ -63,45 +63,6 @@ let to_string medline =
 
 type raw_field = { tag : string; value : string }
 
-(* Fold physical lines into logical fields (continuations start with a
-   space). *)
-let fields_of_lines lines =
-  let flush acc current =
-    match current with None -> acc | Some f -> { f with value = String.trim f.value } :: acc
-  in
-  let acc, last =
-    List.fold_left
-      (fun (acc, current) line ->
-        if String.length line > 0 && line.[0] = ' ' then
-          match current with
-          | Some f -> (acc, Some { f with value = f.value ^ " " ^ String.trim line })
-          | None -> (acc, None)
-        else if String.trim line = "" then (flush acc current, None)
-        else
-          match String.index_opt line '-' with
-          | Some k when k <= 5 ->
-              let tag = String.trim (String.sub line 0 k) in
-              let value = String.sub line (k + 1) (String.length line - k - 1) in
-              (flush acc current, Some { tag; value })
-          | Some _ | None ->
-              invalid_arg (Printf.sprintf "Nbib: malformed line %S" line))
-      ([], None) lines
-  in
-  List.rev (flush acc last)
-
-let records_of_fields fields =
-  let flush records current = match current with [] -> records | fs -> List.rev fs :: records in
-  let records, last =
-    List.fold_left
-      (fun (records, current) f ->
-        if f.tag = "PMID" then (flush records current, [ f ])
-        else if current = [] && records = [] then
-          invalid_arg (Printf.sprintf "Nbib: field %S before the first PMID" f.tag)
-        else (records, f :: current))
-      ([], []) fields
-  in
-  List.rev (flush records last)
-
 let citation_of_record ?(on_unknown_mh = `Fail) ~hierarchy ~id fields =
   let title = ref "" and abstract = ref "" and journal = ref "" and year = ref 1900 in
   let authors = ref [] and majors = ref [] and concepts = ref [] in
@@ -171,14 +132,89 @@ let citation_of_record ?(on_unknown_mh = `Fail) ~hierarchy ~id fields =
     qualified = List.rev !qualified;
   }
 
-let of_string ?on_unknown_mh ~hierarchy text =
-  let fields = fields_of_lines (String.split_on_char '\n' text) in
-  let records = records_of_fields fields in
-  if records = [] then invalid_arg "Nbib.of_string: no records";
-  let citations =
-    List.mapi (fun id fields -> citation_of_record ?on_unknown_mh ~hierarchy ~id fields) records
+(* The streaming core: fold physical lines into logical fields
+   (continuations start with a space), flush a record at each PMID line
+   and at end of input, and hand each completed citation to [f]. One
+   record of parser state is live at a time, so memory is bounded by the
+   largest record, not the input. Citation ids are assigned densely in
+   record order. *)
+let fold_line_seq ?on_unknown_mh ~hierarchy lines ~init ~f =
+  let acc = ref init in
+  let next_id = ref 0 in
+  let fields = ref [] (* current record, reversed *) in
+  let field = ref None (* field still accepting continuation lines *) in
+  let seen_record = ref false in
+  let flush_field () =
+    match !field with
+    | None -> ()
+    | Some fl ->
+        fields := { fl with value = String.trim fl.value } :: !fields;
+        field := None
   in
-  Medline.make hierarchy (Array.of_list citations)
+  let flush_record () =
+    flush_field ();
+    match List.rev !fields with
+    | [] -> ()
+    | fs ->
+        let c = citation_of_record ?on_unknown_mh ~hierarchy ~id:!next_id fs in
+        incr next_id;
+        fields := [];
+        acc := f !acc c
+  in
+  Seq.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = ' ' then (
+        match !field with
+        | Some fl -> field := Some { fl with value = fl.value ^ " " ^ String.trim line }
+        | None -> ())
+      else if String.trim line = "" then flush_field ()
+      else
+        match String.index_opt line '-' with
+        | Some k when k <= 5 ->
+            let tag = String.trim (String.sub line 0 k) in
+            let value = String.sub line (k + 1) (String.length line - k - 1) in
+            if tag = "PMID" then begin
+              flush_record ();
+              seen_record := true;
+              field := Some { tag; value }
+            end
+            else begin
+              if not !seen_record then
+                invalid_arg (Printf.sprintf "Nbib: field %S before the first PMID" tag);
+              flush_field ();
+              field := Some { tag; value }
+            end
+        | Some _ | None -> invalid_arg (Printf.sprintf "Nbib: malformed line %S" line))
+    lines;
+  flush_record ();
+  (!acc, !next_id)
+
+let lines_of_channel ic =
+  let rec next () =
+    match In_channel.input_line ic with
+    | Some line -> Seq.Cons (line, next)
+    | None -> Seq.Nil
+  in
+  next
+
+let fold_channel ?on_unknown_mh ~hierarchy ic ~init ~f =
+  fst (fold_line_seq ?on_unknown_mh ~hierarchy (lines_of_channel ic) ~init ~f)
+
+let fold_file ?on_unknown_mh ~hierarchy path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> fold_channel ?on_unknown_mh ~hierarchy ic ~init ~f)
+
+let collect ?on_unknown_mh ~hierarchy lines =
+  let rev_citations, n =
+    fold_line_seq ?on_unknown_mh ~hierarchy lines ~init:[] ~f:(fun acc c -> c :: acc)
+  in
+  if n = 0 then invalid_arg "Nbib.of_string: no records";
+  Medline.make hierarchy (Array.of_list (List.rev rev_citations))
+
+let of_string ?on_unknown_mh ~hierarchy text =
+  collect ?on_unknown_mh ~hierarchy (List.to_seq (String.split_on_char '\n' text))
 
 let save medline path =
   let oc = open_out path in
@@ -188,4 +224,7 @@ let load ?on_unknown_mh ~hierarchy path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string ?on_unknown_mh ~hierarchy (really_input_string ic (in_channel_length ic)))
+    (* Line-at-a-time off the channel: no whole-file slurp. The citations
+       still accumulate here because a [Medline.t] is the fully resident
+       corpus; bulk ingest uses {!fold_file} and never collects. *)
+    (fun () -> collect ?on_unknown_mh ~hierarchy (lines_of_channel ic))

@@ -45,3 +45,26 @@ val load :
   hierarchy:Bionav_mesh.Hierarchy.t ->
   string ->
   Medline.t
+(** Like {!of_string} but reading the file line-at-a-time (no whole-file
+    slurp); the resulting corpus is still fully resident. *)
+
+val fold_file :
+  ?on_unknown_mh:[ `Skip | `Fail ] ->
+  hierarchy:Bionav_mesh.Hierarchy.t ->
+  string ->
+  init:'a ->
+  f:('a -> Citation.t -> 'a) ->
+  'a
+(** Stream the file record-at-a-time: each completed citation (ids dense
+    in record order) is folded into [f] and then dropped, so memory is
+    bounded by the largest single record — the parser the segment-store
+    bulk ingest drives. @raise Invalid_argument on malformed records. *)
+
+val fold_channel :
+  ?on_unknown_mh:[ `Skip | `Fail ] ->
+  hierarchy:Bionav_mesh.Hierarchy.t ->
+  in_channel ->
+  init:'a ->
+  f:('a -> Citation.t -> 'a) ->
+  'a
+(** {!fold_file} over an already-open channel (reads to EOF). *)

@@ -22,6 +22,7 @@ type config = {
   expand_budget_ms : float option;
   resilience : Guard.config option;
   shards : int;
+  segstore : Bionav_segstore.Store.spec option;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     expand_budget_ms = None;
     resilience = Some Guard.default_config;
     shards = 1;
+    segstore = None;
   }
 
 (* A session is pinned to the shard that created it ([home]): its
@@ -78,6 +80,7 @@ and shard = {
 type t = {
   config : config;
   database : Bionav_store.Database.t;
+  store : Bionav_segstore.Store.t option;
   eutils : Eutils.t;
   search_lock : Mutex.t;  (* confines the inverted index's shared arena *)
   shards : shard array;
@@ -178,6 +181,27 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   | Some _ when config.shards > 1 ->
       invalid_arg "Engine.create: a chaos plan requires shards = 1"
   | Some _ | None -> ());
+  (* With a segment store configured, associations come off the mapped
+     segments and the passed database contributes only its hierarchy. *)
+  let store, database =
+    match config.segstore with
+    | None -> (None, database)
+    | Some spec ->
+        let st =
+          Bionav_segstore.Store.open_dir
+            ~config:spec.Bionav_segstore.Store.spec_config
+            spec.Bionav_segstore.Store.dir
+        in
+        let db_citations = Bionav_store.Database.n_citations database in
+        if Bionav_segstore.Store.n_citations st <> db_citations then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.create: segment store has %d citations but the database has %d"
+               (Bionav_segstore.Store.n_citations st)
+               db_citations);
+        ( Some st,
+          Bionav_segstore.Bridge.database st (Bionav_store.Database.hierarchy database) )
+  in
   let search_lock = Mutex.create () in
   let index_arena = Bionav_search.Inverted_index.arena (Eutils.index eutils) in
   let make_shard snum =
@@ -226,6 +250,7 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
     {
       config;
       database;
+      store;
       eutils;
       search_lock;
       shards = Array.init config.shards make_shard;
@@ -254,6 +279,7 @@ let prefetch t = t.shards.(0).sprefetch
 let guard t = t.shards.(0).sguard
 let resilience_clock t = t.config.clock
 let shard_count t = Array.length t.shards
+let segstore t = t.store
 
 let shard_of_sid t sid = t.shards.(Hashtbl.hash sid mod Array.length t.shards)
 
@@ -623,4 +649,6 @@ let publish_docset t =
 let metrics_text t =
   publish_live t;
   publish_docset t;
+  Option.iter Bionav_segstore.Store.publish_metrics t.store;
+  Procinfo.publish ();
   Metrics.dump ()

@@ -88,6 +88,13 @@ type config = {
           may therefore be built once per shard). The per-shard session
           bound is [max 1 (max_sessions / shards)]. A chaos plan requires
           [shards = 1] (see {!create}). *)
+  segstore : Bionav_segstore.Store.spec option;
+      (** Serve associations from an out-of-core segment store instead of
+          the in-memory table: {!create} opens the store and rebinds the
+          database's association backend through
+          {!Bionav_segstore.Bridge}. The passed database still supplies
+          the hierarchy (and its citation count is cross-checked against
+          the store's). Default [None] (in-memory). *)
 }
 
 val default_config : config
@@ -111,8 +118,13 @@ val create :
     A chaos plan is one stateful fault stream, so it requires
     [config.shards = 1] — sharding would race the draws and silently
     skew the plan.
+
+    With [config.segstore] set, the association backend is the opened
+    segment store and [database] contributes only its hierarchy; the
+    store must describe the same corpus (citation counts are checked).
     @raise Invalid_argument if [config.max_sessions < 1], a negative
-    [expand_budget_ms], [chaos] combined with [config.shards > 1], or
+    [expand_budget_ms], [chaos] combined with [config.shards > 1], a
+    segment store that is corrupt or disagrees with [database], or
     the snapshot is corrupt or from a different database; [Sys_error]
     if unreadable. *)
 
@@ -129,6 +141,9 @@ val guard : t -> Bionav_resilience.Guard.t option
 
 val shard_count : t -> int
 (** [config.shards]. *)
+
+val segstore : t -> Bionav_segstore.Store.t option
+(** The opened segment store, when [config.segstore] was set. *)
 
 val resilience_clock : t -> Bionav_resilience.Clock.t
 (** [config.clock] — the clock every engine timing decision reads. *)
@@ -273,5 +288,7 @@ val metrics_text : t -> string
 (** Refresh the engine gauges — live session count plus the docset-arena
     gauges ([bionav_docset_live_sets], [bionav_docset_resident_bytes],
     [bionav_docset_live_dense]/[_sparse], [bionav_docset_dedup_hit_rate],
-    aggregated as in {!docset_stats}) — and render the whole process
+    aggregated as in {!docset_stats}), the segment-store cache gauges
+    when one is open, and the process peak-RSS gauge
+    ([bionav_process_peak_rss_bytes]) — and render the whole process
     metrics registry ({!Bionav_util.Metrics.dump}). *)

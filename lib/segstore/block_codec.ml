@@ -1,0 +1,108 @@
+module Wire = Bionav_store.Codec.Wire
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let block_size = 128
+let fail msg = invalid_arg ("Segstore.decode: " ^ msg)
+
+(* --- bounded cursor over a mapped segment ------------------------------- *)
+
+type cursor = { data : bigstring; mutable pos : int; limit : int }
+
+let cursor data ~pos ~limit =
+  if pos < 0 || limit < pos || limit > Bigarray.Array1.dim data then
+    fail "cursor window out of range";
+  { data; pos; limit }
+
+let pos c = c.pos
+let remaining c = c.limit - c.pos
+
+let read_u8 c =
+  if c.pos >= c.limit then fail "truncated input";
+  let b = Char.code (Bigarray.Array1.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let read_i32 c =
+  if remaining c < 4 then fail "truncated i32";
+  let b i = Char.code (Bigarray.Array1.get c.data (c.pos + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  (* sign-extend bit 31 so the value round-trips Wire.write_i32 *)
+  (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+let read_i64 c =
+  if remaining c < 8 then fail "truncated i64";
+  let b i = Int64.of_int (Char.code (Bigarray.Array1.get c.data (c.pos + i))) in
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (b i)
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let read_varint c =
+  let acc = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then fail "varint too long";
+    let b = read_u8 c in
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  if !acc < 0 then fail "varint overflow";
+  !acc
+
+(* --- blocks ------------------------------------------------------------- *)
+
+let encode_block buf values ~off ~len =
+  if len < 1 || len > block_size then
+    invalid_arg "Segstore.encode_block: bad block length";
+  if off < 0 || off + len > Array.length values then
+    invalid_arg "Segstore.encode_block: window out of range";
+  if values.(off) < 0 then invalid_arg "Segstore.encode_block: negative posting";
+  Wire.write_varint buf values.(off);
+  for i = off + 1 to off + len - 1 do
+    let gap = values.(i) - values.(i - 1) in
+    if gap <= 0 then invalid_arg "Segstore.encode_block: postings not increasing";
+    Wire.write_varint buf gap
+  done
+
+let decode_block_into data ~pos ~len ~count dst ~dst_off =
+  (* Each posting costs at least one varint byte, so a count claiming more
+     postings than [len] bytes is corrupt before we read anything. *)
+  if count < 1 || count > len then fail "block count exceeds payload";
+  if dst_off < 0 || dst_off + count > Array.length dst then
+    fail "block destination out of range";
+  let c = cursor data ~pos ~limit:(pos + len) in
+  let v = ref (read_varint c) in
+  dst.(dst_off) <- !v;
+  for i = dst_off + 1 to dst_off + count - 1 do
+    let gap = read_varint c in
+    if gap <= 0 then fail "block gap not positive";
+    let next = !v + gap in
+    if next < 0 then fail "block posting overflow";
+    v := next;
+    dst.(i) <- next
+  done;
+  if remaining c <> 0 then fail "block has trailing bytes"
+
+let decode_block data ~pos ~len ~count =
+  if count < 1 || count > len then fail "block count exceeds payload";
+  let dst = Array.make count 0 in
+  decode_block_into data ~pos ~len ~count dst ~dst_off:0;
+  dst
+
+(* --- checksums ---------------------------------------------------------- *)
+
+let fnv1a64 ?(init = 0xcbf29ce484222325L) data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim data then
+    fail "checksum window out of range";
+  let prime = 0x100000001b3L in
+  let h = ref init in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bigarray.Array1.get data i)));
+    h := Int64.mul !h prime
+  done;
+  !h

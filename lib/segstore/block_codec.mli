@@ -1,0 +1,65 @@
+(** Delta + varint block encoding of sorted posting lists, and the bounded
+    bigstring readers every segment-store decoder goes through.
+
+    A posting list is cut into blocks of at most {!block_size} strictly
+    increasing non-negative ints. A block is encoded as the first value
+    followed by the gaps to each successor, all LEB128 varints — the same
+    wire varint {!Bionav_store.Codec.Wire} writes, so ingest run files and
+    segment blocks share one number format.
+
+    Decoders follow the store's decode-DoS discipline: every count is
+    checked against the bytes actually remaining {e before} any allocation
+    or loop trusts it, and corruption raises [Invalid_argument] prefixed
+    ["Segstore.decode: "] — never a crash, never an unbounded
+    allocation. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val block_size : int
+(** Maximum postings per block (128). *)
+
+val fail : string -> 'a
+(** @raise Invalid_argument prefixed with ["Segstore.decode: "]. *)
+
+(* --- bounded cursor over a mapped segment ------------------------------- *)
+
+type cursor
+
+val cursor : bigstring -> pos:int -> limit:int -> cursor
+(** A read position over [data.(pos .. limit-1)].
+    @raise Invalid_argument (via {!fail}) if the window is out of range. *)
+
+val pos : cursor -> int
+val remaining : cursor -> int
+
+val read_u8 : cursor -> int
+val read_i32 : cursor -> int
+val read_i64 : cursor -> int64
+
+val read_varint : cursor -> int
+(** LEB128; fails on truncation or a value exceeding 63 bits. *)
+
+(* --- blocks ------------------------------------------------------------- *)
+
+val encode_block : Buffer.t -> int array -> off:int -> len:int -> unit
+(** Append the encoding of [values.(off .. off+len-1)] (sorted strictly
+    increasing, non-negative, [1 <= len <= block_size]).
+    @raise Invalid_argument on a violation. *)
+
+val decode_block : bigstring -> pos:int -> len:int -> count:int -> int array
+(** Decode a block of exactly [count] postings from exactly [len] bytes.
+    Validates [1 <= count <= len <= remaining input] before allocating,
+    strict monotonicity, and exact consumption. *)
+
+val decode_block_into :
+  bigstring -> pos:int -> len:int -> count:int -> int array -> dst_off:int -> unit
+(** {!decode_block} writing into [dst.(dst_off ..)] (for multi-block
+    assembly without intermediate arrays). *)
+
+(* --- checksums ---------------------------------------------------------- *)
+
+val fnv1a64 : ?init:int64 -> bigstring -> pos:int -> len:int -> int64
+(** FNV-1a 64 over a mapped range; byte-compatible with
+    {!Bionav_store.Codec.Wire.fnv1a64} so checksums written through a
+    [Buffer] verify against the mapped file. *)

@@ -1,0 +1,19 @@
+module Database = Bionav_store.Database
+module Hierarchy = Bionav_mesh.Hierarchy
+
+let database store hierarchy =
+  if Store.n_concepts store <> Hierarchy.size hierarchy then
+    invalid_arg
+      (Printf.sprintf
+         "Segstore.Bridge: store has %d concepts but the hierarchy has %d"
+         (Store.n_concepts store) (Hierarchy.size hierarchy));
+  Database.make_external ~hierarchy
+    {
+      Database.x_n_concepts = Store.n_concepts store;
+      x_n_citations = Store.n_citations store;
+      x_n_associations = Store.n_associations store;
+      x_total_count = Store.concept_count store;
+      x_iter_citations_of_concept = Store.iter_postings store;
+      x_iter_concepts_of_citation =
+        (fun cit f -> Bionav_util.Docset.iter f (Store.concepts_of_citation store cit));
+    }

@@ -1,0 +1,13 @@
+(** Install a segment store as the association backend of a
+    {!Bionav_store.Database}.
+
+    The resulting database answers counts from segment metadata, streams
+    posting lists off the mappings, and materializes a citation's concept
+    list through the block cache — so the navigation stack's expand path
+    (which looks up concepts per result citation) is exactly the cached
+    out-of-core path the cold-expand benchmark measures. *)
+
+val database :
+  Store.t -> Bionav_mesh.Hierarchy.t -> Bionav_store.Database.t
+(** @raise Invalid_argument if the store's concept space does not match
+    the hierarchy size. *)

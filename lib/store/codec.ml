@@ -24,6 +24,20 @@ module Wire = struct
     write_i32 buf (String.length s);
     Buffer.add_string buf s
 
+  (* LEB128 unsigned: 7 value bits per byte, high bit = continuation.
+     Sorted posting lists delta-encode into mostly-1-byte gaps, which is
+     what makes the segment store's blocks compact. *)
+  let write_varint buf v =
+    if v < 0 then invalid_arg "Codec: negative varint";
+    let rec go v =
+      if v < 0x80 then Buffer.add_char buf (Char.chr v)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+        go (v lsr 7)
+      end
+    in
+    go v
+
   (* --- primitive readers --------------------------------------------- *)
 
   type cursor = { data : string; mutable pos : int }
@@ -45,6 +59,19 @@ module Wire = struct
     let v = String.get_int64_le cur.data cur.pos in
     cur.pos <- cur.pos + 8;
     v
+
+  let read_varint cur =
+    let len = String.length cur.data in
+    let rec go shift acc =
+      if shift > 62 then fail "varint too long";
+      if cur.pos >= len then fail "truncated varint";
+      let b = Char.code cur.data.[cur.pos] in
+      cur.pos <- cur.pos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if acc < 0 then fail "varint overflows 63 bits";
+      if b < 0x80 then acc else go (shift + 7) acc
+    in
+    go 0 0
 
   let read_string cur =
     let len = read_i32 cur in
@@ -73,7 +100,6 @@ open Wire
 
 let encode db =
   let h = Database.hierarchy db in
-  let assoc = Database.assoc db in
   let n = Hierarchy.size h in
   let buf = Buffer.create (1 lsl 20) in
   Buffer.add_string buf magic;
@@ -84,11 +110,14 @@ let encode db =
     write_string buf (Tree_number.to_string (Concept.tree_number c));
     write_string buf (Concept.label c)
   done;
-  write_i32 buf (Assoc_table.n_citations assoc);
+  write_i32 buf (Database.n_citations db);
+  (* Database-level accessors, not [Database.assoc]: an external
+     (segment-store) backend streams each concept's postings through
+     here one at a time, so exporting never materializes the whole
+     association table. *)
   for concept = 0 to n - 1 do
-    let citations = Assoc_table.citations_of_concept assoc concept in
-    write_i32 buf (Intset.cardinal citations);
-    Intset.iter (fun cit -> write_i32 buf cit) citations
+    write_i32 buf (Database.total_count db concept);
+    Database.iter_citations_of_concept db concept (fun cit -> write_i32 buf cit)
   done;
   Buffer.contents buf
 

@@ -18,6 +18,11 @@ module Wire : sig
   val write_i64 : Buffer.t -> int64 -> unit
   val write_string : Buffer.t -> string -> unit
 
+  val write_varint : Buffer.t -> int -> unit
+  (** LEB128 unsigned (7 value bits per byte, high bit continues) — the
+      encoding the segment store's delta blocks and ingest run files use.
+      @raise Invalid_argument on a negative value. *)
+
   type cursor
 
   val cursor : ?pos:int -> string -> cursor
@@ -32,8 +37,10 @@ module Wire : sig
 
   val read_i32 : cursor -> int
   val read_i64 : cursor -> int64
+  val read_varint : cursor -> int
   val read_string : cursor -> string
-  (** @raise Invalid_argument (via {!fail}) on truncation. *)
+  (** @raise Invalid_argument (via {!fail}) on truncation ([read_varint]
+      additionally on a value exceeding 63 bits). *)
 
   val fnv1a64 : ?init:int64 -> string -> int64
   (** FNV-1a 64-bit checksum (corruption detection, not cryptographic).

@@ -17,7 +17,7 @@ type entry = { query : string; results : Intset.t; root_cut : int list }
 let encode ~db entries =
   let body = Buffer.create (1 lsl 16) in
   write_i32 body (Bionav_mesh.Hierarchy.size (Database.hierarchy db));
-  write_i32 body (Assoc_table.n_citations (Database.assoc db));
+  write_i32 body (Database.n_citations db);
   (* Set table: one interning arena over the entries' result sets. *)
   let arena = Docset_arena.create () in
   let set_ids =
@@ -105,7 +105,7 @@ let decode ~db data =
   let ncit = read_i32 cur in
   if hsize <> Bionav_mesh.Hierarchy.size (Database.hierarchy db) then
     fail "snapshot: built against a different hierarchy";
-  if ncit <> Assoc_table.n_citations (Database.assoc db) then
+  if ncit <> Database.n_citations db then
     fail "snapshot: built against a different corpus";
   let entries = if v = 1 then decode_v1_body cur else decode_v2_body cur in
   if remaining cur <> 0 then fail "snapshot: trailing bytes";

@@ -1,0 +1,44 @@
+(* "VmHWM:     12345 kB" — the kernel reports kilobytes. *)
+let parse_vmhwm line =
+  let prefix = "VmHWM:" in
+  let plen = String.length prefix in
+  if String.length line > plen && String.sub line 0 plen = prefix then
+    let rest = String.trim (String.sub line plen (String.length line - plen)) in
+    match String.split_on_char ' ' rest with
+    | kb :: _ -> Option.map (fun v -> v * 1024) (int_of_string_opt kb)
+    | [] -> None
+  else None
+
+let read_proc_status () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match In_channel.input_line ic with
+            | None -> None
+            | Some line -> ( match parse_vmhwm line with Some v -> Some v | None -> scan ())
+          in
+          scan ())
+
+(* The OCaml heap's own high-water mark: undercounts mmap'd and malloc'd
+   memory but is available everywhere and stays monotone. *)
+let gc_peak_bytes () = Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8)
+
+(* Decided once: if /proc/self/status yields a VmHWM at first call, it
+   will keep doing so for the process lifetime. *)
+let chosen_source =
+  lazy (match read_proc_status () with Some _ -> `Proc_status | None -> `Gc_heap)
+
+let source () = Lazy.force chosen_source
+
+let peak_rss_bytes () =
+  match Lazy.force chosen_source with
+  | `Gc_heap -> gc_peak_bytes ()
+  | `Proc_status -> (
+      match read_proc_status () with Some v -> v | None -> gc_peak_bytes ())
+
+let peak_rss_gauge = Metrics.gauge "bionav_process_peak_rss_bytes"
+let publish () = Metrics.set peak_rss_gauge (float_of_int (peak_rss_bytes ()))
