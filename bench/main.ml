@@ -1849,6 +1849,390 @@ let coldexpand_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the readiness-loop serving tier under open-loop load         *)
+(* ------------------------------------------------------------------ *)
+
+module Http = Bionav_web.Http
+module App = Bionav_web.App
+
+(* A minimal keep-alive HTTP client: one descriptor plus a pending
+   buffer for bytes read past the current response. Strictly
+   request-response per connection, so the pending buffer is normally
+   empty between calls. *)
+type serve_client = { cfd : Unix.file_descr; pending : Buffer.t }
+
+let client_write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let client_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { cfd = fd; pending = Buffer.create 512 }
+
+let client_close c = try Unix.close c.cfd with Unix.Unix_error _ -> ()
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Read exactly one response off a keep-alive connection: headers to
+   the blank line, then Content-Length body bytes; anything beyond
+   stays pending. Returns the status code. *)
+let client_read_response c =
+  let chunk = Bytes.create 8192 in
+  let fill () =
+    let n = Unix.read c.cfd chunk 0 8192 in
+    if n = 0 then failwith "server closed mid-response";
+    Buffer.add_subbytes c.pending chunk 0 n
+  in
+  let rec header_end () =
+    match find_substring (Buffer.contents c.pending) "\r\n\r\n" with
+    | Some i -> i
+    | None ->
+        fill ();
+        header_end ()
+  in
+  let hdr_end = header_end () in
+  let head = String.sub (Buffer.contents c.pending) 0 hdr_end in
+  let status = Scanf.sscanf head "HTTP/1.1 %d" Fun.id in
+  let clen =
+    match find_substring (String.lowercase_ascii head) "content-length:" with
+    | None -> 0
+    | Some i ->
+        let rest = String.sub head (i + 15) (String.length head - i - 15) in
+        Scanf.sscanf (String.trim rest) "%d" Fun.id
+  in
+  let total = hdr_end + 4 + clen in
+  while Buffer.length c.pending < total do
+    fill ()
+  done;
+  let all = Buffer.contents c.pending in
+  let leftover = String.sub all total (String.length all - total) in
+  Buffer.clear c.pending;
+  Buffer.add_string c.pending leftover;
+  status
+
+let client_get c target =
+  client_write_all c.cfd ("GET " ^ target ^ " HTTP/1.1\r\nHost: bench\r\n\r\n");
+  client_read_response c
+
+(* Phase A's client half runs in a forked process: with RLIMIT_NOFILE
+   at 20k, parent and child each get their own descriptor budget, so
+   10k connections cost the server process 10k fds, not 20k. The fork
+   happens before the server domain is spawned (forking a multi-domain
+   OCaml process is not safe). *)
+let idle_child ~ctrl_r ~report_w =
+  let ic = Unix.in_channel_of_descr ctrl_r in
+  (try
+     let line = input_line ic in
+     Scanf.sscanf line "port %d target %d" (fun port target ->
+         let conns =
+           Array.init target (fun _ ->
+               let c = client_connect port in
+               (* One request per connection: each socket proves the
+                  full accept/parse/respond/idle cycle, and the
+                  request-response round trip paces the connect burst
+                  so the listen backlog never overflows. *)
+               let status = client_get c "/healthz" in
+               if status <> 200 then failwith (Printf.sprintf "healthz -> %d" status);
+               c)
+         in
+         client_write_all report_w "opened\n";
+         (match input_line ic with _ -> ());
+         Array.iter client_close conns)
+   with e ->
+     (try client_write_all report_w ("error " ^ Printexc.to_string e ^ "\n")
+      with _ -> ());
+     Unix._exit 1);
+  Unix._exit 0
+
+let spawn_serve_domain ~config ~max_requests handler =
+  let port_box = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        Http.serve ~config ~on_ready:(fun ~port -> Atomic.set port_box port) ~max_requests
+          ~port:0 handler)
+  in
+  while Atomic.get port_box = 0 do
+    Unix.sleepf 0.002
+  done;
+  (d, Atomic.get port_box)
+
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 |> max 0))
+
+let serve_bench () =
+  say "%s" (Table.section "Serve: keep-alive readiness loop under open-loop load");
+  let w = Lazy.force workload in
+  let smoke = !smoke_mode in
+  let cores = Domain.recommended_domain_count () in
+  let gates_enforced = cores >= 2 in
+  let app =
+    App.create
+      ~config:{ Engine.default_config with Engine.shards = 2; max_sessions = 256 }
+      ~database:w.Q.database ~eutils:w.Q.eutils ()
+  in
+  let handler = App.handle app in
+  let engine = App.engine app in
+  (* Pre-create one session per workload query; the open-loop phase
+     draws Zipf-distributed /session hits over them, the way a heavy
+     head of popular result sets dominates real traffic. *)
+  let sids =
+    List.filter_map
+      (fun q ->
+        match Engine.search engine q.Q.spec.Q.name with
+        | Ok (Engine.Session s) -> Some (Engine.session_id s)
+        | Ok Engine.No_results | Error _ -> None)
+      w.Q.queries
+    |> Array.of_list
+  in
+  if Array.length sids = 0 then begin
+    say "  *** FAIL: no sessions could be created ***";
+    exit 1
+  end;
+  let nofile = Bionav_web.Poll.raise_nofile_limit () in
+  (* --- phase A: concurrent idle keep-alive connections ---------------- *)
+  let idle_target = if smoke then 200 else 10_000 in
+  let probe_count = 5 in
+  say "  phase A: %d idle keep-alive connections on one domain (nofile %d)" idle_target
+    nofile;
+  flush stdout;
+  flush stderr;
+  let ctrl_r, ctrl_w = Unix.pipe () in
+  let report_r, report_w = Unix.pipe () in
+  let child =
+    match Unix.fork () with
+    | 0 ->
+        Unix.close ctrl_w;
+        Unix.close report_r;
+        idle_child ~ctrl_r ~report_w
+    | pid ->
+        Unix.close ctrl_r;
+        Unix.close report_w;
+        pid
+  in
+  let idle_config =
+    { Http.default_server_config with
+      Http.domains = 1;
+      max_connections = idle_target + 64;
+      backlog = 1024;
+      idle_timeout_ms = 120_000.;
+      max_inflight = idle_target + 64;
+    }
+  in
+  let server, port =
+    spawn_serve_domain ~config:idle_config ~max_requests:(idle_target + probe_count) handler
+  in
+  client_write_all ctrl_w (Printf.sprintf "port %d target %d\n" port idle_target);
+  let report_ic = Unix.in_channel_of_descr report_r in
+  let child_report = input_line report_ic in
+  if child_report <> "opened" then begin
+    say "  *** FAIL: idle-connection client: %s ***" child_report;
+    exit 1
+  end;
+  (* Let the listener's periodic sweep refresh the idle gauge. *)
+  Unix.sleepf 0.3;
+  let open_conns = Metrics.gauge_value (Metrics.gauge "bionav_serve_open_connections") in
+  let idle_conns = Metrics.gauge_value (Metrics.gauge "bionav_serve_idle_connections") in
+  (* Probe latency while all those idle sockets sit in the poll set:
+     the cost of an idle connection is what this measures. *)
+  let probe = client_connect port in
+  let probe_lat = Array.make probe_count 0. in
+  let probe_ok = ref true in
+  for i = 0 to probe_count - 1 do
+    let t0 = Unix.gettimeofday () in
+    let status = client_get probe "/healthz" in
+    probe_lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+    if status <> 200 then probe_ok := false
+  done;
+  client_close probe;
+  client_write_all ctrl_w "quit\n";
+  ignore (Unix.waitpid [] child);
+  Domain.join server;
+  (try Unix.close ctrl_w with Unix.Unix_error _ -> ());
+  (try Unix.close report_r with Unix.Unix_error _ -> ());
+  Array.sort compare probe_lat;
+  let probe_worst = probe_lat.(probe_count - 1) in
+  say "  open %d  idle %d  probe worst %.3f ms" (int_of_float open_conns)
+    (int_of_float idle_conns) probe_worst;
+  (* --- phase B: open-loop latency (coordinated-omission-safe) --------- *)
+  let rate = if smoke then 100. else 500. in
+  let duration_s = if smoke then 1.0 else 5.0 in
+  let n_reqs = int_of_float (rate *. duration_s) in
+  let n_client_threads = 8 in
+  say "  phase B: open loop at %.0f req/s for %.1f s (%d requests, Zipf over %d sessions)"
+    rate duration_s n_reqs (Array.length sids);
+  let zipf = Zipf.create ~exponent:1.0 (Array.length sids) in
+  let rng = Rng.create 77 in
+  let draws = Array.init n_reqs (fun _ -> Zipf.draw zipf rng) in
+  let open_config =
+    { Http.default_server_config with
+      Http.domains = 2;
+      max_connections = 256;
+      queue_capacity = 1024;
+      (* No admission shedding in this phase: a shed request never
+         reaches a worker, so it would not count against the server's
+         request budget and the run would never terminate. *)
+      max_inflight = 1_000_000;
+    }
+  in
+  let server, port = spawn_serve_domain ~config:open_config ~max_requests:n_reqs handler in
+  let latencies = Array.make n_reqs 0. in
+  let errors = Atomic.make 0 in
+  let interval_s = 1. /. rate in
+  let start = Unix.gettimeofday () +. 0.05 in
+  let client k =
+    let c = client_connect port in
+    let i = ref k in
+    while !i < n_reqs do
+      let intended = start +. (float_of_int !i *. interval_s) in
+      let now = Unix.gettimeofday () in
+      if intended > now then Thread.delay (intended -. now);
+      let status = client_get c ("/session?sid=" ^ sids.(draws.(!i))) in
+      (* Coordinated-omission-safe: latency from the *intended* send
+         time, so a stalled server inflates the tail instead of
+         silently thinning the schedule. *)
+      latencies.(!i) <- (Unix.gettimeofday () -. intended) *. 1000.;
+      if status <> 200 then Atomic.incr errors;
+      i := !i + n_client_threads
+    done;
+    client_close c
+  in
+  let threads = List.init n_client_threads (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  Domain.join server;
+  let wall_s = Unix.gettimeofday () -. start in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let p50 = percentile_of_sorted sorted 50. in
+  let p99 = percentile_of_sorted sorted 99. in
+  let error_count = Atomic.get errors in
+  let error_rate = float_of_int error_count /. float_of_int n_reqs in
+  let open_throughput = float_of_int n_reqs /. wall_s in
+  say "  p50 %.3f ms  p99 %.3f ms  errors %d/%d  %.0f req/s" p50 p99 error_count n_reqs
+    open_throughput;
+  (* --- phase C: saturation throughput, 1 vs 2 worker domains ---------- *)
+  let sat_reqs = if smoke then 400 else 4_000 in
+  let sat_threads = 4 in
+  say "  phase C: closed-loop saturation, %d requests, 1 vs 2 worker domains" sat_reqs;
+  let saturation domains =
+    let config =
+      { Http.default_server_config with
+        Http.domains;
+        max_connections = 64;
+        queue_capacity = 1024;
+        max_inflight = 1_000_000;
+      }
+    in
+    let server, port = spawn_serve_domain ~config ~max_requests:sat_reqs handler in
+    let per_thread = sat_reqs / sat_threads in
+    let t0 = Unix.gettimeofday () in
+    let client _ =
+      let c = client_connect port in
+      for _ = 1 to per_thread do
+        ignore (client_get c "/healthz")
+      done;
+      client_close c
+    in
+    let threads = List.init sat_threads (fun k -> Thread.create client k) in
+    List.iter Thread.join threads;
+    Domain.join server;
+    float_of_int sat_reqs /. (Unix.gettimeofday () -. t0)
+  in
+  let thr1 = saturation 1 in
+  let thr2 = saturation 2 in
+  say "  1 worker %.0f req/s   2 workers %.0f req/s   (%s)" thr1 thr2
+    (if gates_enforced then "monotone gate enforced"
+     else "recorded only (need >= 2 cores)");
+  (* --- JSON + gates ---------------------------------------------------- *)
+  let p99_ceiling_ms = 250. in
+  let error_budget = 0.01 in
+  let conn_gate_ok = int_of_float open_conns >= idle_target in
+  let idle_gate_ok = int_of_float idle_conns >= idle_target in
+  let json =
+    Printf.sprintf
+      "{\n\
+       \  \"bench\": \"serve\",\n\
+       \  \"smoke\": %b,\n\
+       \  \"cores\": %d,\n\
+       \  \"gates_enforced\": %b,\n\
+       \  \"nofile_limit\": %d,\n\
+       \  \"idle\": {\n\
+       \    \"target\": %d,\n\
+       \    \"open_connections\": %d,\n\
+       \    \"idle_connections\": %d,\n\
+       \    \"probe_ok\": %b,\n\
+       \    \"probe_worst_ms\": %.3f\n\
+       \  },\n\
+       \  \"open_loop\": {\n\
+       \    \"rate_rps\": %.0f,\n\
+       \    \"duration_s\": %.1f,\n\
+       \    \"requests\": %d,\n\
+       \    \"client_connections\": %d,\n\
+       \    \"errors\": %d,\n\
+       \    \"error_rate\": %.4f,\n\
+       \    \"p50_ms\": %.3f,\n\
+       \    \"p99_ms\": %.3f,\n\
+       \    \"p99_ceiling_ms\": %.0f,\n\
+       \    \"throughput_rps\": %.1f\n\
+       \  },\n\
+       \  \"saturation\": {\n\
+       \    \"requests\": %d,\n\
+       \    \"workers_1_rps\": %.1f,\n\
+       \    \"workers_2_rps\": %.1f\n\
+       \  }\n\
+       }\n"
+      smoke cores gates_enforced nofile idle_target (int_of_float open_conns)
+      (int_of_float idle_conns) !probe_ok probe_worst rate duration_s n_reqs
+      n_client_threads error_count error_rate p50 p99 p99_ceiling_ms open_throughput
+      sat_reqs thr1 thr2
+  in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  let fail = ref false in
+  let gate name ok detail =
+    if not ok then begin
+      say "  *** FAIL: %s (%s) ***" name detail;
+      fail := true
+    end
+  in
+  (* Correctness gates — always enforced, on every run. *)
+  gate "idle connection target missed" conn_gate_ok
+    (Printf.sprintf "%d open vs %d target" (int_of_float open_conns) idle_target);
+  gate "idle gauge below target" idle_gate_ok
+    (Printf.sprintf "%d idle vs %d target" (int_of_float idle_conns) idle_target);
+  gate "probe failed amid idle connections" !probe_ok "non-200 probe response";
+  gate "error budget blown"
+    (error_rate <= error_budget)
+    (Printf.sprintf "%.4f vs %.4f budget" error_rate error_budget);
+  (* Latency/scaling gates — need real parallelism to be meaningful. *)
+  if gates_enforced then begin
+    gate "open-loop p99 above ceiling" (p99 <= p99_ceiling_ms)
+      (Printf.sprintf "%.3f ms vs %.0f ms" p99 p99_ceiling_ms);
+    gate "throughput not monotone 1->2 workers"
+      (thr2 >= 0.9 *. thr1)
+      (Printf.sprintf "%.0f/s vs %.0f/s" thr2 thr1)
+  end;
+  if !fail then exit 1
+  else
+    say "  all serve gates green%s"
+      (if gates_enforced then "" else " (scaling gates recorded only)")
+
+(* ------------------------------------------------------------------ *)
 (* CSV export of the headline artifacts                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1897,6 +2281,7 @@ let targets =
     ("contention", contention_bench);
     ("ingest", ingest_bench);
     ("coldexpand", coldexpand_bench);
+    ("serve", serve_bench);
     ("csv", csv);
   ]
 
@@ -1910,7 +2295,7 @@ let default_targets =
       not
         (List.mem n
            [ "csv"; "prefetch"; "chaos"; "docset"; "parallel"; "contention"; "ingest";
-             "coldexpand" ]))
+             "coldexpand"; "serve" ]))
     targets
 
 let () =

@@ -334,10 +334,44 @@ let serve_cmd =
          & info [ "backlog" ] ~docv:"N" ~doc)
   in
   let max_connections_arg =
-    let doc = "Connections served per accept burst; the rest are shed with a 503." in
+    let doc = "Cap on concurrently open connections; accepts beyond it are shed with a 503." in
     Arg.(value
          & opt int Bionav_web.Http.default_server_config.Bionav_web.Http.max_connections
          & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let keep_alive_arg =
+    let doc =
+      "Allow HTTP keep-alive connection reuse. $(b,--keep-alive=false) forces \
+       Connection: close on every response."
+    in
+    Arg.(value
+         & opt bool Bionav_web.Http.default_server_config.Bionav_web.Http.keep_alive
+         & info [ "keep-alive" ] ~docv:"BOOL" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Close a keep-alive connection after this many milliseconds with no request in \
+       progress (0 disables)."
+    in
+    Arg.(value
+         & opt float Bionav_web.Http.default_server_config.Bionav_web.Http.idle_timeout_ms
+         & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_requests_per_conn_arg =
+    let doc = "Requests served on one connection before the server forces a close." in
+    Arg.(value
+         & opt int
+             Bionav_web.Http.default_server_config.Bionav_web.Http.max_requests_per_conn
+         & info [ "max-requests-per-conn" ] ~docv:"N" ~doc)
+  in
+  let rate_limit_arg =
+    let doc =
+      "Per-client admission rate in requests/second (token bucket per remote address; \
+       excess answered 503). 0 disables."
+    in
+    Arg.(value
+         & opt float Bionav_web.Http.default_server_config.Bionav_web.Http.rate_limit
+         & info [ "rate-limit" ] ~docv:"RPS" ~doc)
   in
   let expand_budget_arg =
     let doc =
@@ -354,7 +388,8 @@ let serve_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
   in
   let run scale seed port max_sessions prefetch snapshot backlog max_connections
-      expand_budget_ms domains segstore =
+      expand_budget_ms domains segstore keep_alive idle_timeout_ms max_requests_per_conn
+      rate_limit =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     if domains < 1 then begin
@@ -390,7 +425,8 @@ let serve_cmd =
       Printf.printf "prefetch status at http://127.0.0.1:%d/prefetch\n%!" port;
     let config =
       { Bionav_web.Http.default_server_config with Bionav_web.Http.backlog;
-        max_connections; domains }
+        max_connections; domains; keep_alive; idle_timeout_ms; max_requests_per_conn;
+        rate_limit }
     in
     (* With multiple serving domains, speculation moves off the request
        path onto its own background domain (each tick takes the shard
@@ -410,7 +446,8 @@ let serve_cmd =
     Term.(
       const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
       $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg $ domains_arg
-      $ segstore_arg)
+      $ segstore_arg $ keep_alive_arg $ idle_timeout_arg $ max_requests_per_conn_arg
+      $ rate_limit_arg)
 
 (* --- ingest -------------------------------------------------------------- *)
 

@@ -270,6 +270,16 @@ let prefetch_status t =
   in
   Http.ok ~content_type:"text/plain; charset=utf-8" body
 
+(* Constant-work liveness probe: no session lookup, no rendering —
+   cheap enough that the serve bench can use it to measure pure
+   serving-tier overhead, and load balancers can poll it without
+   perturbing the engine. *)
+let healthz t =
+  Http.ok ~content_type:"text/plain; charset=utf-8"
+    (Printf.sprintf "ok shards=%d sessions=%d\n"
+       (Engine.shard_count t.engine)
+       (Engine.session_count t.engine))
+
 let handle t ~path ~query =
   match path with
   | "/" -> home t
@@ -280,4 +290,5 @@ let handle t ~path ~query =
   | "/show" -> show t query
   | "/metrics" -> metrics t
   | "/prefetch" -> prefetch_status t
+  | "/healthz" -> healthz t
   | _ -> Http.not_found "no such page"

@@ -19,7 +19,10 @@
       (expand latency percentiles, cache, session and prefetch counters);
     - [/prefetch] — plaintext prefetch status: plan-cache size and hit
       rate, speculation queue depth and executed/dropped counts (or
-      ["prefetch: disabled"]). *)
+      ["prefetch: disabled"]);
+    - [/healthz] — constant-work liveness probe (shard and session
+      counts), cheap enough for load balancers and the serve bench to
+      poll without perturbing the engine. *)
 
 type t
 

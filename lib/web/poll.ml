@@ -1,0 +1,55 @@
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "bionav_poll_stub"
+
+external raise_nofile_stub : unit -> int = "bionav_raise_nofile_stub"
+
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+
+type set = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  let cap = max 1 initial_capacity in
+  {
+    fds = Array.make cap Unix.stdin;
+    events = Array.make cap 0;
+    revents = Array.make cap 0;
+    n = 0;
+  }
+
+let clear s = s.n <- 0
+
+let grow s =
+  let cap = 2 * Array.length s.fds in
+  let fds = Array.make cap Unix.stdin in
+  let events = Array.make cap 0 in
+  let revents = Array.make cap 0 in
+  Array.blit s.fds 0 fds 0 s.n;
+  Array.blit s.events 0 events 0 s.n;
+  s.fds <- fds;
+  s.events <- events;
+  s.revents <- revents
+
+let add s fd ev =
+  if s.n = Array.length s.fds then grow s;
+  s.fds.(s.n) <- fd;
+  s.events.(s.n) <- ev;
+  s.revents.(s.n) <- 0;
+  s.n <- s.n + 1
+
+let length s = s.n
+
+let wait s ~timeout_ms = poll_stub s.fds s.events s.revents s.n timeout_ms
+
+let ready s i =
+  if i < 0 || i >= s.n then invalid_arg "Poll.ready: index out of range";
+  (s.fds.(i), s.revents.(i))
+
+let raise_nofile_limit () = raise_nofile_stub ()

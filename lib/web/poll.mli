@@ -1,0 +1,49 @@
+(** A thin poll(2) binding for the readiness loop.
+
+    [Unix.select] tops out at [FD_SETSIZE] (1024) descriptors; the
+    serving tier holds tens of thousands of idle keep-alive connections
+    on one domain, so readiness comes from poll(2) via a small C stub.
+
+    The interface is deliberately allocation-free on the hot path: the
+    caller owns three parallel arrays (descriptors, wanted events,
+    reported events) and {!wait} fills the third in place. {!Set} grows
+    the arrays geometrically so a steady-state loop never reallocates. *)
+
+val pollin : int
+(** Wanted/reported: readable. *)
+
+val pollout : int
+(** Wanted/reported: writable. *)
+
+val pollerr : int
+(** Reported only: error, hangup, or invalid descriptor. *)
+
+type set
+(** A reusable poll set: parallel [fds]/[events]/[revents] arrays plus a
+    length. Not thread-safe — one set per polling domain. *)
+
+val create : ?initial_capacity:int -> unit -> set
+
+val clear : set -> unit
+(** Forget all registered descriptors (capacity is retained). *)
+
+val add : set -> Unix.file_descr -> int -> unit
+(** [add s fd events] registers [fd] with the wanted-event mask
+    (a bitwise-or of {!pollin} / {!pollout}). *)
+
+val length : set -> int
+
+val wait : set -> timeout_ms:int -> int
+(** Block until at least one registered descriptor is ready, the timeout
+    (milliseconds; [-1] = forever, [0] = non-blocking) expires, or a
+    signal arrives. Returns the number of ready descriptors (0 on
+    timeout or [EINTR]); reported events are then readable through
+    {!ready}. *)
+
+val ready : set -> int -> Unix.file_descr * int
+(** [ready s i] is the [i]-th registered descriptor and its reported
+    event mask after {!wait} ([0] if nothing was reported for it). *)
+
+val raise_nofile_limit : unit -> int
+(** Best-effort raise of the soft [RLIMIT_NOFILE] to the hard ceiling;
+    returns the resulting soft limit ([-1] if it could not be read). *)

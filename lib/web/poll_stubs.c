@@ -1,0 +1,94 @@
+/* poll(2) for the readiness loop, plus the RLIMIT_NOFILE raise the
+   serve bench needs to hold tens of thousands of sockets.
+
+   The OCaml runtime's own Unix.select is a fixed-size fd_set away from
+   useless at >= 1024 descriptors; poll has no such ceiling. On Unix,
+   Unix.file_descr is represented as an immediate int, so descriptors
+   cross the FFI as plain Int_val/Val_int.
+
+   The events/revents encoding is a tiny bitmask owned by poll.ml:
+     1 = readable wanted/ready (POLLIN)
+     2 = writable wanted/ready (POLLOUT)
+     4 = error/hangup reported (POLLERR | POLLHUP | POLLNVAL; revents only)
+*/
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#define BIONAV_POLL_IN 1
+#define BIONAV_POLL_OUT 2
+#define BIONAV_POLL_ERR 4
+
+CAMLprim value bionav_poll_stub(value v_fds, value v_events, value v_revents,
+                                value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  int n = Int_val(v_n);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int ready, i;
+
+  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events)
+      || n > Wosize_val(v_revents))
+    caml_invalid_argument("Poll.wait: n out of range");
+
+  pfds = (struct pollfd *)malloc(n ? n * sizeof(struct pollfd) : 1);
+  if (pfds == NULL) caml_raise_out_of_memory();
+
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short)(((ev & BIONAV_POLL_IN) ? POLLIN : 0)
+                             | ((ev & BIONAV_POLL_OUT) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ready = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ready < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    caml_failwith("Poll.wait: poll failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    int re = 0;
+    if (pfds[i].revents & POLLIN) re |= BIONAV_POLL_IN;
+    if (pfds[i].revents & POLLOUT) re |= BIONAV_POLL_OUT;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) re |= BIONAV_POLL_ERR;
+    Field(v_revents, i) = Val_int(re);
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}
+
+/* Raise the soft RLIMIT_NOFILE to its hard ceiling (best effort) and
+   return the resulting soft limit. Lets the bench hold >= 10k idle
+   connections without asking the operator to ulimit first. */
+CAMLprim value bionav_raise_nofile_stub(value v_unit)
+{
+  CAMLparam1(v_unit);
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    CAMLreturn(Val_int(-1));
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+      CAMLreturn(Val_int(-1));
+  }
+  if (rl.rlim_cur > (rlim_t)Max_long) CAMLreturn(Val_long(Max_long));
+  CAMLreturn(Val_long((long)rl.rlim_cur));
+}
