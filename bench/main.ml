@@ -2254,6 +2254,174 @@ let csv () =
   let prothymosin = List.find (fun r -> r.E.query.Q.spec.Q.name = "prothymosin") rs in
   write "fig11.csv" (R.fig11_csv prothymosin)
 
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive: learned probabilities — overhead gates + cost reduction   *)
+(* ------------------------------------------------------------------ *)
+
+module Adaptive = Bionav_adaptive.Adaptive
+
+(* Expand every session of every workload query to exhaustion through the
+   engine and report (expands, wall ms): the EXPAND hot path with
+   whatever evidence plumbing the config enables. *)
+let adaptive_drain_workload w ~fuel ~adaptive =
+  (* Pin a strategy whose params fingerprint is NOT the default so
+     [Engine.effective_strategy] never substitutes the learned model:
+     both arms then compute identical cuts and the measured delta is
+     purely the evidence pipeline (observes + periodic model rebuilds). *)
+  let pinned =
+    Navigation.bionav
+      ~params:{ Probability.default_params with Probability.upper_threshold = 51 }
+      ()
+  in
+  let config =
+    if adaptive then
+      { Engine.default_config with Engine.adaptive = Some Adaptive.default_config }
+    else Engine.default_config
+  in
+  let engine =
+    Engine.create ~config ~database:w.Q.database ~eutils:w.Q.eutils ()
+  in
+  let expands = ref 0 in
+  let t0 = Timing.now_ms () in
+  List.iter
+    (fun q ->
+      match Engine.search engine ~strategy:pinned q.Q.keyword with
+      | Ok (Engine.Session s) ->
+          let rec loop fuel =
+            if fuel > 0 then begin
+              let active = Navigation.active (Engine.navigation s) in
+              match
+                List.find_opt (Active_tree.is_expandable active) (Active_tree.visible active)
+              with
+              | None -> ()
+              | Some n ->
+                  ignore (Engine.expand s n : int list);
+                  incr expands;
+                  loop (fuel - 1)
+            end
+          in
+          loop fuel;
+          ignore (Engine.close engine (Engine.session_id s) : bool)
+      | Ok Engine.No_results | Error _ -> ())
+    w.Q.queries;
+  (!expands, Timing.now_ms () -. t0)
+
+let adaptive_bench () =
+  say "== adaptive: learned probability model (overhead gates + cost) ==";
+  say "";
+  let smoke = !smoke_mode in
+  let w =
+    if smoke then Q.build ~config:Q.small_config ~seed:workload_seed ()
+    else Lazy.force workload
+  in
+  (* 1. Online observe: O(1) amortized counter bumps (one model rebuild
+     every refresh_every observations). *)
+  let ad = Adaptive.create () in
+  let n_obs = if smoke then 50_000 else 400_000 in
+  let n_concepts = 512 in
+  let t0 = Timing.now_ms () in
+  for i = 0 to n_obs - 1 do
+    let concept = i mod n_concepts in
+    match i mod 3 with
+    | 0 -> Adaptive.observe_expand ad ~concept
+    | 1 -> Adaptive.observe_show ad ~concept
+    | _ -> Adaptive.observe_ignore ad ~concept
+  done;
+  let observe_us = (Timing.now_ms () -. t0) *. 1000. /. float_of_int n_obs in
+  say "  observe: %.3f us/call over %d observations (%d concepts, refresh every %d)"
+    observe_us n_obs n_concepts Adaptive.default_config.Adaptive.refresh_every;
+  (* 2. The EXPAND hot path, engine-driven, static vs adaptive config.
+     Interleave and keep the best of a few reps per arm to shed noise. *)
+  let reps = 2 in
+  (* Full-size sessions have thousands of expandable nodes; 150 EXPANDs per
+     session is plenty of hot-path samples and keeps the arm comparable. *)
+  let fuel = if smoke then 100_000 else 150 in
+  let best arm =
+    let best = ref infinity and expands = ref 0 in
+    for _ = 1 to reps do
+      let e, ms = adaptive_drain_workload w ~fuel ~adaptive:arm in
+      expands := e;
+      if ms < !best then best := ms
+    done;
+    (!expands, !best)
+  in
+  let off_expands, off_ms = best false in
+  let on_expands, on_ms = best true in
+  let off_us = off_ms *. 1000. /. float_of_int (max 1 off_expands) in
+  let on_us = on_ms *. 1000. /. float_of_int (max 1 on_expands) in
+  let overhead_us = on_us -. off_us in
+  print_string
+    (Table.render
+       ~header:[ "adaptive"; "EXPANDs"; "us/EXPAND" ]
+       [ Table.Left; Right; Right ]
+       [
+         [ "off"; string_of_int off_expands; Printf.sprintf "%.1f" off_us ];
+         [ "on"; string_of_int on_expands; Printf.sprintf "%.1f" on_us ];
+       ]);
+  say "  evidence overhead on the expand path: %+.1f us/EXPAND" overhead_us;
+  say "";
+  (* 3. Does learning pay? Mean simulated navigation cost, static vs
+     learned, per stochastic-user population. *)
+  let train = if smoke then 60 else 120 in
+  let eval_walks = if smoke then 60 else 120 in
+  let runs = E.learned_vs_static ~train ~eval_walks ~seed:42 w in
+  print_string
+    (Table.render
+       ~header:[ "population"; "static cost"; "learned cost"; "reduction" ]
+       [ Table.Left; Right; Right; Right ]
+       (List.map
+          (fun (r : E.adaptive_run) ->
+            [
+              r.E.population;
+              Printf.sprintf "%.2f" r.E.static_mean_cost;
+              Printf.sprintf "%.2f" r.E.learned_mean_cost;
+              Printf.sprintf "%+.1f%%" (100. *. r.E.cost_reduction);
+            ])
+          runs));
+  say "  %d training sessions, %d evaluation walks per population." train eval_walks;
+  say "";
+  let wins = List.length (List.filter (fun r -> r.E.cost_reduction > 0.) runs) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"smoke\": %b,\n\
+      \  \"observe_us\": %.4f,\n\
+      \  \"expand\": { \"off_us\": %.2f, \"on_us\": %.2f, \"overhead_us\": %.2f },\n\
+      \  \"populations\": [%s],\n\
+      \  \"populations_improved\": %d\n\
+       }\n"
+      smoke observe_us off_us on_us overhead_us
+      (String.concat ", "
+         (List.map
+            (fun (r : E.adaptive_run) ->
+              Printf.sprintf
+                "{ \"name\": \"%s\", \"static\": %.3f, \"learned\": %.3f, \"reduction\": %.4f }"
+                r.E.population r.E.static_mean_cost r.E.learned_mean_cost r.E.cost_reduction)
+            runs))
+      wins
+  in
+  let path = "BENCH_adaptive.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  (* Gates: observing must stay off the hot path's back, and learning must
+     actually win on most populations. *)
+  if observe_us > 20. then begin
+    say "  *** FAIL: %.2f us/observe above the 20 us gate ***" observe_us;
+    exit 1
+  end;
+  if overhead_us > 250. then begin
+    say "  *** FAIL: %.1f us/EXPAND evidence overhead above the 250 us gate ***" overhead_us;
+    exit 1
+  end;
+  if wins < 2 then begin
+    say "  *** FAIL: learned model beat static on only %d of %d populations ***" wins
+      (List.length runs);
+    exit 1
+  end
+
 let targets =
   [
     ("table1", table1);
@@ -2282,6 +2450,7 @@ let targets =
     ("ingest", ingest_bench);
     ("coldexpand", coldexpand_bench);
     ("serve", serve_bench);
+    ("adaptive", adaptive_bench);
     ("csv", csv);
   ]
 
@@ -2295,7 +2464,7 @@ let default_targets =
       not
         (List.mem n
            [ "csv"; "prefetch"; "chaos"; "docset"; "parallel"; "contention"; "ingest";
-             "coldexpand"; "serve" ]))
+             "coldexpand"; "serve"; "adaptive" ]))
     targets
 
 let () =

@@ -16,6 +16,7 @@ module DB = Bionav_store.Database
 module Codec = Bionav_store.Codec
 module Eutils = Bionav_search.Eutils
 module Engine = Bionav_engine.Engine
+module Adaptive = Bionav_adaptive.Adaptive
 module Seg = Bionav_segstore
 module Q = Bionav_workload.Queries
 module E = Bionav_workload.Experiment
@@ -49,6 +50,25 @@ let engine_config ~prefetch base =
   { base with
     Engine.prefetch =
       (if prefetch then Some Bionav_prefetch.Prefetch.default_config else None) }
+
+let adaptive_arg =
+  let doc =
+    "Learn EXPLORE/EXPAND probabilities from navigation behaviour instead of the      paper's static estimates: sessions feed per-concept evidence and new sessions      are planned with the learned model."
+  in
+  Arg.(value & flag & info [ "adaptive" ] ~doc)
+
+let half_life_arg =
+  let doc =
+    "Evidence half-life in milliseconds for $(b,--adaptive) (old behaviour decays      exponentially; omit for no decay)."
+  in
+  Arg.(value & opt (some float) None & info [ "adaptive-half-life-ms" ] ~docv:"MS" ~doc)
+
+let with_adaptive ~adaptive ~half_life_ms base =
+  if not adaptive then base
+  else
+    { base with
+      Engine.adaptive =
+        Some { Adaptive.default_config with Adaptive.half_life_ms } }
 
 let segstore_arg =
   let doc =
@@ -143,7 +163,7 @@ let strategy_of = function
   | `Bionav -> Navigation.bionav ()
   | `Static -> Navigation.Static
   | `Paged -> Navigation.Static_paged { page_size = 10 }
-  | `Optimal -> Navigation.Optimal { params = Probability.default_params }
+  | `Optimal -> Navigation.optimal ()
 
 let render_numbered active nav =
   let visible = Active_tree.visible active in
@@ -204,7 +224,9 @@ let interactive_loop ?record session nav eutils =
   (match record with
   | None -> ()
   | Some path ->
-      Session_log.save (Session_log.transcript recorder) path;
+      (* v2: per-action outcomes, the format [bionav learn] feeds on.
+         [--replay] reads either version. *)
+      Session_log.save_events (Session_log.events recorder) path;
       Printf.printf "transcript written to %s\n" path);
   let stats = Navigation.stats session in
   Printf.printf "session cost: %d (EXPANDs %d, concepts %d, citations %d)\n"
@@ -227,21 +249,27 @@ let navigate_cmd =
     let doc = "Apply a recorded transcript before the interactive loop." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let rec run scale seed query strategy auto record replay prefetch segstore metrics =
+  let rec run scale seed query strategy auto record replay prefetch segstore adaptive
+      half_life_ms metrics =
     (* The Optimal strategy is exponential and guarded to tiny components;
        surface its Invalid_argument as a clean error instead of a crash. *)
-    try run_navigate scale seed query strategy auto record replay prefetch segstore metrics
+    try
+      run_navigate scale seed query strategy auto record replay prefetch segstore adaptive
+        half_life_ms metrics
     with Invalid_argument msg ->
       Printf.printf "error: %s\n" msg;
       Printf.printf "(the 'optimal' strategy only handles components of <= %d nodes;\n"
         Bionav_core.Opt_edgecut.max_size;
       Printf.printf " use --strategy bionav for real queries)\n";
       exit 1
-  and run_navigate scale seed query strategy auto record replay prefetch segstore metrics =
+  and run_navigate scale seed query strategy auto record replay prefetch segstore adaptive
+      half_life_ms metrics =
     let w = build_workload scale seed in
     let engine =
       Engine.create
-        ~config:(with_segstore segstore (engine_config ~prefetch Engine.default_config))
+        ~config:
+          (with_adaptive ~adaptive ~half_life_ms
+             (with_segstore segstore (engine_config ~prefetch Engine.default_config)))
         ~database:w.Q.database ~eutils:w.Q.eutils ()
     in
     match Engine.search engine ~strategy:(strategy_of strategy) query with
@@ -295,7 +323,8 @@ let navigate_cmd =
     (Cmd.info "navigate" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ query_arg $ strategy_arg $ auto_arg $ record_arg
-      $ replay_arg $ prefetch_arg $ segstore_arg $ metrics_arg)
+      $ replay_arg $ prefetch_arg $ segstore_arg $ adaptive_arg $ half_life_arg
+      $ metrics_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
@@ -388,8 +417,8 @@ let serve_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
   in
   let run scale seed port max_sessions prefetch snapshot backlog max_connections
-      expand_budget_ms domains segstore keep_alive idle_timeout_ms max_requests_per_conn
-      rate_limit =
+      expand_budget_ms domains segstore adaptive half_life_ms keep_alive idle_timeout_ms
+      max_requests_per_conn rate_limit =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info);
     if domains < 1 then begin
@@ -404,13 +433,14 @@ let serve_cmd =
         Bionav_web.App.create
           ~suggestions:(List.map (fun q -> q.Q.spec.Q.name) w.Q.queries)
           ~config:
-            (with_segstore segstore
-               (engine_config ~prefetch
-                  { Engine.default_config with
-                    Engine.max_sessions;
-                    expand_budget_ms;
-                    shards = domains;
-                  }))
+            (with_adaptive ~adaptive ~half_life_ms
+               (with_segstore segstore
+                  (engine_config ~prefetch
+                     { Engine.default_config with
+                       Engine.max_sessions;
+                       expand_budget_ms;
+                       shards = domains;
+                     })))
           ?snapshot ~database:w.Q.database ~eutils:w.Q.eutils ()
       with (Invalid_argument msg | Sys_error msg) ->
         Printf.printf "error: %s\n" msg;
@@ -423,6 +453,8 @@ let serve_cmd =
     Printf.printf "metrics at http://127.0.0.1:%d/metrics\n%!" port;
     if prefetch then
       Printf.printf "prefetch status at http://127.0.0.1:%d/prefetch\n%!" port;
+    if adaptive then
+      Printf.printf "adaptive-model status at http://127.0.0.1:%d/adaptive\n%!" port;
     let config =
       { Bionav_web.Http.default_server_config with Bionav_web.Http.backlog;
         max_connections; domains; keep_alive; idle_timeout_ms; max_requests_per_conn;
@@ -446,8 +478,8 @@ let serve_cmd =
     Term.(
       const run $ scale_arg $ seed_arg $ port_arg $ max_sessions_arg $ prefetch_arg
       $ snapshot_arg $ backlog_arg $ max_connections_arg $ expand_budget_arg $ domains_arg
-      $ segstore_arg $ keep_alive_arg $ idle_timeout_arg $ max_requests_per_conn_arg
-      $ rate_limit_arg)
+      $ segstore_arg $ adaptive_arg $ half_life_arg $ keep_alive_arg $ idle_timeout_arg
+      $ max_requests_per_conn_arg $ rate_limit_arg)
 
 (* --- ingest -------------------------------------------------------------- *)
 
@@ -530,6 +562,35 @@ let warm_cmd =
   in
   Cmd.v (Cmd.info "warm" ~doc) Term.(const run $ scale_arg $ seed_arg $ path_arg $ top_arg)
 
+(* --- learn --------------------------------------------------------------- *)
+
+let learn_cmd =
+  let logs_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"LOG" ~doc:"Session transcript file(s) (see navigate --record).")
+  in
+  let run half_life_ms paths =
+    let ad = Adaptive.create ~config:{ Adaptive.default_config with Adaptive.half_life_ms } () in
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        match Session_log.load_events path with
+        | events ->
+            Adaptive.learn ad events;
+            Printf.printf "learned from %s: %d event(s)\n" path (List.length events)
+        | exception (Invalid_argument msg | Sys_error msg) ->
+            Printf.printf "error: %s: %s\n" path msg;
+            failed := true)
+      paths;
+    print_newline ();
+    print_string (Adaptive.status_text ad);
+    if !failed then exit 1
+  in
+  let doc =
+    "Bulk-learn EXPLORE/EXPAND evidence from recorded session transcripts and print the      resulting model (per-concept evidence and EXPLORE lifts)."
+  in
+  Cmd.v (Cmd.info "learn" ~doc) Term.(const run $ half_life_arg $ logs_arg)
+
 (* --- export / import ---------------------------------------------------- *)
 
 let mesh_export_cmd =
@@ -580,5 +641,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; queries_cmd; search_cmd; navigate_cmd; experiment_cmd; serve_cmd;
-            ingest_cmd; warm_cmd; mesh_export_cmd; db_export_cmd; db_info_cmd;
+            ingest_cmd; warm_cmd; learn_cmd; mesh_export_cmd; db_export_cmd; db_info_cmd;
           ]))

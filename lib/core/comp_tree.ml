@@ -8,11 +8,14 @@ type t = {
   totals : int array;
   labels : string array;
   tags : int array;
+  concepts : int array;
   multiplicity : int array;
   sub_weights : float array array;
+  sub_concepts : int array array;
 }
 
-let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
+let make ~parent ~results ~totals ?labels ?tags ?concepts ?multiplicity ?sub_weights
+    ?sub_concepts () =
   let n = Array.length parent in
   if n = 0 then invalid_arg "Comp_tree.make: empty";
   if Array.length results <> n || Array.length totals <> n then
@@ -43,6 +46,13 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
         t
     | None -> Array.init n Fun.id
   in
+  let concepts =
+    match concepts with
+    | Some c ->
+        if Array.length c <> n then invalid_arg "Comp_tree.make: concepts length mismatch";
+        c
+    | None -> Array.make n (-1)
+  in
   let multiplicity =
     match multiplicity with
     | Some m ->
@@ -57,6 +67,22 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
         if Array.length w <> n then invalid_arg "Comp_tree.make: sub_weights length mismatch";
         w
     | None -> Array.init n (fun i -> [| float_of_int (Docset.cardinal results.(i)) |])
+  in
+  let sub_concepts =
+    match sub_concepts with
+    | Some c ->
+        if Array.length c <> n then invalid_arg "Comp_tree.make: sub_concepts length mismatch";
+        Array.iteri
+          (fun i ci ->
+            if Array.length ci <> Array.length sub_weights.(i) then
+              invalid_arg
+                (Printf.sprintf
+                   "Comp_tree.make: node %d has %d sub_concepts but %d sub_weights" i
+                   (Array.length ci)
+                   (Array.length sub_weights.(i))))
+          c;
+        c
+    | None -> Array.init n (fun i -> Array.make (Array.length sub_weights.(i)) concepts.(i))
   in
   let children = Array.make n [] in
   for i = n - 1 downto 1 do
@@ -78,8 +104,10 @@ let make ~parent ~results ~totals ?labels ?tags ?multiplicity ?sub_weights () =
     totals = Array.copy totals;
     labels = Array.copy labels;
     tags = Array.copy tags;
+    concepts = Array.copy concepts;
     multiplicity = Array.copy multiplicity;
     sub_weights = Array.copy sub_weights;
+    sub_concepts = Array.copy sub_concepts;
   }
 
 let size t = Array.length t.parent
@@ -93,8 +121,10 @@ let result_count t i = Docset.cardinal t.results.(i)
 let total t i = t.totals.(i)
 let label t i = t.labels.(i)
 let tag t i = t.tags.(i)
+let concept t i = t.concepts.(i)
 let multiplicity t i = t.multiplicity.(i)
 let sub_weights t i = t.sub_weights.(i)
+let sub_concepts t i = t.sub_concepts.(i)
 
 let subtree_nodes t n =
   let acc = ref [] in
@@ -113,9 +143,9 @@ let duplicate_count t =
   let attached = Array.fold_left (fun acc s -> acc + Docset.cardinal s) 0 t.results in
   attached - Docset.cardinal (all_results t)
 
-let singleton ~results ~total ?(label = "c0") ?(tag = 0) () =
+let singleton ~results ~total ?(label = "c0") ?(tag = 0) ?(concept = -1) () =
   make ~parent:[| -1 |] ~results:[| results |] ~totals:[| total |] ~labels:[| label |]
-    ~tags:[| tag |] ()
+    ~tags:[| tag |] ~concepts:[| concept |] ()
 
 let pp ppf t =
   let rec go i =

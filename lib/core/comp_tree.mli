@@ -18,8 +18,10 @@ val make :
   totals:int array ->
   ?labels:string array ->
   ?tags:int array ->
+  ?concepts:int array ->
   ?multiplicity:int array ->
   ?sub_weights:float array array ->
+  ?sub_concepts:int array array ->
   unit ->
   t
 (** [parent.(0) = -1] and [0 <= parent.(i) < i] for [i > 0]. [totals.(i)]
@@ -44,6 +46,13 @@ val total : t -> int -> int
 val label : t -> int -> string
 val tag : t -> int -> int
 
+val concept : t -> int -> int
+(** The stable hierarchy concept id behind node [i], or [-1] when unknown
+    (synthetic trees, supernodes aggregating several concepts report their
+    partition root's concept). Stable across navigation-tree rebuilds —
+    the join key adaptive probability models use to look up per-concept
+    evidence. Defaults to [-1]. *)
+
 val multiplicity : t -> int -> int
 (** Number of underlying hierarchy concepts this node stands for: 1 for a
     plain navigation-tree node, the member count for a supernode of a
@@ -54,6 +63,13 @@ val sub_weights : t -> int -> float array
 (** Per-underlying-concept citation masses (the [|L|] values of the
     aggregated concepts); the entropy term of the EXPAND probability is
     computed over these. Defaults to [[| L(node) |]]. *)
+
+val sub_concepts : t -> int -> int array
+(** Hierarchy concept ids parallel to {!sub_weights} — one per underlying
+    concept, [-1] when unknown. Adaptive models aggregate per-concept
+    evidence over these. Defaults to [concept] repeated to the
+    [sub_weights] width. @raise Invalid_argument from [make] when lengths
+    diverge from [sub_weights]. *)
 
 val subtree_nodes : t -> int -> int list
 (** Preorder, argument included. *)
@@ -69,7 +85,13 @@ val duplicate_count : t -> int
     TED objective maximizes within components. *)
 
 val singleton :
-  results:Bionav_util.Docset.t -> total:int -> ?label:string -> ?tag:int -> unit -> t
+  results:Bionav_util.Docset.t ->
+  total:int ->
+  ?label:string ->
+  ?tag:int ->
+  ?concept:int ->
+  unit ->
+  t
 
 val pp : Format.formatter -> t -> unit
 (** Indented tree rendering with counts (diagnostic). *)

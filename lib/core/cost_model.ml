@@ -1,6 +1,6 @@
 type t = {
   tree : Comp_tree.t;
-  params : Probability.params;
+  model : Probability.model;
   norm : float;
   distinct_memo : (int, int) Hashtbl.t;
   expand_memo : (int, float) Hashtbl.t;
@@ -8,16 +8,17 @@ type t = {
 
 let max_size = 30
 
-let create ?(params = Probability.default_params) ?norm tree =
+let create ?(model = Probability.default_model) ?norm tree =
   if Comp_tree.size tree > max_size then
     invalid_arg
       (Printf.sprintf "Cost_model.create: tree has %d nodes (max %d)" (Comp_tree.size tree)
          max_size);
-  let norm = match norm with Some n -> n | None -> Probability.normalizer tree in
-  { tree; params; norm; distinct_memo = Hashtbl.create 256; expand_memo = Hashtbl.create 256 }
+  let norm = match norm with Some n -> n | None -> model.Probability.normalizer tree in
+  { tree; model; norm; distinct_memo = Hashtbl.create 256; expand_memo = Hashtbl.create 256 }
 
 let tree t = t.tree
-let params t = t.params
+let model t = t.model
+let params t = t.model.Probability.params
 let norm t = t.norm
 
 let full_mask t = (1 lsl Comp_tree.size t.tree) - 1
@@ -65,14 +66,14 @@ let distinct t mask =
       Hashtbl.add t.distinct_memo mask d;
       d
 
-let p_explore t mask = Probability.explore ~norm:t.norm t.tree (members t mask)
+let p_explore t mask = t.model.Probability.explore ~norm:t.norm t.tree (members t mask)
 
 let p_expand t mask =
   match Hashtbl.find_opt t.expand_memo mask with
   | Some p -> p
   | None ->
       let p =
-        Probability.expand t.params t.tree ~members:(members t mask) ~distinct:(distinct t mask)
+        t.model.Probability.expand t.tree ~members:(members t mask) ~distinct:(distinct t mask)
       in
       Hashtbl.add t.expand_memo mask p;
       p
@@ -86,15 +87,16 @@ let cost_unstructured t mask =
   let px = p_expand t mask in
   if px <= 0. then cost_leaf t mask
   else begin
-    let future = Probability.future_drilldown_cost t.params (underlying t mask) in
+    let p = params t in
+    let future = Probability.future_drilldown_cost p (underlying t mask) in
     let show = (1. -. px) *. float_of_int (distinct t mask) in
-    show +. (px *. (t.params.Probability.expand_cost +. future))
+    show +. (px *. (p.Probability.expand_cost +. future))
   end
 
 let cost t ~mask ~cut_term =
   let px = p_expand t mask in
   let show = (1. -. px) *. float_of_int (distinct t mask) in
-  let expand = px *. (t.params.Probability.expand_cost +. cut_term) in
+  let expand = px *. ((params t).Probability.expand_cost +. cut_term) in
   show +. expand
 
 let branch_probability t ~parent_mask ~branch_mask =
@@ -102,4 +104,4 @@ let branch_probability t ~parent_mask ~branch_mask =
   if pe_parent <= 0. then 0.
   else Float.min 1.0 (p_explore t branch_mask /. pe_parent)
 
-let expand_cost t = t.params.Probability.expand_cost
+let expand_cost t = (params t).Probability.expand_cost

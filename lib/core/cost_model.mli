@@ -35,12 +35,18 @@
 
 type t
 
-val create : ?params:Probability.params -> ?norm:float -> Comp_tree.t -> t
-(** [norm] defaults to {!Probability.normalizer} of the tree — appropriate
-    when the tree is the whole structure being expanded. *)
+val create : ?model:Probability.model -> ?norm:float -> Comp_tree.t -> t
+(** [model] defaults to {!Probability.default_model} (the paper's static
+    estimates); [norm] defaults to the model's [normalizer] of the tree —
+    appropriate when the tree is the whole structure being expanded. *)
 
 val tree : t -> Comp_tree.t
+
+val model : t -> Probability.model
+
 val params : t -> Probability.params
+(** The model's parameter record ([model.params]). *)
+
 val norm : t -> float
 
 val full_mask : t -> int

@@ -52,7 +52,7 @@ let original_tree plan =
 
 let replan plan = if plan_usable plan then Some (solve_plan plan) else None
 
-let fresh_plan ?params ?(k = default_k) tree =
+let fresh_plan ?model ?(k = default_k) tree =
   if Comp_tree.size tree < 2 then invalid_arg "Heuristic.best_cut: tree must have >= 2 nodes";
   if k < 2 then invalid_arg "Heuristic.best_cut: k must be >= 2";
   if k > Opt_edgecut.max_size then
@@ -60,7 +60,7 @@ let fresh_plan ?params ?(k = default_k) tree =
       (Printf.sprintf "Heuristic.best_cut: k = %d exceeds Opt-EdgeCut's limit %d" k
          Opt_edgecut.max_size);
   if Comp_tree.size tree <= k then begin
-    let ctx = Cost_model.create ?params tree in
+    let ctx = Cost_model.create ?model tree in
     let state = Opt_edgecut.init ctx in
     Some { plan_tree = tree; reduced = None; state; mask = Cost_model.full_mask ctx }
   end
@@ -70,7 +70,7 @@ let fresh_plan ?params ?(k = default_k) tree =
     let rt = Reduced_tree.tree reduced in
     if Comp_tree.size rt < 2 then None
     else begin
-      let ctx = Cost_model.create ?params rt in
+      let ctx = Cost_model.create ?model rt in
       let state = Opt_edgecut.init ctx in
       Some { plan_tree = rt; reduced = Some reduced; state; mask = Cost_model.full_mask ctx }
     end
@@ -78,10 +78,10 @@ let fresh_plan ?params ?(k = default_k) tree =
 
 let cut_hist = Bionav_util.Metrics.histogram "bionav_heuristic_cut_ms"
 
-let best_cut_with_plan ?params ?k tree =
+let best_cut_with_plan ?model ?k tree =
   let (report, plan), total_ms =
     Bionav_util.Timing.time (fun () ->
-        match fresh_plan ?params ?k tree with
+        match fresh_plan ?model ?k tree with
         | Some plan ->
             Logs.debug (fun m ->
                 m "heuristic: component of %d nodes reduced to %d supernodes"
@@ -95,7 +95,7 @@ let best_cut_with_plan ?params ?k tree =
             let cut = Comp_tree.children tree (Comp_tree.root tree) in
             let all = Comp_tree.all_results tree in
             let total = max (Comp_tree.total tree 0) (Bionav_util.Docset.cardinal all) in
-            let ctx = Cost_model.create ?params (Comp_tree.singleton ~results:all ~total ()) in
+            let ctx = Cost_model.create ?model (Comp_tree.singleton ~results:all ~total ()) in
             let report =
               {
                 cut_children = cut;
@@ -111,4 +111,4 @@ let best_cut_with_plan ?params ?k tree =
   Bionav_util.Metrics.observe cut_hist total_ms;
   ({ report with elapsed_ms = total_ms }, plan)
 
-let best_cut ?params ?k tree = fst (best_cut_with_plan ?params ?k tree)
+let best_cut ?model ?k tree = fst (best_cut_with_plan ?model ?k tree)

@@ -24,8 +24,9 @@ val default_k : int
 (** 10, as in the paper's experiments. *)
 
 val best_cut :
-  ?params:Probability.params -> ?k:int -> Comp_tree.t -> report
-(** @raise Invalid_argument if the tree has < 2 nodes or [k < 2]. *)
+  ?model:Probability.model -> ?k:int -> Comp_tree.t -> report
+(** Best cut under [model] (default {!Probability.default_model}).
+    @raise Invalid_argument if the tree has < 2 nodes or [k < 2]. *)
 
 type plan
 (** The solver state behind a cut: the (possibly reduced) tree, its cost
@@ -39,7 +40,7 @@ type plan
     tree no longer sees, so they take a fresh plan). *)
 
 val best_cut_with_plan :
-  ?params:Probability.params -> ?k:int -> Comp_tree.t -> report * plan
+  ?model:Probability.model -> ?k:int -> Comp_tree.t -> report * plan
 (** Like {!best_cut} but also returns the reuse handle. The plan's mask is
     already advanced past the returned cut. @raise Invalid_argument as
     {!best_cut}; additionally the degenerate-partition fallback yields a

@@ -169,7 +169,8 @@ let comp_tree_of t ~root ~members =
   let results = Array.map (fun nav -> t.results.(nav)) nodes in
   let totals = Array.map (fun nav -> t.totals.(nav)) nodes in
   let labels = Array.map (fun nav -> t.labels.(nav)) nodes in
-  (Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy nodes) (), nodes)
+  let concepts = Array.map (fun nav -> t.concept_ids.(nav)) nodes in
+  (Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy nodes) ~concepts (), nodes)
 
 let pp ppf t =
   let rec go i =

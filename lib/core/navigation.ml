@@ -1,14 +1,24 @@
 open Bionav_util
 
 type strategy =
-  | Heuristic of { k : int; params : Probability.params; reuse : bool }
-  | Optimal of { params : Probability.params }
+  | Heuristic of { k : int; model : Probability.model; reuse : bool }
+  | Optimal of { model : Probability.model }
   | Static
   | Static_paged of { page_size : int }
 
-let bionav ?(k = Heuristic.default_k) ?(params = Probability.default_params) ?(reuse = false) ()
-    =
-  Heuristic { k; params; reuse }
+let bionav ?(k = Heuristic.default_k) ?params ?model ?(reuse = false) () =
+  Heuristic { k; model = Probability.model_of ?params ?model (); reuse }
+
+let optimal ?params ?model () = Optimal { model = Probability.model_of ?params ?model () }
+
+let strategy_model = function
+  | Heuristic { model; _ } | Optimal { model } -> Some model
+  | Static | Static_paged _ -> None
+
+let model_fingerprint = function
+  | Heuristic { model; _ } | Optimal { model } -> model.Probability.fingerprint
+  | Static -> "static-interface"
+  | Static_paged { page_size } -> Printf.sprintf "static-paged/%d" page_size
 
 type expand_record = {
   node : int;
@@ -86,10 +96,10 @@ let next_page t root page_size =
 
 let degraded_counter = Metrics.counter "bionav_resilience_degraded_expands_total"
 
-let heuristic_cut t root ~over_budget ~k ~params ~reuse =
+let heuristic_cut t root ~over_budget ~k ~model ~reuse =
   let fresh () =
     let comp, _map = Active_tree.comp_tree t.active root in
-    let report, plan = Heuristic.best_cut_with_plan ~params ~k comp in
+    let report, plan = Heuristic.best_cut_with_plan ~model ~k comp in
     if reuse then Hashtbl.replace t.plans root plan;
     ( `Cut (nav_cut_children comp report.Heuristic.cut_children),
       report.Heuristic.elapsed_ms,
@@ -152,11 +162,11 @@ let compute_cut t ~over_budget root =
   | Static_paged { page_size } ->
       if page_size < 1 then invalid_arg "Navigation: page_size must be >= 1";
       (`Cut (next_page t root page_size), 0., 0, false)
-  | Heuristic { k; params; reuse } -> heuristic_cut t root ~over_budget ~k ~params ~reuse
-  | Optimal { params } ->
+  | Heuristic { k; model; reuse } -> heuristic_cut t root ~over_budget ~k ~model ~reuse
+  | Optimal { model } ->
       let comp, _map = Active_tree.comp_tree t.active root in
       let (solution : Opt_edgecut.solution), elapsed =
-        Timing.time (fun () -> Opt_edgecut.solve ~params comp)
+        Timing.time (fun () -> Opt_edgecut.solve ~model comp)
       in
       ( `Cut (nav_cut_children comp solution.Opt_edgecut.cut_children),
         elapsed,

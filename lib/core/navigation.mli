@@ -18,18 +18,40 @@
     revealed by an EXPAND, 1 per citation listed by SHOWRESULTS. *)
 
 type strategy =
-  | Heuristic of { k : int; params : Probability.params; reuse : bool }
+  | Heuristic of { k : int; model : Probability.model; reuse : bool }
       (** [reuse] keeps the Opt-EdgeCut solution of a component across
           follow-up expansions of its upper subtree (paper §VI-B: the costs
           for all possible [I(n)]s are computed by one run). Off by default
           — the paper's own Fig. 11 timings re-run the heuristic per
-          EXPAND; [bench ablation-reuse] quantifies the speedup. *)
-  | Optimal of { params : Probability.params }
+          EXPAND; [bench ablation-reuse] quantifies the speedup. [model]
+          supplies the EXPLORE/EXPAND probabilities — the paper's static
+          §IV estimates by default, or a learned model (see
+          [Bionav_adaptive]). *)
+  | Optimal of { model : Probability.model }
   | Static
   | Static_paged of { page_size : int }
 
-val bionav : ?k:int -> ?params:Probability.params -> ?reuse:bool -> unit -> strategy
-(** [Heuristic] with the paper's defaults (k = 10, thresholds 50/10). *)
+val bionav :
+  ?k:int -> ?params:Probability.params -> ?model:Probability.model -> ?reuse:bool -> unit ->
+  strategy
+(** [Heuristic] with the paper's defaults (k = 10, thresholds 50/10). An
+    explicit [model] wins over [params]; bare [params] wrap into
+    {!Probability.static}. *)
+
+val optimal :
+  ?params:Probability.params -> ?model:Probability.model -> unit -> strategy
+(** [Optimal] with the same [params]/[model] resolution as {!bionav}. *)
+
+val strategy_model : strategy -> Probability.model option
+(** The probability model driving a strategy's cuts; [None] for the
+    model-free [Static]/[Static_paged] interfaces. *)
+
+val model_fingerprint : strategy -> string
+(** Stable cache identity of the strategy's probability assumptions:
+    [model.fingerprint] for model-driven strategies, distinct sentinels
+    (["static-interface"], ["static-paged/<n>"]) otherwise. Plan caches
+    and snapshots key on this so cuts computed under one model are never
+    served to a session running another. *)
 
 type expand_record = {
   node : int;  (** The expanded (visible) navigation node. *)

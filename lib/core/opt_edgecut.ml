@@ -111,20 +111,20 @@ let check_size tree =
 
 let solve_hist = Bionav_util.Metrics.histogram "bionav_opt_edgecut_solve_ms"
 
-let solve ?params ?norm tree =
+let solve ?model ?norm tree =
   check_size tree;
   if Comp_tree.size tree < 2 then invalid_arg "Opt_edgecut.solve: tree must have >= 2 nodes";
   let solution, elapsed_ms =
     Bionav_util.Timing.time (fun () ->
-        let ctx = Cost_model.create ?params ?norm tree in
+        let ctx = Cost_model.create ?model ?norm tree in
         solve_mask (init ctx) (Cost_model.full_mask ctx))
   in
   Bionav_util.Metrics.observe solve_hist elapsed_ms;
   solution
 
-let expected_cost ?params ?norm tree =
+let expected_cost ?model ?norm tree =
   check_size tree;
-  let ctx = Cost_model.create ?params ?norm tree in
+  let ctx = Cost_model.create ?model ?norm tree in
   cost_mask (init ctx) (Cost_model.full_mask ctx)
 
 let count_valid_cuts tree =

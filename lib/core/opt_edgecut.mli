@@ -20,13 +20,14 @@ val max_size : int
 (** 16: practical bound for exhaustive cut enumeration. *)
 
 val solve :
-  ?params:Probability.params -> ?norm:float -> Comp_tree.t -> solution
+  ?model:Probability.model -> ?norm:float -> Comp_tree.t -> solution
 (** Best first EdgeCut for an EXPAND on the whole tree: minimizes
-    [cost(upper) + Σ_{v ∈ cut} (1 + cost(C_v))]. The tree must have ≥ 2
-    nodes and ≤ {!max_size} nodes. @raise Invalid_argument otherwise. *)
+    [cost(upper) + Σ_{v ∈ cut} (1 + cost(C_v))], under [model] (default
+    {!Probability.default_model}). The tree must have ≥ 2 nodes and
+    ≤ {!max_size} nodes. @raise Invalid_argument otherwise. *)
 
 val expected_cost :
-  ?params:Probability.params -> ?norm:float -> Comp_tree.t -> float
+  ?model:Probability.model -> ?norm:float -> Comp_tree.t -> float
 (** The minimum expected navigation cost of the whole tree under the cost
     model (the quantity Opt-EdgeCut computes bottom-up). Defined for any
     size ≤ {!max_size}, including singletons. *)

@@ -8,6 +8,28 @@ type params = {
 let default_params =
   { upper_threshold = 50; lower_threshold = 10; expand_cost = 16.0; future_fanout = 10 }
 
+let validate_params p =
+  if p.lower_threshold < 0 then
+    invalid_arg
+      (Printf.sprintf "Probability.params: lower_threshold must be >= 0 (got %d)"
+         p.lower_threshold);
+  if p.upper_threshold < p.lower_threshold then
+    invalid_arg
+      (Printf.sprintf
+         "Probability.params: upper_threshold %d is below lower_threshold %d"
+         p.upper_threshold p.lower_threshold);
+  if not (p.expand_cost > 0.) then
+    invalid_arg
+      (Printf.sprintf "Probability.params: expand_cost must be > 0 (got %g)" p.expand_cost);
+  if p.future_fanout < 2 then
+    invalid_arg
+      (Printf.sprintf "Probability.params: future_fanout must be >= 2 (got %d)"
+         p.future_fanout)
+
+let params_fingerprint p =
+  Printf.sprintf "%d/%d/%g/%d" p.upper_threshold p.lower_threshold p.expand_cost
+    p.future_fanout
+
 let explore_weight t i =
   let l = Comp_tree.result_count t i in
   if l = 0 then 0. else float_of_int l /. float_of_int (Comp_tree.total t i)
@@ -62,3 +84,30 @@ let future_drilldown_cost params m =
   else
     let k = float_of_int (max 2 params.future_fanout) in
     (k +. 1.) *. (log (float_of_int m) /. log k)
+
+(* --- pluggable models --------------------------------------------------- *)
+
+type model = {
+  params : params;
+  fingerprint : string;
+  normalizer : Comp_tree.t -> float;
+  explore : norm:float -> Comp_tree.t -> int list -> float;
+  expand : Comp_tree.t -> members:int list -> distinct:int -> float;
+}
+
+let make_model ~params ~fingerprint ~normalizer ~explore ~expand =
+  validate_params params;
+  { params; fingerprint; normalizer; explore; expand }
+
+let static ?(params = default_params) () =
+  make_model ~params
+    ~fingerprint:("static/" ^ params_fingerprint params)
+    ~normalizer ~explore
+    ~expand:(fun t ~members ~distinct -> expand params t ~members ~distinct)
+
+let default_model = static ()
+
+let model_of ?params ?model () =
+  match model with
+  | Some m -> m
+  | None -> ( match params with None -> default_model | Some p -> static ~params:p ())

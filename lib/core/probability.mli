@@ -45,6 +45,17 @@ val default_params : params
 (** [{ upper_threshold = 50; lower_threshold = 10; expand_cost = 16.0;
       future_fanout = 10 }] *)
 
+val validate_params : params -> unit
+(** Reject parameter records whose formulas would produce silent nonsense:
+    requires [upper_threshold >= lower_threshold >= 0], [expand_cost > 0]
+    and [future_fanout >= 2]. @raise Invalid_argument naming the offending
+    field. Called by every {!model} constructor. *)
+
+val params_fingerprint : params -> string
+(** Stable textual identity of a parameter record
+    (["upper/lower/expand_cost/fanout"]); the building block of model
+    fingerprints. *)
+
 val explore_weight : Comp_tree.t -> int -> float
 (** [|L(i)| / |LT(i)|] for one node; 0 when the node has no results. *)
 
@@ -65,3 +76,52 @@ val expand :
 val future_drilldown_cost : params -> int -> float
 (** [future_drilldown_cost params m]: the surrogate navigation cost of
     drilling into [m] hidden concepts ([0.] for [m <= 1]). *)
+
+(** {2 Pluggable models}
+
+    The free functions above are the paper's fixed §IV estimates. A
+    {!model} packages the two probability estimators behind a first-class
+    value so alternative estimators (e.g. the evidence-smoothed model of
+    [Bionav_adaptive]) plug into {!Cost_model}, {!Opt_edgecut},
+    {!Heuristic} and {!Navigation} without those layers knowing how the
+    probabilities are produced. The [fingerprint] is the model's {e cache
+    identity}: two models with the same fingerprint must compute identical
+    probabilities, because memoized EdgeCut plans are keyed by it — a model
+    update changes the fingerprint and thereby invalidates every stale
+    plan instead of serving it. *)
+
+type model = {
+  params : params;  (** Thresholds and cost constants the estimators use. *)
+  fingerprint : string;
+      (** Stable identity for plan/cache keying; see above. *)
+  normalizer : Comp_tree.t -> float;
+      (** This model's EXPLORE denominator over a whole tree (the model's
+          member weights summed, epsilon-floored). *)
+  explore : norm:float -> Comp_tree.t -> int list -> float;
+      (** EXPLORE probability of a component, clamped to [0, 1]. *)
+  expand : Comp_tree.t -> members:int list -> distinct:int -> float;
+      (** EXPAND probability of a component.
+          @raise Invalid_argument on empty [members]. *)
+}
+
+val make_model :
+  params:params ->
+  fingerprint:string ->
+  normalizer:(Comp_tree.t -> float) ->
+  explore:(norm:float -> Comp_tree.t -> int list -> float) ->
+  expand:(Comp_tree.t -> members:int list -> distinct:int -> float) ->
+  model
+(** Validates [params] (see {!validate_params}) and packages the record. *)
+
+val static : ?params:params -> unit -> model
+(** The paper's §IV model as a [model] value: {!normalizer}, {!explore} and
+    {!expand} verbatim, fingerprint ["static/<params>"]. @raise
+    Invalid_argument on invalid [params]. *)
+
+val default_model : model
+(** [static ()] — the model every strategy uses unless told otherwise. *)
+
+val model_of : ?params:params -> ?model:model -> unit -> model
+(** Resolution helper for APIs that accept both spellings: an explicit
+    [model] wins, bare [params] wrap into {!static}, neither means
+    {!default_model}. *)

@@ -42,6 +42,7 @@ let build orig (partition : Partition.result) =
      undercount; clamp defensively so Comp_tree.make's invariant holds. *)
   let totals = Array.mapi (fun s t -> max t (Docset.cardinal results.(s))) totals in
   let labels = Array.map (Comp_tree.label orig) roots in
+  let concepts = Array.map (Comp_tree.concept orig) roots in
   let multiplicity = Array.map List.length members in
   let sub_weights =
     Array.map
@@ -49,9 +50,12 @@ let build orig (partition : Partition.result) =
         Array.of_list (List.map (fun v -> float_of_int (Comp_tree.result_count orig v)) ms))
       members
   in
+  let sub_concepts =
+    Array.map (fun ms -> Array.of_list (List.map (Comp_tree.concept orig) ms)) members
+  in
   let reduced =
-    Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy roots) ~multiplicity
-      ~sub_weights ()
+    Comp_tree.make ~parent ~results ~totals ~labels ~tags:(Array.copy roots) ~concepts
+      ~multiplicity ~sub_weights ~sub_concepts ()
   in
   { reduced; original = orig; roots; members }
 

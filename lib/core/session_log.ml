@@ -5,9 +5,21 @@ let pp_action ppf = function
   | Show_results c -> Format.fprintf ppf "show %d" c
   | Backtrack -> Format.fprintf ppf "backtrack"
 
+type event =
+  | Expanded of { concept : int; revealed : int list }
+  | Shown of { concept : int; n_listed : int }
+  | Backtracked
+
+let action_of_event = function
+  | Expanded { concept; _ } -> Expand concept
+  | Shown { concept; _ } -> Show_results concept
+  | Backtracked -> Backtrack
+
 type t = action list
 
 let header = "# bionav session transcript v1"
+let header_v2 = "# bionav session transcript v2"
+let supported_versions = [ 1; 2 ]
 
 let to_string actions =
   let buf = Buffer.create 256 in
@@ -20,57 +32,152 @@ let to_string actions =
     actions;
   Buffer.contents buf
 
-let parse_line lineno line =
+let events_to_string events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header_v2;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      (match e with
+      | Expanded { concept; revealed } ->
+          Buffer.add_string buf
+            (Printf.sprintf "expand %d %d%s" concept (List.length revealed)
+               (String.concat "" (List.map (Printf.sprintf " %d") revealed)))
+      | Shown { concept; n_listed } ->
+          Buffer.add_string buf (Printf.sprintf "show %d %d" concept n_listed)
+      | Backtracked -> Buffer.add_string buf "backtrack");
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let int_field lineno what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad %s %S" lineno what s)
+
+let parse_line_v1 lineno line =
   match String.split_on_char ' ' line with
-  | [ "backtrack" ] -> Backtrack
-  | [ "expand"; c ] -> (
-      match int_of_string_opt c with
-      | Some v -> Expand v
-      | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad concept %S" lineno c))
-  | [ "show"; c ] -> (
-      match int_of_string_opt c with
-      | Some v -> Show_results v
-      | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad concept %S" lineno c))
+  | [ "backtrack" ] -> Backtracked
+  | [ "expand"; c ] -> Expanded { concept = int_field lineno "concept" c; revealed = [] }
+  | [ "show"; c ] -> Shown { concept = int_field lineno "concept" c; n_listed = 0 }
   | _ -> invalid_arg (Printf.sprintf "Session_log: line %d: unknown action %S" lineno line)
 
-let of_string text =
+(* v2 lines carry the action's outcome: [expand <c> <n> <id>*] lists the
+   [n] concepts the EXPAND revealed (the count must match — a truncated
+   line is corruption, not a shorter reveal), [show <c> <n>] the number of
+   citations listed. *)
+let parse_line_v2 lineno line =
+  match String.split_on_char ' ' line with
+  | [ "backtrack" ] -> Backtracked
+  | "expand" :: c :: n :: ids ->
+      let concept = int_field lineno "concept" c in
+      let n = int_field lineno "reveal count" n in
+      let revealed = List.map (int_field lineno "revealed concept") ids in
+      if List.length revealed <> n then
+        invalid_arg
+          (Printf.sprintf "Session_log: line %d: expand lists %d revealed concepts but declares %d"
+             lineno (List.length revealed) n);
+      Expanded { concept; revealed }
+  | [ "show"; c; n ] ->
+      Shown
+        { concept = int_field lineno "concept" c; n_listed = int_field lineno "listed count" n }
+  | _ -> invalid_arg (Printf.sprintf "Session_log: line %d: unknown action %S" lineno line)
+
+let version_prefix = "# bionav session transcript v"
+
+let version_of_header lineno line =
+  let tail =
+    String.sub line (String.length version_prefix)
+      (String.length line - String.length version_prefix)
+  in
+  match int_of_string_opt tail with
+  | Some v when List.mem v supported_versions -> v
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Session_log: line %d: unsupported transcript version %S (supported: %s)" lineno tail
+           (String.concat ", " (List.map (Printf.sprintf "v%d") supported_versions)))
+
+(* A transcript declares its version in the header; files with no header
+   parse as v1 (the original wire format). A second, conflicting header
+   mid-file is corruption (e.g. two transcripts concatenated), not a
+   comment. *)
+let events_of_string text =
+  let version = ref None in
   String.split_on_char '\n' text
   |> List.mapi (fun i line -> (i + 1, String.trim line))
-  |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
-  |> List.map (fun (i, line) -> parse_line i line)
+  |> List.filter_map (fun (lineno, line) ->
+         if line = "" then None
+         else if String.length line >= String.length version_prefix
+                 && String.sub line 0 (String.length version_prefix) = version_prefix then begin
+           let v = version_of_header lineno line in
+           (match !version with
+           | Some seen when seen <> v ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Session_log: line %d: transcript declares v%d after v%d (mixed versions)"
+                    lineno v seen)
+           | Some _ | None -> version := Some v);
+           None
+         end
+         else if line.[0] = '#' then None
+         else
+           Some
+             (match Option.value !version ~default:1 with
+             | 2 -> parse_line_v2 lineno line
+             | _ -> parse_line_v1 lineno line))
+
+let of_string text = List.map action_of_event (events_of_string text)
 
 let save t path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
 
-let load path =
+let save_events events path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (events_to_string events))
+
+let load_string path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-type recorder = { session : Navigation.t; mutable rev_actions : action list }
+let load path = of_string (load_string path)
+let load_events path = events_of_string (load_string path)
 
-let record session = { session; rev_actions = [] }
+type recorder = { session : Navigation.t; mutable rev_events : event list }
+
+let record session = { session; rev_events = [] }
 
 let concept_of r node = Nav_tree.concept_id (Active_tree.nav (Navigation.active r.session)) node
 
 let expand r node =
   let revealed = Navigation.expand r.session node in
-  if revealed <> [] then r.rev_actions <- Expand (concept_of r node) :: r.rev_actions;
+  if revealed <> [] then
+    r.rev_events <-
+      Expanded { concept = concept_of r node; revealed = List.map (concept_of r) revealed }
+      :: r.rev_events;
   revealed
 
 let show_results r node =
   let results = Navigation.show_results r.session node in
-  r.rev_actions <- Show_results (concept_of r node) :: r.rev_actions;
+  r.rev_events <-
+    Shown { concept = concept_of r node; n_listed = Bionav_util.Docset.cardinal results }
+    :: r.rev_events;
   results
 
 let backtrack r =
   let ok = Navigation.backtrack r.session in
-  if ok then r.rev_actions <- Backtrack :: r.rev_actions;
+  if ok then r.rev_events <- Backtracked :: r.rev_events;
   ok
 
-let transcript r = List.rev r.rev_actions
+let events r = List.rev r.rev_events
+let transcript r = List.map action_of_event (events r)
 
 type replay_outcome = { applied : int; skipped : int; stats : Navigation.stats }
 

@@ -4,8 +4,9 @@
     EXPAND/SHOWRESULTS requests (paper Fig. 7); a reproducible system wants
     those action streams on disk — to replay a user's session against a new
     algorithm version, to turn an interactive exploration into a regression
-    test, or to audit what a session cost. A transcript is a text format,
-    one action per line:
+    test, to audit what a session cost, or to learn empirical
+    EXPLORE/EXPAND probabilities from them (see [Bionav_adaptive]). A
+    transcript is a text format, one action per line, in two wire versions:
 
     {v
       # bionav session transcript v1
@@ -14,23 +15,60 @@
       backtrack
     v}
 
-    Actions address nodes by {e hierarchy concept id} (stable across
-    navigation-tree rebuilds), not by navigation-tree node. *)
+    {v
+      # bionav session transcript v2
+      expand <concept-id> <n-revealed> <revealed-concept-id>*
+      show <concept-id> <n-listed>
+      backtrack
+    v}
+
+    v2 additionally carries each action's {e outcome} — which concepts the
+    EXPAND revealed and how many citations the SHOWRESULTS listed — the
+    signals an evidence aggregator needs to tell engaged concepts from
+    ignored ones. Both versions parse (a file with no header is v1);
+    unknown versions are rejected naming the supported ones, and a
+    conflicting second header mid-file is corruption. Actions address
+    nodes by {e hierarchy concept id} (stable across navigation-tree
+    rebuilds), not by navigation-tree node. *)
 
 type action = Expand of int | Show_results of int | Backtrack
 
 val pp_action : Format.formatter -> action -> unit
 
+type event =
+  | Expanded of { concept : int; revealed : int list }
+      (** An effective EXPAND and the concepts it revealed. *)
+  | Shown of { concept : int; n_listed : int }
+      (** SHOWRESULTS and the number of citations it listed. *)
+  | Backtracked
+
+val action_of_event : event -> action
+(** Drop the outcome. *)
+
 type t = action list
 (** Chronological. *)
 
 val to_string : t -> string
+(** v1 wire format (actions carry no outcomes). *)
+
+val events_to_string : event list -> string
+(** v2 wire format. *)
+
 val of_string : string -> t
-(** @raise Invalid_argument on malformed lines. Comments (['#']) and blank
-    lines are ignored. *)
+(** Parse either wire version, dropping v2 outcomes. @raise
+    Invalid_argument on malformed lines, a reveal list whose length
+    contradicts its declared count, an unsupported version header (the
+    error names the supported versions), or mixed version headers.
+    Comments (['#']) and blank lines are ignored. *)
+
+val events_of_string : string -> event list
+(** Like {!of_string} but keeps outcomes; v1 actions parse as events with
+    empty outcomes ([revealed = []], [n_listed = 0]). *)
 
 val save : t -> string -> unit
 val load : string -> t
+val save_events : event list -> string -> unit
+val load_events : string -> event list
 
 type recorder
 
@@ -40,13 +78,16 @@ val record : Navigation.t -> recorder
 
 val expand : recorder -> int -> int list
 (** Like {!Navigation.expand} (by navigation node), recording the action by
-    concept id. No-op expansions (nothing revealed) are not recorded. *)
+    concept id together with the revealed concepts. No-op expansions
+    (nothing revealed) are not recorded. *)
 
 val show_results : recorder -> int -> Bionav_util.Docset.t
 val backtrack : recorder -> bool
 (** Failed backtracks (nothing to undo) are not recorded. *)
 
 val transcript : recorder -> t
+val events : recorder -> event list
+(** The v2 view of the recording: actions with their outcomes. *)
 
 type replay_outcome = {
   applied : int;  (** Actions successfully applied. *)

@@ -7,6 +7,7 @@ module Speculator = Bionav_prefetch.Speculator
 module Warmer = Bionav_prefetch.Warmer
 module Snapshot = Bionav_store.Snapshot
 module Clock = Bionav_resilience.Clock
+module Adaptive = Bionav_adaptive.Adaptive
 module Guard = Bionav_resilience.Guard
 module Deadline = Bionav_resilience.Deadline
 module Chaos = Bionav_resilience.Chaos
@@ -23,6 +24,7 @@ type config = {
   resilience : Guard.config option;
   shards : int;
   segstore : Bionav_segstore.Store.spec option;
+  adaptive : Adaptive.config option;
 }
 
 let default_config =
@@ -36,6 +38,7 @@ let default_config =
     resilience = Some Guard.default_config;
     shards = 1;
     segstore = None;
+    adaptive = None;
   }
 
 (* A session is pinned to the shard that created it ([home]): its
@@ -54,6 +57,10 @@ type session = {
   pending_spec : int list Atomic.t;
       (* nodes revealed since the last speculation pass; appended (under
          the shard lock) by the expand observer, drained off-lock *)
+  seen_concepts : (int, unit) Hashtbl.t;
+      (* concepts revealed to this session but not (yet) engaged with;
+         mutated under the shard lock, flushed as IGNORE evidence when
+         the session ends *)
   mutable epoch : int;  (* bumped under the shard lock at each publish *)
   mutable tick : int;  (* recency clock value of the last touch *)
   mutable last_use_ms : float;  (* config.clock time of the last touch, for TTLs *)
@@ -67,6 +74,7 @@ and shard = {
   cache : Nav_cache.t;
   sprefetch : Prefetch.t option;
   sguard : Guard.t option;
+  sadaptive : Adaptive.t option;  (* engine-wide learned model, shared by all shards *)
   srun_search : string -> Docset.t;
   sessions : (string, session) Hashtbl.t;
   shard_max : int;  (* per-shard session bound *)
@@ -85,6 +93,9 @@ type t = {
   search_lock : Mutex.t;  (* confines the inverted index's shared arena *)
   shards : shard array;
   next_sid : int Atomic.t;
+  adaptive : Adaptive.t option;
+      (* engine-wide (cross-shard) learned probability model; its own
+         internal lock makes observes from any shard safe *)
 }
 
 let started_counter = Metrics.counter "bionav_sessions_started_total"
@@ -204,6 +215,11 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
   in
   let search_lock = Mutex.create () in
   let index_arena = Bionav_search.Inverted_index.arena (Eutils.index eutils) in
+  let adaptive =
+    Option.map
+      (fun cfg -> Adaptive.create ~config:cfg ~now_ms:(fun () -> Clock.now_ms config.clock) ())
+      config.adaptive
+  in
   let make_shard snum =
     let guard =
       match (config.resilience, chaos) with
@@ -238,6 +254,7 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
       sprefetch =
         Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
       sguard = guard;
+      sadaptive = adaptive;
       srun_search = run_search;
       sessions = Hashtbl.create 64;
       shard_max = max 1 (config.max_sessions / config.shards);
@@ -255,6 +272,7 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
       search_lock;
       shards = Array.init config.shards make_shard;
       next_sid = Atomic.make 0;
+      adaptive;
     }
   in
   (match snapshot with
@@ -267,6 +285,7 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
           n :=
             Warmer.apply ~db:database ~trees:shard.cache
               ?plans:(Option.map Prefetch.plans shard.sprefetch)
+              ?model:(Option.map Adaptive.model t.adaptive)
               entries)
         t.shards;
       Logs.info (fun m -> m "engine: warm-started %d quer%s from %s" !n
@@ -282,6 +301,50 @@ let shard_count t = Array.length t.shards
 let segstore t = t.store
 
 let shard_of_sid t sid = t.shards.(Hashtbl.hash sid mod Array.length t.shards)
+let adaptive t = t.adaptive
+
+let learn t events =
+  match t.adaptive with
+  | None -> false
+  | Some ad ->
+      Adaptive.learn ad events;
+      true
+
+(* --- adaptive evidence -------------------------------------------------- *)
+
+let concept_of s node = Nav_tree.concept_id s.nav node
+
+(* The session engaged with [node] (expanded it or listed its results):
+   record the evidence and stop counting the concept as merely seen. *)
+let note_engaged s observe node =
+  match s.home.sadaptive with
+  | None -> ()
+  | Some ad ->
+      let concept = concept_of s node in
+      if concept >= 0 then begin
+        Hashtbl.remove s.seen_concepts concept;
+        observe ad ~concept
+      end
+
+let note_revealed s revealed =
+  match s.home.sadaptive with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun node ->
+          let concept = concept_of s node in
+          if concept >= 0 then Hashtbl.replace s.seen_concepts concept ())
+        revealed
+
+(* The session is over: whatever it was shown and never engaged with is
+   IGNORE evidence. Called under the shard lock on every exit path
+   (close, LRU eviction, TTL sweep). *)
+let flush_ignores s =
+  match s.home.sadaptive with
+  | None -> ()
+  | Some ad ->
+      Hashtbl.iter (fun concept () -> Adaptive.observe_ignore ad ~concept) s.seen_concepts;
+      Hashtbl.reset s.seen_concepts
 
 (* --- strategies -------------------------------------------------------- *)
 
@@ -295,8 +358,25 @@ let strategy_of_name ?(page_size = 10) name =
   | None | Some "bionav" -> Ok (Navigation.bionav ())
   | Some "static" -> Ok Navigation.Static
   | Some "paged" -> validate_strategy (Navigation.Static_paged { page_size })
-  | Some "optimal" -> Ok (Navigation.Optimal { params = Probability.default_params })
+  | Some "optimal" -> Ok (Navigation.optimal ())
   | Some s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+(* With learning enabled, cost-model strategies get the engine's current
+   learned model — unless the caller pinned a non-default one (an A/B arm
+   or an explicit [~params] stays untouched). The session holds the model
+   value it started with for its whole life, so its plans stay internally
+   consistent; only {e new} sessions see refreshed evidence. *)
+let effective_strategy t strategy =
+  match t.adaptive with
+  | None -> strategy
+  | Some ad -> (
+      let default_fp = Probability.default_model.Probability.fingerprint in
+      match strategy with
+      | Navigation.Heuristic { k; model; reuse } when String.equal model.Probability.fingerprint default_fp ->
+          Navigation.Heuristic { k; model = Adaptive.model ad; reuse }
+      | Navigation.Optimal { model } when String.equal model.Probability.fingerprint default_fp ->
+          Navigation.Optimal { model = Adaptive.model ad }
+      | s -> s)
 
 (* --- session store ----------------------------------------------------- *)
 
@@ -347,6 +427,7 @@ let evict_lru shard =
   in
   match victim with
   | Some s ->
+      flush_ignores s;
       Hashtbl.remove shard.sessions s.sid;
       shard.sevictions <- shard.sevictions + 1;
       Metrics.incr evicted_counter;
@@ -377,6 +458,7 @@ let search t ?(strategy = Navigation.bionav ()) query =
   | Ok strategy ->
       if String.trim query = "" then Error "empty query"
       else begin
+        let strategy = effective_strategy t strategy in
         (* The sid is allocated before the (fallible) tree build so the
            shard — and therefore the lock and cache — can be chosen up
            front; a failed search burns an id, which stays monotonic. *)
@@ -403,6 +485,7 @@ let search t ?(strategy = Navigation.bionav ()) query =
                       snapshot =
                         Atomic.make (Nav_snapshot.capture ~epoch:0 ~query navigation);
                       pending_spec = Atomic.make [];
+                      seen_concepts = Hashtbl.create 16;
                       epoch = 0;
                       tick = 0;
                       last_use_ms = 0.;
@@ -450,6 +533,7 @@ let close t sid =
   with_shard shard (fun () ->
       match Hashtbl.find_opt shard.sessions sid with
       | Some s ->
+          flush_ignores s;
           Hashtbl.remove shard.sessions sid;
           Metrics.incr closed_counter;
           release_query shard s.query;
@@ -471,7 +555,11 @@ let sweep ?now_ms t =
                   (fun _ s acc -> if now -. s.last_use_ms > ttl then s :: acc else acc)
                   shard.sessions []
               in
-              List.iter (fun s -> Hashtbl.remove shard.sessions s.sid) expired;
+              List.iter
+                (fun s ->
+                  flush_ignores s;
+                  Hashtbl.remove shard.sessions s.sid)
+                expired;
               List.iter (fun s -> release_query shard s.query) expired;
               total := !total + List.length expired))
         t.shards;
@@ -506,15 +594,15 @@ let drain_speculation s =
       | [] -> ()
       | revealed -> (
           match Navigation.strategy s.navigation with
-          | Navigation.Heuristic { k; params; _ } ->
+          | Navigation.Heuristic { k; model; _ } ->
               let snap = Atomic.get s.snapshot in
               let revealed = List.sort_uniq Int.compare revealed in
-              let ranked = Speculator.rank_snapshot ~params snap revealed in
+              let ranked = Speculator.rank_snapshot ~model snap revealed in
               let budget = (Prefetch.config pf).Prefetch.budget_per_action in
               if ranked <> [] || budget > 0 then
                 with_shard s.home (fun () ->
                     Speculator.enqueue_ranked (Prefetch.speculator pf) ~query:s.query snap
-                      ~k ~params ranked;
+                      ~k ~model ranked;
                     ignore (Prefetch.tick pf ~budget : int))
           | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()))
 
@@ -529,8 +617,19 @@ let run_locked s f =
   drain_speculation s;
   r
 
-let expand s node = run_locked s (fun () -> Navigation.expand s.navigation node)
-let show_results s node = run_locked s (fun () -> Navigation.show_results s.navigation node)
+let expand s node =
+  run_locked s (fun () ->
+      let revealed = Navigation.expand s.navigation node in
+      note_engaged s Adaptive.observe_expand node;
+      note_revealed s revealed;
+      revealed)
+
+let show_results s node =
+  run_locked s (fun () ->
+      let results = Navigation.show_results s.navigation node in
+      note_engaged s Adaptive.observe_show node;
+      results)
+
 let backtrack s = run_locked s (fun () -> Navigation.backtrack s.navigation)
 
 (* --- detached sessions -------------------------------------------------- *)
@@ -575,14 +674,15 @@ let stop_prefetch_domain pd =
   Domain.join pd.handle
 
 let warm t queries =
-  let entries = Warmer.build ~db:t.database ~run:t.shards.(0).srun_search queries in
+  let model = Option.map Adaptive.model t.adaptive in
+  let entries = Warmer.build ~db:t.database ~run:t.shards.(0).srun_search ?model queries in
   Array.iter
     (fun shard ->
       with_shard shard (fun () ->
           ignore
             (Warmer.apply ~db:t.database ~trees:shard.cache
                ?plans:(Option.map Prefetch.plans shard.sprefetch)
-               entries
+               ?model entries
               : int)))
     t.shards;
   entries

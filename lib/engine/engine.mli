@@ -95,6 +95,13 @@ type config = {
           {!Bionav_segstore.Bridge}. The passed database still supplies
           the hierarchy (and its citation count is cross-checked against
           the store's). Default [None] (in-memory). *)
+  adaptive : Bionav_adaptive.Adaptive.config option;
+      (** Learn EXPLORE/EXPAND probabilities from live navigation
+          behaviour ({!Bionav_adaptive.Adaptive}): cost-model sessions
+          started with the default static model get the engine's current
+          learned model instead, live actions feed the evidence store,
+          and [bionav learn] / {!learn} bulk-ingest transcripts. Default
+          [None] — the paper's static model, byte-identical behaviour. *)
 }
 
 val default_config : config
@@ -145,6 +152,18 @@ val shard_count : t -> int
 val segstore : t -> Bionav_segstore.Store.t option
 (** The opened segment store, when [config.segstore] was set. *)
 
+val adaptive : t -> Bionav_adaptive.Adaptive.t option
+(** The engine's learned-probability state, when [config.adaptive] was
+    set. Shared across shards; safe to inspect from any domain. *)
+
+val learn : t -> Bionav_core.Session_log.event list -> bool
+(** Bulk-ingest one session transcript into the learned model and refresh
+    it ({!Bionav_adaptive.Adaptive.learn}); [false] when the engine runs
+    the static model ([config.adaptive = None]). New sessions pick up the
+    refreshed model; running sessions keep the model they started with
+    (their plan-cache keys carry its fingerprint, so no stale plan is
+    ever served to a refreshed session). *)
+
 val resilience_clock : t -> Bionav_resilience.Clock.t
 (** [config.clock] — the clock every engine timing decision reads. *)
 
@@ -159,7 +178,9 @@ val strategy_of_name :
 (** Parse a user-supplied strategy name: [None] or [Some "bionav"] is the
     paper's Heuristic-ReducedOpt, plus ["static"], ["paged"] (with
     [page_size], default 10, validated >= 1) and ["optimal"]. Anything
-    else — including an invalid page size — is [Error]. *)
+    else — including an invalid page size — is [Error]. Strategies built
+    here carry the static default model; {!search} substitutes the
+    learned model when the engine is adaptive. *)
 
 (* --- sessions --------------------------------------------------------- *)
 

@@ -17,13 +17,14 @@ let create ?(capacity = default_capacity) () = { cache = Lru.create ~capacity }
    O(1) content fingerprint instead of re-folding the member list on every
    lookup. Collisions are harmless: [find] verifies the stored member
    array before serving a cut. *)
-let key query root members =
-  Printf.sprintf "%s\x00%d\x00%x" (Nav_cache.normalize query) root (Docset.fingerprint members)
+let key query fingerprint root members =
+  Printf.sprintf "%s\x00%s\x00%d\x00%x" (Nav_cache.normalize query) fingerprint root
+    (Docset.fingerprint members)
 
 let same_members stored members = Docset.equal_array members stored
 
-let find t ~query ~root ~members =
-  match Lru.find t.cache (key query root members) with
+let find t ~query ~fingerprint ~root ~members =
+  match Lru.find t.cache (key query fingerprint root members) with
   | Some e when same_members e.members members ->
       Metrics.incr hits_counter;
       Some e.cut
@@ -31,17 +32,18 @@ let find t ~query ~root ~members =
       Metrics.incr misses_counter;
       None
 
-let mem t ~query ~root ~members =
-  match Lru.peek t.cache (key query root members) with
+let mem t ~query ~fingerprint ~root ~members =
+  match Lru.peek t.cache (key query fingerprint root members) with
   | Some e -> same_members e.members members
   | None -> false
 
-let store t ~query ~root ~members ~cut =
+let store t ~query ~fingerprint ~root ~members ~cut =
   match cut with
   | [] -> ()
   | _ :: _ ->
       let evictions_before = Lru.evictions t.cache in
-      Lru.add t.cache (key query root members) { members = Docset.to_array members; cut };
+      Lru.add t.cache (key query fingerprint root members)
+        { members = Docset.to_array members; cut };
       Metrics.incr insertions_counter;
       if Lru.evictions t.cache > evictions_before then Metrics.incr evictions_counter
 
@@ -52,8 +54,8 @@ let clear t =
   Lru.clear t.cache;
   Lru.reset_counters t.cache
 
-let plan_source t ~query =
+let plan_source t ~query ~fingerprint =
   {
-    Navigation.find_plan = (fun ~root ~members -> find t ~query ~root ~members);
-    store_plan = (fun ~root ~members ~cut -> store t ~query ~root ~members ~cut);
+    Navigation.find_plan = (fun ~root ~members -> find t ~query ~fingerprint ~root ~members);
+    store_plan = (fun ~root ~members ~cut -> store t ~query ~fingerprint ~root ~members ~cut);
   }

@@ -2,11 +2,16 @@
     session to the whole process.
 
     A plan is the cut the Heuristic strategy would compute for a given
-    component; the component is identified by (normalized query, visible
-    root, the exact member set [I(n)]). Two sessions of the same query that
-    expand the same way reach byte-identical components, so a cut computed
-    once — in the foreground, by speculation, or warmed from a snapshot —
-    serves every later EXPAND of that component at O(1).
+    component; the component is identified by (normalized query, the
+    probability-model fingerprint that priced the cut, visible root, the
+    exact member set [I(n)]). Two sessions of the same query {e and model}
+    that expand the same way reach byte-identical components, so a cut
+    computed once — in the foreground, by speculation, or warmed from a
+    snapshot — serves every later EXPAND of that component at O(1). The
+    fingerprint (see {!Bionav_core.Navigation.model_fingerprint}) keeps the
+    cache honest across model updates: a cut optimized under yesterday's
+    probabilities is a {e stale} plan for today's learned model, and a
+    changed fingerprint makes it unreachable instead of served.
 
     The member set is keyed by its arena fingerprint (O(1), computed at
     intern time) but {e verified} on lookup
@@ -23,16 +28,30 @@ val default_capacity : int
 
 val create : ?capacity:int -> unit -> t
 
-val find : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> int list option
+val find :
+  t ->
+  query:string ->
+  fingerprint:string ->
+  root:int ->
+  members:Bionav_util.Docset.t ->
+  int list option
 (** The memoized cut for the component of [root] whose member navigation
     ids are exactly [members], refreshing LRU recency; [None] on miss or
     fingerprint collision. Counts into hits/misses. *)
 
-val mem : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> bool
+val mem :
+  t -> query:string -> fingerprint:string -> root:int -> members:Bionav_util.Docset.t -> bool
 (** Side-effect free: no recency refresh, no hit/miss accounting. For
     speculation probing whether work is already done. *)
 
-val store : t -> query:string -> root:int -> members:Bionav_util.Docset.t -> cut:int list -> unit
+val store :
+  t ->
+  query:string ->
+  fingerprint:string ->
+  root:int ->
+  members:Bionav_util.Docset.t ->
+  cut:int list ->
+  unit
 (** Memoize a computed cut (ignored when [cut] is empty); replaces any
     entry under the same key, evicting LRU-style when full. *)
 
@@ -45,7 +64,9 @@ val misses : t -> int
 val clear : t -> unit
 (** Drop every plan and zero the per-instance counters. *)
 
-val plan_source : t -> query:string -> Bionav_core.Navigation.plan_source
+val plan_source :
+  t -> query:string -> fingerprint:string -> Bionav_core.Navigation.plan_source
 (** The {!Bionav_core.Navigation.plan_source} wiring a session of [query]
-    to this cache: [find_plan] serves memoized cuts, [store_plan] feeds
-    foreground computations back in. *)
+    running under the model identified by [fingerprint] to this cache:
+    [find_plan] serves memoized cuts, [store_plan] feeds foreground
+    computations back in. *)

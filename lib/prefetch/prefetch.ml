@@ -35,20 +35,25 @@ let speculator t = t.spec
 
 let attach t ~query session =
   match Navigation.strategy session with
-  | Navigation.Heuristic { k; params; _ } ->
-      Navigation.set_plan_source session (Some (Plan_cache.plan_source t.plans ~query));
+  | Navigation.Heuristic { k; model; _ } ->
+      let fingerprint = model.Probability.fingerprint in
+      Navigation.set_plan_source session
+        (Some (Plan_cache.plan_source t.plans ~query ~fingerprint));
       Navigation.set_on_expand session
         (Some
            (fun ~node:_ ~revealed ->
-             Speculator.observe t.spec ~query ~active:(Navigation.active session) ~k ~params
+             Speculator.observe t.spec ~query ~active:(Navigation.active session) ~k ~model
                ~revealed;
              ignore (Speculator.tick t.spec ~budget:t.config.budget_per_action : int)))
   | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()
 
 let attach_plans t ~query session =
   match Navigation.strategy session with
-  | Navigation.Heuristic _ ->
-      Navigation.set_plan_source session (Some (Plan_cache.plan_source t.plans ~query))
+  | Navigation.Heuristic { model; _ } ->
+      Navigation.set_plan_source session
+        (Some
+           (Plan_cache.plan_source t.plans ~query
+              ~fingerprint:model.Probability.fingerprint))
   | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()
 
 let tick t ~budget = Speculator.tick t.spec ~budget

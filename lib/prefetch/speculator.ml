@@ -8,7 +8,7 @@ type job = {
   members : Docset.t;  (* component member ids captured at enqueue time *)
   nav : Nav_tree.t;
   k : int;
-  params : Probability.params;
+  model : Probability.model;
   enqueued_at_ms : float;  (* clock time at enqueue, for the job TTL *)
 }
 
@@ -58,7 +58,7 @@ let expired t = t.expired
    EXPLORE numerator — Σ |L|/|LT| over members) times its EXPAND
    probability. Normalization is skipped: scores only rank siblings of one
    reveal, and the EXPLORE denominator is shared across them. *)
-let score ~params active node =
+let score ~model active node =
   let nav = Active_tree.nav active in
   let members = Active_tree.component active node in
   let mass =
@@ -72,7 +72,7 @@ let score ~params active node =
   let comp, _map = Active_tree.comp_tree active node in
   let all = List.init (Comp_tree.size comp) Fun.id in
   let px =
-    Probability.expand params comp ~members:all
+    model.Probability.expand comp ~members:all
       ~distinct:(Active_tree.component_distinct active node)
   in
   mass *. px
@@ -83,16 +83,16 @@ module Nav_snapshot = Bionav_search.Nav_snapshot
    active tree. Everything read here is immutable or domain-safe — the
    snapshot's vnodes, its frozen arena, and pure reads on the pinned
    navigation tree — so ranking runs with no lock held at all. *)
-let snapshot_score ~params snap (v : Nav_snapshot.vnode) =
+let snapshot_score ~model snap (v : Nav_snapshot.vnode) =
   let comp, _map =
     Nav_tree.comp_tree_of (Nav_snapshot.nav snap) ~root:v.Nav_snapshot.id
       ~members:(Array.to_list v.Nav_snapshot.members)
   in
   let all = List.init (Comp_tree.size comp) Fun.id in
-  let px = Probability.expand params comp ~members:all ~distinct:v.Nav_snapshot.distinct in
+  let px = model.Probability.expand comp ~members:all ~distinct:v.Nav_snapshot.distinct in
   v.Nav_snapshot.weight *. px
 
-let rank_snapshot ~params snap revealed =
+let rank_snapshot ~model snap revealed =
   let candidates =
     List.filter_map
       (fun n ->
@@ -107,9 +107,9 @@ let rank_snapshot ~params snap revealed =
          match Float.compare sb sa with
          | 0 -> Int.compare a.Nav_snapshot.id b.Nav_snapshot.id
          | c -> c)
-       (List.map (fun v -> (v, snapshot_score ~params snap v)) candidates))
+       (List.map (fun v -> (v, snapshot_score ~model snap v)) candidates))
 
-let enqueue_ranked t ~query snap ~k ~params ranked =
+let enqueue_ranked t ~query snap ~k ~model ranked =
   let query = Nav_cache.normalize query in
   let nav = Nav_snapshot.nav snap in
   List.iteri
@@ -120,14 +120,15 @@ let enqueue_ranked t ~query snap ~k ~params ranked =
            plans serve both paths. *)
         let members = v.Nav_snapshot.member_set in
         let root = v.Nav_snapshot.id in
-        if not (Plan_cache.mem t.cache ~query ~root ~members) then
+        let fingerprint = model.Probability.fingerprint in
+        if not (Plan_cache.mem t.cache ~query ~fingerprint ~root ~members) then
           if Queue.length t.queue >= t.max_queue then begin
             t.dropped <- t.dropped + 1;
             Metrics.incr dropped_counter
           end
           else begin
             Queue.add
-              { query; root; members; nav; k; params;
+              { query; root; members; nav; k; model;
                 enqueued_at_ms = Clock.now_ms t.clock }
               t.queue;
             Metrics.add depth_gauge 1.
@@ -135,28 +136,29 @@ let enqueue_ranked t ~query snap ~k ~params ranked =
       end)
     ranked
 
-let observe t ~query ~active ~k ~params ~revealed =
+let observe t ~query ~active ~k ~model ~revealed =
   let query = Nav_cache.normalize query in
   let candidates = List.filter (Active_tree.is_expandable active) revealed in
   let ranked =
     List.stable_sort
       (fun (a, sa) (b, sb) ->
         match Float.compare sb sa with 0 -> Int.compare a b | c -> c)
-      (List.map (fun n -> (n, score ~params active n)) candidates)
+      (List.map (fun n -> (n, score ~model active n)) candidates)
   in
   let nav = Active_tree.nav active in
+  let fingerprint = model.Probability.fingerprint in
   List.iteri
     (fun i (node, _score) ->
       if i < t.top_m then begin
         let members = Active_tree.component_set active node in
-        if not (Plan_cache.mem t.cache ~query ~root:node ~members) then
+        if not (Plan_cache.mem t.cache ~query ~fingerprint ~root:node ~members) then
           if Queue.length t.queue >= t.max_queue then begin
             t.dropped <- t.dropped + 1;
             Metrics.incr dropped_counter
           end
           else begin
             Queue.add
-              { query; root = node; members; nav; k; params;
+              { query; root = node; members; nav; k; model;
                 enqueued_at_ms = Clock.now_ms t.clock }
               t.queue;
             Metrics.add depth_gauge 1.
@@ -169,16 +171,19 @@ let run_job t job =
      shard lock): take ownership of the job tree's arena before the cut
      computation mutates its memo tables. *)
   Docset_arena.adopt (Nav_tree.arena job.nav);
-  if not (Plan_cache.mem t.cache ~query:job.query ~root:job.root ~members:job.members) then begin
+  let fingerprint = job.model.Probability.fingerprint in
+  if not (Plan_cache.mem t.cache ~query:job.query ~fingerprint ~root:job.root ~members:job.members)
+  then begin
     let (), ms =
       Timing.time (fun () ->
           let comp, _map =
             Nav_tree.comp_tree_of job.nav ~root:job.root ~members:(Docset.elements job.members)
           in
           if Comp_tree.size comp >= 2 then begin
-            let report = Heuristic.best_cut ~params:job.params ~k:job.k comp in
+            let report = Heuristic.best_cut ~model:job.model ~k:job.k comp in
             let cut = List.map (Comp_tree.tag comp) report.Heuristic.cut_children in
-            Plan_cache.store t.cache ~query:job.query ~root:job.root ~members:job.members ~cut
+            Plan_cache.store t.cache ~query:job.query ~fingerprint ~root:job.root
+              ~members:job.members ~cut
           end)
     in
     Metrics.observe precompute_hist ms;

@@ -13,7 +13,9 @@
 
     Jobs capture the component (query, root, exact member list) at
     enqueue time, so a job executed after the session moved on still
-    memoizes a correct, correctly keyed plan. Instrumented with
+    memoizes a correct, correctly keyed plan — including the probability
+    model's fingerprint, so plans speculated under a superseded learned
+    model are never served to a refreshed session. Instrumented with
     [bionav_prefetch_queue_depth], [bionav_prefetch_speculations_total],
     [bionav_prefetch_dropped_total] and
     [bionav_prefetch_precompute_latency_ms]. *)
@@ -43,17 +45,17 @@ val observe :
   query:string ->
   active:Bionav_core.Active_tree.t ->
   k:int ->
-  params:Bionav_core.Probability.params ->
+  model:Bionav_core.Probability.model ->
   revealed:int list ->
   unit
 (** Rank [revealed] (ties broken by ascending node id — deterministic)
     and enqueue the top-m expandable candidates whose plans are not
-    already cached. [k] and [params] must match the session's strategy,
-    or speculated cuts would diverge from foreground ones. Does no cut
-    computation itself. *)
+    already cached under the model's fingerprint. [k] and [model] must
+    match the session's strategy, or speculated cuts would diverge from
+    foreground ones. Does no cut computation itself. *)
 
 val rank_snapshot :
-  params:Bionav_core.Probability.params ->
+  model:Bionav_core.Probability.model ->
   Bionav_search.Nav_snapshot.t ->
   int list ->
   Bionav_search.Nav_snapshot.vnode list
@@ -70,7 +72,7 @@ val enqueue_ranked :
   query:string ->
   Bionav_search.Nav_snapshot.t ->
   k:int ->
-  params:Bionav_core.Probability.params ->
+  model:Bionav_core.Probability.model ->
   Bionav_search.Nav_snapshot.vnode list ->
   unit
 (** Enqueue the top-m of an already-ranked candidate list (from

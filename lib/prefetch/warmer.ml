@@ -7,8 +7,8 @@ let warmed_counter = Metrics.counter "bionav_prefetch_warmed_queries_total"
 (* The root cut exactly as a fresh Heuristic session would compute it: run
    one EXPAND through Navigation itself and capture what it memoizes, so
    the snapshot stays byte-identical to live behaviour by construction. *)
-let root_cut_of ~k ~params nav =
-  let session = Navigation.start (Navigation.bionav ~k ~params ()) nav in
+let root_cut_of ~k ~model nav =
+  let session = Navigation.start (Navigation.bionav ~k ~model ()) nav in
   let captured = ref [] in
   Navigation.set_plan_source session
     (Some
@@ -19,7 +19,7 @@ let root_cut_of ~k ~params nav =
   ignore (Navigation.expand session (Nav_tree.root nav) : int list);
   !captured
 
-let build ~db ~run ?(k = Heuristic.default_k) ?(params = Probability.default_params) queries =
+let build ~db ~run ?(k = Heuristic.default_k) ?(model = Probability.default_model) queries =
   let seen = Hashtbl.create 16 in
   List.filter_map
     (fun query ->
@@ -29,7 +29,7 @@ let build ~db ~run ?(k = Heuristic.default_k) ?(params = Probability.default_par
         Hashtbl.add seen query ();
         let results = run query in
         let nav = Nav_tree.of_database db results in
-        let root_cut = root_cut_of ~k ~params nav in
+        let root_cut = root_cut_of ~k ~model nav in
         Logs.info (fun m ->
             m "warmer: %S -> %d results, %d nodes, root cut of %d" query
               (Docset.cardinal results) (Nav_tree.size nav) (List.length root_cut));
@@ -37,7 +37,7 @@ let build ~db ~run ?(k = Heuristic.default_k) ?(params = Probability.default_par
       end)
     queries
 
-let apply ~db ~trees ?plans entries =
+let apply ~db ~trees ?plans ?(model = Probability.default_model) entries =
   List.iter
     (fun e ->
       let nav = Nav_tree.of_database db (Docset.of_intset e.Snapshot.results) in
@@ -51,8 +51,8 @@ let apply ~db ~trees ?plans entries =
             Docset.of_sorted_array_unchecked_in (Nav_tree.arena nav)
               (Array.init (Nav_tree.size nav) Fun.id)
           in
-          Plan_cache.store plans ~query:e.query ~root:(Nav_tree.root nav) ~members
-            ~cut:e.root_cut
+          Plan_cache.store plans ~query:e.query ~fingerprint:model.Probability.fingerprint
+            ~root:(Nav_tree.root nav) ~members ~cut:e.root_cut
       | Some _ | None -> ())
     entries;
   List.length entries

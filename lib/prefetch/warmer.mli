@@ -16,11 +16,11 @@ val build :
   db:Bionav_store.Database.t ->
   run:(string -> Bionav_util.Docset.t) ->
   ?k:int ->
-  ?params:Bionav_core.Probability.params ->
+  ?model:Bionav_core.Probability.model ->
   string list ->
   Bionav_store.Snapshot.entry list
 (** [run] executes a query (e.g. an [Eutils.esearch] closure). Queries are
-    normalized and deduplicated; order is preserved. [k]/[params] default
+    normalized and deduplicated; order is preserved. [k]/[model] default
     to the paper's Heuristic settings and must match the strategy the
     serving engine will use, or warmed root cuts will never be asked for
     byte-identically. The root cut is computed by driving one EXPAND
@@ -31,9 +31,13 @@ val apply :
   db:Bionav_store.Database.t ->
   trees:Bionav_core.Nav_cache.t ->
   ?plans:Plan_cache.t ->
+  ?model:Bionav_core.Probability.model ->
   Bionav_store.Snapshot.entry list ->
   int
 (** Seed the caches from snapshot entries; returns how many queries were
-    warmed. Root cuts are skipped when [plans] is absent (prefetch
-    disabled — trees alone are still worth warming). Safe to call on a
+    warmed. Root cuts are stored under [model]'s fingerprint (default the
+    static paper model) — pass the serving engine's model or sessions
+    will never be offered the warmed plans. Root cuts are skipped when
+    [plans] is absent (prefetch disabled — trees alone are still worth
+    warming). Safe to call on a
     warm engine — entries replace. *)

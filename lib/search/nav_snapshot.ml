@@ -17,6 +17,7 @@ type vnode = {
 type t = {
   epoch : int;
   query : string;
+  model_fingerprint : string;
   stats : Navigation.stats;
   distinct_results : int;
   root : int;
@@ -60,6 +61,7 @@ let capture ~epoch ~query navigation =
   {
     epoch;
     query;
+    model_fingerprint = Navigation.model_fingerprint (Navigation.strategy navigation);
     stats = Navigation.stats navigation;
     distinct_results = Nav_tree.distinct_results nav;
     root = Nav_tree.root nav;
@@ -71,6 +73,7 @@ let capture ~epoch ~query navigation =
 
 let epoch t = t.epoch
 let query t = t.query
+let model_fingerprint t = t.model_fingerprint
 let stats t = t.stats
 let distinct_results t = t.distinct_results
 let root t = t.root

@@ -55,6 +55,11 @@ val capture : epoch:int -> query:string -> Bionav_core.Navigation.t -> t
 val epoch : t -> int
 val query : t -> string
 
+val model_fingerprint : t -> string
+(** Fingerprint of the probability model the session's strategy was using
+    at capture — the plan-cache key component that keeps speculation
+    ranked off this snapshot from storing plans under a stale model. *)
+
 val stats : t -> Bionav_core.Navigation.stats
 (** Cost accounting as of the capture. *)
 

@@ -270,6 +270,14 @@ let prefetch_status t =
   in
   Http.ok ~content_type:"text/plain; charset=utf-8" body
 
+let adaptive_status t =
+  let body =
+    match Engine.adaptive t.engine with
+    | None -> "adaptive: disabled (static paper model)\n"
+    | Some ad -> "adaptive: enabled\n" ^ Bionav_adaptive.Adaptive.status_text ad
+  in
+  Http.ok ~content_type:"text/plain; charset=utf-8" body
+
 (* Constant-work liveness probe: no session lookup, no rendering —
    cheap enough that the serve bench can use it to measure pure
    serving-tier overhead, and load balancers can poll it without
@@ -290,5 +298,6 @@ let handle t ~path ~query =
   | "/show" -> show t query
   | "/metrics" -> metrics t
   | "/prefetch" -> prefetch_status t
+  | "/adaptive" -> adaptive_status t
   | "/healthz" -> healthz t
   | _ -> Http.not_found "no such page"

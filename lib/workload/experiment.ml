@@ -1,7 +1,13 @@
 module Simulate = Bionav_core.Simulate
 module Navigation = Bionav_core.Navigation
 module Probability = Bionav_core.Probability
+module Active_tree = Bionav_core.Active_tree
+module Session_log = Bionav_core.Session_log
+module Adaptive = Bionav_adaptive.Adaptive
 module Engine = Bionav_engine.Engine
+module Rng = Bionav_util.Rng
+module Zipf = Bionav_util.Zipf
+module Stats = Bionav_util.Stats
 
 type run = { query : Queries.query; static : Simulate.outcome; bionav : Simulate.outcome }
 
@@ -35,3 +41,141 @@ let average_improvement runs =
   | _ ->
       List.fold_left (fun acc r -> acc +. improvement r) 0. runs
       /. float_of_int (List.length runs)
+
+(* --- learned vs static (the Bionav_adaptive experiment) ----------------- *)
+
+(* A stochastic-user population is a distribution over navigation targets:
+   users draw a goal concept (Zipf over a population-specific pool —
+   biomedical navigation is famously heavy-tailed) and navigate to it.
+   Three deliberately different populations:
+   - focused: most sessions chase a handful of deep, specific concepts
+     (a research group mining its own niche);
+   - shallow: traffic concentrates on a few broad, near-root categories
+     (survey-style browsing);
+   - diffuse: targets spread almost uniformly over the whole tree — the
+     closest real behaviour gets to the paper's static assumptions, so
+     learning has the least to add here. *)
+type population = {
+  pop_name : string;
+  pop_exponent : float;  (* Zipf exponent of the target draw *)
+  pop_depth : [ `Deep | `Shallow | `Any ];  (* hierarchy-depth slice of the pool *)
+}
+
+let populations =
+  [
+    { pop_name = "focused"; pop_exponent = 1.6; pop_depth = `Deep };
+    { pop_name = "shallow"; pop_exponent = 1.3; pop_depth = `Shallow };
+    { pop_name = "diffuse"; pop_exponent = 0.3; pop_depth = `Any };
+  ]
+
+type adaptive_run = {
+  population : string;
+  trained_sessions : int;
+  eval_sessions : int;
+  static_mean_cost : float;
+  learned_mean_cost : float;
+  cost_reduction : float;  (* 1 - learned/static; > 0 when learning wins *)
+}
+
+(* The population's target pool on one query tree, in a population-seeded
+   order (rank 0 of the Zipf draw = that population's favourite concept,
+   which must not correlate with tree preorder). *)
+let target_pool hierarchy (q : Queries.query) pop ~seed =
+  let module Nav_tree = Bionav_core.Nav_tree in
+  let nav = q.Queries.nav in
+  let depth node =
+    Bionav_mesh.Hierarchy.depth hierarchy (Nav_tree.concept_id nav node)
+  in
+  let all = List.init (Nav_tree.size nav - 1) (fun i -> i + 1) in
+  let sliced =
+    let keep =
+      match pop.pop_depth with
+      | `Deep -> fun n -> depth n >= 4
+      | `Shallow -> fun n -> depth n <= 2
+      | `Any -> fun _ -> true
+    in
+    match List.filter keep all with [] -> all | l -> l
+  in
+  let pool = Array.of_list sliced in
+  let rng = Rng.create seed in
+  for i = Array.length pool - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  pool
+
+let draw_target pools zipfs rng qi = (Array.get pools qi).(Zipf.draw (Array.get zipfs qi) rng)
+
+(* Drive one recorded session to [target] exactly as Simulate.to_target
+   would, through the Session_log recorder so the transcript carries v2
+   outcomes (revealed concepts, listing sizes) for Adaptive.learn. *)
+let drill_recorded session ~target =
+  let recorder = Session_log.record session in
+  let active = Navigation.active session in
+  let rec step n =
+    if n <= 1000 && not (Active_tree.is_visible active target) then begin
+      let root = Active_tree.component_root_of active target in
+      if Session_log.expand recorder root <> [] then step (n + 1)
+    end
+  in
+  step 0;
+  if Active_tree.is_visible active target then
+    ignore (Session_log.show_results recorder target : Bionav_util.Docset.t);
+  Session_log.events recorder
+
+let run_population ?k ~train ~eval_walks ~seed ~config (w : Queries.t) pop =
+  let queries = Array.of_list w.Queries.queries in
+  let nq = Array.length queries in
+  let pools =
+    Array.mapi
+      (fun qi q ->
+        target_pool w.Queries.hierarchy q pop
+          ~seed:((seed * 131) + (qi * 17) + Hashtbl.hash pop.pop_name))
+      queries
+  in
+  let zipfs =
+    Array.map
+      (fun pool -> Zipf.create ~exponent:pop.pop_exponent (Array.length pool))
+      pools
+  in
+  let ad = Adaptive.create ~config () in
+  let rng_train = Rng.create ((seed * 2) + 1) in
+  for i = 0 to train - 1 do
+    let qi = i mod nq in
+    let q = queries.(qi) in
+    let target = draw_target pools zipfs rng_train qi in
+    let session = Engine.start (Navigation.bionav ?k ()) q.Queries.nav in
+    Adaptive.learn ad (drill_recorded session ~target)
+  done;
+  let model = Adaptive.model ad in
+  let rng_eval = Rng.create ((seed * 2) + 2) in
+  let static_costs = Array.make eval_walks 0. in
+  let learned_costs = Array.make eval_walks 0. in
+  for i = 0 to eval_walks - 1 do
+    let qi = i mod nq in
+    let q = queries.(qi) in
+    let target = draw_target pools zipfs rng_eval qi in
+    let cost strategy =
+      let o = Simulate.to_target (Engine.start strategy q.Queries.nav) ~target in
+      float_of_int o.Simulate.navigation_cost
+    in
+    static_costs.(i) <- cost (Navigation.bionav ?k ());
+    learned_costs.(i) <- cost (Navigation.bionav ?k ~model ())
+  done;
+  let static_mean_cost = Stats.mean static_costs in
+  let learned_mean_cost = Stats.mean learned_costs in
+  {
+    population = pop.pop_name;
+    trained_sessions = train;
+    eval_sessions = eval_walks;
+    static_mean_cost;
+    learned_mean_cost;
+    cost_reduction =
+      (if static_mean_cost <= 0. then 0. else 1. -. (learned_mean_cost /. static_mean_cost));
+  }
+
+let learned_vs_static ?k ?(train = 120) ?(eval_walks = 120) ?(seed = 42)
+    ?(config = Adaptive.default_config) (w : Queries.t) =
+  List.map (run_population ?k ~train ~eval_walks ~seed ~config w) populations

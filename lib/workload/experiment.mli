@@ -25,3 +25,41 @@ val run_all :
   ?k:int -> ?params:Bionav_core.Probability.params -> Queries.t -> run list
 
 val average_improvement : run list -> float
+
+(* --- learned vs static ------------------------------------------------- *)
+
+type population = {
+  pop_name : string;
+  pop_exponent : float;
+  pop_depth : [ `Deep | `Shallow | `Any ];
+}
+
+val populations : population list
+(** Three stochastic-user populations, distributions over navigation
+    targets: [focused] (Zipf 1.6 over deep concepts), [shallow] (Zipf 1.3
+    over near-root concepts), [diffuse] (near-uniform over the tree). *)
+
+type adaptive_run = {
+  population : string;
+  trained_sessions : int;
+  eval_sessions : int;
+  static_mean_cost : float;
+  learned_mean_cost : float;
+  cost_reduction : float;
+}
+
+val learned_vs_static :
+  ?k:int ->
+  ?train:int ->
+  ?eval_walks:int ->
+  ?seed:int ->
+  ?config:Bionav_adaptive.Adaptive.config ->
+  Queries.t ->
+  adaptive_run list
+(** For each population: record [train] goal-directed sessions (targets
+    drawn from the population, transcripts through
+    {!Bionav_core.Session_log}), learn a model from them
+    ({!Bionav_adaptive.Adaptive.learn}), then compare mean simulated
+    navigation cost over [eval_walks] fresh target draws under the static
+    paper model vs the learned one. [cost_reduction > 0] means learning
+    won; deterministic in [seed]. *)

@@ -1,0 +1,308 @@
+open Bionav_util
+open Bionav_core
+module A = Bionav_adaptive.Adaptive
+module Ev = Bionav_adaptive.Evidence
+module Engine = Bionav_engine.Engine
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+(* A random component tree with hierarchy concept ids attached, so learned
+   evidence has something to join against. *)
+let random_tree seed n =
+  let rng = Rng.create seed in
+  let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+  let next = ref 0 in
+  let results =
+    Array.init n (fun _ ->
+        let k = 1 + Rng.int rng 8 in
+        let l = List.init k (fun j -> !next + j) in
+        next := !next + (k / 2) + 1;
+        Docset.of_list l)
+  in
+  let totals = Array.init n (fun i -> Docset.cardinal results.(i) * (2 + Rng.int rng 30)) in
+  Comp_tree.make ~parent ~results ~totals ~concepts:(Array.init n (fun i -> 100 + i)) ()
+
+let nav () =
+  let parent = [| -1; 0; 1; 1; 0; 4 |] in
+  let h = Bionav_mesh.Hierarchy.of_parents parent in
+  let attachments =
+    List.init 5 (fun i ->
+        let node = i + 1 in
+        (node, Docset.of_list (List.init 15 (fun j -> (node * 20) + j))))
+  in
+  Nav_tree.build ~hierarchy:h ~attachments ~total_count:(fun _ -> 400)
+
+let fixed_clock ms () = ms
+
+(* Identical plans + identical expected costs on one tree. *)
+let equivalent_on_tree m1 m2 t =
+  let c1 = Opt_edgecut.expected_cost ~model:m1 t
+  and c2 = Opt_edgecut.expected_cost ~model:m2 t in
+  let same_cost = Float.abs (c1 -. c2) <= 1e-9 in
+  let same_cut =
+    Comp_tree.size t < 2
+    || (Opt_edgecut.solve ~model:m1 t).Opt_edgecut.cut_children
+       = (Opt_edgecut.solve ~model:m2 t).Opt_edgecut.cut_children
+  in
+  let same_heuristic =
+    Comp_tree.size t < 2
+    || (Heuristic.best_cut ~model:m1 t).Heuristic.cut_children
+       = (Heuristic.best_cut ~model:m2 t).Heuristic.cut_children
+  in
+  same_cost && same_cut && same_heuristic
+
+(* --- zero evidence == static (the qcheck satellite) ---------------------- *)
+
+let qcheck_zero_evidence_is_static =
+  QCheck.Test.make ~name:"zero-evidence learned model behaves exactly like static" ~count:50
+    QCheck.(pair (int_range 2 Opt_edgecut.max_size) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let learned = A.model (A.create ~now_ms:(fixed_clock 0.) ()) in
+      equivalent_on_tree (Probability.static ()) learned (random_tree seed n))
+
+let qcheck_decayed_is_static =
+  QCheck.Test.make ~name:"fully decayed evidence behaves exactly like static" ~count:25
+    QCheck.(pair (int_range 2 Opt_edgecut.max_size) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let now = ref 0. in
+      let ad =
+        A.create
+          ~config:{ A.default_config with A.half_life_ms = Some 10. }
+          ~now_ms:(fun () -> !now)
+          ()
+      in
+      (* Pile on evidence for the tree's concepts, then let it all decay. *)
+      for c = 100 to 100 + n - 1 do
+        A.observe_expand ad ~concept:c;
+        A.observe_show ad ~concept:c;
+        A.observe_ignore ad ~concept:c
+      done;
+      now := 1e6;
+      (* 100k half-lives *)
+      A.refresh ad;
+      Ev.concept_count (A.evidence ad) ~now_ms:!now = 0
+      && equivalent_on_tree (Probability.static ()) (A.model ad) (random_tree seed n))
+
+let test_zero_evidence_simulate_traces () =
+  let ad = A.create ~now_ms:(fixed_clock 0.) () in
+  for target = 0 to 5 do
+    let s1 = Navigation.start (Navigation.bionav ()) (nav ()) in
+    let s2 = Navigation.start (Navigation.bionav ~model:(A.model ad) ()) (nav ()) in
+    let o1 = Simulate.to_target s1 ~target and o2 = Simulate.to_target s2 ~target in
+    Alcotest.(check int)
+      (Printf.sprintf "target %d: expands" target)
+      o1.Simulate.expands o2.Simulate.expands;
+    Alcotest.(check int)
+      (Printf.sprintf "target %d: revealed" target)
+      o1.Simulate.revealed o2.Simulate.revealed;
+    Alcotest.(check int)
+      (Printf.sprintf "target %d: cost" target)
+      o1.Simulate.navigation_cost o2.Simulate.navigation_cost
+  done
+
+let test_evidence_changes_model () =
+  (* The equivalence is not vacuous: real evidence moves probabilities. *)
+  let ad = A.create ~now_ms:(fixed_clock 0.) () in
+  let t = random_tree 7 12 in
+  for _ = 1 to 30 do
+    A.observe_expand ad ~concept:105;
+    A.observe_ignore ad ~concept:108
+  done;
+  A.refresh ad;
+  let norm_static = Probability.default_model.Probability.normalizer t in
+  let norm_learned = (A.model ad).Probability.normalizer t in
+  Alcotest.(check bool) "normalizer moved" true
+    (Float.abs (norm_static -. norm_learned) > 1e-6)
+
+(* --- learn semantics ----------------------------------------------------- *)
+
+let test_learn_engaged_vs_ignored () =
+  let ad = A.create ~now_ms:(fixed_clock 0.) () in
+  A.learn ad
+    [
+      Session_log.Expanded { concept = 1; revealed = [ 2; 3; 4 ] };
+      Session_log.Shown { concept = 2; n_listed = 12 };
+      Session_log.Backtracked;
+      Session_log.Expanded { concept = 3; revealed = [] };
+    ];
+  let counts c = Ev.counts (A.evidence ad) ~now_ms:0. ~concept:c in
+  Alcotest.(check (float 0.)) "1 expanded" 1. (counts 1).Ev.expands;
+  Alcotest.(check (float 0.)) "2 shown" 1. (counts 2).Ev.shows;
+  Alcotest.(check (float 0.)) "2 not ignored (engaged later)" 0. (counts 2).Ev.ignores;
+  Alcotest.(check (float 0.)) "3 not ignored (expanded later)" 0. (counts 3).Ev.ignores;
+  Alcotest.(check (float 0.)) "3 expanded" 1. (counts 3).Ev.expands;
+  Alcotest.(check (float 0.)) "4 ignored" 1. (counts 4).Ev.ignores;
+  Alcotest.(check (float 0.)) "4 never engaged" 0.
+    ((counts 4).Ev.expands +. (counts 4).Ev.shows)
+
+let test_learn_bumps_fingerprint () =
+  let ad = A.create ~now_ms:(fixed_clock 0.) () in
+  let fp0 = (A.model ad).Probability.fingerprint in
+  Alcotest.(check bool) "learned prefix" true
+    (String.length fp0 >= 8 && String.sub fp0 0 8 = "learned/");
+  A.learn ad [ Session_log.Expanded { concept = 1; revealed = [] } ];
+  let fp1 = (A.model ad).Probability.fingerprint in
+  Alcotest.(check bool) "epoch bumped" true (fp0 <> fp1);
+  Alcotest.(check int) "observations counted" 1 (A.observations ad)
+
+let test_observe_refresh_cadence () =
+  let cfg = { A.default_config with A.refresh_every = 4 } in
+  let ad = A.create ~config:cfg ~now_ms:(fixed_clock 0.) () in
+  let fp0 = (A.model ad).Probability.fingerprint in
+  A.observe_expand ad ~concept:1;
+  A.observe_expand ad ~concept:1;
+  A.observe_expand ad ~concept:1;
+  Alcotest.(check string) "below cadence: model untouched" fp0
+    (A.model ad).Probability.fingerprint;
+  A.observe_expand ad ~concept:1;
+  Alcotest.(check bool) "cadence hit: model republished" true
+    (fp0 <> (A.model ad).Probability.fingerprint)
+
+(* --- evidence store ------------------------------------------------------ *)
+
+let test_evidence_decay_and_clear () =
+  let ev = Ev.create ~half_life_ms:100. () in
+  Ev.observe_expand ev ~now_ms:0. ~concept:9;
+  Ev.observe_show ev ~now_ms:0. ~concept:9;
+  Alcotest.(check (float 1e-9)) "fresh" 1. (Ev.counts ev ~now_ms:0. ~concept:9).Ev.expands;
+  Alcotest.(check (float 1e-9)) "one half-life" 0.5
+    (Ev.counts ev ~now_ms:100. ~concept:9).Ev.expands;
+  Alcotest.(check (float 0.)) "fully decayed snaps to zero" 0.
+    (Ev.counts ev ~now_ms:1e7 ~concept:9).Ev.expands;
+  Alcotest.(check int) "decayed concepts drop out" 0 (Ev.concept_count ev ~now_ms:1e7);
+  Alcotest.(check int) "observations are monotone" 2 (Ev.observations ev);
+  Ev.clear ev;
+  Alcotest.(check int) "cleared" 0 (Ev.observations ev)
+
+let test_evidence_rejects_bad_half_life () =
+  List.iter
+    (fun hl ->
+      Alcotest.(check bool) (string_of_float hl) true
+        (try
+           ignore (Ev.create ~half_life_ms:hl ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0.; -5. ]
+
+(* --- engine integration: model identity across a refresh ----------------- *)
+
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module DB = Bionav_store.Database
+module Eu = Bionav_search.Eutils
+
+let world =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:211 () in
+     let deep =
+       List.filter (fun c -> Bionav_mesh.Hierarchy.depth h c >= 3)
+         (List.init (Bionav_mesh.Hierarchy.size h) Fun.id)
+     in
+     let params =
+       {
+         G.small_params with
+         G.n_citations = 500;
+         seeded_groups =
+           [
+             {
+               G.tag = Some "cancer";
+               cluster = [ List.nth deep 0; List.nth deep 7 ];
+               count = 60;
+               topics_per_citation = (1, 2);
+             };
+           ];
+       }
+     in
+     let m = G.generate ~params ~seed:212 h in
+     (DB.of_medline m, Eu.create m))
+
+let engine ?config () =
+  let database, eutils = Lazy.force world in
+  Engine.create ?config ~database ~eutils ()
+
+let must_session = function
+  | Ok (Engine.Session s) -> s
+  | Ok Engine.No_results -> Alcotest.fail "unexpected No_results"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e)
+
+let session_fingerprint s =
+  Navigation.model_fingerprint (Navigation.strategy (Engine.navigation s))
+
+let test_engine_without_adaptive () =
+  let e = engine () in
+  Alcotest.(check bool) "no adaptive store" true (Engine.adaptive e = None);
+  Alcotest.(check bool) "learn refused" false
+    (Engine.learn e [ Session_log.Expanded { concept = 1; revealed = [] } ]);
+  let s = must_session (Engine.search e "cancer") in
+  Alcotest.(check string) "static model" Probability.default_model.Probability.fingerprint
+    (session_fingerprint s)
+
+let test_engine_substitutes_learned_model () =
+  let e = engine ~config:{ Engine.default_config with Engine.adaptive = Some A.default_config } () in
+  let ad = match Engine.adaptive e with Some ad -> ad | None -> Alcotest.fail "no store" in
+  (* Default-model searches get the live learned model... *)
+  let s1 = must_session (Engine.search e "cancer") in
+  Alcotest.(check string) "learned model substituted" (A.model ad).Probability.fingerprint
+    (session_fingerprint s1);
+  (* ...and a model update means later sessions (and their plan-cache keys,
+     which embed this fingerprint) can never alias the old epoch's plans. *)
+  let fp_before = session_fingerprint s1 in
+  Alcotest.(check bool) "learn accepted" true
+    (Engine.learn e [ Session_log.Expanded { concept = 3; revealed = [ 4; 5 ] } ]);
+  let s2 = must_session (Engine.search e "cancer") in
+  Alcotest.(check bool) "new epoch, new cache key" true (fp_before <> session_fingerprint s2);
+  (* An explicitly pinned non-default model is left alone: A/B arms stay pinned. *)
+  let pinned =
+    Navigation.bionav
+      ~params:{ Probability.default_params with Probability.upper_threshold = 51 }
+      ()
+  in
+  let s3 = must_session (Engine.search e ~strategy:pinned "cancer") in
+  Alcotest.(check string) "pinned strategy untouched" (Navigation.model_fingerprint pinned)
+    (session_fingerprint s3)
+
+let test_engine_expand_feeds_evidence () =
+  let e = engine ~config:{ Engine.default_config with Engine.adaptive = Some A.default_config } () in
+  let ad = match Engine.adaptive e with Some ad -> ad | None -> Alcotest.fail "no store" in
+  let s = must_session (Engine.search e "cancer") in
+  let active = Navigation.active (Engine.navigation s) in
+  let root =
+    match List.find_opt (Active_tree.is_expandable active) (Active_tree.visible active) with
+    | Some n -> n
+    | None -> Alcotest.fail "nothing expandable"
+  in
+  ignore (Engine.expand s root : int list);
+  Alcotest.(check bool) "expand observed" true (A.observations ad >= 1);
+  (* Closing the session flushes revealed-but-ignored concepts as evidence. *)
+  let before = A.observations ad in
+  ignore (Engine.close e (Engine.session_id s) : bool);
+  Alcotest.(check bool) "ignores flushed on close" true (A.observations ad > before)
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest qcheck_zero_evidence_is_static;
+          QCheck_alcotest.to_alcotest qcheck_decayed_is_static;
+          Alcotest.test_case "simulate traces" `Quick test_zero_evidence_simulate_traces;
+          Alcotest.test_case "evidence moves the model" `Quick test_evidence_changes_model;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "engaged vs ignored" `Quick test_learn_engaged_vs_ignored;
+          Alcotest.test_case "fingerprint bumps" `Quick test_learn_bumps_fingerprint;
+          Alcotest.test_case "refresh cadence" `Quick test_observe_refresh_cadence;
+        ] );
+      ( "evidence",
+        [
+          Alcotest.test_case "decay and clear" `Quick test_evidence_decay_and_clear;
+          Alcotest.test_case "bad half-life" `Quick test_evidence_rejects_bad_half_life;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_engine_without_adaptive;
+          Alcotest.test_case "model substitution" `Quick test_engine_substitutes_learned_model;
+          Alcotest.test_case "expand feeds evidence" `Quick test_engine_expand_feeds_evidence;
+        ] );
+    ]

@@ -60,7 +60,7 @@ let test_heuristic_expand_valid () =
 
 let test_optimal_strategy_small_tree () =
   let s =
-    Navigation.start (Navigation.Optimal { params = Probability.default_params }) (nav ())
+    Navigation.start (Navigation.optimal ()) (nav ())
   in
   let revealed = Navigation.expand s 0 in
   Alcotest.(check bool) "reveals" true (revealed <> []);
@@ -114,9 +114,12 @@ let test_static_paged_large_page_equals_static () =
 
 let test_bionav_constructor_defaults () =
   match Navigation.bionav () with
-  | Navigation.Heuristic { k; params; reuse } ->
+  | Navigation.Heuristic { k; model; reuse } ->
       Alcotest.(check int) "k" Heuristic.default_k k;
-      Alcotest.(check int) "thresholds" 50 params.Probability.upper_threshold;
+      Alcotest.(check int) "thresholds" 50
+        model.Probability.params.Probability.upper_threshold;
+      Alcotest.(check string) "static fingerprint" Probability.default_model.Probability.fingerprint
+        model.Probability.fingerprint;
       Alcotest.(check bool) "reuse off by default" false reuse
   | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ ->
       Alcotest.fail "wrong strategy"

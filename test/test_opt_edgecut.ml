@@ -164,7 +164,10 @@ let test_expand_cost_monotone () =
   in
   let cost_at e =
     Opt_edgecut.expected_cost
-      ~params:{ Probability.default_params with Probability.expand_cost = e }
+      ~model:
+        (Probability.static
+           ~params:{ Probability.default_params with Probability.expand_cost = e }
+           ())
       t
   in
   Alcotest.(check bool) "monotone in expand cost" true (cost_at 1.0 <= cost_at 16.0)

@@ -12,6 +12,8 @@ module Plan_cache = Bionav_prefetch.Plan_cache
 module Speculator = Bionav_prefetch.Speculator
 module Prefetch = Bionav_prefetch.Prefetch
 
+let fp = Probability.default_model.Probability.fingerprint
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
@@ -94,47 +96,61 @@ let drain_engine session =
 let test_plan_cache_roundtrip () =
   let c = Plan_cache.create () in
   Alcotest.(check (option (list int))) "cold miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
-  Plan_cache.store c ~query:"  Cancer " ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]) ~cut:[ 1; 2 ];
+    (Plan_cache.find c ~fingerprint:fp ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
+  Plan_cache.store c ~fingerprint:fp ~query:"  Cancer " ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]) ~cut:[ 1; 2 ];
   Alcotest.(check (option (list int))) "hit under normalized variant" (Some [ 1; 2 ])
-    (Plan_cache.find c ~query:"CANCER" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
+    (Plan_cache.find c ~fingerprint:fp ~query:"CANCER" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check (option (list int))) "different members miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 3 ]));
+    (Plan_cache.find c ~fingerprint:fp ~query:"cancer" ~root:0 ~members:(Docset.of_list [ 0; 1; 3 ]));
   Alcotest.(check (option (list int))) "different root miss" None
-    (Plan_cache.find c ~query:"cancer" ~root:1 ~members:(Docset.of_list [ 0; 1; 2 ]));
+    (Plan_cache.find c ~fingerprint:fp ~query:"cancer" ~root:1 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check (option (list int))) "different query miss" None
-    (Plan_cache.find c ~query:"histones" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
+    (Plan_cache.find c ~fingerprint:fp ~query:"histones" ~root:0 ~members:(Docset.of_list [ 0; 1; 2 ]));
   Alcotest.(check int) "one entry" 1 (Plan_cache.length c);
   Alcotest.(check int) "hits" 1 (Plan_cache.hits c);
   Alcotest.(check int) "misses" 4 (Plan_cache.misses c)
 
 let test_plan_cache_empty_cut_ignored () =
   let c = Plan_cache.create () in
-  Plan_cache.store c ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]) ~cut:[];
+  Plan_cache.store c ~fingerprint:fp ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]) ~cut:[];
   Alcotest.(check int) "nothing stored" 0 (Plan_cache.length c);
   Alcotest.(check (option (list int))) "still a miss" None
-    (Plan_cache.find c ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]))
+    (Plan_cache.find c ~fingerprint:fp ~query:"q" ~root:3 ~members:(Docset.of_list [ 3; 4 ]))
 
 let test_plan_cache_mem_is_pure () =
   let c = Plan_cache.create () in
-  Plan_cache.store c ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
-  Alcotest.(check bool) "mem hit" true (Plan_cache.mem c ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
-  Alcotest.(check bool) "mem miss" false (Plan_cache.mem c ~query:"q" ~root:9 ~members:(Docset.of_list [ 9 ]));
+  Plan_cache.store c ~fingerprint:fp ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
+  Alcotest.(check bool) "mem hit" true (Plan_cache.mem c ~fingerprint:fp ~query:"q" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
+  Alcotest.(check bool) "mem miss" false (Plan_cache.mem c ~fingerprint:fp ~query:"q" ~root:9 ~members:(Docset.of_list [ 9 ]));
   Alcotest.(check int) "no hits recorded" 0 (Plan_cache.hits c);
   Alcotest.(check int) "no misses recorded" 0 (Plan_cache.misses c)
 
 let test_plan_cache_capacity_and_clear () =
   let c = Plan_cache.create ~capacity:1 () in
-  Plan_cache.store c ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
-  Plan_cache.store c ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
+  Plan_cache.store c ~fingerprint:fp ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
+  Plan_cache.store c ~fingerprint:fp ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]) ~cut:[ 1 ];
   Alcotest.(check int) "LRU bound holds" 1 (Plan_cache.length c);
   Alcotest.(check bool) "older evicted" false
-    (Plan_cache.mem c ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
-  ignore (Plan_cache.find c ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
+    (Plan_cache.mem c ~fingerprint:fp ~query:"a" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
+  ignore (Plan_cache.find c ~fingerprint:fp ~query:"b" ~root:0 ~members:(Docset.of_list [ 0; 1 ]));
   Plan_cache.clear c;
   Alcotest.(check int) "emptied" 0 (Plan_cache.length c);
   Alcotest.(check int) "hits zeroed" 0 (Plan_cache.hits c);
   Alcotest.(check int) "misses zeroed" 0 (Plan_cache.misses c)
+
+let test_plan_cache_fingerprint_keying () =
+  (* The stale-plan guarantee: a plan stored under one model fingerprint
+     is invisible under any other, so a model refresh (new fingerprint)
+     can never serve a cut computed under superseded probabilities. *)
+  let c = Plan_cache.create () in
+  let members = Docset.of_list [ 0; 1; 2 ] in
+  Plan_cache.store c ~fingerprint:fp ~query:"cancer" ~root:0 ~members ~cut:[ 1; 2 ];
+  Alcotest.(check (option (list int))) "same fingerprint hits" (Some [ 1; 2 ])
+    (Plan_cache.find c ~fingerprint:fp ~query:"cancer" ~root:0 ~members);
+  Alcotest.(check (option (list int))) "other fingerprint misses" None
+    (Plan_cache.find c ~fingerprint:"learned/50/10/16/10/e1" ~query:"cancer" ~root:0 ~members);
+  Alcotest.(check bool) "mem agrees" false
+    (Plan_cache.mem c ~fingerprint:"learned/50/10/16/10/e1" ~query:"cancer" ~root:0 ~members)
 
 (* --- served plans are byte-identical ----------------------------------- *)
 
@@ -144,7 +160,7 @@ let test_cached_replay_is_byte_identical () =
   let trace_ref = drain reference in
   Alcotest.(check bool) "fixture is navigable" true (List.length trace_ref > 1);
   let cache = Plan_cache.create () in
-  let source () = Some (Plan_cache.plan_source cache ~query:"cancer") in
+  let source () = Some (Plan_cache.plan_source cache ~query:"cancer" ~fingerprint:fp) in
   let warming = Navigation.start (Navigation.bionav ()) nav in
   Navigation.set_plan_source warming (source ());
   let trace_warm = drain warming in
@@ -179,7 +195,7 @@ let root_reveal () =
 
 let observe spec ~active ~revealed =
   Speculator.observe spec ~query:"cancer" ~active ~k:Heuristic.default_k
-    ~params:Probability.default_params ~revealed
+    ~model:Probability.default_model ~revealed
 
 let test_speculator_budget_ticks () =
   let active, revealed = root_reveal () in
@@ -210,7 +226,7 @@ let test_speculator_is_deterministic () =
       List.filter_map
         (fun n ->
           let members = Active_tree.component_set active n in
-          Option.map (fun cut -> (n, cut)) (Plan_cache.find cache ~query:"cancer" ~root:n ~members))
+          Option.map (fun cut -> (n, cut)) (Plan_cache.find cache ~fingerprint:fp ~query:"cancer" ~root:n ~members))
         revealed
     in
     (Speculator.executed spec, plans)
@@ -232,12 +248,12 @@ let test_speculated_plan_matches_foreground () =
   let target =
     List.find
       (fun n ->
-        Plan_cache.mem cache ~query:"cancer" ~root:n ~members:(Active_tree.component_set active1 n))
+        Plan_cache.mem cache ~fingerprint:fp ~query:"cancer" ~root:n ~members:(Active_tree.component_set active1 n))
       revealed
   in
   (* Replay: the speculated plan serves the follow-up EXPAND... *)
   let s2 = Navigation.start (Navigation.bionav ()) nav in
-  Navigation.set_plan_source s2 (Some (Plan_cache.plan_source cache ~query:"cancer"));
+  Navigation.set_plan_source s2 (Some (Plan_cache.plan_source cache ~query:"cancer" ~fingerprint:fp));
   Alcotest.(check (list int)) "same root reveal" revealed (Navigation.expand s2 (Nav_tree.root nav));
   let hits_before = Plan_cache.hits cache in
   let served = Navigation.expand s2 target in
@@ -449,6 +465,7 @@ let () =
           Alcotest.test_case "empty cut ignored" `Quick test_plan_cache_empty_cut_ignored;
           Alcotest.test_case "mem is pure" `Quick test_plan_cache_mem_is_pure;
           Alcotest.test_case "capacity + clear" `Quick test_plan_cache_capacity_and_clear;
+          Alcotest.test_case "fingerprint keying" `Quick test_plan_cache_fingerprint_keying;
           Alcotest.test_case "cached replay byte-identical" `Quick
             test_cached_replay_is_byte_identical;
         ] );

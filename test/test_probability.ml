@@ -96,6 +96,66 @@ let test_expand_clamped_high_duplicates () =
   let px = Probability.expand params t ~members:[ 0; 1; 2 ] ~distinct:20 in
   Alcotest.(check bool) "within [0,1]" true (px >= 0. && px <= 1.)
 
+(* --- params validation / model identity --------------------------------- *)
+
+let raises_invalid name f =
+  Alcotest.(check bool) name true (try f () ; false with Invalid_argument _ -> true)
+
+let test_validate_params () =
+  Probability.validate_params params;
+  Probability.validate_params { params with Probability.lower_threshold = 0 };
+  raises_invalid "negative lower" (fun () ->
+      Probability.validate_params { params with Probability.lower_threshold = -1 });
+  raises_invalid "upper below lower" (fun () ->
+      Probability.validate_params
+        { params with Probability.upper_threshold = 5; Probability.lower_threshold = 6 });
+  raises_invalid "zero expand cost" (fun () ->
+      Probability.validate_params { params with Probability.expand_cost = 0. });
+  raises_invalid "negative expand cost" (fun () ->
+      Probability.validate_params { params with Probability.expand_cost = -3. });
+  raises_invalid "fanout below 2" (fun () ->
+      Probability.validate_params { params with Probability.future_fanout = 1 })
+
+let test_invalid_params_rejected_everywhere () =
+  let bad = { params with Probability.expand_cost = -1. } in
+  raises_invalid "static" (fun () -> ignore (Probability.static ~params:bad ()));
+  raises_invalid "model_of" (fun () -> ignore (Probability.model_of ~params:bad ()));
+  raises_invalid "make_model" (fun () ->
+      ignore
+        (Probability.make_model ~params:bad ~fingerprint:"x"
+           ~normalizer:Probability.normalizer
+           ~explore:(fun ~norm t m -> Probability.explore ~norm t m)
+           ~expand:(Probability.expand bad)))
+
+let test_fingerprint_stability () =
+  Alcotest.(check string)
+    "same params, same fingerprint"
+    (Probability.params_fingerprint params)
+    (Probability.params_fingerprint { params with Probability.upper_threshold = 50 });
+  Alcotest.(check bool)
+    "distinct params, distinct fingerprints" false
+    (Probability.params_fingerprint params
+    = Probability.params_fingerprint { params with Probability.upper_threshold = 51 });
+  Alcotest.(check string)
+    "model carries static fingerprint"
+    (Printf.sprintf "static/%s" (Probability.params_fingerprint params))
+    (Probability.static ()).Probability.fingerprint
+
+let test_model_of_precedence () =
+  let custom = { params with Probability.upper_threshold = 51 } in
+  let m = Probability.static ~params:custom () in
+  Alcotest.(check string)
+    "explicit model wins" m.Probability.fingerprint
+    (Probability.model_of ~model:m ()).Probability.fingerprint;
+  Alcotest.(check string)
+    "params fall back to a static model"
+    (Probability.static ~params:custom ()).Probability.fingerprint
+    (Probability.model_of ~params:custom ()).Probability.fingerprint;
+  Alcotest.(check string)
+    "default is the shared default model"
+    Probability.default_model.Probability.fingerprint
+    (Probability.model_of ()).Probability.fingerprint
+
 let () =
   Alcotest.run "probability"
     [
@@ -121,4 +181,11 @@ let () =
         ] );
       ( "future",
         [ Alcotest.test_case "drilldown surrogate" `Quick test_future_drilldown ] );
+      ( "model",
+        [
+          Alcotest.test_case "validate_params" `Quick test_validate_params;
+          Alcotest.test_case "constructors validate" `Quick test_invalid_params_rejected_everywhere;
+          Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+          Alcotest.test_case "model_of precedence" `Quick test_model_of_precedence;
+        ] );
     ]

@@ -84,6 +84,97 @@ let test_save_load () =
       SL.save t path;
       Alcotest.(check bool) "roundtrip" true (SL.load path = t))
 
+(* --- transcript v2 ------------------------------------------------------- *)
+
+let sample_events =
+  [
+    SL.Expanded { concept = 0; revealed = [ 1; 4 ] };
+    SL.Expanded { concept = 1; revealed = [] };
+    SL.Shown { concept = 4; n_listed = 15 };
+    SL.Backtracked;
+  ]
+
+let test_v2_roundtrip () =
+  let text = SL.events_to_string sample_events in
+  Alcotest.(check bool) "v2 header" true
+    (String.length text > 30 && String.sub text 0 30 = "# bionav session transcript v2");
+  Alcotest.(check bool) "events roundtrip" true (SL.events_of_string text = sample_events);
+  (* The action view of a v2 transcript drops outcomes but keeps order. *)
+  Alcotest.(check bool) "action view" true
+    (SL.of_string text = [ SL.Expand 0; SL.Expand 1; SL.Show_results 4; SL.Backtrack ])
+
+let test_v1_still_parses () =
+  (* Headerless and v1-headered files are the original wire format. *)
+  let expected = [ SL.Expand 3; SL.Show_results 7; SL.Backtrack ] in
+  List.iter
+    (fun text -> Alcotest.(check bool) text true (SL.of_string text = expected))
+    [
+      "expand 3\nshow 7\nbacktrack\n";
+      "# bionav session transcript v1\nexpand 3\nshow 7\nbacktrack\n";
+    ];
+  (* v1 events surface empty outcomes rather than failing. *)
+  Alcotest.(check bool) "v1 events" true
+    (SL.events_of_string "expand 3\n" = [ SL.Expanded { concept = 3; revealed = [] } ])
+
+let test_unknown_version_names_supported () =
+  match SL.events_of_string "# bionav session transcript v9\nexpand 1 0\n" with
+  | _ -> Alcotest.fail "v9 accepted"
+  | exception Invalid_argument msg ->
+      let has needle =
+        let n = String.length needle in
+        let rec go i = i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names supported versions" true (has "v1" && has "v2");
+      Alcotest.(check bool) "says unsupported" true (has "unsupported")
+
+let test_v2_corruption_rejected () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) text true
+        (try
+           ignore (SL.events_of_string text);
+           false
+         with Invalid_argument _ -> true))
+    [
+      (* truncated reveal list: declares 3, carries 2 *)
+      "# bionav session transcript v2\nexpand 0 3 1 4\n";
+      (* overlong reveal list *)
+      "# bionav session transcript v2\nexpand 0 1 1 4\n";
+      (* bad ids *)
+      "# bionav session transcript v2\nexpand x 0\n";
+      "# bionav session transcript v2\nshow 4 many\n";
+      (* v2 show without its outcome field is a v1 line in a v2 file *)
+      "# bionav session transcript v2\nshow 4\n";
+      (* conflicting headers: two transcripts concatenated *)
+      "# bionav session transcript v1\nexpand 3\n# bionav session transcript v2\nexpand 0 0\n";
+      "# bionav session transcript v2\nexpand 0 0\n# bionav session transcript v1\nexpand 3\n";
+    ]
+
+let test_recorder_events_carry_outcomes () =
+  let session = Navigation.start Navigation.Static (nav ()) in
+  let r = SL.record session in
+  let revealed = SL.expand r 0 in
+  let results = SL.show_results r (List.hd revealed) in
+  match SL.events r with
+  | [ SL.Expanded { concept = 0; revealed = rv }; SL.Shown { n_listed; _ } ] ->
+      Alcotest.(check int) "reveal arity" (List.length revealed) (List.length rv);
+      Alcotest.(check bool) "real concepts" true (List.for_all (fun c -> c >= 0) rv);
+      Alcotest.(check int) "listed citations" (Docset.cardinal results) n_listed;
+      Alcotest.(check bool) "nonempty listing" true (n_listed > 0)
+  | _ -> Alcotest.fail "unexpected event shape"
+
+let test_save_load_events () =
+  let path = Filename.temp_file "bionav_session" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      SL.save_events sample_events path;
+      Alcotest.(check bool) "roundtrip" true (SL.load_events path = sample_events);
+      (* The v1 action loader reads v2 files too. *)
+      Alcotest.(check bool) "action view" true
+        (SL.load path = List.map SL.action_of_event sample_events))
+
 let () =
   Alcotest.run "session_log"
     [
@@ -97,5 +188,14 @@ let () =
           Alcotest.test_case "replay skips" `Quick test_replay_skips_inapplicable;
           Alcotest.test_case "across strategies" `Quick test_replay_across_strategies;
           Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      ( "v2",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_v2_roundtrip;
+          Alcotest.test_case "v1 still parses" `Quick test_v1_still_parses;
+          Alcotest.test_case "unknown version" `Quick test_unknown_version_names_supported;
+          Alcotest.test_case "corruption rejected" `Quick test_v2_corruption_rejected;
+          Alcotest.test_case "recorder outcomes" `Quick test_recorder_events_carry_outcomes;
+          Alcotest.test_case "save/load events" `Quick test_save_load_events;
         ] );
     ]
