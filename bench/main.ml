@@ -2422,6 +2422,134 @@ let adaptive_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Navigation spaces: derivation latency + plan cache under churn      *)
+(* ------------------------------------------------------------------ *)
+
+(* Refinement churn: repeat sessions of every workload query EXPAND the
+   root, refine into the first revealed component, drill one EXPAND in the
+   derived space, facet it, and unrefine back out — the access pattern the
+   frame stack adds on top of plain TOPDOWN. Round 1 derives every space
+   cold; later rounds revisit identical space ids, so their cuts must come
+   out of the plan cache (the hit rate is gated). The per-dimension
+   derivation histograms time the derive step itself, and the workload's
+   refinement-vs-TOPDOWN simulation supplies the cost comparison. *)
+let navspace_bench () =
+  say "%s" (Table.section "Navigation spaces: derivation, refinement churn, facet cost");
+  say "";
+  let w = Q.build ~config:Q.small_config ~seed:workload_seed () in
+  let queries = Array.of_list w.Q.queries in
+  Metrics.reset ();
+  let rounds = if !smoke_mode then 3 else 8 in
+  let engine =
+    Engine.create
+      ~config:
+        { Engine.default_config with
+          Engine.prefetch = Some Bionav_prefetch.Prefetch.default_config }
+      ~database:w.Q.database ~eutils:w.Q.eutils ()
+  in
+  let sessions = ref 0 and refines = ref 0 and facets = ref 0 in
+  for _ = 1 to rounds do
+    Array.iter
+      (fun (q : Q.query) ->
+        match Engine.search engine q.Q.keyword with
+        | Ok (Engine.Session s) ->
+            incr sessions;
+            (match Engine.expand s (Nav_tree.root (Engine.session_nav s)) with
+            | [] -> ()
+            | node :: _ -> (
+                match Engine.refine s node with
+                | (_ : int) ->
+                    incr refines;
+                    ignore
+                      (Engine.expand s (Nav_tree.root (Engine.session_nav s)) : int list);
+                    (match Engine.facet s with
+                    | (_ : int) ->
+                        incr facets;
+                        ignore (Engine.unrefine s : bool)
+                    | exception Invalid_argument _ -> ());
+                    ignore (Engine.unrefine s : bool)
+                | exception Invalid_argument _ -> ()));
+            ignore (Engine.close engine (Engine.session_id s) : bool)
+        | Ok Engine.No_results | Error _ -> ())
+      queries
+  done;
+  let dhist = Metrics.histogram "bionav_space_derivation_ms_descriptor" in
+  let qhist = Metrics.histogram "bionav_space_derivation_ms_qualifier" in
+  let hit_rate = Engine.plan_cache_hit_rate engine in
+  print_string
+    (Table.render
+       ~header:[ "dimension"; "derivations"; "p50"; "p95" ]
+       [ Table.Left; Right; Right; Right ]
+       [
+         [ "descriptor"; string_of_int (Metrics.count dhist);
+           Printf.sprintf "%.3f ms" (Metrics.percentile dhist 50.);
+           Printf.sprintf "%.3f ms" (Metrics.percentile dhist 95.) ];
+         [ "qualifier"; string_of_int (Metrics.count qhist);
+           Printf.sprintf "%.3f ms" (Metrics.percentile qhist 50.);
+           Printf.sprintf "%.3f ms" (Metrics.percentile qhist 95.) ];
+       ]);
+  say "";
+  say "  %d sessions over %d rounds: %d refinements, %d facet cuts;" !sessions rounds
+    !refines !facets;
+  say "  plan-cache hit rate under refinement churn: %.0f%%" (100. *. hit_rate);
+  say "";
+  let space_runs = E.refinement_vs_topdown w in
+  print_string (R.space_table space_runs);
+  say "";
+  let mean f =
+    match space_runs with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun acc r -> acc +. float_of_int (f r)) 0. space_runs
+        /. float_of_int (List.length space_runs)
+  in
+  let td_mean = mean (fun (r : E.space_run) -> r.E.topdown_cost) in
+  let refine_mean = mean (fun (r : E.space_run) -> r.E.refine_cost) in
+  let facet_mean = mean (fun (r : E.space_run) -> r.E.facet_cost) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"smoke\": %b,\n\
+      \  \"rounds\": %d,\n\
+      \  \"sessions\": %d,\n\
+      \  \"refinements\": %d,\n\
+      \  \"facet_cuts\": %d,\n\
+      \  \"derivation\": {\n\
+      \    \"descriptor\": { \"count\": %d, \"p50_ms\": %.4f, \"p95_ms\": %.4f },\n\
+      \    \"qualifier\": { \"count\": %d, \"p50_ms\": %.4f, \"p95_ms\": %.4f }\n\
+      \  },\n\
+      \  \"plan_cache_hit_rate\": %.4f,\n\
+      \  \"cost\": { \"topdown_mean\": %.2f, \"refine_mean\": %.2f, \"facet_mean\": %.2f },\n\
+      \  \"per_query\": [%s]\n\
+       }\n"
+      !smoke_mode rounds !sessions !refines !facets (Metrics.count dhist)
+      (Metrics.percentile dhist 50.) (Metrics.percentile dhist 95.)
+      (Metrics.count qhist) (Metrics.percentile qhist 50.) (Metrics.percentile qhist 95.)
+      hit_rate td_mean refine_mean facet_mean
+      (String.concat ", "
+         (List.map
+            (fun (r : E.space_run) ->
+              Printf.sprintf
+                "{ \"query\": \"%s\", \"topdown\": %d, \"refine\": %d, \"facet\": %d }"
+                r.E.space_query.Q.spec.Q.name r.E.topdown_cost r.E.refine_cost
+                r.E.facet_cost)
+            space_runs))
+  in
+  let path = "BENCH_navspace.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  say "  wrote %s" path;
+  say "";
+  if !refines = 0 then begin
+    say "  *** FAIL: the churn loop performed no refinements ***";
+    exit 1
+  end;
+  if hit_rate < 0.5 then begin
+    say "  *** FAIL: plan-cache hit rate %.0f%% below the 50%% floor ***" (100. *. hit_rate);
+    exit 1
+  end
+
 let targets =
   [
     ("table1", table1);
@@ -2451,6 +2579,7 @@ let targets =
     ("coldexpand", coldexpand_bench);
     ("serve", serve_bench);
     ("adaptive", adaptive_bench);
+    ("navspace", navspace_bench);
     ("csv", csv);
   ]
 
@@ -2464,7 +2593,7 @@ let default_targets =
       not
         (List.mem n
            [ "csv"; "prefetch"; "chaos"; "docset"; "parallel"; "contention"; "ingest";
-             "coldexpand"; "serve"; "adaptive" ]))
+             "coldexpand"; "serve"; "adaptive"; "navspace" ]))
     targets
 
 let () =

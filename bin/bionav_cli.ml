@@ -149,13 +149,13 @@ let search_cmd =
 let strategy_arg =
   let doc =
     "Navigation strategy: $(b,bionav), $(b,static), $(b,paged) (static with a 10-entry \
-     'more' button) or $(b,optimal)."
+     'more' button), $(b,optimal), or $(b,faceted) (start in the qualifier-facet space)."
   in
   Arg.(value
        & opt
            (enum
               [ ("bionav", `Bionav); ("static", `Static); ("paged", `Paged);
-                ("optimal", `Optimal) ])
+                ("optimal", `Optimal); ("faceted", `Faceted) ])
            `Bionav
        & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
 
@@ -164,6 +164,7 @@ let strategy_of = function
   | `Static -> Navigation.Static
   | `Paged -> Navigation.Static_paged { page_size = 10 }
   | `Optimal -> Navigation.optimal ()
+  | `Faceted -> Navigation.faceted ()
 
 let render_numbered active nav =
   let visible = Active_tree.visible active in
@@ -180,18 +181,34 @@ let render_numbered active nav =
     visible;
   visible
 
-let interactive_loop ?record session nav eutils =
-  let recorder = Session_log.record session in
-  let active = Navigation.active session in
+(* The loop drives the engine session, not a bare [Navigation.t]: refine,
+   unrefine and facet swap the live navigation space under us, so every
+   iteration re-reads the top frame's tree. Events are accumulated by hand
+   (a [Session_log.record]er is bound to one space). *)
+let interactive_loop ?record s eutils =
+  let rev_events = ref [] in
+  let log e = rev_events := e :: !rev_events in
   let help () =
     print_string
-      "commands: x <i> = EXPAND node i | s <i> = SHOWRESULTS | b = BACKTRACK | q = quit\n"
+      "commands: x <i> = EXPAND node i | s <i> = SHOWRESULTS | b = BACKTRACK\n\
+      \          r <i> = REFINE to node i's subtree | u = undo refine\n\
+      \          f = qualifier facets of the current space | q = quit\n"
   in
   help ();
   let quit = ref false in
   while not !quit do
     print_string "\n";
+    let nav = Engine.session_nav s in
+    let active = Navigation.active (Engine.navigation s) in
+    Printf.printf "space: %s (depth %d, %d results)\n" (Engine.space_id s)
+      (Engine.refine_depth s)
+      (Nav_tree.distinct_results nav);
     let visible = render_numbered active nav in
+    let with_node i f =
+      match int_of_string_opt i with
+      | Some i when i >= 0 && i < List.length visible -> f (List.nth visible i)
+      | Some _ | None -> print_string "no such node\n"
+    in
     print_string "> ";
     match In_channel.input_line stdin with
     | None -> quit := true
@@ -199,26 +216,51 @@ let interactive_loop ?record session nav eutils =
         match String.split_on_char ' ' (String.trim line) with
         | [ "q" ] -> quit := true
         | [ "b" ] ->
-            if not (Session_log.backtrack recorder) then print_string "nothing to undo\n"
-        | [ "x"; i ] -> (
-            match int_of_string_opt i with
-            | Some i when i >= 0 && i < List.length visible ->
-                let node = List.nth visible i in
-                let revealed = Session_log.expand recorder node in
-                Printf.printf "revealed %d concept(s)\n" (List.length revealed)
-            | Some _ | None -> print_string "no such node\n")
-        | [ "s"; i ] -> (
-            match int_of_string_opt i with
-            | Some i when i >= 0 && i < List.length visible ->
-                let node = List.nth visible i in
-                let citations = Session_log.show_results recorder node in
+            if Engine.backtrack s then log Session_log.Backtracked
+            else print_string "nothing to undo\n"
+        | [ "u" ] ->
+            if Engine.unrefine s then begin
+              log Session_log.Unrefined;
+              Printf.printf "back to space %s\n" (Engine.space_id s)
+            end
+            else print_string "no refinement to undo\n"
+        | [ "f" ] -> (
+            match Engine.facet s with
+            | pages ->
+                log Session_log.Faceted;
+                Printf.printf "faceted into %d qualifier page(s)\n" pages
+            | exception Invalid_argument msg -> Printf.printf "error: %s\n" msg)
+        | [ "x"; i ] ->
+            with_node i (fun node ->
+                let revealed = Engine.expand s node in
+                if revealed <> [] then
+                  log
+                    (Session_log.Expanded
+                       { concept = Nav_tree.concept_id nav node;
+                         revealed = List.map (Nav_tree.concept_id nav) revealed });
+                Printf.printf "revealed %d concept(s)\n" (List.length revealed))
+        | [ "r"; i ] ->
+            with_node i (fun node ->
+                let concept = Nav_tree.concept_id nav node in
+                match Engine.refine s node with
+                | n ->
+                    log (Session_log.Refined { concept });
+                    Printf.printf "refined to %d result(s) in space %s\n" n
+                      (Engine.space_id s)
+                | exception Invalid_argument msg -> Printf.printf "error: %s\n" msg)
+        | [ "s"; i ] ->
+            with_node i (fun node ->
+                let citations = Engine.show_results s node in
+                log
+                  (Session_log.Shown
+                     { concept = Nav_tree.concept_id nav node;
+                       n_listed = Docset.cardinal citations });
                 Printf.printf "%d citations:\n" (Docset.cardinal citations);
                 List.iteri
                   (fun j id ->
                     if j < 10 then
                       Printf.printf "  %s\n" (List.hd (Eutils.esummary eutils [ id ])))
-                  (Docset.elements citations)
-            | Some _ | None -> print_string "no such node\n")
+                  (Docset.elements citations))
         | _ -> help ())
   done;
   (match record with
@@ -226,12 +268,12 @@ let interactive_loop ?record session nav eutils =
   | Some path ->
       (* v2: per-action outcomes, the format [bionav learn] feeds on.
          [--replay] reads either version. *)
-      Session_log.save_events (Session_log.events recorder) path;
+      Session_log.save_events (List.rev !rev_events) path;
       Printf.printf "transcript written to %s\n" path);
-  let stats = Navigation.stats session in
-  Printf.printf "session cost: %d (EXPANDs %d, concepts %d, citations %d)\n"
-    (Navigation.total_cost stats) stats.Navigation.expands stats.Navigation.revealed
-    stats.Navigation.results_listed
+  let stats = Navigation.stats (Engine.navigation s) in
+  Printf.printf "session cost in space %s: %d (EXPANDs %d, concepts %d, citations %d)\n"
+    (Engine.space_id s) (Navigation.total_cost stats) stats.Navigation.expands
+    stats.Navigation.revealed stats.Navigation.results_listed
 
 let navigate_cmd =
   let query_arg =
@@ -286,14 +328,15 @@ let navigate_cmd =
           (Nav_tree.size nav - 1);
         (match auto with
         | None ->
-            let session = Engine.navigation s in
             (match replay with
             | None -> ()
             | Some path ->
-                let outcome = Session_log.replay session (Session_log.load path) in
+                let outcome =
+                  Session_log.replay (Engine.navigation s) (Session_log.load path)
+                in
                 Printf.printf "replayed %s: %d applied, %d skipped\n" path
                   outcome.Session_log.applied outcome.Session_log.skipped);
-            interactive_loop ?record session nav w.Q.eutils
+            interactive_loop ?record s w.Q.eutils
         | Some label -> (
             match H.find_by_label w.Q.hierarchy label with
             | None ->
@@ -337,9 +380,13 @@ let experiment_cmd =
     print_string (R.fig9 runs);
     print_string (R.fig10 runs);
     print_string (R.fig11 (List.hd runs));
+    print_string (R.space_table (E.refinement_vs_topdown w));
     dump_metrics metrics
   in
-  let doc = "Run the full evaluation (Table I, Figs. 8-11) on the seeded workload." in
+  let doc =
+    "Run the full evaluation (Table I, Figs. 8-11, navigation spaces) on the seeded \
+     workload."
+  in
   Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ scale_arg $ seed_arg $ metrics_arg)
 
 (* --- serve --------------------------------------------------------------- *)

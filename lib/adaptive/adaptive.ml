@@ -186,7 +186,13 @@ let learn t events =
       | Session_log.Shown { concept; _ } ->
           engage concept;
           Evidence.observe_show t.evidence ~now_ms ~concept
-      | Session_log.Backtracked -> ())
+      | Session_log.Backtracked -> ()
+      | Session_log.Refined { concept } ->
+          (* Narrowing the whole session to a concept's subtree is the
+             strongest engagement signal a session can emit. *)
+          engage concept;
+          Evidence.observe_show t.evidence ~now_ms ~concept
+      | Session_log.Unrefined | Session_log.Faceted -> ())
     events;
   Hashtbl.iter (fun concept () -> Evidence.observe_ignore t.evidence ~now_ms ~concept) seen;
   refresh t

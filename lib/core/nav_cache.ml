@@ -36,6 +36,19 @@ let evictions t = Lru.evictions t.cache
 
 let put t query nav = Lru.add t.cache (normalize query) nav
 
+(* Lookup without the build fallback: derived navigation spaces are built
+   by the caller (the key embeds a space path, not a runnable query), so
+   the [build] closure cannot serve a miss. Keys are used verbatim — the
+   caller already normalized the query component. *)
+let find t key =
+  match Lru.find t.cache key with
+  | Some nav ->
+      Metrics.incr hits_counter;
+      Some nav
+  | None ->
+      Metrics.incr misses_counter;
+      None
+
 let fold_trees t f acc = Lru.fold t.cache f acc
 
 let clear t =

@@ -25,6 +25,12 @@ val put : t -> string -> Nav_tree.t -> unit
     query key (warm start); replaces any existing entry. Counts neither as
     a hit nor a miss. *)
 
+val find : t -> string -> Nav_tree.t option
+(** Lookup under a caller-composed key (used verbatim, {e not}
+    normalized), with no build fallback — the path derived navigation
+    spaces take: their keys embed a space path the [build] closure could
+    not run as a query. Counts as a hit or miss like {!get}. *)
+
 val fold_trees : t -> (Nav_tree.t -> 'a -> 'a) -> 'a -> 'a
 (** Fold over the cached trees in unspecified order without touching
     recency or hit/miss statistics — for observability walks such as the

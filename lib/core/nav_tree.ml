@@ -12,6 +12,7 @@ type t = {
   totals : int array;
   labels : string array;
   subtree_distinct : int array;
+  subtree_sets : Docset.t array;
   tin : int array;  (* preorder entry = node id itself, kept for clarity *)
   tout : int array;  (* preorder exit: last descendant id *)
   node_of_concept : (int, int) Hashtbl.t;
@@ -109,6 +110,7 @@ let build ~hierarchy ~attachments ~total_count =
     totals;
     labels;
     subtree_distinct;
+    subtree_sets;
     tin;
     tout;
     node_of_concept;
@@ -131,6 +133,7 @@ let results t i = t.results.(i)
 let result_count t i = Docset.cardinal t.results.(i)
 let total t i = t.totals.(i)
 let subtree_distinct t i = t.subtree_distinct.(i)
+let subtree_results t i = t.subtree_sets.(i)
 let node_of_concept t c = Hashtbl.find_opt t.node_of_concept c
 let distinct_results t = t.subtree_distinct.(0)
 let total_attached t = Array.fold_left (fun acc s -> acc + Docset.cardinal s) 0 t.results

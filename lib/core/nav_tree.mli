@@ -51,6 +51,11 @@ val subtree_distinct : t -> int -> int
 (** Distinct citations in the subtree rooted at the node — the count a
     static interface shows next to each label (paper Fig. 1). *)
 
+val subtree_results : t -> int -> Bionav_util.Docset.t
+(** The distinct citations of the subtree rooted at the node, as a set —
+    the result universe a query-by-navigation refinement on the node
+    narrows to. Already computed (and interned) by [build]; O(1). *)
+
 val node_of_concept : t -> int -> int option
 (** Navigation node carrying the given hierarchy concept, if any. *)
 

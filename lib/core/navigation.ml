@@ -2,6 +2,7 @@ open Bionav_util
 
 type strategy =
   | Heuristic of { k : int; model : Probability.model; reuse : bool }
+  | Faceted of { k : int; model : Probability.model; reuse : bool }
   | Optimal of { model : Probability.model }
   | Static
   | Static_paged of { page_size : int }
@@ -9,14 +10,24 @@ type strategy =
 let bionav ?(k = Heuristic.default_k) ?params ?model ?(reuse = false) () =
   Heuristic { k; model = Probability.model_of ?params ?model (); reuse }
 
+let faceted ?(k = Heuristic.default_k) ?params ?model ?(reuse = false) () =
+  let model =
+    match (model, params) with
+    | Some m, _ -> m
+    | None, Some p -> Probability.static ~params:p ()
+    | None, None -> Probability.facet_model
+  in
+  Faceted { k; model; reuse }
+
 let optimal ?params ?model () = Optimal { model = Probability.model_of ?params ?model () }
 
 let strategy_model = function
-  | Heuristic { model; _ } | Optimal { model } -> Some model
+  | Heuristic { model; _ } | Faceted { model; _ } | Optimal { model } -> Some model
   | Static | Static_paged _ -> None
 
 let model_fingerprint = function
   | Heuristic { model; _ } | Optimal { model } -> model.Probability.fingerprint
+  | Faceted { model; _ } -> "faceted/" ^ model.Probability.fingerprint
   | Static -> "static-interface"
   | Static_paged { page_size } -> Printf.sprintf "static-paged/%d" page_size
 
@@ -162,7 +173,8 @@ let compute_cut t ~over_budget root =
   | Static_paged { page_size } ->
       if page_size < 1 then invalid_arg "Navigation: page_size must be >= 1";
       (`Cut (next_page t root page_size), 0., 0, false)
-  | Heuristic { k; model; reuse } -> heuristic_cut t root ~over_budget ~k ~model ~reuse
+  | Heuristic { k; model; reuse } | Faceted { k; model; reuse } ->
+      heuristic_cut t root ~over_budget ~k ~model ~reuse
   | Optimal { model } ->
       let comp, _map = Active_tree.comp_tree t.active root in
       let (solution : Opt_edgecut.solution), elapsed =

@@ -27,6 +27,13 @@ type strategy =
           supplies the EXPLORE/EXPAND probabilities — the paper's static
           §IV estimates by default, or a learned model (see
           [Bionav_adaptive]). *)
+  | Faceted of { k : int; model : Probability.model; reuse : bool }
+      (** Heuristic-ReducedOpt cuts under the facet-tuned cost model —
+          the strategy the engine runs on (descriptor × qualifier) facet
+          spaces. Shares the [Heuristic] machinery (plans, budget,
+          plan-source injection) but carries a distinct model fingerprint
+          prefix (["faceted/"]) so facet cuts never leak into descriptor
+          plan caches. *)
   | Optimal of { model : Probability.model }
   | Static
   | Static_paged of { page_size : int }
@@ -37,6 +44,12 @@ val bionav :
 (** [Heuristic] with the paper's defaults (k = 10, thresholds 50/10). An
     explicit [model] wins over [params]; bare [params] wrap into
     {!Probability.static}. *)
+
+val faceted :
+  ?k:int -> ?params:Probability.params -> ?model:Probability.model -> ?reuse:bool -> unit ->
+  strategy
+(** [Faceted] with {!Probability.facet_model} by default (an explicit
+    [model] wins over [params], as in {!bionav}). *)
 
 val optimal :
   ?params:Probability.params -> ?model:Probability.model -> unit -> strategy

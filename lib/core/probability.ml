@@ -107,6 +107,17 @@ let static ?(params = default_params) () =
 
 let default_model = static ()
 
+(* Qualifier facet pages behave differently from descriptor subtrees: the
+   facet tree is one level deep with at most |qualifiers|+1 wide fanout, a
+   page holds many citations before drilling further helps, and "expanding"
+   a page is cheap (no recursive EdgeCut below it). Shift the thresholds and
+   costs accordingly; future_fanout = the qualifier-table width so the
+   future-drilldown term reflects one flat re-cut, not a deep descent. *)
+let facet_params =
+  { upper_threshold = 100; lower_threshold = 20; expand_cost = 8.0; future_fanout = 34 }
+
+let facet_model = static ~params:facet_params ()
+
 let model_of ?params ?model () =
   match model with
   | Some m -> m

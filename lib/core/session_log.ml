@@ -1,19 +1,28 @@
-type action = Expand of int | Show_results of int | Backtrack
+type action = Expand of int | Show_results of int | Backtrack | Refine of int | Unrefine | Facet
 
 let pp_action ppf = function
   | Expand c -> Format.fprintf ppf "expand %d" c
   | Show_results c -> Format.fprintf ppf "show %d" c
   | Backtrack -> Format.fprintf ppf "backtrack"
+  | Refine c -> Format.fprintf ppf "refine %d" c
+  | Unrefine -> Format.fprintf ppf "unrefine"
+  | Facet -> Format.fprintf ppf "facet"
 
 type event =
   | Expanded of { concept : int; revealed : int list }
   | Shown of { concept : int; n_listed : int }
   | Backtracked
+  | Refined of { concept : int }
+  | Unrefined
+  | Faceted
 
 let action_of_event = function
   | Expanded { concept; _ } -> Expand concept
   | Shown { concept; _ } -> Show_results concept
   | Backtracked -> Backtrack
+  | Refined { concept } -> Refine concept
+  | Unrefined -> Unrefine
+  | Faceted -> Facet
 
 type t = action list
 
@@ -27,6 +36,17 @@ let to_string actions =
   Buffer.add_char buf '\n';
   List.iter
     (fun a ->
+      (* The v1 wire format predates navigation spaces; silently dropping a
+         refinement would corrupt the transcript's meaning (every later
+         action addresses the wrong space), so refuse loudly. *)
+      (match a with
+      | Refine _ | Unrefine | Facet ->
+          invalid_arg
+            (Format.asprintf
+               "Session_log.to_string: action %a is not representable in the v1 wire format; \
+                write a v2 transcript (events_to_string)"
+               pp_action a)
+      | Expand _ | Show_results _ | Backtrack -> ());
       Buffer.add_string buf (Format.asprintf "%a" pp_action a);
       Buffer.add_char buf '\n')
     actions;
@@ -45,7 +65,10 @@ let events_to_string events =
                (String.concat "" (List.map (Printf.sprintf " %d") revealed)))
       | Shown { concept; n_listed } ->
           Buffer.add_string buf (Printf.sprintf "show %d %d" concept n_listed)
-      | Backtracked -> Buffer.add_string buf "backtrack");
+      | Backtracked -> Buffer.add_string buf "backtrack"
+      | Refined { concept } -> Buffer.add_string buf (Printf.sprintf "refine %d" concept)
+      | Unrefined -> Buffer.add_string buf "unrefine"
+      | Faceted -> Buffer.add_string buf "facet");
       Buffer.add_char buf '\n')
     events;
   Buffer.contents buf
@@ -57,12 +80,18 @@ let int_field lineno what s =
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Session_log: line %d: bad %s %S" lineno what s)
 
+let v1_actions = "expand, show, backtrack"
+let v2_actions = "expand, show, backtrack, refine, unrefine, facet"
+
 let parse_line_v1 lineno line =
   match String.split_on_char ' ' line with
   | [ "backtrack" ] -> Backtracked
   | [ "expand"; c ] -> Expanded { concept = int_field lineno "concept" c; revealed = [] }
   | [ "show"; c ] -> Shown { concept = int_field lineno "concept" c; n_listed = 0 }
-  | _ -> invalid_arg (Printf.sprintf "Session_log: line %d: unknown action %S" lineno line)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Session_log: line %d: unknown v1 action %S (supported: %s)" lineno line
+           v1_actions)
 
 (* v2 lines carry the action's outcome: [expand <c> <n> <id>*] lists the
    [n] concepts the EXPAND revealed (the count must match — a truncated
@@ -83,7 +112,13 @@ let parse_line_v2 lineno line =
   | [ "show"; c; n ] ->
       Shown
         { concept = int_field lineno "concept" c; n_listed = int_field lineno "listed count" n }
-  | _ -> invalid_arg (Printf.sprintf "Session_log: line %d: unknown action %S" lineno line)
+  | [ "refine"; c ] -> Refined { concept = int_field lineno "concept" c }
+  | [ "unrefine" ] -> Unrefined
+  | [ "facet" ] -> Faceted
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Session_log: line %d: unknown v2 action %S (supported: %s)" lineno line
+           v2_actions)
 
 let version_prefix = "# bionav session transcript v"
 
@@ -205,6 +240,10 @@ let replay session actions =
                 true
             | None -> false)
         | Backtrack -> Navigation.backtrack session
+        | Refine _ | Unrefine | Facet ->
+            (* A [Navigation.t] is a single navigation space; space-changing
+               actions replay only at the engine layer, so here they skip. *)
+            false
       in
       if ok then incr applied else incr skipped)
     actions;

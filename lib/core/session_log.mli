@@ -20,6 +20,9 @@
       expand <concept-id> <n-revealed> <revealed-concept-id>*
       show <concept-id> <n-listed>
       backtrack
+      refine <concept-id>
+      unrefine
+      facet
     v}
 
     v2 additionally carries each action's {e outcome} — which concepts the
@@ -31,7 +34,7 @@
     nodes by {e hierarchy concept id} (stable across navigation-tree
     rebuilds), not by navigation-tree node. *)
 
-type action = Expand of int | Show_results of int | Backtrack
+type action = Expand of int | Show_results of int | Backtrack | Refine of int | Unrefine | Facet
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -41,6 +44,11 @@ type event =
   | Shown of { concept : int; n_listed : int }
       (** SHOWRESULTS and the number of citations it listed. *)
   | Backtracked
+  | Refined of { concept : int }
+      (** Query-by-navigation: the session narrowed its result set to the
+          subtree of the given concept and re-derived the space. *)
+  | Unrefined  (** The session popped the top refinement. *)
+  | Faceted  (** The session derived the (descriptor × qualifier) facet space. *)
 
 val action_of_event : event -> action
 (** Drop the outcome. *)
@@ -49,10 +57,15 @@ type t = action list
 (** Chronological. *)
 
 val to_string : t -> string
-(** v1 wire format (actions carry no outcomes). *)
+(** v1 wire format (actions carry no outcomes). @raise Invalid_argument
+    on space-changing actions ([Refine]/[Unrefine]/[Facet]) — they are not
+    representable in v1; write a v2 transcript instead. *)
 
 val events_to_string : event list -> string
-(** v2 wire format. *)
+(** v2 wire format. v2 additionally carries [refine <concept>],
+    [unrefine] and [facet] lines for navigation-space changes — still
+    wire version 2: v2 readers that predate navigation spaces reject the
+    new lines loudly, naming the supported action set. *)
 
 val of_string : string -> t
 (** Parse either wire version, dropping v2 outcomes. @raise
@@ -100,4 +113,6 @@ type replay_outcome = {
 val replay : Navigation.t -> t -> replay_outcome
 (** Apply a transcript to a (fresh or ongoing) session, skipping actions
     that do not apply to this tree — transcripts are portable across query
-    re-executions and algorithm changes. *)
+    re-executions and algorithm changes. Space-changing actions
+    ([Refine]/[Unrefine]/[Facet]) always skip: a [Navigation.t] is a single
+    navigation space, so they replay only at the engine layer. *)

@@ -22,8 +22,9 @@ type t = {
   qualified : (int * Bionav_mesh.Qualifiers.t list) list;
     (** Qualifier (subheading) annotations per concept, e.g.
         [(histones, [metabolism; genetics])]. Only concepts of [concepts]
-        appear; concepts without qualifiers are omitted. Navigation ignores
-        qualifiers; the nbib codec round-trips them. *)
+        appear; concepts without qualifiers are omitted. The qualifier-facet
+        navigation dimension partitions result sets by these annotations;
+        the nbib codec round-trips them. *)
 }
 
 val id : t -> int

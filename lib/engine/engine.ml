@@ -41,17 +41,39 @@ let default_config =
     adaptive = None;
   }
 
+(* One navigation space the session is (or was) navigating: the tree
+   derived along [fdim] for [fid]'s result set, and the Navigation.t
+   driving it. The base space of a session is the bottom frame; every
+   [refine]/[facet] pushes a new frame, [unrefine] pops it. *)
+type frame = {
+  fid : string;
+      (* the space identity: a deterministic derivation path like
+         "descriptor" or "descriptor>refine:42>facets" — equal paths mean
+         equal member sets, so caches may key on it *)
+  fdim : Bionav_core.Nav_space.dimension;
+  fkey : string;
+      (* cache/speculation key of this space: the bare query for the base
+         descriptor frame (legacy-compatible with warm start and the plan
+         cache), [normalize query ^ "\x1f" ^ fid] for derived spaces *)
+  fnav : Nav_tree.t;
+  fnavigation : Navigation.t;
+}
+
 (* A session is pinned to the shard that created it ([home]): its
-   navigation tree came out of that shard's cache and the tree's arena is
-   mutated on every expand, so all mutation happens under [home.lock].
-   Reads go through [snapshot]: an immutable epoch-versioned view
-   republished (RCU-style) after every mutation, consumed with
-   [Atomic.get] and no lock (DESIGN.md §12). *)
+   navigation trees came out of that shard's cache and the active tree's
+   arena is mutated on every expand, so all mutation happens under
+   [home.lock]. Reads go through [snapshot]: an immutable epoch-versioned
+   view of the {e top} frame republished (RCU-style) after every
+   mutation, consumed with [Atomic.get] and no lock (DESIGN.md §12).
+   [frames] is itself an Atomic so the off-lock speculation drain can
+   check which space is live without the lock; it is only written under
+   the shard lock and is never empty. *)
 type session = {
   sid : string;
   query : string;
-  nav : Nav_tree.t;
-  navigation : Navigation.t;
+  sstrategy : Navigation.strategy;
+      (* the effective base strategy; per-frame strategies derive from it *)
+  frames : frame list Atomic.t;  (* top frame first *)
   home : shard;
   snapshot : Nav_snapshot.t Atomic.t;
   pending_spec : int list Atomic.t;
@@ -75,6 +97,13 @@ and shard = {
   sprefetch : Prefetch.t option;
   sguard : Guard.t option;
   sadaptive : Adaptive.t option;  (* engine-wide learned model, shared by all shards *)
+  sderiver : Nav_space.deriver;  (* derives refined/faceted spaces; used under the lock *)
+  sbudget : (unit -> unit -> bool) option;
+      (* the EXPAND budget factory handed to Navigation.set_budget, when
+         a guard or a budget is configured. The deadline starts first so
+         an injected latency spike (the "expand" half of a fault plan)
+         eats into it — exactly the overload signal that triggers
+         degradation. *)
   srun_search : string -> Docset.t;
   sessions : (string, session) Hashtbl.t;
   shard_max : int;  (* per-shard session bound *)
@@ -104,6 +133,8 @@ let closed_counter = Metrics.counter "bionav_sessions_closed_total"
 let expired_counter = Metrics.counter "bionav_sessions_expired_total"
 let live_gauge = Metrics.gauge "bionav_sessions_live"
 let lock_acq_counter = Metrics.counter "bionav_shard_lock_acquisitions_total"
+let refinements_counter = Metrics.counter "bionav_refinements_total"
+let refine_depth_gauge = Metrics.gauge "bionav_refine_depth"
 let lock_wait_hist = Metrics.histogram "bionav_shard_lock_wait_ms"
 let lock_hold_hist = Metrics.histogram "bionav_shard_lock_hold_ms"
 
@@ -134,12 +165,15 @@ let add_arena_stats acc (st : Docset_arena.stats) =
     }
 
 (* Aggregate stats over the arenas this shard can reach (cached trees +
-   live sessions, physically deduplicated). Called under the shard lock. *)
+   every frame of every live session, physically deduplicated). Called
+   under the shard lock. *)
 let shard_arena_stats shard =
   let arenas = ref [] in
   let note a = if not (List.memq a !arenas) then arenas := a :: !arenas in
   Nav_cache.fold_trees shard.cache (fun nav () -> note (Nav_tree.arena nav)) ();
-  Hashtbl.iter (fun _ s -> note (Nav_tree.arena s.nav)) shard.sessions;
+  Hashtbl.iter
+    (fun _ s -> List.iter (fun fr -> note (Nav_tree.arena fr.fnav)) (Atomic.get s.frames))
+    shard.sessions;
   List.fold_left (fun acc a -> add_arena_stats acc (Docset_arena.stats a)) zero_arena_stats !arenas
 
 (* Every acquisition of a shard lock goes through here: it detects
@@ -245,6 +279,15 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
           | Error e -> raise (Backend_unavailable (Guard.error_message e)))
     in
     let build query = Nav_tree.of_database database (run_search query) in
+    let budget_factory () =
+      let deadline =
+        Option.map
+          (fun budget_ms -> Deadline.start ~clock:config.clock ~budget_ms)
+          config.expand_budget_ms
+      in
+      (match guard with None -> () | Some g -> Guard.inject g ~op:"expand");
+      match deadline with None -> fun () -> false | Some d -> fun () -> Deadline.expired d
+    in
     {
       snum;
       lock = Mutex.create ();
@@ -255,6 +298,11 @@ let create ?(config = default_config) ?chaos ?snapshot ~database ~eutils () =
         Option.map (fun pc -> Prefetch.create ~config:pc ~clock:config.clock ()) config.prefetch;
       sguard = guard;
       sadaptive = adaptive;
+      sderiver = Nav_space.deriver ~medline:(Eutils.medline eutils) database;
+      sbudget =
+        (if Option.is_some guard || Option.is_some config.expand_budget_ms then
+           Some budget_factory
+         else None);
       srun_search = run_search;
       sessions = Hashtbl.create 64;
       shard_max = max 1 (config.max_sessions / config.shards);
@@ -310,9 +358,22 @@ let learn t events =
       Adaptive.learn ad events;
       true
 
+(* --- frames -------------------------------------------------------------- *)
+
+let top_frame s =
+  match Atomic.get s.frames with
+  | fr :: _ -> fr
+  | [] -> assert false (* the frame stack is never empty *)
+
+let refine_depth s = List.length (Atomic.get s.frames) - 1
+let space_id s = (top_frame s).fid
+
 (* --- adaptive evidence -------------------------------------------------- *)
 
-let concept_of s node = Nav_tree.concept_id s.nav node
+(* Learned evidence is keyed by MeSH concept id, so only frames navigating
+   the descriptor dimension feed it — a facet frame's "concepts" are
+   synthetic qualifier-page ids that would poison the evidence store. *)
+let descriptor_frame fr = fr.fdim = Nav_space.Descriptor
 
 (* The session engaged with [node] (expanded it or listed its results):
    record the evidence and stop counting the concept as merely seen. *)
@@ -320,21 +381,26 @@ let note_engaged s observe node =
   match s.home.sadaptive with
   | None -> ()
   | Some ad ->
-      let concept = concept_of s node in
-      if concept >= 0 then begin
-        Hashtbl.remove s.seen_concepts concept;
-        observe ad ~concept
+      let fr = top_frame s in
+      if descriptor_frame fr then begin
+        let concept = Nav_tree.concept_id fr.fnav node in
+        if concept >= 0 then begin
+          Hashtbl.remove s.seen_concepts concept;
+          observe ad ~concept
+        end
       end
 
 let note_revealed s revealed =
   match s.home.sadaptive with
   | None -> ()
   | Some _ ->
-      List.iter
-        (fun node ->
-          let concept = concept_of s node in
-          if concept >= 0 then Hashtbl.replace s.seen_concepts concept ())
-        revealed
+      let fr = top_frame s in
+      if descriptor_frame fr then
+        List.iter
+          (fun node ->
+            let concept = Nav_tree.concept_id fr.fnav node in
+            if concept >= 0 then Hashtbl.replace s.seen_concepts concept ())
+          revealed
 
 (* The session is over: whatever it was shown and never engaged with is
    IGNORE evidence. Called under the shard lock on every exit path
@@ -359,6 +425,7 @@ let strategy_of_name ?(page_size = 10) name =
   | Some "static" -> Ok Navigation.Static
   | Some "paged" -> validate_strategy (Navigation.Static_paged { page_size })
   | Some "optimal" -> Ok (Navigation.optimal ())
+  | Some "faceted" -> Ok (Navigation.faceted ())
   | Some s -> Error (Printf.sprintf "unknown strategy %S" s)
 
 (* With learning enabled, cost-model strategies get the engine's current
@@ -366,8 +433,8 @@ let strategy_of_name ?(page_size = 10) name =
    or an explicit [~params] stays untouched). The session holds the model
    value it started with for its whole life, so its plans stay internally
    consistent; only {e new} sessions see refreshed evidence. *)
-let effective_strategy t strategy =
-  match t.adaptive with
+let substitute_learned adaptive strategy =
+  match adaptive with
   | None -> strategy
   | Some ad -> (
       let default_fp = Probability.default_model.Probability.fingerprint in
@@ -378,12 +445,32 @@ let effective_strategy t strategy =
           Navigation.Optimal { model = Adaptive.model ad }
       | s -> s)
 
+let effective_strategy t strategy = substitute_learned t.adaptive strategy
+
+(* The strategy a frame runs: the session's base strategy, mapped to the
+   frame's dimension. A descriptor frame of a Faceted-base session runs
+   plain Heuristic (with the learned model when the engine is adaptive);
+   a facet frame of a Heuristic-base session runs Faceted under the
+   facet-tuned cost model. Model-free strategies pass through. *)
+let frame_strategy adaptive base = function
+  | Nav_space.Descriptor -> (
+      match base with
+      | Navigation.Faceted { k; reuse; _ } ->
+          substitute_learned adaptive (Navigation.bionav ~k ~reuse ())
+      | s -> s)
+  | Nav_space.Qualifier_facet -> (
+      match base with
+      | Navigation.Heuristic { k; reuse; _ } | Navigation.Faceted { k; reuse; _ } ->
+          Navigation.faceted ~k ~reuse ()
+      | Navigation.Optimal _ -> Navigation.Optimal { model = Probability.facet_model }
+      | (Navigation.Static | Navigation.Static_paged _) as s -> s)
+
 (* --- session store ----------------------------------------------------- *)
 
 let session_id s = s.sid
 let session_query s = s.query
-let session_nav s = s.nav
-let navigation s = s.navigation
+let session_nav s = (top_frame s).fnav
+let navigation s = (top_frame s).fnavigation
 let snapshot s = Atomic.get s.snapshot
 
 let session_count t =
@@ -418,6 +505,32 @@ let release_query shard query =
       in
       if not still_live then ignore (Prefetch.drop_query pf query : int)
 
+(* Derived frames speculate under their own composite keys; drop those
+   too when the leaving session was the last one holding the space open
+   on this shard. The base frame's key is the bare query and goes through
+   [release_query]'s normalized comparison. *)
+let release_frames shard s =
+  (match shard.sprefetch with
+  | None -> ()
+  | Some pf ->
+      List.iter
+        (fun fr ->
+          if not (String.equal fr.fkey s.query) then begin
+            let shared =
+              Hashtbl.fold
+                (fun _ other acc ->
+                  acc
+                  || (other != s
+                     && List.exists
+                          (fun f2 -> String.equal f2.fkey fr.fkey)
+                          (Atomic.get other.frames)))
+                shard.sessions false
+            in
+            if not shared then ignore (Prefetch.drop_query pf fr.fkey : int)
+          end)
+        (Atomic.get s.frames));
+  release_query shard s.query
+
 let evict_lru shard =
   let victim =
     Hashtbl.fold
@@ -431,26 +544,47 @@ let evict_lru shard =
       Hashtbl.remove shard.sessions s.sid;
       shard.sevictions <- shard.sevictions + 1;
       Metrics.incr evicted_counter;
-      release_query shard s.query;
+      release_frames shard s;
       Logs.debug (fun m -> m "engine: evicted session %s (shard %d full)" s.sid shard.snum)
   | None -> ()
 
 type search_outcome = No_results | Session of session
 
-(* The budget factory handed to Navigation.set_budget: runs at EXPAND
-   entry. The deadline starts first so an injected latency spike (the
-   "expand" half of the fault plan) eats into it — that is exactly the
-   overload signal that triggers degradation. *)
-let expand_budget_factory t shard () =
-  let deadline =
-    Option.map
-      (fun budget_ms -> Deadline.start ~clock:t.config.clock ~budget_ms)
-      t.config.expand_budget_ms
-  in
-  (match shard.sguard with None -> () | Some g -> Guard.inject g ~op:"expand");
-  match deadline with
-  | None -> fun () -> false
-  | Some d -> fun () -> Deadline.expired d
+(* Wire a frame's navigation into the engine services: the EXPAND budget,
+   the plan cache (keyed by the frame's space key) and the speculation
+   observer. Shared by the base frame ([search]) and every derived frame
+   ([refine]/[facet]). The observer only records reveals into
+   [pending_spec]; ranking runs off-lock against the published snapshot
+   (see [drain_speculation]). *)
+let wire_frame shard ~fkey ~pending_spec navigation =
+  (match shard.sbudget with
+  | None -> ()
+  | Some factory -> Navigation.set_budget navigation (Some factory));
+  match shard.sprefetch with
+  | Some pf -> (
+      Prefetch.attach_plans pf ~query:fkey navigation;
+      match Navigation.strategy navigation with
+      | Navigation.Heuristic _ | Navigation.Faceted _ ->
+          Navigation.set_on_expand navigation
+            (Some
+               (fun ~node:_ ~revealed ->
+                 Atomic.set pending_spec (revealed @ Atomic.get pending_spec)))
+      | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ())
+  | None -> ()
+
+(* Fetch or derive a navigation space for a derived frame, through the
+   shard's tree cache under the frame's composite key — so revisiting a
+   refinement path is a cache hit, not a re-derivation. Runs under the
+   shard lock. *)
+let derived_space shard ~fkey ~dim subset =
+  match Nav_cache.find shard.cache fkey with
+  | Some nav -> nav
+  | None ->
+      let nav = Nav_space.derive shard.sderiver dim subset in
+      Nav_cache.put shard.cache fkey nav;
+      nav
+
+let frame_key query fid = Nav_cache.normalize query ^ "\x1f" ^ fid
 
 let search t ?(strategy = Navigation.bionav ()) query =
   match validate_strategy strategy with
@@ -474,16 +608,37 @@ let search t ?(strategy = Navigation.bionav ()) query =
                   while Hashtbl.length shard.sessions >= shard.shard_max do
                     evict_lru shard
                   done;
-                  let navigation = Navigation.start strategy nav in
+                  (* A Faceted base strategy starts the session in the
+                     qualifier-facet space of the full result set; the
+                     descriptor tree built above stays cached for later
+                     refinements. Everything else starts on descriptors. *)
+                  let base =
+                    match strategy with
+                    | Navigation.Faceted _ ->
+                        let fid = "qualifier" in
+                        let fkey = frame_key query fid in
+                        let subset = Nav_tree.subtree_results nav (Nav_tree.root nav) in
+                        let fnav =
+                          derived_space shard ~fkey ~dim:Nav_space.Qualifier_facet subset
+                        in
+                        { fid; fdim = Nav_space.Qualifier_facet; fkey; fnav;
+                          fnavigation = Navigation.start strategy fnav }
+                    | _ ->
+                        { fid = "descriptor"; fdim = Nav_space.Descriptor; fkey = query;
+                          fnav = nav; fnavigation = Navigation.start strategy nav }
+                  in
+                  Docset_arena.adopt (Nav_tree.arena base.fnav);
                   let s =
                     {
                       sid;
                       query;
-                      nav;
-                      navigation;
+                      sstrategy = strategy;
+                      frames = Atomic.make [ base ];
                       home = shard;
                       snapshot =
-                        Atomic.make (Nav_snapshot.capture ~epoch:0 ~query navigation);
+                        Atomic.make
+                          (Nav_snapshot.capture ~epoch:0 ~query ~space:base.fid
+                             ~refine_depth:0 base.fnavigation);
                       pending_spec = Atomic.make [];
                       seen_concepts = Hashtbl.create 16;
                       epoch = 0;
@@ -493,26 +648,8 @@ let search t ?(strategy = Navigation.bionav ()) query =
                   in
                   touch t s;
                   Hashtbl.replace shard.sessions sid s;
-                  if Option.is_some shard.sguard || Option.is_some t.config.expand_budget_ms
-                  then
-                    Navigation.set_budget s.navigation (Some (expand_budget_factory t shard));
-                  (match shard.sprefetch with
-                  | Some pf ->
-                      Prefetch.attach_plans pf ~query s.navigation;
-                      (match Navigation.strategy s.navigation with
-                      | Navigation.Heuristic _ ->
-                          (* Record reveals only; ranking runs off-lock
-                             against the published snapshot (see
-                             [drain_speculation]). *)
-                          Navigation.set_on_expand s.navigation
-                            (Some
-                               (fun ~node:_ ~revealed ->
-                                 Atomic.set s.pending_spec
-                                   (revealed @ Atomic.get s.pending_spec)))
-                      | Navigation.Optimal _ | Navigation.Static
-                      | Navigation.Static_paged _ ->
-                          ())
-                  | None -> ());
+                  wire_frame shard ~fkey:base.fkey ~pending_spec:s.pending_spec
+                    base.fnavigation;
                   Metrics.incr started_counter;
                   publish_live t;
                   Ok (Session s)
@@ -536,7 +673,7 @@ let close t sid =
           flush_ignores s;
           Hashtbl.remove shard.sessions sid;
           Metrics.incr closed_counter;
-          release_query shard s.query;
+          release_frames shard s;
           publish_live t;
           true
       | None -> false)
@@ -560,7 +697,7 @@ let sweep ?now_ms t =
                   flush_ignores s;
                   Hashtbl.remove shard.sessions s.sid)
                 expired;
-              List.iter (fun s -> release_query shard s.query) expired;
+              List.iter (fun s -> release_frames shard s) expired;
               total := !total + List.length expired))
         t.shards;
       let n = !total in
@@ -573,19 +710,27 @@ let sweep ?now_ms t =
 
 (* --- navigation actions ------------------------------------------------ *)
 
-(* Re-capture and publish the session's snapshot. Runs under the shard
-   lock: capture reads the live active tree and interns into its arena's
-   memo tables; the Atomic.set is the RCU-style publication point. *)
+(* Re-capture and publish the session's snapshot from its top frame. Runs
+   under the shard lock: capture reads the live active tree and interns
+   into its arena's memo tables; the Atomic.set is the RCU-style
+   publication point. Epoch and space id advance together in the one
+   atomic store, so a reader never observes a mixed-space view. *)
 let publish s =
   s.epoch <- s.epoch + 1;
-  Atomic.set s.snapshot (Nav_snapshot.capture ~epoch:s.epoch ~query:s.query s.navigation)
+  let fr = top_frame s in
+  Atomic.set s.snapshot
+    (Nav_snapshot.capture ~epoch:s.epoch ~query:s.query ~space:fr.fid
+       ~refine_depth:(refine_depth s) fr.fnavigation)
 
 (* Speculation, engine-driven: the expand observer only records revealed
    nodes, and this drains them — ranking (the expensive comp-tree +
    probability work) runs with no lock against the just-published
    snapshot; only the queue append and the budgeted tick re-enter the
    shard lock. Nodes that were hidden again or expanded meanwhile simply
-   rank out (they are absent or non-expandable in the snapshot). *)
+   rank out (they are absent or non-expandable in the snapshot), and a
+   snapshot whose space no longer matches the live top frame (the session
+   refined or unrefined concurrently) is dropped wholesale — speculation
+   stays within the active space. *)
 let drain_speculation s =
   match s.home.sprefetch with
   | None -> ()
@@ -593,23 +738,31 @@ let drain_speculation s =
       match Atomic.exchange s.pending_spec [] with
       | [] -> ()
       | revealed -> (
-          match Navigation.strategy s.navigation with
-          | Navigation.Heuristic { k; model; _ } ->
+          let fr = top_frame s in
+          match Navigation.strategy fr.fnavigation with
+          | Navigation.Heuristic { k; model; _ } | Navigation.Faceted { k; model; _ } ->
               let snap = Atomic.get s.snapshot in
-              let revealed = List.sort_uniq Int.compare revealed in
-              let ranked = Speculator.rank_snapshot ~model snap revealed in
-              let budget = (Prefetch.config pf).Prefetch.budget_per_action in
-              if ranked <> [] || budget > 0 then
-                with_shard s.home (fun () ->
-                    Speculator.enqueue_ranked (Prefetch.speculator pf) ~query:s.query snap
-                      ~k ~model ranked;
-                    ignore (Prefetch.tick pf ~budget : int))
+              if String.equal (Nav_snapshot.space snap) fr.fid then begin
+                let revealed = List.sort_uniq Int.compare revealed in
+                let ranked = Speculator.rank_snapshot ~model snap revealed in
+                let budget = (Prefetch.config pf).Prefetch.budget_per_action in
+                if ranked <> [] || budget > 0 then
+                  with_shard s.home (fun () ->
+                      (* Re-check under the lock: enqueue only if the frame
+                         is still the live top (space ids are unique within
+                         a session's stack, so fid equality suffices). *)
+                      if String.equal (top_frame s).fid fr.fid then begin
+                        Speculator.enqueue_ranked (Prefetch.speculator pf) ~query:fr.fkey
+                          snap ~k ~model ranked;
+                        ignore (Prefetch.tick pf ~budget : int)
+                      end)
+              end
           | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ -> ()))
 
 let run_locked s f =
   let r =
     with_shard s.home (fun () ->
-        Docset_arena.adopt (Nav_tree.arena s.nav);
+        Docset_arena.adopt (Nav_tree.arena (top_frame s).fnav);
         let r = f () in
         publish s;
         r)
@@ -619,18 +772,96 @@ let run_locked s f =
 
 let expand s node =
   run_locked s (fun () ->
-      let revealed = Navigation.expand s.navigation node in
+      let revealed = Navigation.expand (navigation s) node in
       note_engaged s Adaptive.observe_expand node;
       note_revealed s revealed;
       revealed)
 
 let show_results s node =
   run_locked s (fun () ->
-      let results = Navigation.show_results s.navigation node in
+      let results = Navigation.show_results (navigation s) node in
       note_engaged s Adaptive.observe_show node;
       results)
 
-let backtrack s = run_locked s (fun () -> Navigation.backtrack s.navigation)
+let backtrack s = run_locked s (fun () -> Navigation.backtrack (navigation s))
+
+(* --- navigation spaces: refine / facet / unrefine ----------------------- *)
+
+(* Push a derived frame: resolve the space through the tree cache (a
+   revisited path is a Plan_cache-style hit, not a re-derivation), start
+   a navigation on it under the dimension-mapped strategy, wire it into
+   budget/plans/speculation, and publish. Pending speculation of the old
+   frame is cleared — speculation stays within the active space. *)
+let push_frame s ~fid ~dim subset =
+  let shard = s.home in
+  let fkey = frame_key s.query fid in
+  let fnav = derived_space shard ~fkey ~dim subset in
+  Docset_arena.adopt (Nav_tree.arena fnav);
+  let fnavigation = Navigation.start (frame_strategy shard.sadaptive s.sstrategy dim) fnav in
+  let fr = { fid; fdim = dim; fkey; fnav; fnavigation } in
+  wire_frame shard ~fkey ~pending_spec:s.pending_spec fnavigation;
+  Atomic.set s.pending_spec [];
+  Atomic.set s.frames (fr :: Atomic.get s.frames);
+  Metrics.incr refinements_counter;
+  Metrics.set refine_depth_gauge (float_of_int (refine_depth s));
+  fr
+
+let refine s node =
+  run_locked s (fun () ->
+      let fr = top_frame s in
+      let active = Navigation.active fr.fnavigation in
+      if not (Active_tree.is_visible active node) then
+        invalid_arg (Printf.sprintf "Engine.refine: node %d is not visible" node);
+      if node = Nav_tree.root fr.fnav then
+        invalid_arg "Engine.refine: refining on the root would not narrow the result set";
+      let concept = Nav_tree.concept_id fr.fnav node in
+      (* Narrow to the node's full navigation subtree L(n) — a property of
+         the tree alone (not of the session's expansion state), so equal
+         space ids always mean equal member sets and the cache stays
+         sound. *)
+      let subset = Nav_tree.subtree_results fr.fnav node in
+      note_engaged s Adaptive.observe_show node;
+      let fid = Printf.sprintf "%s>refine:%d" fr.fid concept in
+      let fr' = push_frame s ~fid ~dim:Nav_space.Descriptor subset in
+      Nav_tree.distinct_results fr'.fnav)
+
+let facet s =
+  run_locked s (fun () ->
+      let fr = top_frame s in
+      if fr.fdim = Nav_space.Qualifier_facet then
+        invalid_arg "Engine.facet: the session is already in a qualifier-facet space";
+      let subset = Nav_tree.subtree_results fr.fnav (Nav_tree.root fr.fnav) in
+      let fid = fr.fid ^ ">facets" in
+      let fr' = push_frame s ~fid ~dim:Nav_space.Qualifier_facet subset in
+      (* Number of qualifier pages (every non-root node of the flat facet
+         tree is a page). *)
+      Nav_tree.size fr'.fnav - 1)
+
+let unrefine s =
+  run_locked s (fun () ->
+      match Atomic.get s.frames with
+      | [] | [ _ ] -> false
+      | popped :: rest ->
+          Atomic.set s.pending_spec [];
+          Atomic.set s.frames rest;
+          (* Cancel the popped space's queued speculation unless another
+             session on this shard still navigates it. Plans stay cached:
+             revisiting the space serves them again. *)
+          (match s.home.sprefetch with
+          | Some pf when not (String.equal popped.fkey s.query) ->
+              let shared =
+                Hashtbl.fold
+                  (fun _ other acc ->
+                    acc
+                    || List.exists
+                         (fun f2 -> String.equal f2.fkey popped.fkey)
+                         (Atomic.get other.frames))
+                  s.home.sessions false
+              in
+              if not shared then ignore (Prefetch.drop_query pf popped.fkey : int)
+          | Some _ | None -> ());
+          Metrics.set refine_depth_gauge (float_of_int (refine_depth s));
+          true)
 
 (* --- detached sessions -------------------------------------------------- *)
 

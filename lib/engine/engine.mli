@@ -177,19 +177,41 @@ val strategy_of_name :
   ?page_size:int -> string option -> (Bionav_core.Navigation.strategy, string) result
 (** Parse a user-supplied strategy name: [None] or [Some "bionav"] is the
     paper's Heuristic-ReducedOpt, plus ["static"], ["paged"] (with
-    [page_size], default 10, validated >= 1) and ["optimal"]. Anything
-    else — including an invalid page size — is [Error]. Strategies built
-    here carry the static default model; {!search} substitutes the
-    learned model when the engine is adaptive. *)
+    [page_size], default 10, validated >= 1), ["optimal"] and ["faceted"]
+    (start in the (descriptor × qualifier) facet space; see {!facet}).
+    Anything else — including an invalid page size — is [Error].
+    Strategies built here carry the static default model; {!search}
+    substitutes the learned model when the engine is adaptive. *)
 
 (* --- sessions --------------------------------------------------------- *)
 
 type session
+(** A live navigation session: a {e stack of navigation spaces} (derived
+    trees), of which the top frame is the one being navigated. {!search}
+    installs the base space ("descriptor", or "qualifier" for a [Faceted]
+    strategy); {!refine} and {!facet} push derived spaces; {!unrefine}
+    pops. *)
 
 val session_id : session -> string
 val session_query : session -> string
+
 val session_nav : session -> Bionav_core.Nav_tree.t
+(** The {e top} frame's navigation tree. *)
+
 val navigation : session -> Bionav_core.Navigation.t
+(** The {e top} frame's navigation state. The value changes identity
+    across {!refine}/{!facet}/{!unrefine}; do not cache it across
+    space-changing actions. *)
+
+val space_id : session -> string
+(** Identity of the active navigation space: a derivation path such as
+    ["descriptor"], ["descriptor>refine:42"] or
+    ["descriptor>refine:42>facets"]. Deterministic — equal paths on equal
+    queries denote equal spaces, which is what makes re-derivation
+    cacheable. *)
+
+val refine_depth : session -> int
+(** Frames above the base space (0 = unrefined). *)
 
 val snapshot : session -> Bionav_search.Nav_snapshot.t
 (** The session's latest published snapshot — one [Atomic.get], no lock.
@@ -239,6 +261,31 @@ val backtrack : session -> bool
     the lock. The docset returned by {!show_results} lives in the live
     arena but is safe to iterate after the lock is released (pure arena
     reads are domain-safe). *)
+
+val refine : session -> int -> int
+(** Query-by-navigation: narrow the live result set to the full
+    navigation subtree [L(n)] of the given visible node, derive the
+    descriptor space of that subset (through the shard's tree cache —
+    revisiting a refinement path is a cache hit, not a re-derivation),
+    and push it as the session's new top frame. Returns the refined
+    space's distinct result count. Pending speculation of the previous
+    space is cancelled; the snapshot republishes with the new space id
+    and an advanced epoch in one atomic store.
+    @raise Invalid_argument if the node is not visible or is the root. *)
+
+val facet : session -> int
+(** Derive the (descriptor × qualifier) facet space of the current
+    result set and push it: one page per MeSH qualifier (primary-qualifier
+    assignment, an exact partition — no citation lost or duplicated)
+    plus an "(unqualified)" page. Returns the number of non-empty facet
+    pages. @raise Invalid_argument if the session is already in a facet
+    space. *)
+
+val unrefine : session -> bool
+(** Pop the top navigation space, restoring the one beneath it exactly
+    as it was left (same tree, same expansion state, same cost
+    accounting); [false] at the base space. The epoch still advances —
+    snapshots are never reused across space changes. *)
 
 val run_locked : session -> (unit -> 'a) -> 'a
 (** Run [f] holding the session's shard lock with the tree's arena

@@ -60,8 +60,19 @@ let index_by f =
 let by_name = index_by fst
 let by_abbrev = index_by snd
 
-let find_by_name s = Hashtbl.find_opt by_name (String.lowercase_ascii (String.trim s))
+(* Decode-bounds discipline (same as Codec/Segstore): qualifier names and
+   abbreviations come off untrusted wire formats (nbib imports, query
+   strings), so bound the work done on a candidate before normalizing it.
+   The longest legitimate entry is 26 bytes; anything past [max_input_length]
+   cannot match and is rejected without allocating a lowercased copy. *)
+let max_input_length = 64
 
-let find_by_abbreviation s = Hashtbl.find_opt by_abbrev (String.lowercase_ascii (String.trim s))
+let lookup tbl s =
+  if String.length s > max_input_length then None
+  else Hashtbl.find_opt tbl (String.lowercase_ascii (String.trim s))
+
+let find_by_name s = lookup by_name s
+
+let find_by_abbreviation s = lookup by_abbrev s
 
 let all () = List.init count Fun.id

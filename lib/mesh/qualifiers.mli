@@ -2,10 +2,12 @@
 
     Real MEDLINE annotations are descriptor/qualifier pairs —
     "Histones/metabolism", "Apoptosis/drug effects" — drawn from a small
-    controlled list of ~80 subheadings. BioNav's navigation ignores
-    qualifiers (it works at descriptor granularity), but a faithful corpus
-    and the nbib import/export need them. This module fixes a standard
-    subset of the NLM 2008 qualifier list with the official two-letter
+    controlled list of ~80 subheadings. The paper's TOPDOWN navigation
+    works at descriptor granularity, but the qualifier axis feeds the
+    {!Bionav_core.Nav_space.Qualifier_facet} navigation dimension (one
+    facet page per subheading), and a faithful corpus and the nbib
+    import/export need them too. This module fixes a standard subset of
+    the NLM 2008 qualifier list with the official two-letter
     abbreviations. *)
 
 type t = int
@@ -20,9 +22,16 @@ val abbreviation : t -> string
 (** NLM two-letter code, e.g. "ME". *)
 
 val find_by_name : string -> t option
-(** Case-insensitive. *)
+(** Case-insensitive, surrounding whitespace ignored. Inputs longer than
+    {!max_input_length} are rejected ([None]) before any normalization
+    work — the same bounded-decode discipline the binary codecs apply to
+    untrusted input. *)
 
 val find_by_abbreviation : string -> t option
-(** Case-insensitive. *)
+(** Case-insensitive; same input bounds as {!find_by_name}. *)
+
+val max_input_length : int
+(** Longest candidate string {!find_by_name} / {!find_by_abbreviation}
+    will consider (64; the longest real entry is 26 bytes). *)
 
 val all : unit -> t list

@@ -35,7 +35,7 @@ let speculator t = t.spec
 
 let attach t ~query session =
   match Navigation.strategy session with
-  | Navigation.Heuristic { k; model; _ } ->
+  | Navigation.Heuristic { k; model; _ } | Navigation.Faceted { k; model; _ } ->
       let fingerprint = model.Probability.fingerprint in
       Navigation.set_plan_source session
         (Some (Plan_cache.plan_source t.plans ~query ~fingerprint));
@@ -49,7 +49,7 @@ let attach t ~query session =
 
 let attach_plans t ~query session =
   match Navigation.strategy session with
-  | Navigation.Heuristic { model; _ } ->
+  | Navigation.Heuristic { model; _ } | Navigation.Faceted { model; _ } ->
       Navigation.set_plan_source session
         (Some
            (Plan_cache.plan_source t.plans ~query

@@ -17,6 +17,8 @@ type vnode = {
 type t = {
   epoch : int;
   query : string;
+  space : string;
+  refine_depth : int;
   model_fingerprint : string;
   stats : Navigation.stats;
   distinct_results : int;
@@ -27,7 +29,7 @@ type t = {
   nav : Nav_tree.t;
 }
 
-let capture ~epoch ~query navigation =
+let capture ~epoch ~query ?(space = "descriptor") ?(refine_depth = 0) navigation =
   let active = Navigation.active navigation in
   let nav = Active_tree.nav active in
   let arena = Docset_arena.create () in
@@ -61,6 +63,8 @@ let capture ~epoch ~query navigation =
   {
     epoch;
     query;
+    space;
+    refine_depth;
     model_fingerprint = Navigation.model_fingerprint (Navigation.strategy navigation);
     stats = Navigation.stats navigation;
     distinct_results = Nav_tree.distinct_results nav;
@@ -73,6 +77,8 @@ let capture ~epoch ~query navigation =
 
 let epoch t = t.epoch
 let query t = t.query
+let space t = t.space
+let refine_depth t = t.refine_depth
 let model_fingerprint t = t.model_fingerprint
 let stats t = t.stats
 let distinct_results t = t.distinct_results

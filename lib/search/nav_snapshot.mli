@@ -45,15 +45,35 @@ type vnode = {
 
 type t
 
-val capture : epoch:int -> query:string -> Bionav_core.Navigation.t -> t
+val capture :
+  epoch:int ->
+  query:string ->
+  ?space:string ->
+  ?refine_depth:int ->
+  Bionav_core.Navigation.t ->
+  t
 (** Build a snapshot of the session's current visible tree. Must be
     called while holding whatever lock serializes mutation of the
     session (the engine's shard lock): capture reads the active tree and
     interns into the navigation arena's memo tables. The returned
-    snapshot's private arena is frozen before return. *)
+    snapshot's private arena is frozen before return. [space] (default
+    ["descriptor"]) is the identity of the navigation space the session's
+    top frame was derived along; [refine_depth] (default 0) the depth of
+    its refinement stack. *)
 
 val epoch : t -> int
 val query : t -> string
+
+val space : t -> string
+(** Identity of the navigation space this snapshot was captured from
+    (e.g. ["descriptor"], ["descriptor>refine:42"]). A reader holding a
+    snapshot never observes a mixed-space tree: epoch {e and} space
+    advance together atomically, and consumers that act on a snapshot
+    (speculation ranking) re-check the space id before committing work
+    against the live session. *)
+
+val refine_depth : t -> int
+(** Depth of the session's refinement stack at capture (0 = base space). *)
 
 val model_fingerprint : t -> string
 (** Fingerprint of the probability model the session's strategy was using

@@ -38,6 +38,7 @@ let home t =
           <option value=\"bionav\">BioNav</option>\
           <option value=\"static\">Static</option>\
           <option value=\"paged\">Paged</option>\
+          <option value=\"faceted\">Faceted (qualifiers)</option>\
           </select>\
           <button type=\"submit\">Search</button></form>"
        ^ suggestions))
@@ -63,11 +64,20 @@ let render_tree ~sid snap =
           ~href:(Html.url "/show" [ ("sid", sid); ("node", string_of_int v.Nav_snapshot.id) ])
           "[show]"
     in
+    let refine_link =
+      if v.Nav_snapshot.id = Nav_snapshot.root snap then ""
+      else
+        " "
+        ^ Html.link
+            ~href:
+              (Html.url "/refine" [ ("sid", sid); ("node", string_of_int v.Nav_snapshot.id) ])
+            "[refine]"
+    in
     Html.tag "li"
       (Html.text v.Nav_snapshot.label
       ^ Html.tag ~attrs:[ ("class", "count") ] "span"
           (Printf.sprintf " (%d)" v.Nav_snapshot.distinct)
-      ^ expand_link ^ show_link
+      ^ expand_link ^ show_link ^ refine_link
       ^
       match v.Nav_snapshot.children with
       | [] -> ""
@@ -77,6 +87,12 @@ let render_tree ~sid snap =
                (List.map (fun c -> render_node (Nav_snapshot.get snap c)) children)))
   in
   let stats = Nav_snapshot.stats snap in
+  let depth = Nav_snapshot.refine_depth snap in
+  let unrefine_link =
+    if depth > 0 then
+      " " ^ Html.link ~href:(Html.url "/unrefine" [ ("sid", sid) ]) "[undo refine]"
+    else ""
+  in
   Html.tag ~attrs:[ ("class", "bar") ] "div"
     (Html.text (Printf.sprintf "query: %s — " (Nav_snapshot.query snap))
     ^ Html.text
@@ -84,7 +100,12 @@ let render_tree ~sid snap =
            (Nav_snapshot.distinct_results snap)
            (Bionav_core.Navigation.navigation_cost stats)
            stats.Bionav_core.Navigation.expands stats.Bionav_core.Navigation.revealed)
+    ^ Html.tag ~attrs:[ ("class", "space") ] "span"
+        (Html.text
+           (Printf.sprintf " — space: %s (depth %d)" (Nav_snapshot.space snap) depth))
     ^ " " ^ Html.link ~href:(Html.url "/back" [ ("sid", sid) ]) "[backtrack]"
+    ^ " " ^ Html.link ~href:(Html.url "/facets" [ ("sid", sid) ]) "[facets]"
+    ^ unrefine_link
     ^ " " ^ Html.link ~href:"/" "[new search]")
   ^ Html.tag "ul" (render_node (Nav_snapshot.get snap (Nav_snapshot.root snap)))
 
@@ -157,6 +178,28 @@ let back t query =
   with_session t query (fun s ->
       ignore (Engine.backtrack s : bool);
       session_page s)
+
+(* Query-by-navigation: narrow the session to the node's subtree results
+   and re-derive the tree inside the same session. The engine validates
+   visibility again under its lock, so a racing mutation degrades to a
+   clean 400 rather than a torn refinement. *)
+let refine t query =
+  with_session t query (fun s ->
+      with_visible_node (Engine.snapshot s) query (fun node _v ->
+          match Engine.refine s node with
+          | (_ : int) -> session_page s
+          | exception Invalid_argument msg -> Http.bad_request msg))
+
+let unrefine t query =
+  with_session t query (fun s ->
+      ignore (Engine.unrefine s : bool);
+      session_page s)
+
+let facets t query =
+  with_session t query (fun s ->
+      match Engine.facet s with
+      | (_ : int) -> session_page s
+      | exception Invalid_argument msg -> Http.bad_request msg)
 
 let citation_items t citations =
   Docset.fold
@@ -296,6 +339,9 @@ let handle t ~path ~query =
   | "/expand" -> expand t query
   | "/back" -> back t query
   | "/show" -> show t query
+  | "/refine" -> refine t query
+  | "/unrefine" -> unrefine t query
+  | "/facets" -> facets t query
   | "/metrics" -> metrics t
   | "/prefetch" -> prefetch_status t
   | "/adaptive" -> adaptive_status t

@@ -42,6 +42,86 @@ let average_improvement runs =
       List.fold_left (fun acc r -> acc +. improvement r) 0. runs
       /. float_of_int (List.length runs)
 
+(* --- navigation spaces: refinement & facets vs TOPDOWN ------------------- *)
+
+type space_run = {
+  space_query : Queries.query;
+  topdown_cost : int;
+  refine_cost : int;
+  refine_result_size : int;
+  facet_cost : int;
+  facet_pages : int;
+}
+
+let refinement_vs_topdown ?k (w : Queries.t) =
+  let module Nav_tree = Bionav_core.Nav_tree in
+  let module Nav_space = Bionav_core.Nav_space in
+  let deriver = Nav_space.deriver ~medline:w.Queries.medline w.Queries.database in
+  List.map
+    (fun (q : Queries.query) ->
+      let nav = q.Queries.nav in
+      let target = q.Queries.target_node in
+      let topdown =
+        Simulate.to_target (Engine.start (Navigation.bionav ?k ()) nav) ~target
+      in
+      (* Refine-hybrid: EXPAND the root once, then query-by-navigation into
+         the component holding the target — its subtree result set becomes
+         the live result set and a fresh, much smaller descriptor space is
+         derived over it — and finish the drill-down there. The refinement
+         itself charges 1 action, like an EXPAND. *)
+      let session = Engine.start (Navigation.bionav ?k ()) nav in
+      let active = Navigation.active session in
+      ignore (Navigation.expand session (Nav_tree.root nav) : int list);
+      let refine_cost, refine_result_size =
+        if Active_tree.is_visible active target then
+          ( Navigation.navigation_cost (Navigation.stats session),
+            Nav_tree.distinct_results nav )
+        else begin
+          let anchor = Active_tree.component_root_of active target in
+          let subset = Nav_tree.subtree_results nav anchor in
+          let pre = Navigation.navigation_cost (Navigation.stats session) in
+          let nav' = Nav_space.derive deriver Nav_space.Descriptor subset in
+          let size = Bionav_util.Docset.cardinal subset in
+          match Nav_tree.node_of_concept nav' (Nav_tree.concept_id nav target) with
+          | None -> (pre + 1, size)
+          | Some target' ->
+              let o =
+                Simulate.to_target
+                  (Engine.start (Navigation.bionav ?k ()) nav')
+                  ~target:target'
+              in
+              (pre + 1 + o.Simulate.navigation_cost, size)
+        end
+      in
+      (* Facet: derive the qualifier space over the whole result set and
+         isolate the page holding the largest share of the target's
+         citations — the facet analogue of "get me to the relevant slice". *)
+      let universe = Nav_tree.subtree_results nav (Nav_tree.root nav) in
+      let fnav = Nav_space.derive deriver Nav_space.Qualifier_facet universe in
+      let target_results = Nav_tree.subtree_results nav target in
+      let best = ref (Nav_tree.root fnav) and best_overlap = ref (-1) in
+      for i = 1 to Nav_tree.size fnav - 1 do
+        let overlap =
+          Bionav_util.Docset.inter_cardinal (Nav_tree.subtree_results fnav i) target_results
+        in
+        if overlap > !best_overlap then begin
+          best := i;
+          best_overlap := overlap
+        end
+      done;
+      let facet =
+        Simulate.to_target (Engine.start (Navigation.faceted ?k ()) fnav) ~target:!best
+      in
+      {
+        space_query = q;
+        topdown_cost = topdown.Simulate.navigation_cost;
+        refine_cost;
+        refine_result_size;
+        facet_cost = facet.Simulate.navigation_cost;
+        facet_pages = Nav_tree.size fnav - 1;
+      })
+    w.Queries.queries
+
 (* --- learned vs static (the Bionav_adaptive experiment) ----------------- *)
 
 (* A stochastic-user population is a distribution over navigation targets:

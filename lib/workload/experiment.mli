@@ -26,6 +26,28 @@ val run_all :
 
 val average_improvement : run list -> float
 
+(* --- navigation spaces -------------------------------------------------- *)
+
+type space_run = {
+  space_query : Queries.query;
+  topdown_cost : int;  (** Plain Heuristic-ReducedOpt drill to the target. *)
+  refine_cost : int;
+      (** Refine-hybrid: one root EXPAND, query-by-navigation refinement at
+          the target's component (charged 1), then drill the derived space. *)
+  refine_result_size : int;  (** Result-set size after the refinement. *)
+  facet_cost : int;
+      (** Cost of isolating the qualifier-facet page holding the largest
+          share of the target's citations, in the facet space. *)
+  facet_pages : int;  (** Non-root nodes of the facet space. *)
+}
+
+val refinement_vs_topdown : ?k:int -> Queries.t -> space_run list
+(** The navigation-space experiment: for each workload query, compare the
+    paper's TOPDOWN cost against (a) a refine-hybrid plan that narrows the
+    result set by query-by-navigation and re-derives, and (b) the
+    qualifier-facet route to the target's dominant facet page. Both derived
+    spaces go through {!Bionav_core.Nav_space.derive}. *)
+
 (* --- learned vs static ------------------------------------------------- *)
 
 type population = {

@@ -86,6 +86,51 @@ let fig10 runs =
   ^ "\n"
   ^ Table.bar_chart ~title:"avg ms per EXPAND" series
 
+let space_table (runs : Experiment.space_run list) =
+  let rows =
+    List.map
+      (fun (r : Experiment.space_run) ->
+        let vs cost =
+          if r.Experiment.topdown_cost <= 0 then "-"
+          else
+            Printf.sprintf "%+.0f%%"
+              (100.
+              *. (1. -. (float_of_int cost /. float_of_int r.Experiment.topdown_cost)))
+        in
+        [
+          r.Experiment.space_query.Queries.spec.Queries.name;
+          string_of_int r.Experiment.topdown_cost;
+          string_of_int r.Experiment.refine_cost;
+          vs r.Experiment.refine_cost;
+          string_of_int r.Experiment.refine_result_size;
+          string_of_int r.Experiment.facet_cost;
+          vs r.Experiment.facet_cost;
+          string_of_int r.Experiment.facet_pages;
+        ])
+      runs
+  in
+  let mean f =
+    match runs with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun acc r -> acc +. f r) 0. runs /. float_of_int (List.length runs)
+  in
+  let mean_saving cost_of =
+    mean (fun (r : Experiment.space_run) ->
+        if r.Experiment.topdown_cost <= 0 then 0.
+        else 1. -. (float_of_int (cost_of r) /. float_of_int r.Experiment.topdown_cost))
+  in
+  Table.section "Navigation spaces: refinement & qualifier facets vs TOPDOWN"
+  ^ "\n"
+  ^ Table.render
+      ~header:
+        [ "Query"; "TOPDOWN"; "Refine"; "vs TD"; "|L| after"; "Facet"; "vs TD"; "Pages" ]
+      [ Table.Left; Right; Right; Right; Right; Right; Right; Right ]
+      rows
+  ^ Printf.sprintf "Mean refine-hybrid saving: %+.0f%%; mean facet-route saving: %+.0f%%\n"
+      (100. *. mean_saving (fun r -> r.Experiment.refine_cost))
+      (100. *. mean_saving (fun r -> r.Experiment.facet_cost))
+
 (* Minimal CSV quoting: labels may contain commas ("Mice, Transgenic"). *)
 let csv_cell s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
@@ -146,6 +191,22 @@ let fig10_csv runs =
     ([ "query"; "mean_expand_ms" ]
     :: List.map
          (fun r -> [ name_of r; Printf.sprintf "%.4f" (Experiment.mean_expand_ms r.Experiment.bionav) ])
+         runs)
+
+let space_table_csv (runs : Experiment.space_run list) =
+  csv_of_rows
+    ([ "query"; "topdown_cost"; "refine_cost"; "refine_result_size"; "facet_cost";
+       "facet_pages" ]
+    :: List.map
+         (fun (r : Experiment.space_run) ->
+           [
+             r.Experiment.space_query.Queries.spec.Queries.name;
+             string_of_int r.Experiment.topdown_cost;
+             string_of_int r.Experiment.refine_cost;
+             string_of_int r.Experiment.refine_result_size;
+             string_of_int r.Experiment.facet_cost;
+             string_of_int r.Experiment.facet_pages;
+           ])
          runs)
 
 let fig11_csv (r : Experiment.run) =

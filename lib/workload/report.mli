@@ -19,6 +19,11 @@ val fig11 : Experiment.run -> string
 (** Fig. 11: per-EXPAND execution time for one query (the paper shows
     "prothymosin"), annotated with the reduced-tree partition counts. *)
 
+val space_table : Experiment.space_run list -> string
+(** The navigation-space comparison: per query, TOPDOWN cost vs the
+    refine-hybrid and qualifier-facet routes, with per-row and mean
+    savings. *)
+
 (** {2 Machine-readable exports}
 
     The same data as comma-separated values (header row included), for
@@ -29,3 +34,4 @@ val fig8_csv : Experiment.run list -> string
 val fig9_csv : Experiment.run list -> string
 val fig10_csv : Experiment.run list -> string
 val fig11_csv : Experiment.run -> string
+val space_table_csv : Experiment.space_run list -> string

@@ -63,7 +63,7 @@ let test_strategy_of_name () =
   List.iter
     (fun n ->
       Alcotest.(check bool) n true (Result.is_ok (Engine.strategy_of_name (Some n))))
-    [ "bionav"; "static"; "paged"; "optimal" ];
+    [ "bionav"; "static"; "paged"; "optimal"; "faceted" ];
   Alcotest.(check bool) "unknown rejected" true
     (Result.is_error (Engine.strategy_of_name (Some "wat")));
   Alcotest.(check bool) "paged with bad size rejected" true

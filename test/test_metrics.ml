@@ -176,6 +176,88 @@ let test_histogram_cross_domain_exact () =
   Metrics.reset ();
   Alcotest.(check int) "reset clears every domain's shard" 0 (Metrics.count h)
 
+(* --- navigation-space metrics: exactness through the engine ------------- *)
+
+(* The refinement counter, depth gauge and per-dimension derivation
+   histograms must count exactly: one increment per frame push, the gauge
+   tracking the live stack depth, one derivation observation per {e cold}
+   derive (revisits come from the nav cache and must not observe). *)
+let test_navigation_space_metrics_exact () =
+  Metrics.reset ();
+  let module S = Bionav_mesh.Synthetic in
+  let module G = Bionav_corpus.Generator in
+  let module Engine = Bionav_engine.Engine in
+  let module Nav_tree = Bionav_core.Nav_tree in
+  let h = S.generate ~params:S.small_params ~seed:411 () in
+  let deep =
+    List.filter (fun c -> Bionav_mesh.Hierarchy.depth h c >= 3)
+      (List.init (Bionav_mesh.Hierarchy.size h) Fun.id)
+  in
+  let params =
+    {
+      G.small_params with
+      G.n_citations = 300;
+      seeded_groups =
+        [
+          {
+            G.tag = Some "glioma";
+            cluster = [ List.nth deep 0; List.nth deep 5 ];
+            count = 40;
+            topics_per_citation = (1, 2);
+          };
+        ];
+    }
+  in
+  let m = G.generate ~params ~seed:412 h in
+  let engine =
+    Engine.create ~database:(Bionav_store.Database.of_medline m)
+      ~eutils:(Bionav_search.Eutils.create m) ()
+  in
+  let refinements = Metrics.counter "bionav_refinements_total" in
+  let depth_gauge = Metrics.gauge "bionav_refine_depth" in
+  let dh = Metrics.histogram "bionav_space_derivation_ms_descriptor" in
+  let qh = Metrics.histogram "bionav_space_derivation_ms_qualifier" in
+  let r0 = Metrics.value refinements in
+  let d0 = Metrics.count dh and q0 = Metrics.count qh in
+  match Engine.search engine "glioma" with
+  | Ok Engine.No_results | Error _ -> Alcotest.fail "seeded query found nothing"
+  | Ok (Engine.Session s) ->
+      let root () = Nav_tree.root (Engine.session_nav s) in
+      (* The plain search derives nothing through Nav_space. *)
+      Alcotest.(check int) "search derives no space" d0 (Metrics.count dh);
+      let node =
+        match Engine.expand s (root ()) with
+        | n :: _ -> n
+        | [] -> Alcotest.fail "root expand revealed nothing"
+      in
+      ignore (Engine.refine s node : int);
+      Alcotest.(check int) "one refinement counted" (r0 + 1) (Metrics.value refinements);
+      Alcotest.(check (float 0.)) "depth gauge 1" 1. (Metrics.gauge_value depth_gauge);
+      Alcotest.(check int) "one descriptor derivation" (d0 + 1) (Metrics.count dh);
+      ignore (Engine.facet s : int);
+      Alcotest.(check int) "facet counted too" (r0 + 2) (Metrics.value refinements);
+      Alcotest.(check (float 0.)) "depth gauge 2" 2. (Metrics.gauge_value depth_gauge);
+      Alcotest.(check int) "one qualifier derivation" (q0 + 1) (Metrics.count qh);
+      ignore (Engine.unrefine s : bool);
+      ignore (Engine.unrefine s : bool);
+      Alcotest.(check (float 0.)) "depth gauge back to 0" 0.
+        (Metrics.gauge_value depth_gauge);
+      (* Revisiting the identical refinement re-counts the action but is
+         served from the nav cache: no new derivation observation. *)
+      ignore (Engine.refine s node : int);
+      Alcotest.(check int) "revisit counted" (r0 + 3) (Metrics.value refinements);
+      Alcotest.(check int) "revisit not re-derived" (d0 + 1) (Metrics.count dh);
+      (* The whole family is on the dump surface (/metrics, --metrics). *)
+      let out = Engine.metrics_text engine in
+      List.iter
+        (fun sub -> Alcotest.(check bool) sub true (contains ~sub out))
+        [
+          "bionav_refinements_total 3";
+          "bionav_refine_depth 1";
+          "bionav_space_derivation_ms_descriptor_count 1";
+          "bionav_space_derivation_ms_qualifier_count 1";
+        ]
+
 let () =
   Alcotest.run "metrics"
     [
@@ -209,5 +291,10 @@ let () =
             test_counter_cross_domain_exact;
           Alcotest.test_case "histogram exact across domains" `Quick
             test_histogram_cross_domain_exact;
+        ] );
+      ( "spaces",
+        [
+          Alcotest.test_case "navigation-space instruments exact" `Quick
+            test_navigation_space_metrics_exact;
         ] );
     ]

@@ -121,7 +121,8 @@ let test_bionav_constructor_defaults () =
       Alcotest.(check string) "static fingerprint" Probability.default_model.Probability.fingerprint
         model.Probability.fingerprint;
       Alcotest.(check bool) "reuse off by default" false reuse
-  | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _ ->
+  | Navigation.Faceted _ | Navigation.Optimal _ | Navigation.Static | Navigation.Static_paged _
+    ->
       Alcotest.fail "wrong strategy"
 
 let test_reuse_matches_fresh_for_upper_chain () =

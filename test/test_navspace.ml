@@ -1,0 +1,320 @@
+(* Navigation spaces: facet-partition exactness, refine/unrefine snapshot
+   restoration, space identity through the engine, and cache behaviour on
+   revisited refinements. *)
+
+open Bionav_util
+open Bionav_core
+module S = Bionav_mesh.Synthetic
+module G = Bionav_corpus.Generator
+module Medline = Bionav_corpus.Medline
+module Citation = Bionav_corpus.Citation
+module Qualifiers = Bionav_mesh.Qualifiers
+module DB = Bionav_store.Database
+module Eu = Bionav_search.Eutils
+module Nav_snapshot = Bionav_search.Nav_snapshot
+module Engine = Bionav_engine.Engine
+
+(* A small corpus with a seeded, findable query word (same recipe as
+   test_engine, different seeds). *)
+let world =
+  lazy
+    (let h = S.generate ~params:S.small_params ~seed:311 () in
+     let deep =
+       List.filter (fun c -> Bionav_mesh.Hierarchy.depth h c >= 3)
+         (List.init (Bionav_mesh.Hierarchy.size h) Fun.id)
+     in
+     let params =
+       {
+         G.small_params with
+         G.n_citations = 500;
+         seeded_groups =
+           [
+             {
+               G.tag = Some "cancer";
+               cluster = [ List.nth deep 0; List.nth deep 7 ];
+               count = 60;
+               topics_per_citation = (1, 2);
+             };
+           ];
+       }
+     in
+     let m = G.generate ~params ~seed:312 h in
+     (m, DB.of_medline m, Eu.create m))
+
+let engine ?config () =
+  let _, database, eutils = Lazy.force world in
+  Engine.create ?config ~database ~eutils ()
+
+let must_session = function
+  | Ok (Engine.Session s) -> s
+  | Ok Engine.No_results -> Alcotest.fail "unexpected No_results"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e)
+
+let deriver () =
+  let m, database, _ = Lazy.force world in
+  Nav_space.deriver ~medline:m database
+
+(* --- facet partition exactness ------------------------------------------ *)
+
+(* A seeded sub-sample of the corpus' citation ids. *)
+let subset_of_seed seed =
+  let m, _, _ = Lazy.force world in
+  let rng = Rng.create seed in
+  let ids =
+    Array.to_list (Medline.citations m)
+    |> List.filter_map (fun c -> if Rng.int rng 3 > 0 then Some (Citation.id c) else None)
+  in
+  Docset.of_list ids
+
+let check_facet_partition subset =
+  let d = deriver () in
+  let fnav = Nav_space.derive d Nav_space.Qualifier_facet subset in
+  let root = Nav_tree.root fnav in
+  (* The root covers exactly the result set... *)
+  if not (Docset.equal (Nav_tree.subtree_results fnav root) subset) then
+    Alcotest.fail "facet root does not cover the result set";
+  (* ...and the pages partition it: cardinalities sum to the whole and the
+     union reproduces it, so no citation is lost or duplicated. *)
+  let pages = List.init (Nav_tree.size fnav - 1) (fun i -> i + 1) in
+  let total =
+    List.fold_left (fun acc i -> acc + Docset.cardinal (Nav_tree.subtree_results fnav i)) 0 pages
+  in
+  Alcotest.(check int) "page cardinalities sum to |L|" (Docset.cardinal subset) total;
+  let union =
+    Docset.union_many (List.map (fun i -> Nav_tree.subtree_results fnav i) pages)
+  in
+  if not (Docset.equal union subset) then Alcotest.fail "page union differs from result set";
+  (* Every citation sits on the page of its primary qualifier. *)
+  let m, _, _ = Lazy.force world in
+  Docset.iter
+    (fun id ->
+      let c = Medline.citation m id in
+      let concept = Nav_space.page_concept (Nav_space.primary_qualifier c) in
+      match Nav_tree.node_of_concept fnav concept with
+      | None -> Alcotest.fail (Printf.sprintf "citation %d: its page is absent" id)
+      | Some node ->
+          if not (Docset.mem id (Nav_tree.subtree_results fnav node)) then
+            Alcotest.fail (Printf.sprintf "citation %d not on its primary page" id))
+    subset
+
+let test_facet_partition_full () =
+  let m, _, _ = Lazy.force world in
+  check_facet_partition
+    (Docset.of_list (Array.to_list (Array.map Citation.id (Medline.citations m))))
+
+let prop_facet_partition =
+  QCheck.Test.make ~name:"facet pages partition any result set" ~count:25
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      check_facet_partition (subset_of_seed seed);
+      true)
+
+(* --- refine / unrefine through the engine ------------------------------- *)
+
+(* Canonical rendering of everything a snapshot shows the user; two
+   snapshots with equal renderings are indistinguishable to every reader. *)
+let snapshot_fingerprint snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "query=%s space=%s depth=%d distinct=%d fp=%s\n"
+       (Nav_snapshot.query snap) (Nav_snapshot.space snap)
+       (Nav_snapshot.refine_depth snap)
+       (Nav_snapshot.distinct_results snap)
+       (Nav_snapshot.model_fingerprint snap));
+  let stats = Nav_snapshot.stats snap in
+  Buffer.add_string buf
+    (Printf.sprintf "expands=%d revealed=%d listed=%d\n" stats.Navigation.expands
+       stats.Navigation.revealed stats.Navigation.results_listed);
+  Nav_snapshot.iter snap (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%s|%d|%b|%d|%s|%s\n" v.Nav_snapshot.id v.Nav_snapshot.label
+           v.Nav_snapshot.distinct v.Nav_snapshot.expandable v.Nav_snapshot.parent
+           (String.concat "," (List.map string_of_int v.Nav_snapshot.children))
+           (String.concat ","
+              (List.map string_of_int (Array.to_list v.Nav_snapshot.members)))));
+  Buffer.contents buf
+
+let first_refinable s =
+  let nav = Engine.session_nav s in
+  let active = Navigation.active (Engine.navigation s) in
+  List.find_opt (fun v -> v <> Nav_tree.root nav) (Active_tree.visible active)
+
+let test_refine_end_to_end () =
+  let e = engine () in
+  let s = must_session (Engine.search e "cancer") in
+  ignore (Engine.expand s (Nav_tree.root (Engine.session_nav s)) : int list);
+  Alcotest.(check string) "base space" "descriptor" (Engine.space_id s);
+  Alcotest.(check int) "base depth" 0 (Engine.refine_depth s);
+  let nav = Engine.session_nav s in
+  let node = Option.get (first_refinable s) in
+  let concept = Nav_tree.concept_id nav node in
+  let expected = Docset.cardinal (Nav_tree.subtree_results nav node) in
+  let narrowed = Engine.refine s node in
+  Alcotest.(check int) "refined to L(n)" expected narrowed;
+  Alcotest.(check string) "space id"
+    (Printf.sprintf "descriptor>refine:%d" concept)
+    (Engine.space_id s);
+  Alcotest.(check int) "depth" 1 (Engine.refine_depth s);
+  (* The derived space is live: the snapshot reflects it and expanding
+     works inside it. *)
+  let snap = Engine.snapshot s in
+  Alcotest.(check string) "snapshot space" (Engine.space_id s) (Nav_snapshot.space snap);
+  Alcotest.(check int) "snapshot results" expected (Nav_snapshot.distinct_results snap);
+  ignore (Engine.expand s (Nav_tree.root (Engine.session_nav s)) : int list);
+  Alcotest.(check bool) "unrefine pops" true (Engine.unrefine s);
+  Alcotest.(check string) "back to base" "descriptor" (Engine.space_id s);
+  Alcotest.(check bool) "nothing left to pop" false (Engine.unrefine s)
+
+let test_refine_validates () =
+  let e = engine () in
+  let s = must_session (Engine.search e "cancer") in
+  let nav = Engine.session_nav s in
+  Alcotest.(check bool) "root refine rejected" true
+    (try
+       ignore (Engine.refine s (Nav_tree.root nav));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "hidden node rejected" true
+    (try
+       ignore (Engine.refine s (Nav_tree.size nav - 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_facet_end_to_end () =
+  let e = engine () in
+  let s = must_session (Engine.search e "cancer") in
+  let base_results = Nav_tree.distinct_results (Engine.session_nav s) in
+  let pages = Engine.facet s in
+  Alcotest.(check bool) "some pages" true (pages >= 1 && pages <= Qualifiers.count + 1);
+  Alcotest.(check string) "facet space id" "descriptor>facets" (Engine.space_id s);
+  Alcotest.(check int) "facet preserves the result set" base_results
+    (Nav_tree.distinct_results (Engine.session_nav s));
+  (* Faceting a facet space is refused. *)
+  Alcotest.(check bool) "no facet of facet" true
+    (try
+       ignore (Engine.facet s);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unrefine pops the facet" true (Engine.unrefine s);
+  Alcotest.(check string) "back to descriptor" "descriptor" (Engine.space_id s)
+
+let test_faceted_strategy_search () =
+  let e = engine () in
+  let s = must_session (Engine.search e ~strategy:(Navigation.faceted ()) "cancer") in
+  Alcotest.(check string) "starts in the qualifier space" "qualifier" (Engine.space_id s);
+  Alcotest.(check int) "base of the stack" 0 (Engine.refine_depth s);
+  (* Expanding the facet root reveals qualifier pages. *)
+  let revealed = Engine.expand s (Nav_tree.root (Engine.session_nav s)) in
+  Alcotest.(check bool) "pages revealed" true (revealed <> [])
+
+(* Refine → unrefine restores a byte-identical user-visible snapshot (the
+   epoch advances; everything else is untouched), regardless of how much
+   navigation happened inside the derived space. *)
+let prop_refine_roundtrip =
+  QCheck.Test.make ~name:"refine/unrefine restores the snapshot" ~count:15
+    QCheck.(pair (int_bound 3) (int_bound 1000))
+    (fun (pre_expands, pick) ->
+      let e = engine () in
+      let s = must_session (Engine.search e "cancer") in
+      for _ = 1 to pre_expands do
+        let active = Navigation.active (Engine.navigation s) in
+        match List.filter (Active_tree.is_expandable active) (Active_tree.visible active) with
+        | [] -> ()
+        | r :: _ -> ignore (Engine.expand s r : int list)
+      done;
+      let before = Engine.snapshot s in
+      let nav = Engine.session_nav s in
+      let active = Navigation.active (Engine.navigation s) in
+      match List.filter (fun v -> v <> Nav_tree.root nav) (Active_tree.visible active) with
+      | [] -> QCheck.assume_fail ()
+      | candidates ->
+          let node = List.nth candidates (pick mod List.length candidates) in
+          ignore (Engine.refine s node : int);
+          (* Navigate inside the derived space; none of it may leak out. *)
+          let nav' = Engine.session_nav s in
+          ignore (Engine.expand s (Nav_tree.root nav') : int list);
+          if not (Engine.unrefine s) then Alcotest.fail "unrefine failed";
+          let after = Engine.snapshot s in
+          if Nav_snapshot.epoch after <= Nav_snapshot.epoch before then
+            Alcotest.fail "epoch did not advance";
+          String.equal (snapshot_fingerprint before) (snapshot_fingerprint after))
+
+(* --- caches across revisited refinements -------------------------------- *)
+
+let test_revisited_refinement_hits_caches () =
+  let e =
+    engine
+      ~config:
+        { Engine.default_config with
+          Engine.prefetch = Some Bionav_prefetch.Prefetch.default_config }
+      ()
+  in
+  let drive () =
+    let s = must_session (Engine.search e "cancer") in
+    ignore (Engine.expand s (Nav_tree.root (Engine.session_nav s)) : int list);
+    let node = Option.get (first_refinable s) in
+    let narrowed = Engine.refine s node in
+    let space = Engine.space_id s in
+    ignore (Engine.expand s (Nav_tree.root (Engine.session_nav s)) : int list);
+    ignore (Engine.unrefine s : bool);
+    ignore (Engine.close e (Engine.session_id s) : bool);
+    (space, narrowed)
+  in
+  let hits0 = Metrics.value (Metrics.counter "bionav_cache_hits_total") in
+  let space1, narrowed1 = drive () in
+  let space2, narrowed2 = drive () in
+  Alcotest.(check string) "same space id on revisit" space1 space2;
+  Alcotest.(check int) "same result set on revisit" narrowed1 narrowed2;
+  let hits1 = Metrics.value (Metrics.counter "bionav_cache_hits_total") in
+  Alcotest.(check bool) "revisit served from the nav cache" true (hits1 > hits0);
+  Alcotest.(check bool) "plans reused under refinement churn" true
+    (Engine.plan_cache_hit_rate e > 0.)
+
+let test_derivation_histograms_populated () =
+  let d = deriver () in
+  let m, _, _ = Lazy.force world in
+  let subset = Docset.of_list (Array.to_list (Array.map Citation.id (Medline.citations m))) in
+  let dh = Metrics.histogram "bionav_space_derivation_ms_descriptor" in
+  let qh = Metrics.histogram "bionav_space_derivation_ms_qualifier" in
+  let d0 = Metrics.count dh and q0 = Metrics.count qh in
+  ignore (Nav_space.derive d Nav_space.Descriptor subset : Nav_tree.t);
+  ignore (Nav_space.derive d Nav_space.Qualifier_facet subset : Nav_tree.t);
+  Alcotest.(check int) "descriptor derivation observed" (d0 + 1) (Metrics.count dh);
+  Alcotest.(check int) "qualifier derivation observed" (q0 + 1) (Metrics.count qh)
+
+let test_deriver_without_medline () =
+  let _, database, _ = Lazy.force world in
+  let d = Nav_space.deriver database in
+  Alcotest.(check bool) "descriptor supported" true (Nav_space.supports d Nav_space.Descriptor);
+  Alcotest.(check bool) "facet unsupported" false
+    (Nav_space.supports d Nav_space.Qualifier_facet);
+  Alcotest.(check bool) "facet derive raises" true
+    (try
+       ignore (Nav_space.derive d Nav_space.Qualifier_facet (Docset.of_list [ 1; 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "navspace"
+    [
+      ( "facet",
+        [
+          Alcotest.test_case "full-corpus partition" `Quick test_facet_partition_full;
+          QCheck_alcotest.to_alcotest prop_facet_partition;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "refine end-to-end" `Quick test_refine_end_to_end;
+          Alcotest.test_case "refine validates" `Quick test_refine_validates;
+          Alcotest.test_case "facet end-to-end" `Quick test_facet_end_to_end;
+          Alcotest.test_case "faceted strategy" `Quick test_faceted_strategy_search;
+          QCheck_alcotest.to_alcotest prop_refine_roundtrip;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "revisit hits caches" `Quick test_revisited_refinement_hits_caches;
+          Alcotest.test_case "derivation histograms" `Quick
+            test_derivation_histograms_populated;
+          Alcotest.test_case "deriver without medline" `Quick test_deriver_without_medline;
+        ] );
+    ]

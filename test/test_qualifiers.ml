@@ -1,0 +1,90 @@
+open Bionav_mesh
+module Q = Qualifiers
+
+let test_table_shape () =
+  Alcotest.(check bool) "non-trivial table" true (Q.count >= 30);
+  Alcotest.(check int) "all lists every id" Q.count (List.length (Q.all ()));
+  Alcotest.(check (list int)) "dense ids" (List.init Q.count Fun.id) (Q.all ())
+
+let test_roundtrip_names () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Q.name q) (Some q)
+        (Q.find_by_name (Q.name q)))
+    (Q.all ())
+
+let test_roundtrip_abbreviations () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Q.abbreviation q) (Some q)
+        (Q.find_by_abbreviation (Q.abbreviation q)))
+    (Q.all ())
+
+let test_lookup_normalizes () =
+  (* Case-insensitive, surrounding whitespace ignored — the nbib wire
+     format spells qualifiers in several capitalizations. *)
+  Alcotest.(check (option int)) "upper name" (Q.find_by_name "metabolism")
+    (Q.find_by_name "METABOLISM");
+  Alcotest.(check (option int)) "padded name" (Q.find_by_name "genetics")
+    (Q.find_by_name "  genetics  ");
+  Alcotest.(check (option int)) "lower abbrev" (Q.find_by_abbreviation "ME")
+    (Q.find_by_abbreviation "me")
+
+let test_names_and_abbreviations_unique () =
+  let module S = Set.Make (String) in
+  let names = List.map Q.name (Q.all ()) in
+  let abbrevs = List.map Q.abbreviation (Q.all ()) in
+  Alcotest.(check int) "unique names" Q.count (S.cardinal (S.of_list names));
+  Alcotest.(check int) "unique abbreviations" Q.count (S.cardinal (S.of_list abbrevs))
+
+let test_malformed_inputs_rejected () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) ("name " ^ String.escaped s) None (Q.find_by_name s);
+      Alcotest.(check (option int))
+        ("abbrev " ^ String.escaped s)
+        None
+        (Q.find_by_abbreviation s))
+    [ ""; " "; "no-such-qualifier"; "metab olism"; "Z9"; "\x00"; "m\xc3\xa9tabolisme" ]
+
+let test_bad_ids_raise () =
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises
+        (Printf.sprintf "name %d" bad)
+        (Invalid_argument (Printf.sprintf "Qualifiers: bad id %d" bad))
+        (fun () -> ignore (Q.name bad)))
+    [ -1; Q.count ]
+
+let test_oversized_input_rejected_cheaply () =
+  (* The decode-bounds discipline: a pathological candidate is refused by
+     length before any lowercasing/trimming allocation happens. *)
+  Alcotest.(check bool) "bound sane" true (Q.max_input_length >= 26);
+  let big = String.make (Q.max_input_length + 1) 'a' in
+  Alcotest.(check (option int)) "oversized name" None (Q.find_by_name big);
+  Alcotest.(check (option int)) "oversized abbrev" None (Q.find_by_abbreviation big);
+  (* Exactly at the bound is still considered (and simply not found). *)
+  let at = String.make Q.max_input_length 'a' in
+  Alcotest.(check (option int)) "at-bound name" None (Q.find_by_name at);
+  (* A real name padded beyond the bound with whitespace is out of
+     contract: the length check runs before trimming. *)
+  let padded = "metabolism" ^ String.make Q.max_input_length ' ' in
+  Alcotest.(check (option int)) "padded past bound" None (Q.find_by_name padded)
+
+let () =
+  Alcotest.run "qualifiers"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "table shape" `Quick test_table_shape;
+          Alcotest.test_case "name roundtrip" `Quick test_roundtrip_names;
+          Alcotest.test_case "abbreviation roundtrip" `Quick test_roundtrip_abbreviations;
+          Alcotest.test_case "lookup normalizes" `Quick test_lookup_normalizes;
+          Alcotest.test_case "uniqueness" `Quick test_names_and_abbreviations_unique;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_inputs_rejected;
+          Alcotest.test_case "bad ids raise" `Quick test_bad_ids_raise;
+          Alcotest.test_case "oversized input" `Quick test_oversized_input_rejected_cheaply;
+        ] );
+    ]

@@ -164,6 +164,88 @@ let test_recorder_events_carry_outcomes () =
       Alcotest.(check bool) "nonempty listing" true (n_listed > 0)
   | _ -> Alcotest.fail "unexpected event shape"
 
+(* --- navigation-space actions (v2) --------------------------------------- *)
+
+let has_sub msg needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let space_events =
+  [
+    SL.Expanded { concept = 0; revealed = [ 1; 4 ] };
+    SL.Refined { concept = 4 };
+    SL.Faceted;
+    SL.Unrefined;
+    SL.Unrefined;
+    SL.Shown { concept = 1; n_listed = 15 };
+  ]
+
+let test_space_events_roundtrip () =
+  let text = SL.events_to_string space_events in
+  (* Space-changing actions ride in the existing v2 wire format — no
+     version bump. *)
+  Alcotest.(check bool) "still v2" true
+    (String.sub text 0 30 = "# bionav session transcript v2");
+  Alcotest.(check bool) "events roundtrip" true (SL.events_of_string text = space_events);
+  Alcotest.(check bool) "action view" true
+    (SL.of_string text
+    = [ SL.Expand 0; SL.Refine 4; SL.Facet; SL.Unrefine; SL.Unrefine; SL.Show_results 1 ])
+
+let test_v1_writer_refuses_space_actions () =
+  List.iter
+    (fun action ->
+      match SL.to_string [ SL.Expand 0; action ] with
+      | _ -> Alcotest.fail "v1 writer accepted a space-changing action"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "points at v2" true (has_sub msg "v2"))
+    [ SL.Refine 4; SL.Unrefine; SL.Facet ]
+
+let test_v1_reader_rejects_space_lines_loudly () =
+  (* A refine line in a v1 (headerless) transcript is an unknown action;
+     the error must name the v1-supported set so the reader knows the line
+     is from a newer writer, not garbage. *)
+  match SL.events_of_string "expand 3\nrefine 4\n" with
+  | _ -> Alcotest.fail "v1 reader accepted refine"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the supported set" true
+        (has_sub msg "expand, show, backtrack");
+      Alcotest.(check bool) "does not claim refine supported" true
+        (not (has_sub msg "refine,"))
+
+let test_v2_unknown_action_names_supported_set () =
+  match SL.events_of_string "# bionav session transcript v2\npivot 3\n" with
+  | _ -> Alcotest.fail "unknown v2 action accepted"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (has_sub msg needle))
+        [ "expand"; "show"; "backtrack"; "refine"; "unrefine"; "facet" ]
+
+let test_v2_malformed_space_lines_rejected () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) text true
+        (try
+           ignore (SL.events_of_string text);
+           false
+         with Invalid_argument _ -> true))
+    [
+      "# bionav session transcript v2\nrefine\n";
+      "# bionav session transcript v2\nrefine x\n";
+      "# bionav session transcript v2\nunrefine 3\n";
+      "# bionav session transcript v2\nfacet 1\n";
+    ]
+
+let test_replay_skips_space_actions () =
+  (* [replay] acts on one [Navigation.t] — a single space — so refine,
+     unrefine and facet must skip (counted), never misapply. *)
+  let t = [ SL.Expand 0; SL.Refine 1; SL.Facet; SL.Unrefine ] in
+  let session = Navigation.start Navigation.Static (nav ()) in
+  let outcome = SL.replay session t in
+  Alcotest.(check int) "expand applied" 1 outcome.SL.applied;
+  Alcotest.(check int) "space actions skipped" 3 outcome.SL.skipped
+
 let test_save_load_events () =
   let path = Filename.temp_file "bionav_session" ".txt" in
   Fun.protect
@@ -197,5 +279,18 @@ let () =
           Alcotest.test_case "corruption rejected" `Quick test_v2_corruption_rejected;
           Alcotest.test_case "recorder outcomes" `Quick test_recorder_events_carry_outcomes;
           Alcotest.test_case "save/load events" `Quick test_save_load_events;
+        ] );
+      ( "spaces",
+        [
+          Alcotest.test_case "space events roundtrip" `Quick test_space_events_roundtrip;
+          Alcotest.test_case "v1 writer refuses" `Quick test_v1_writer_refuses_space_actions;
+          Alcotest.test_case "v1 reader fails loudly" `Quick
+            test_v1_reader_rejects_space_lines_loudly;
+          Alcotest.test_case "v2 unknown action names set" `Quick
+            test_v2_unknown_action_names_supported_set;
+          Alcotest.test_case "v2 malformed space lines" `Quick
+            test_v2_malformed_space_lines_rejected;
+          Alcotest.test_case "replay skips space actions" `Quick
+            test_replay_skips_space_actions;
         ] );
     ]

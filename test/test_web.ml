@@ -195,9 +195,9 @@ let test_metrics_route () =
     (contains ~sub:"bionav_sessions_live" r.Http.body);
   Alcotest.(check bool) "not html" false (contains ~sub:"<html" r.Http.body)
 
-(* Extract the first sid/node pair of an expand link from a page. *)
-let find_expand_params body =
-  let marker = "/expand?sid=" in
+(* Extract the first sid/node pair of a [route] link from a page. *)
+let find_link_params ~route body =
+  let marker = route ^ "?sid=" in
   let rec find i =
     if i + String.length marker >= String.length body then None
     else if String.sub body i (String.length marker) = marker then Some i
@@ -218,6 +218,8 @@ let find_expand_params body =
       let k = ref j in
       while !k < String.length after && after.[!k] >= '0' && after.[!k] <= '9' do incr k done;
       Some (sid, int_of_string (String.sub after j (!k - j)))
+
+let find_expand_params body = find_link_params ~route:"/expand" body
 
 let test_expand_show_back_flow () =
   let app = Lazy.force app_fixture in
@@ -249,10 +251,77 @@ let test_session_validation () =
       Alcotest.(check int) "node out of range" 400
         (get app "/expand" [ ("sid", sid); ("node", "999999") ]).Http.status
 
+let test_refine_unrefine_flow () =
+  let app = Lazy.force app_fixture in
+  let r = get app "/search" [ ("q", "webtag") ] in
+  match find_expand_params r.Http.body with
+  | None -> Alcotest.fail "no expand link"
+  | Some (sid, node) ->
+      let r2 = get app "/expand" [ ("sid", sid); ("node", string_of_int node) ] in
+      (match find_link_params ~route:"/refine" r2.Http.body with
+      | None -> Alcotest.fail "no refine link after expand"
+      | Some (sid', rnode) ->
+          Alcotest.(check string) "refine link targets same session" sid sid';
+          let r3 = get app "/refine" [ ("sid", sid); ("node", string_of_int rnode) ] in
+          Alcotest.(check int) "refine ok" 200 r3.Http.status;
+          Alcotest.(check bool) "derived space in bar" true
+            (contains ~sub:"refine:" r3.Http.body);
+          Alcotest.(check bool) "depth shown" true (contains ~sub:"(depth 1)" r3.Http.body);
+          Alcotest.(check bool) "undo link offered" true
+            (contains ~sub:"/unrefine?" r3.Http.body);
+          let r4 = get app "/unrefine" [ ("sid", sid) ] in
+          Alcotest.(check int) "unrefine ok" 200 r4.Http.status;
+          Alcotest.(check bool) "base space restored" false
+            (contains ~sub:"refine:" r4.Http.body);
+          Alcotest.(check bool) "depth back to 0" true
+            (contains ~sub:"(depth 0)" r4.Http.body))
+
+let test_facets_flow () =
+  let app = Lazy.force app_fixture in
+  let r = get app "/search" [ ("q", "webtag") ] in
+  match find_expand_params r.Http.body with
+  | None -> Alcotest.fail "no expand link"
+  | Some (sid, _) ->
+      let r2 = get app "/facets" [ ("sid", sid) ] in
+      Alcotest.(check int) "facets ok" 200 r2.Http.status;
+      Alcotest.(check bool) "facet space in bar" true
+        (contains ~sub:"&gt;facets (depth 1)" r2.Http.body);
+      (* Cutting along the qualifier dimension twice is refused, not crashed. *)
+      Alcotest.(check int) "facet of facet rejected" 400
+        (get app "/facets" [ ("sid", sid) ]).Http.status;
+      let r3 = get app "/unrefine" [ ("sid", sid) ] in
+      Alcotest.(check int) "unrefine pops facet space" 200 r3.Http.status;
+      Alcotest.(check bool) "base space restored" true
+        (contains ~sub:"(depth 0)" r3.Http.body)
+
+let test_space_route_validation () =
+  let app = Lazy.force app_fixture in
+  Alcotest.(check int) "refine missing sid" 400 (get app "/refine" []).Http.status;
+  Alcotest.(check int) "unrefine missing sid" 400 (get app "/unrefine" []).Http.status;
+  Alcotest.(check int) "facets missing sid" 400 (get app "/facets" []).Http.status;
+  Alcotest.(check int) "refine unknown sid" 404
+    (get app "/refine" [ ("sid", "nope"); ("node", "1") ]).Http.status;
+  let r = get app "/search" [ ("q", "webtag") ] in
+  match find_expand_params r.Http.body with
+  | None -> Alcotest.fail "no expand link"
+  | Some (sid, _) ->
+      Alcotest.(check int) "refine malformed node" 400
+        (get app "/refine" [ ("sid", sid); ("node", "xyz") ]).Http.status;
+      Alcotest.(check int) "refine node out of range" 400
+        (get app "/refine" [ ("sid", sid); ("node", "999999") ]).Http.status;
+      (* Unrefining the base space is a harmless no-op, not an error. *)
+      Alcotest.(check int) "unrefine at depth 0" 200
+        (get app "/unrefine" [ ("sid", sid) ]).Http.status
+
 let test_handler_never_raises () =
   let app = Lazy.force app_fixture in
   let rng = Rng.create 5 in
-  let paths = [| "/"; "/search"; "/session"; "/expand"; "/show"; "/back"; "/junk" |] in
+  let paths =
+    [|
+      "/"; "/search"; "/session"; "/expand"; "/show"; "/back"; "/refine";
+      "/unrefine"; "/facets"; "/junk";
+    |]
+  in
   let keys = [| "q"; "sid"; "node"; "strategy"; "bogus" |] in
   let values = [| ""; "webtag"; "s0"; "-3"; "999999"; "drop table"; "%%%" |] in
   for _ = 1 to 500 do
@@ -422,6 +491,9 @@ let () =
           Alcotest.test_case "metrics route" `Quick test_metrics_route;
           Alcotest.test_case "expand/show/back flow" `Quick test_expand_show_back_flow;
           Alcotest.test_case "session validation" `Quick test_session_validation;
+          Alcotest.test_case "refine/unrefine flow" `Quick test_refine_unrefine_flow;
+          Alcotest.test_case "facets flow" `Quick test_facets_flow;
+          Alcotest.test_case "space route validation" `Quick test_space_route_validation;
           Alcotest.test_case "fuzzed handler" `Quick test_handler_never_raises;
         ] );
       ( "hardening",
